@@ -1,0 +1,69 @@
+// Fig. 13: fault tolerance of ColumnSGD (Appendix X) — objective-vs-time
+// traces for (a) a task failure and (b) a worker failure while training LR
+// on the kdd12 analog. A task failure barely dents the curve; a worker
+// failure pays a data-reload stall and a temporary loss spike (the lost
+// model partition restarts from zero), then re-converges without any
+// checkpointing.
+#include "bench/bench_util.h"
+#include "engine/columnsgd.h"
+
+namespace colsgd {
+namespace {
+
+void RunOne(const Dataset& d, FailureKind kind, int64_t fail_at,
+            int64_t iterations, const std::string& csv_path,
+            const char* label) {
+  TrainConfig config;
+  config.model = "lr";
+  config.batch_size = 1000;
+  config.learning_rate = 512.0;  // Table III analog for kdd12-sim LR
+  ColumnSgdOptions options;
+  options.failures = FailureInjector({{fail_at, 2, kind}});
+  ColumnSgdEngine engine(ClusterSpec::Cluster1(), config,
+                         std::move(options));
+  COLSGD_CHECK_OK(engine.Setup(d));
+
+  CsvWriter csv;
+  COLSGD_CHECK_OK(csv.Open(csv_path, {"iteration", "sim_time", "loss"}));
+  double spike = 0.0;
+  double pre_failure = 0.0;
+  double final_loss = 0.0;
+  for (int64_t i = 0; i < iterations; ++i) {
+    COLSGD_CHECK_OK(engine.RunIteration(i));
+    const double t = engine.runtime().clock(engine.runtime().master());
+    csv.WriteNumericRow({static_cast<double>(i), t,
+                         engine.last_batch_loss()});
+    if (i == fail_at - 1) pre_failure = engine.last_batch_loss();
+    if (i == fail_at) spike = engine.last_batch_loss();
+    final_loss = engine.last_batch_loss();
+  }
+  std::printf(
+      "%-16s loss before failure %.4f, at failure %.4f, final %.4f\n", label,
+      pre_failure, spike, final_loss);
+}
+
+}  // namespace
+}  // namespace colsgd
+
+int main(int argc, char** argv) {
+  using namespace colsgd;
+  FlagParser flags;
+  int64_t iterations = 120;
+  int64_t fail_at = 40;
+  std::string out_dir = ".";
+  flags.AddInt64("iterations", &iterations, "total SGD iterations");
+  flags.AddInt64("fail_at", &fail_at, "iteration at which the failure fires");
+  flags.AddString("out_dir", &out_dir, "directory for CSV dumps");
+  COLSGD_CHECK_OK(flags.Parse(argc, argv));
+
+  const Dataset& d = bench::GetDataset("kdd12-sim");
+  bench::PrintHeader("Fig 13: fault tolerance of ColumnSGD (kdd12-sim, LR)");
+  RunOne(d, FailureKind::kTaskFailure, fail_at, iterations,
+         out_dir + "/fig13a_task_failure.csv", "task failure:");
+  RunOne(d, FailureKind::kWorkerFailure, fail_at, iterations,
+         out_dir + "/fig13b_worker_failure.csv", "worker failure:");
+  std::printf(
+      "(paper shape: task failure is invisible; worker failure stalls ~data "
+      "reload time, spikes the loss, then re-converges to the optimum)\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Fig. 4: impact of batch size on ColumnSGD (SVM on the kddb analog).
+//  (a) training-loss-vs-iteration curves for B in {10, 100, 1k, 10k, 100k}:
+//      small batches thrash, large batches overlap.
+//  (b) per-iteration time vs batch size: flat while latency-bound, linear
+//      once bandwidth-bound (beyond ~100k).
+#include "bench/bench_util.h"
+#include "engine/columnsgd.h"
+
+namespace colsgd {
+namespace {
+
+using bench::GetDataset;
+using bench::PrintHeader;
+using bench::PrintRow;
+
+void LossCurves(const Dataset& d, int64_t iterations,
+                const std::string& csv_path) {
+  PrintHeader("Fig 4(a): SVM train loss vs iteration, kddb-sim");
+  const std::vector<size_t> batch_sizes = {10, 100, 1000, 10000, 100000};
+  // Fixed learning rate found by grid search with large-batch GD, as in the
+  // paper's protocol (kddb-sim SVM; see bench_util.h).
+  const double lr = 128.0;
+
+  std::vector<std::vector<double>> curves;
+  for (size_t B : batch_sizes) {
+    TrainConfig config;
+    config.model = "svm";
+    config.learning_rate = lr;
+    config.batch_size = B;
+    ColumnSgdEngine engine(ClusterSpec::Cluster1(), config);
+    COLSGD_CHECK_OK(engine.Setup(d));
+    std::vector<double> losses;
+    for (int64_t i = 0; i < iterations; ++i) {
+      COLSGD_CHECK_OK(engine.RunIteration(i));
+      losses.push_back(engine.last_batch_loss());
+    }
+    curves.push_back(std::move(losses));
+  }
+
+  CsvWriter csv;
+  COLSGD_CHECK_OK(csv.Open(
+      csv_path, {"iteration", "B10", "B100", "B1k", "B10k", "B100k"}));
+  for (int64_t i = 0; i < iterations; ++i) {
+    std::vector<double> row = {static_cast<double>(i)};
+    for (const auto& curve : curves) row.push_back(curve[i]);
+    csv.WriteNumericRow(row);
+  }
+
+  // Summarize stability: stddev of the last 20 losses per curve — the
+  // "thrash" the paper reports for tiny batches.
+  PrintRow({"batch", "final_loss", "tail_stddev"});
+  for (size_t c = 0; c < batch_sizes.size(); ++c) {
+    double mean = 0.0;
+    const int64_t tail = std::min<int64_t>(20, iterations);
+    for (int64_t i = iterations - tail; i < iterations; ++i) {
+      mean += curves[c][i];
+    }
+    mean /= tail;
+    double var = 0.0;
+    for (int64_t i = iterations - tail; i < iterations; ++i) {
+      var += (curves[c][i] - mean) * (curves[c][i] - mean);
+    }
+    PrintRow({std::to_string(batch_sizes[c]), FormatDouble(mean),
+              FormatDouble(std::sqrt(var / tail))});
+  }
+}
+
+void PerIterationTime(const Dataset& d, int64_t max_batch,
+                      const std::string& csv_path) {
+  PrintHeader("Fig 4(b): ColumnSGD per-iteration time vs batch size");
+  CsvWriter csv;
+  COLSGD_CHECK_OK(csv.Open(csv_path, {"batch_size", "seconds_per_iter"}));
+  PrintRow({"batch", "sec/iter"});
+  for (int64_t B = 100; B <= max_batch; B *= 10) {
+    TrainConfig config;
+    config.model = "svm";
+    config.learning_rate = 1.0;
+    config.batch_size = static_cast<size_t>(B);
+    ColumnSgdEngine engine(ClusterSpec::Cluster1(), config);
+    COLSGD_CHECK_OK(engine.Setup(d));
+    const int64_t iters = B >= 1000000 ? 2 : 5;
+    const double start = engine.runtime().clock(engine.runtime().master());
+    for (int64_t i = 0; i < iters; ++i) {
+      COLSGD_CHECK_OK(engine.RunIteration(i));
+    }
+    const double per_iter =
+        (engine.runtime().clock(engine.runtime().master()) - start) / iters;
+    csv.WriteNumericRow({static_cast<double>(B), per_iter});
+    PrintRow({std::to_string(B), bench::FormatSeconds(per_iter)});
+  }
+}
+
+}  // namespace
+}  // namespace colsgd
+
+int main(int argc, char** argv) {
+  colsgd::FlagParser flags;
+  int64_t iterations = 100;
+  int64_t max_batch = 1000000;
+  std::string out_dir = ".";
+  flags.AddInt64("iterations", &iterations, "iterations for the loss curves");
+  flags.AddInt64("max_batch", &max_batch,
+                 "largest batch size for the time sweep (paper: 10m)");
+  flags.AddString("out_dir", &out_dir, "directory for CSV dumps");
+  COLSGD_CHECK_OK(flags.Parse(argc, argv));
+
+  const colsgd::Dataset& d = colsgd::bench::GetDataset("kddb-sim");
+  colsgd::LossCurves(d, iterations, out_dir + "/fig4a_loss_vs_iter.csv");
+  colsgd::PerIterationTime(d, max_batch, out_dir + "/fig4b_time_vs_batch.csv");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// CTR prediction with Factorization Machines — the workload class the
+// paper's introduction motivates (billions of hashed features, tiny
+// per-row support, feature interactions that matter).
+//
+// Trains a degree-2 FM on an avazu-style synthetic CTR dataset with
+// ColumnSGD and compares against the MXNet-style parameter server, showing
+// the per-iteration time gap and the OOM cliff the PS hits when the latent
+// dimension grows (Table V in miniature).
+#include <cstdio>
+
+#include "datagen/synthetic.h"
+#include "engine/metrics.h"
+#include "engine/trainer.h"
+
+namespace {
+
+colsgd::TrainResult Train(const std::string& engine_name,
+                          const colsgd::Dataset& dataset, int factors,
+                          uint64_t memory_budget,
+                          colsgd::BinaryMetrics* metrics) {
+  using namespace colsgd;
+  TrainConfig config;
+  config.model = "fm" + std::to_string(factors);
+  config.learning_rate = 32.0;
+  config.batch_size = 1000;
+  ClusterSpec cluster = ClusterSpec::Cluster1();
+  cluster.node_memory_budget = memory_budget;
+  auto engine = MakeEngine(engine_name, cluster, config);
+  RunOptions options;
+  options.iterations = 100;
+  TrainResult result = RunTraining(engine.get(), dataset, options);
+  if (result.status.ok() && metrics != nullptr) {
+    *metrics = EvaluateBinaryMetrics(engine->model(), engine->FullModel(),
+                                     dataset, 20000);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace colsgd;
+
+  // Avazu-style CTR data: 1M hashed features, ~15 one-hot features per
+  // impression.
+  SyntheticSpec spec = AvazuSimSpec();
+  spec.num_rows = 50000;
+  Dataset dataset = GenerateSynthetic(spec);
+  std::printf("CTR dataset: %zu impressions, %llu hashed features\n",
+              dataset.num_rows(),
+              static_cast<unsigned long long>(dataset.num_features));
+
+  const uint64_t budget = 512ull << 20;  // 512 MB per node
+  for (int factors : {10, 50}) {
+    std::printf("\n--- FM with %d latent factors (%llu parameters) ---\n",
+                factors,
+                static_cast<unsigned long long>(dataset.num_features *
+                                                (1 + factors)));
+    for (const char* engine : {"columnsgd", "mxnet"}) {
+      BinaryMetrics metrics;
+      TrainResult result = Train(engine, dataset, factors, budget, &metrics);
+      if (result.status.IsOutOfMemory()) {
+        std::printf("%-10s OOM: %s\n", engine,
+                    result.status.message().c_str());
+        continue;
+      }
+      if (!result.status.ok()) {
+        std::printf("%-10s failed: %s\n", engine,
+                    result.status.ToString().c_str());
+        return 1;
+      }
+      std::printf(
+          "%-10s %.2f ms/iter, train loss %.4f, accuracy %.3f, AUC %.3f\n",
+          engine, 1e3 * result.avg_iter_time, metrics.avg_loss,
+          metrics.accuracy, metrics.auc);
+    }
+  }
+  std::printf(
+      "\nColumnSGD shards the (1+F) weights of each feature with its data "
+      "column, so the wide-FM model never concentrates on one node and only "
+      "(F+1)*B statistics cross the network per iteration.\n");
+  return 0;
+}

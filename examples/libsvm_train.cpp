@@ -1,0 +1,66 @@
+// File-based workflow: write a dataset in libsvm format, read it back, and
+// train an SVM — the path a user with on-disk data (the usual HDFS export)
+// would take. Also demonstrates the explicit row-to-column transform API
+// for callers that want to stage loading themselves.
+#include <cstdio>
+
+#include "datagen/synthetic.h"
+#include "engine/trainer.h"
+#include "storage/libsvm.h"
+#include "storage/transform.h"
+
+int main() {
+  using namespace colsgd;
+
+  // Stand-in for a real export: synthesize and write a libsvm file.
+  SyntheticSpec spec;
+  spec.num_rows = 5000;
+  spec.num_features = 20000;
+  spec.avg_nnz_per_row = 15;
+  spec.label_noise = 6.0;
+  Dataset original = GenerateSynthetic(spec);
+  const std::string path = "/tmp/colsgd_example.libsvm";
+  COLSGD_CHECK_OK(WriteLibsvmFile(original, path));
+  std::printf("wrote %s (%zu rows)\n", path.c_str(), original.num_rows());
+
+  // Read it back (1-based indices, the LIBSVM convention).
+  Result<Dataset> loaded = ReadLibsvmFile(path);
+  COLSGD_CHECK(loaded.ok()) << loaded.status().ToString();
+  Dataset dataset = std::move(*loaded);
+  std::printf("read back %zu rows, %llu features, %.1f nnz/row\n",
+              dataset.num_rows(),
+              static_cast<unsigned long long>(dataset.num_features),
+              dataset.AvgNnzPerRow());
+
+  // Inspect the row-to-column transform directly: this is what the engine
+  // runs internally (Algorithm 4, block-based column dispatching).
+  ClusterRuntime runtime(ClusterSpec::Cluster1());
+  std::vector<RowBlock> blocks = MakeRowBlocks(dataset, 1024);
+  auto partitioner = MakePartitioner("round_robin", dataset.num_features,
+                                     runtime.num_workers());
+  ColumnLoadResult load = BlockColumnLoad(blocks, *partitioner, &runtime,
+                                          TransformCostConfig());
+  std::printf("transform: %zu blocks -> %d workers in %.3f simulated s\n",
+              blocks.size(), runtime.num_workers(), runtime.MaxClock());
+  for (int k = 0; k < runtime.num_workers(); ++k) {
+    std::printf("  worker %d: %llu nnz, %llu rows replicated as labels\n", k,
+                static_cast<unsigned long long>(load.stores[k].total_nnz()),
+                static_cast<unsigned long long>(load.stores[k].total_rows()));
+  }
+
+  // Train an SVM end to end through the driver.
+  TrainConfig config;
+  config.model = "svm";
+  config.learning_rate = 1.0;
+  config.batch_size = 250;
+  auto engine = MakeEngine("columnsgd", ClusterSpec::Cluster1(), config);
+  RunOptions options;
+  options.iterations = 150;
+  options.eval_every = 150;
+  TrainResult result = RunTraining(engine.get(), dataset, options);
+  COLSGD_CHECK_OK(result.status);
+  std::printf("\nSVM: hinge loss %.4f -> %.4f (exact, on 10k rows)\n",
+              result.trace.front().batch_loss, result.trace.back().eval_loss);
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Straggler resilience with backup computation (Section IV-B / Fig. 6).
+//
+// Runs the same LR workload four ways — no stragglers, a level-5 straggler
+// with no defense, and the same straggler with 1-backup computation — and
+// shows that (a) backup restores the per-iteration time and (b) the learned
+// model is bit-for-bit unaffected by how the statistics were recovered.
+#include <cmath>
+#include <cstdio>
+
+#include "datagen/synthetic.h"
+#include "engine/columnsgd.h"
+
+namespace {
+
+struct RunOutcome {
+  double ms_per_iter;
+  std::vector<double> model;
+};
+
+RunOutcome Run(const colsgd::Dataset& dataset, int backup,
+               double straggler_level) {
+  using namespace colsgd;
+  TrainConfig config;
+  config.model = "lr";
+  config.learning_rate = 1.0;
+  config.batch_size = 1000;
+  ClusterSpec cluster = ClusterSpec::Cluster1();
+  ColumnSgdOptions options;
+  options.backup = backup;
+  if (straggler_level > 0) {
+    options.straggler =
+        StragglerInjector(straggler_level, cluster.num_workers, 4242);
+  }
+  ColumnSgdEngine engine(cluster, config, std::move(options));
+  COLSGD_CHECK_OK(engine.Setup(dataset));
+  const NodeId master = engine.runtime().master();
+  const double start = engine.runtime().clock(master);
+  const int iters = 50;
+  for (int i = 0; i < iters; ++i) {
+    COLSGD_CHECK_OK(engine.RunIteration(i));
+  }
+  return {1e3 * (engine.runtime().clock(master) - start) / iters,
+          engine.FullModel()};
+}
+
+}  // namespace
+
+int main() {
+  using namespace colsgd;
+  SyntheticSpec spec = KddbSimSpec();
+  spec.num_rows = 40000;
+  Dataset dataset = GenerateSynthetic(spec);
+
+  std::printf("%-28s %12s\n", "configuration", "ms/iter");
+  const RunOutcome pure = Run(dataset, /*backup=*/0, /*straggler_level=*/0);
+  std::printf("%-28s %12.2f\n", "no stragglers", pure.ms_per_iter);
+  const RunOutcome straggled = Run(dataset, 0, 5.0);
+  std::printf("%-28s %12.2f\n", "level-5 straggler, no backup",
+              straggled.ms_per_iter);
+  const RunOutcome backed = Run(dataset, 1, 5.0);
+  std::printf("%-28s %12.2f\n", "level-5 straggler, 1-backup",
+              backed.ms_per_iter);
+
+  // The recovery is exact: the model equals the straggler-free run's.
+  double max_diff = 0.0;
+  for (size_t i = 0; i < pure.model.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(pure.model[i] - backed.model[i]));
+  }
+  std::printf(
+      "\nmax |w_pure - w_backup| = %.2e  (backup recovers the statistics "
+      "exactly; only the timing changes)\n",
+      max_diff);
+  std::printf(
+      "slowdown without defense: %.1fx; with 1-backup: %.2fx\n",
+      straggled.ms_per_iter / pure.ms_per_iter,
+      backed.ms_per_iter / pure.ms_per_iter);
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Simulated BSP cluster runtime: one master plus K workers, each with a
+// simulated clock, connected by a SimNetwork. Engines (ColumnSGD, RowSGD,
+// PS, MLlib*) are written against this runtime.
+#ifndef COLSGD_CLUSTER_CLUSTER_H_
+#define COLSGD_CLUSTER_CLUSTER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "simnet/compute_model.h"
+#include "simnet/network.h"
+
+namespace colsgd {
+
+/// \brief Static description of a simulated cluster.
+struct ClusterSpec {
+  int num_workers = 8;
+  NetworkConfig net = NetworkConfig::Gbps1();
+  ComputeModel compute = ComputeModel::Cluster1Worker();
+  /// Effective memory bandwidth for dense buffer sweeps (bytes/s). Charged
+  /// when an engine touches O(m) state per iteration (e.g. MXNet's dense
+  /// gradient buffers).
+  double mem_bandwidth = 5e9;
+  /// Per-node memory budget in bytes; engines that materialize more than
+  /// this fail with OutOfMemory (reproduces Table V's MXNet OOM).
+  uint64_t node_memory_budget = 4ull << 30;
+
+  /// \brief The paper's Cluster 1: 8 machines, 2 CPUs, 32 GB, 1 Gbps.
+  static ClusterSpec Cluster1() {
+    ClusterSpec spec;
+    spec.num_workers = 8;
+    spec.net = NetworkConfig::Gbps1();
+    spec.compute = ComputeModel::Cluster1Worker();
+    spec.node_memory_budget = 32ull << 30;
+    return spec;
+  }
+
+  /// \brief The paper's Cluster 2: 40 machines, 8 CPUs, 50 GB, 10 Gbps.
+  static ClusterSpec Cluster2(int num_workers = 40) {
+    ClusterSpec spec;
+    spec.num_workers = num_workers;
+    spec.net = NetworkConfig::Gbps10();
+    spec.compute = ComputeModel::Cluster2Worker();
+    spec.node_memory_budget = 50ull << 30;
+    return spec;
+  }
+};
+
+/// \brief Live state of a simulated cluster: clocks and network.
+///
+/// Node ids: node 0 is the master; worker k (0-based) is node k+1. Parameter
+/// servers, when an engine uses them, are co-located with workers.
+class ClusterRuntime {
+ public:
+  /// \param extra_nodes additional simulated endpoints beyond master +
+  /// workers, e.g. co-located parameter-server threads that compute and
+  /// communicate concurrently with the worker thread on the same machine
+  /// (they get their own clock and NIC; see DESIGN.md calibration notes).
+  explicit ClusterRuntime(const ClusterSpec& spec, int extra_nodes = 0)
+      : spec_(spec),
+        net_(spec.num_workers + 1 + extra_nodes, spec.net),
+        clocks_(spec.num_workers + 1 + extra_nodes, 0.0) {}
+
+  const ClusterSpec& spec() const { return spec_; }
+  SimNetwork& net() { return net_; }
+  int num_workers() const { return spec_.num_workers; }
+
+  NodeId master() const { return 0; }
+  NodeId worker_node(int k) const {
+    COLSGD_CHECK_GE(k, 0);
+    COLSGD_CHECK_LT(k, spec_.num_workers);
+    return static_cast<NodeId>(k + 1);
+  }
+  /// \brief The i-th extra endpoint (requires extra_nodes > i at
+  /// construction).
+  NodeId extra_node(int i) const {
+    COLSGD_CHECK_GE(i, 0);
+    COLSGD_CHECK_LT(static_cast<size_t>(spec_.num_workers + 1 + i),
+                    clocks_.size());
+    return static_cast<NodeId>(spec_.num_workers + 1 + i);
+  }
+
+  SimTime clock(NodeId node) const { return clocks_[node]; }
+  void set_clock(NodeId node, SimTime t) { clocks_[node] = t; }
+  void AdvanceClock(NodeId node, double seconds) { clocks_[node] += seconds; }
+  /// \brief Moves a node's clock forward to `t` if it is behind (message
+  /// arrival / barrier semantics).
+  void SyncClockTo(NodeId node, SimTime t) {
+    clocks_[node] = std::max(clocks_[node], t);
+  }
+
+  /// \brief Charges `flops` of compute on a node's clock.
+  void ChargeCompute(NodeId node, uint64_t flops) {
+    AdvanceClock(node, spec_.compute.SecondsFor(flops));
+  }
+
+  /// \brief Charges an O(bytes) dense-memory sweep on a node's clock.
+  void ChargeMemTouch(NodeId node, uint64_t bytes) {
+    AdvanceClock(node, static_cast<double>(bytes) / spec_.mem_bandwidth);
+  }
+
+  /// \brief Simulated time at which every node has finished.
+  SimTime MaxClock() const {
+    return *std::max_element(clocks_.begin(), clocks_.end());
+  }
+
+  /// \brief BSP barrier: all clocks jump to the global maximum.
+  void Barrier() {
+    const SimTime t = MaxClock();
+    for (auto& c : clocks_) c = t;
+  }
+
+  // ---- Communication patterns -------------------------------------------
+
+  /// \brief Point-to-point send; syncs the receiver clock to message arrival
+  /// and returns the arrival time.
+  SimTime Send(NodeId from, NodeId to, uint64_t bytes) {
+    if (from == to) return clocks_[from];
+    SimTime arrival = net_.Send(from, to, bytes, clocks_[from]);
+    SyncClockTo(to, arrival);
+    return arrival;
+  }
+
+  /// \brief Flat broadcast of `bytes` from `from` to all workers. The K
+  /// copies leave the sender's NIC back to back — this is what makes a full
+  /// model broadcast expensive in RowSGD.
+  void BroadcastToWorkers(NodeId from, uint64_t bytes) {
+    for (int k = 0; k < num_workers(); ++k) {
+      NodeId to = worker_node(k);
+      if (to != from) Send(from, to, bytes);
+    }
+  }
+
+  /// \brief Gather: every worker sends `bytes_per_worker[k]` to `to`; the
+  /// receiver clock ends at the last arrival.
+  void GatherFromWorkers(NodeId to, const std::vector<uint64_t>& bytes) {
+    COLSGD_CHECK_EQ(bytes.size(), static_cast<size_t>(num_workers()));
+    for (int k = 0; k < num_workers(); ++k) {
+      NodeId from = worker_node(k);
+      if (from != to) Send(from, to, bytes[k]);
+    }
+  }
+
+  void ResetClocks() { std::fill(clocks_.begin(), clocks_.end(), 0.0); }
+
+ private:
+  ClusterSpec spec_;
+  SimNetwork net_;
+  std::vector<SimTime> clocks_;
+};
+
+}  // namespace colsgd
+
+#endif  // COLSGD_CLUSTER_CLUSTER_H_

@@ -1,0 +1,44 @@
+// Scripted failure injection (Appendix X of the paper).
+#ifndef COLSGD_CLUSTER_FAILURE_H_
+#define COLSGD_CLUSTER_FAILURE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace colsgd {
+
+enum class FailureKind {
+  kTaskFailure,    // a task throws; retried on the same worker, state intact
+  kWorkerFailure,  // a worker dies; data reloaded, model partition reset
+};
+
+struct FailureEvent {
+  int64_t iteration = 0;  // fires at the start of this iteration
+  int worker = 0;
+  FailureKind kind = FailureKind::kTaskFailure;
+};
+
+/// \brief Hands out scripted failure events, at most one per iteration.
+class FailureInjector {
+ public:
+  FailureInjector() = default;
+  explicit FailureInjector(std::vector<FailureEvent> events)
+      : events_(std::move(events)) {}
+
+  /// \brief Returns the event scheduled for `iteration`, or nullptr.
+  const FailureEvent* EventAt(int64_t iteration) const {
+    for (const auto& e : events_) {
+      if (e.iteration == iteration) return &e;
+    }
+    return nullptr;
+  }
+
+  bool empty() const { return events_.empty(); }
+
+ private:
+  std::vector<FailureEvent> events_;
+};
+
+}  // namespace colsgd
+
+#endif  // COLSGD_CLUSTER_FAILURE_H_

@@ -1,0 +1,50 @@
+// Straggler injection (Section V-C of the paper).
+//
+// StragglerLevel is "the ratio between the extra time a straggler needs to
+// finish a task and the time that a non-straggler worker needs": a straggler
+// at level L takes (1+L)x the normal task time. Each iteration one randomly
+// chosen worker straggles.
+#ifndef COLSGD_CLUSTER_STRAGGLER_H_
+#define COLSGD_CLUSTER_STRAGGLER_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace colsgd {
+
+class StragglerInjector {
+ public:
+  /// \brief Disabled injector (no stragglers).
+  StragglerInjector() : enabled_(false), level_(0.0), rng_(0) {}
+
+  StragglerInjector(double level, int num_workers, uint64_t seed)
+      : enabled_(true), level_(level), num_workers_(num_workers), rng_(seed) {}
+
+  bool enabled() const { return enabled_; }
+  double level() const { return level_; }
+
+  /// \brief Picks the straggling worker for an iteration (call once per
+  /// iteration; deterministic given the seed).
+  int PickStraggler() {
+    if (!enabled_) return -1;
+    return static_cast<int>(rng_.NextBounded(num_workers_));
+  }
+
+  /// \brief Extra compute seconds for worker `k` whose normal task time is
+  /// `task_seconds`, given this iteration's straggler pick.
+  double ExtraSeconds(int k, int straggler, double task_seconds) const {
+    if (!enabled_ || k != straggler) return 0.0;
+    return level_ * task_seconds;
+  }
+
+ private:
+  bool enabled_;
+  double level_;
+  int num_workers_ = 0;
+  Rng rng_;
+};
+
+}  // namespace colsgd
+
+#endif  // COLSGD_CLUSTER_STRAGGLER_H_

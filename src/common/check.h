@@ -1,0 +1,68 @@
+// Fatal invariant checks (always on, including release builds).
+#ifndef COLSGD_COMMON_CHECK_H_
+#define COLSGD_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace colsgd {
+namespace internal {
+
+/// \brief Accumulates a fatal message and aborts on destruction.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* expr) {
+    stream_ << file << ":" << line << " CHECK failed: " << expr << " ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// \brief Swallows the message stream when the check passes.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace colsgd
+
+#define COLSGD_CHECK(cond)                                              \
+  (cond) ? (void)0                                                      \
+         : (void)::colsgd::internal::FatalLogMessage(__FILE__, __LINE__, \
+                                                     #cond)             \
+               .stream()
+
+// Streaming form: COLSGD_CHECK(x) << "context"; implemented via a ternary
+// that selects a live or null stream.
+#undef COLSGD_CHECK
+#define COLSGD_CHECK(cond)                                                  \
+  for (bool _colsgd_ok = static_cast<bool>(cond); !_colsgd_ok;              \
+       _colsgd_ok = true)                                                   \
+  ::colsgd::internal::FatalLogMessage(__FILE__, __LINE__, #cond).stream()
+
+#define COLSGD_CHECK_EQ(a, b) COLSGD_CHECK((a) == (b))
+#define COLSGD_CHECK_NE(a, b) COLSGD_CHECK((a) != (b))
+#define COLSGD_CHECK_LT(a, b) COLSGD_CHECK((a) < (b))
+#define COLSGD_CHECK_LE(a, b) COLSGD_CHECK((a) <= (b))
+#define COLSGD_CHECK_GT(a, b) COLSGD_CHECK((a) > (b))
+#define COLSGD_CHECK_GE(a, b) COLSGD_CHECK((a) >= (b))
+
+#define COLSGD_CHECK_OK(expr)                                    \
+  for (::colsgd::Status _colsgd_st = (expr); !_colsgd_st.ok();   \
+       _colsgd_st = ::colsgd::Status::OK())                      \
+  ::colsgd::internal::FatalLogMessage(__FILE__, __LINE__, #expr) \
+          .stream()                                              \
+      << _colsgd_st.ToString()
+
+#endif  // COLSGD_COMMON_CHECK_H_

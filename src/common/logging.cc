@@ -1,0 +1,11 @@
+#include "common/logging.h"
+
+namespace colsgd {
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+}  // namespace colsgd

@@ -1,0 +1,62 @@
+// Result<T>: value-or-Status, following the Arrow idiom.
+#ifndef COLSGD_COMMON_RESULT_H_
+#define COLSGD_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace colsgd {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// A Result constructed from an OK status is a programming error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    COLSGD_CHECK(!std::get<Status>(repr_).ok())
+        << "Result constructed from OK status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// \brief The error status, or OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    COLSGD_CHECK(ok()) << "ValueOrDie on error Result: "
+                       << std::get<Status>(repr_).ToString();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    COLSGD_CHECK(ok()) << "ValueOrDie on error Result: "
+                       << std::get<Status>(repr_).ToString();
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    COLSGD_CHECK(ok()) << "ValueOrDie on error Result: "
+                       << std::get<Status>(repr_).ToString();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// \brief Moves the value out without checking; caller must know ok().
+  T ValueUnsafe() && { return std::move(std::get<T>(repr_)); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace colsgd
+
+#endif  // COLSGD_COMMON_RESULT_H_

@@ -1,0 +1,103 @@
+// Deterministic, splittable random number generation.
+//
+// Every stochastic component (samplers, data generators, straggler picks)
+// takes an explicit seed so that whole-cluster runs replay bit-identically.
+// The two-phase index (Section IV-A2 of the paper) relies on all workers
+// drawing the same sequence from the same seed.
+#ifndef COLSGD_COMMON_RNG_H_
+#define COLSGD_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace colsgd {
+
+/// \brief SplitMix64: used for seeding and cheap hashing.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// \brief Deterministic standard-normal value keyed by (key, seed); used
+/// wherever a "random" per-slot value must be reproducible without storing a
+/// vector (planted model weights, FM factor initialization).
+inline double GaussianFromHash(uint64_t key, uint64_t seed) {
+  const uint64_t h1 = SplitMix64(key ^ SplitMix64(seed));
+  const uint64_t h2 = SplitMix64(h1);
+  double u1 = static_cast<double>(h1 >> 11) * 0x1.0p-53;
+  const double u2 = static_cast<double>(h2 >> 11) * 0x1.0p-53;
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+/// \brief xoshiro256** PRNG. Fast, high-quality, deterministic across
+/// platforms (unlike std::mt19937 distributions).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t s = seed;
+    for (auto& word : s_) {
+      s = SplitMix64(s);
+      word = s;
+    }
+  }
+
+  /// \brief Derives an independent stream, e.g. one per worker or iteration.
+  Rng Split(uint64_t stream) const {
+    return Rng(SplitMix64(s_[0] ^ SplitMix64(stream * 0x9e3779b97f4a7c15ULL)));
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// \brief Uniform integer in [0, bound). Bound must be positive.
+  uint64_t NextBounded(uint64_t bound) {
+    COLSGD_CHECK_GT(bound, 0u);
+    // Lemire's nearly-divisionless method would be overkill; modulo bias is
+    // negligible for bounds << 2^64 and determinism is what matters here.
+    return NextU64() % bound;
+  }
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// \brief Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// \brief Standard normal via Box-Muller (deterministic, no cached spare).
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// \brief Bernoulli draw with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace colsgd
+
+#endif  // COLSGD_COMMON_RNG_H_

@@ -1,0 +1,28 @@
+// Wall-clock stopwatch; reported alongside (but never mixed with) simulated
+// time.
+#ifndef COLSGD_COMMON_STOPWATCH_H_
+#define COLSGD_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace colsgd {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// \brief Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace colsgd
+
+#endif  // COLSGD_COMMON_STOPWATCH_H_

@@ -1,0 +1,164 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace colsgd {
+
+double PlantedWeight(uint64_t feature, uint64_t seed) {
+  return GaussianFromHash(feature, seed);
+}
+
+namespace {
+
+/// Draws a feature id with power-law popularity: low ids are hot.
+uint32_t DrawFeature(Rng* rng, uint64_t m, double skew) {
+  const double u = rng->NextDouble();
+  // u^(1/skew) with skew in (0,1] pushes mass toward 0; skew=1 is uniform.
+  const double x = std::pow(u, 1.0 / skew);
+  uint64_t f = static_cast<uint64_t>(x * static_cast<double>(m));
+  if (f >= m) f = m - 1;
+  return static_cast<uint32_t>(f);
+}
+
+}  // namespace
+
+Dataset GenerateSynthetic(const SyntheticSpec& spec) {
+  COLSGD_CHECK_GT(spec.num_features, 0u);
+  COLSGD_CHECK_GE(spec.num_classes, 2);
+  Dataset dataset;
+  dataset.num_features = spec.num_features;
+  dataset.num_classes = spec.num_classes;
+
+  Rng rng(spec.seed);
+  std::vector<uint32_t> indices;
+  std::vector<float> values;
+  for (uint64_t r = 0; r < spec.num_rows; ++r) {
+    // Row length: 1 + Poisson-ish draw around avg (geometric mixture keeps a
+    // heavy tail like real CTR data).
+    const double mean = spec.avg_nnz_per_row;
+    size_t nnz = 1 + static_cast<size_t>(rng.NextDouble() * 2.0 * (mean - 1.0));
+    nnz = std::min<size_t>(nnz, spec.num_features);
+
+    indices.clear();
+    values.clear();
+    for (size_t j = 0; j < nnz; ++j) {
+      indices.push_back(DrawFeature(&rng, spec.num_features, spec.skew));
+    }
+    std::sort(indices.begin(), indices.end());
+    indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+    values.reserve(indices.size());
+    for (size_t j = 0; j < indices.size(); ++j) {
+      values.push_back(spec.binary_features
+                           ? 1.0f
+                           : static_cast<float>(rng.NextUniform(0.1, 1.0)));
+    }
+
+    // Planted-model score(s) -> label.
+    float label;
+    if (spec.num_classes == 2) {
+      double score = 0.0;
+      for (size_t j = 0; j < indices.size(); ++j) {
+        score += PlantedWeight(indices[j], spec.seed) *
+                 static_cast<double>(values[j]);
+      }
+      // Normalize by sqrt(nnz) so margins don't blow up with row length.
+      score /= std::sqrt(static_cast<double>(indices.size()));
+      const double p = 1.0 / (1.0 + std::exp(-spec.label_noise * score));
+      label = rng.NextBernoulli(p) ? 1.0f : -1.0f;
+    } else {
+      // MLR: planted model per class, class = noisy argmax.
+      int best = 0;
+      double best_score = -1e300;
+      for (int c = 0; c < spec.num_classes; ++c) {
+        double score = 0.0;
+        const uint64_t class_seed = SplitMix64(spec.seed + 1000003ull * c);
+        for (size_t j = 0; j < indices.size(); ++j) {
+          score += PlantedWeight(indices[j], class_seed) *
+                   static_cast<double>(values[j]);
+        }
+        score += 0.5 * rng.NextGaussian();  // label noise
+        if (score > best_score) {
+          best_score = score;
+          best = c;
+        }
+      }
+      label = static_cast<float>(best);
+    }
+
+    dataset.rows.AppendRow(indices.data(), values.data(), indices.size());
+    dataset.labels.push_back(label);
+  }
+  return dataset;
+}
+
+SyntheticSpec AvazuSimSpec() {
+  SyntheticSpec spec;
+  spec.name = "avazu-sim";
+  spec.num_rows = 100000;
+  spec.num_features = 1000000;
+  spec.avg_nnz_per_row = 15;
+  spec.label_noise = 4.0;
+  spec.seed = 101;
+  return spec;
+}
+
+SyntheticSpec KddbSimSpec() {
+  SyntheticSpec spec;
+  spec.name = "kddb-sim";
+  spec.num_rows = 80000;
+  spec.num_features = 3000000;
+  spec.avg_nnz_per_row = 30;
+  spec.label_noise = 4.0;
+  spec.seed = 102;
+  return spec;
+}
+
+SyntheticSpec Kdd12SimSpec() {
+  SyntheticSpec spec;
+  spec.name = "kdd12-sim";
+  spec.num_rows = 120000;
+  spec.num_features = 5400000;
+  spec.avg_nnz_per_row = 11;
+  spec.label_noise = 4.0;
+  spec.seed = 103;
+  return spec;
+}
+
+SyntheticSpec WxSimSpec() {
+  SyntheticSpec spec;
+  spec.name = "wx-sim";
+  spec.num_rows = 100000;
+  spec.num_features = 4000000;
+  spec.avg_nnz_per_row = 25;
+  spec.label_noise = 4.0;
+  spec.seed = 104;
+  return spec;
+}
+
+SyntheticSpec CriteoSimSpec(uint64_t num_features) {
+  SyntheticSpec spec;
+  spec.name = "criteo-sim-" + std::to_string(num_features);
+  spec.num_rows = 100000;
+  spec.num_features = num_features;
+  spec.avg_nnz_per_row = std::min<double>(39.0, static_cast<double>(num_features));
+  spec.skew = 0.6;
+  spec.seed = 105;
+  return spec;
+}
+
+SyntheticSpec TinySpec() {
+  SyntheticSpec spec;
+  spec.name = "tiny";
+  spec.num_rows = 1000;
+  spec.num_features = 500;
+  spec.avg_nnz_per_row = 12;
+  spec.skew = 0.8;
+  spec.binary_features = false;
+  spec.seed = 7;
+  return spec;
+}
+
+}  // namespace colsgd

@@ -1,0 +1,134 @@
+// Common driver API for all training engines (ColumnSGD and the RowSGD
+// baselines). An engine owns a simulated cluster, loads/partitions a dataset
+// on it, and runs BSP SGD iterations, charging compute and communication on
+// the simulated clocks.
+#ifndef COLSGD_ENGINE_API_H_
+#define COLSGD_ENGINE_API_H_
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "model/factory.h"
+#include "model/model_spec.h"
+#include "optim/optimizer.h"
+#include "storage/transform.h"
+
+namespace colsgd {
+
+/// \brief Hyperparameters and run settings shared by every engine.
+struct TrainConfig {
+  std::string model = "lr";          // "lr" | "svm" | "mlr<C>" | "fm<F>"
+  std::string optimizer = "sgd";     // "sgd" | "adagrad" | "adam"
+  double learning_rate = 0.1;
+  RegularizerConfig reg;
+  size_t batch_size = 1000;
+  uint64_t seed = 13;
+  size_t block_rows = 1024;          // rows per block in the block queue
+  std::string partitioner = "round_robin";
+  /// Per-iteration driver/scheduling overhead in simulated seconds; < 0
+  /// selects the engine's default (Spark-like engines pay more; see
+  /// DESIGN.md calibration).
+  double sched_overhead = -1.0;
+  TransformCostConfig transform_cost;
+};
+
+/// \brief One point of a training trace.
+struct IterationRecord {
+  int64_t iteration = 0;
+  double sim_time = 0.0;    // cluster MaxClock at the end of the iteration
+  double batch_loss = 0.0;  // average per-point data loss on the batch
+  double eval_loss = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// \brief Summary of a training run (filled by RunTraining in trainer.h).
+struct TrainResult {
+  std::string engine;
+  std::string dataset;
+  std::vector<IterationRecord> trace;
+  double load_time = 0.0;      // simulated seconds spent loading data
+  double train_time = 0.0;     // simulated seconds from first to last iter
+  double avg_iter_time = 0.0;  // train_time / iterations
+  uint64_t bytes_on_wire = 0;  // total traffic during training
+  uint64_t messages = 0;
+  Status status;  // non-OK e.g. when a baseline runs out of memory (Table V)
+};
+
+/// \brief Base class for all engines.
+class Engine {
+ public:
+  Engine(const ClusterSpec& cluster_spec, const TrainConfig& config)
+      : cluster_spec_(cluster_spec),
+        config_(config),
+        runtime_(std::make_unique<ClusterRuntime>(cluster_spec)),
+        model_(MakeModel(config.model)) {}
+  virtual ~Engine() = default;
+
+  virtual std::string name() const = 0;
+
+  /// \brief Loads and partitions `dataset` onto the simulated cluster and
+  /// initializes the model. Must be called exactly once before iterations.
+  virtual Status Setup(const Dataset& dataset) = 0;
+
+  /// \brief Runs one BSP SGD iteration. `iteration` seeds the batch draw.
+  virtual Status RunIteration(int64_t iteration) = 0;
+
+  /// \brief Materializes the full model in global layout
+  /// (slot = feature * weights_per_feature + j). For tests and evaluation;
+  /// not part of the simulated execution.
+  virtual std::vector<double> FullModel() const = 0;
+
+  const ModelSpec& model() const { return *model_; }
+  ClusterRuntime& runtime() { return *runtime_; }
+  const ClusterRuntime& runtime() const { return *runtime_; }
+  const TrainConfig& config() const { return config_; }
+
+  /// \brief Average per-point data loss of the last processed batch,
+  /// evaluated against the model used to compute its gradients.
+  double last_batch_loss() const { return last_batch_loss_; }
+  double load_time() const { return load_time_; }
+
+ protected:
+  /// \brief Engine-specific default driver overhead per iteration.
+  double SchedOverhead(double engine_default) const {
+    return config_.sched_overhead >= 0.0 ? config_.sched_overhead
+                                         : engine_default;
+  }
+
+  ClusterSpec cluster_spec_;
+  TrainConfig config_;
+  std::unique_ptr<ClusterRuntime> runtime_;
+  std::unique_ptr<ModelSpec> model_;
+  double last_batch_loss_ = std::numeric_limits<double>::quiet_NaN();
+  double load_time_ = 0.0;
+};
+
+/// \brief Applies accumulated gradients (summed over `batch_total` points)
+/// to `weights` via `optimizer`, adding regularization on touched slots, and
+/// resets the accumulator. Returns the number of touched slots.
+inline size_t ApplySparseUpdate(GradAccumulator* grad, size_t batch_total,
+                                const RegularizerConfig& reg,
+                                Optimizer* optimizer,
+                                std::vector<double>* weights,
+                                std::vector<double>* opt_state,
+                                FlopCounter* flops) {
+  const double inv_batch = 1.0 / static_cast<double>(batch_total);
+  const int sps = optimizer->state_per_slot();
+  optimizer->BeginStep();
+  for (uint64_t slot : grad->touched()) {
+    double g = grad->value(slot) * inv_batch + reg.Grad((*weights)[slot]);
+    double* state = sps > 0 ? opt_state->data() + slot * sps : nullptr;
+    optimizer->ApplyUpdate(&(*weights)[slot], g, state);
+  }
+  const size_t touched = grad->touched().size();
+  if (flops != nullptr) flops->Add(8 * touched);
+  grad->Reset();
+  return touched;
+}
+
+}  // namespace colsgd
+
+#endif  // COLSGD_ENGINE_API_H_

@@ -1,0 +1,309 @@
+#include "engine/columnsgd.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "linalg/dense.h"
+
+namespace colsgd {
+
+namespace {
+constexpr uint64_t kCommandMsgBytes = 24;  // iteration id + batch size + tag
+constexpr double kDefaultSchedOverhead = 0.01;
+// Modeled cost of drawing one (block, offset) pair via the two-phase index.
+constexpr uint64_t kSampleFlops = 32;
+}  // namespace
+
+ColumnSgdEngine::ColumnSgdEngine(const ClusterSpec& cluster_spec,
+                                 const TrainConfig& config,
+                                 ColumnSgdOptions options)
+    : Engine(cluster_spec, config), options_(std::move(options)) {
+  const int replicas = options_.backup + 1;
+  COLSGD_CHECK_GE(options_.backup, 0);
+  COLSGD_CHECK_EQ(cluster_spec.num_workers % replicas, 0)
+      << "num_workers must be a multiple of backup+1";
+  num_groups_ = cluster_spec.num_workers / replicas;
+}
+
+void ColumnSgdEngine::InitGroupModel(int group, GroupState* state) {
+  const int wpf = model_->weights_per_feature();
+  state->local_dim = partitioner_->LocalDim(group);
+  state->weights.assign(state->local_dim * wpf, 0.0);
+  for (uint64_t lf = 0; lf < state->local_dim; ++lf) {
+    const uint64_t feature = partitioner_->GlobalIndex(group, lf);
+    for (int j = 0; j < wpf; ++j) {
+      state->weights[lf * wpf + j] =
+          model_->InitWeight(feature, j, config_.seed);
+    }
+  }
+  state->optimizer = MakeOptimizer(config_.optimizer, config_.learning_rate);
+  state->opt_state.assign(
+      state->weights.size() * state->optimizer->state_per_slot(), 0.0);
+  state->grad = std::make_unique<GradAccumulator>(state->weights.size());
+}
+
+Status ColumnSgdEngine::Setup(const Dataset& dataset) {
+  num_features_ = dataset.num_features;
+  blocks_ = MakeRowBlocks(dataset, config_.block_rows);
+  partitioner_ =
+      MakePartitioner(config_.partitioner, dataset.num_features, num_groups_);
+
+  // Row-to-column transform with replication (Algorithm 4 + Section IV-B).
+  const int replicas_per_group = options_.backup + 1;
+  std::vector<std::vector<int>> replicas(num_groups_);
+  for (int g = 0; g < num_groups_; ++g) {
+    for (int r = 0; r < replicas_per_group; ++r) {
+      replicas[g].push_back(g * replicas_per_group + r);
+    }
+  }
+  ColumnLoadResult load = BlockColumnLoadReplicated(
+      blocks_, *partitioner_, replicas, runtime_.get(),
+      config_.transform_cost);
+  directory_ = std::move(load.directory);
+  sampler_ = std::make_unique<BatchSampler>(&directory_, config_.seed);
+
+  const size_t num_shared = model_->num_shared_params();
+  shared_.resize(num_shared);
+  for (size_t i = 0; i < num_shared; ++i) {
+    shared_[i] = model_->InitSharedParam(i, config_.seed);
+  }
+  shared_optimizer_ = MakeOptimizer(config_.optimizer, config_.learning_rate);
+  shared_opt_state_.assign(num_shared * shared_optimizer_->state_per_slot(),
+                           0.0);
+  shared_grad_.assign(num_shared, 0.0);
+
+  groups_.resize(num_groups_);
+  for (int g = 0; g < num_groups_; ++g) {
+    groups_[g].store = std::move(load.stores[g]);
+    InitGroupModel(g, &groups_[g]);
+    // initModel: charge the one-time dense sweep on every replica's clock.
+    for (int member : replicas[g]) {
+      runtime_->ChargeMemTouch(runtime_->worker_node(member),
+                               groups_[g].weights.size() * sizeof(double));
+    }
+  }
+  runtime_->Barrier();
+  load_time_ = runtime_->MaxClock();
+
+  // Memory check (Table I worker column).
+  for (int w = 0; w < runtime_->num_workers(); ++w) {
+    const uint64_t bytes = WorkerMemoryBytes(w);
+    if (bytes > cluster_spec_.node_memory_budget) {
+      return Status::OutOfMemory(
+          "ColumnSGD worker " + std::to_string(w) + " needs " +
+          std::to_string(bytes) + " bytes > budget " +
+          std::to_string(cluster_spec_.node_memory_budget));
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t ColumnSgdEngine::WorkerMemoryBytes(int worker) const {
+  const GroupState& state = groups_[GroupOf(worker)];
+  const uint64_t model_bytes =
+      (state.weights.size() + state.opt_state.size()) * sizeof(double);
+  const uint64_t scratch_bytes =
+      state.weights.size() * (sizeof(double) + 1);  // grad accumulator
+  const uint64_t stats_bytes = 2 * config_.batch_size *
+                               model_->stats_per_point() * sizeof(double);
+  return state.store.MemoryBytes() + model_bytes + scratch_bytes + stats_bytes;
+}
+
+BatchView ColumnSgdEngine::MakeBatchView(
+    const GroupState& state, const std::vector<RowRef>& batch) const {
+  BatchView view;
+  view.rows.reserve(batch.size());
+  view.labels.reserve(batch.size());
+  for (const RowRef& ref : batch) {
+    const Workset* workset = state.store.Find(ref.block_id);
+    COLSGD_CHECK(workset != nullptr) << "missing workset " << ref.block_id;
+    view.rows.push_back(workset->shard.Row(ref.offset));
+    view.labels.push_back(workset->labels[ref.offset]);
+  }
+  return view;
+}
+
+void ColumnSgdEngine::HandleFailure(const FailureEvent& event) {
+  const NodeId node = runtime_->worker_node(event.worker);
+  if (event.kind == FailureKind::kTaskFailure) {
+    // Appendix X: relaunch the task on the same worker; data and model are
+    // still cached there, so only the retry overhead is paid.
+    runtime_->AdvanceClock(node, options_.task_retry_overhead);
+    return;
+  }
+  // Worker failure: its shards are gone. Reload the column shards from the
+  // row blocks and reinitialize the model partition (no checkpoint; SGD's
+  // robustness takes care of re-convergence — Fig. 13b).
+  COLSGD_CHECK_EQ(options_.backup, 0)
+      << "worker-failure injection with backup groups is not modeled";
+  GroupState& state = groups_[event.worker];
+  state.store.Clear();
+  state.store = ReloadWorkerShards(blocks_, *partitioner_, event.worker,
+                                   runtime_.get(), config_.transform_cost);
+  InitGroupModel(event.worker, &state);
+  runtime_->Barrier();  // BSP: everyone waits for the reload
+}
+
+Status ColumnSgdEngine::RunIteration(int64_t iteration) {
+  const int K = runtime_->num_workers();
+  const size_t B = config_.batch_size;
+  const int spp = model_->stats_per_point();
+  const size_t stat_width =
+      options_.fp32_statistics ? sizeof(float) : sizeof(double);
+  const uint64_t stats_bytes = 16 + B * spp * stat_width;
+
+  if (const FailureEvent* event = options_.failures.EventAt(iteration)) {
+    HandleFailure(*event);
+  }
+
+  // Driver dispatch.
+  runtime_->AdvanceClock(runtime_->master(),
+                         SchedOverhead(kDefaultSchedOverhead));
+  for (int w = 0; w < K; ++w) {
+    runtime_->Send(runtime_->master(), runtime_->worker_node(w),
+                   kCommandMsgBytes);
+  }
+
+  // Every node draws the same batch from the shared seed (two-phase index).
+  const std::vector<RowRef> batch = sampler_->Sample(iteration, B);
+  const int straggler = options_.straggler.PickStraggler();
+
+  // Step 1: computeStat on each worker. Replicas of a group compute the
+  // same statistics; we materialize them once per group and charge each
+  // member's clock.
+  std::vector<std::vector<double>> group_stats(num_groups_);
+  std::vector<BatchView> group_views(num_groups_);
+  std::vector<uint64_t> group_flops(num_groups_);
+  for (int g = 0; g < num_groups_; ++g) {
+    group_views[g] = MakeBatchView(groups_[g], batch);
+    group_stats[g].assign(B * spp, 0.0);
+    FlopCounter flops;
+    flops.Add(B * kSampleFlops);
+    model_->ComputePartialStats(group_views[g], groups_[g].weights,
+                                &group_stats[g], &flops);
+    if (options_.fp32_statistics) {
+      // Model the precision actually shipped on the wire.
+      for (double& v : group_stats[g]) v = static_cast<float>(v);
+    }
+    group_flops[g] = flops.flops();
+  }
+
+  // Step 2: workers push statistics; the master needs one reply per group.
+  // With backup, it takes the earliest reply of each group and kills the
+  // other replicas' tasks once the statistics are recoverable (Section IV-B)
+  // — killed replicas skip the push and resume at the broadcast.
+  SimTime gather_time = runtime_->clock(runtime_->master());
+  std::vector<SimTime> group_reply(num_groups_);
+  std::vector<int> group_winner(num_groups_);
+  for (int g = 0; g < num_groups_; ++g) {
+    SimTime earliest_finish = std::numeric_limits<double>::infinity();
+    int winner = -1;
+    for (int r = 0; r <= options_.backup; ++r) {
+      const int w = g * (options_.backup + 1) + r;
+      const double compute_seconds =
+          cluster_spec_.compute.SecondsFor(group_flops[g]);
+      // A straggler's slowdown applies to its whole task (launch + compute),
+      // matching the paper's StragglerLevel definition (Section V-C).
+      const double task_seconds =
+          compute_seconds + SchedOverhead(kDefaultSchedOverhead);
+      const SimTime finish =
+          runtime_->clock(runtime_->worker_node(w)) + compute_seconds +
+          options_.straggler.ExtraSeconds(w, straggler, task_seconds);
+      if (finish < earliest_finish) {
+        earliest_finish = finish;
+        winner = w;
+      }
+    }
+    group_winner[g] = winner;
+    const NodeId node = runtime_->worker_node(winner);
+    runtime_->set_clock(node, earliest_finish);
+    group_reply[g] = runtime_->Send(node, runtime_->master(), stats_bytes);
+    gather_time = std::max(gather_time, group_reply[g]);
+  }
+  runtime_->set_clock(runtime_->master(), gather_time);
+  // Losing replicas are killed once the master has every group's reply.
+  for (int g = 0; g < num_groups_; ++g) {
+    for (int r = 0; r <= options_.backup; ++r) {
+      const int w = g * (options_.backup + 1) + r;
+      if (w != group_winner[g]) {
+        runtime_->SyncClockTo(runtime_->worker_node(w), gather_time);
+      }
+    }
+  }
+
+  // Step 3: reduceStat — element-wise sum across groups.
+  std::vector<double> agg_stats(B * spp, 0.0);
+  for (int g = 0; g < num_groups_; ++g) {
+    AddInto(group_stats[g], &agg_stats);
+  }
+  if (options_.fp32_statistics) {
+    for (double& v : agg_stats) v = static_cast<float>(v);
+  }
+  runtime_->ChargeCompute(runtime_->master(),
+                          static_cast<uint64_t>(num_groups_) * B * spp);
+
+  // Training loss of this batch: any worker can compute it locally from the
+  // aggregated statistics and its replicated labels (plus the replicated
+  // shared parameters, for models that have them).
+  last_batch_loss_ =
+      model_->BatchLossFromStatsShared(agg_stats, group_views[0].labels,
+                                       shared_) /
+      static_cast<double>(B);
+
+  // Step 4: broadcast the aggregated statistics back.
+  for (int w = 0; w < K; ++w) {
+    runtime_->Send(runtime_->master(), runtime_->worker_node(w), stats_bytes);
+  }
+
+  // Step 5: updateModel on every worker (once per group for real; charged on
+  // every replica's clock so all replicas stay in lock-step). The shared
+  // block's gradient is identical on every worker — it is a function of the
+  // broadcast statistics alone — so one update stands in for all replicas.
+  for (int g = 0; g < num_groups_; ++g) {
+    GroupState& state = groups_[g];
+    FlopCounter flops;
+    std::vector<double> group_shared_grad(shared_.size(), 0.0);
+    model_->AccumulateGradFromStatsShared(group_views[g], agg_stats,
+                                          state.weights, shared_,
+                                          state.grad.get(),
+                                          &group_shared_grad, &flops);
+    if (g == 0) shared_grad_ = std::move(group_shared_grad);
+    flops.Add(B);  // local loss bookkeeping
+    ApplySparseUpdate(state.grad.get(), B, config_.reg, state.optimizer.get(),
+                      &state.weights, &state.opt_state, &flops);
+    flops.Add(8 * shared_.size());
+    for (int r = 0; r <= options_.backup; ++r) {
+      const int w = g * (options_.backup + 1) + r;
+      runtime_->ChargeCompute(runtime_->worker_node(w), flops.flops());
+    }
+  }
+  if (!shared_.empty()) {
+    shared_optimizer_->BeginStep();
+    const int sps = shared_optimizer_->state_per_slot();
+    for (size_t i = 0; i < shared_.size(); ++i) {
+      const double g = shared_grad_[i] / static_cast<double>(B) +
+                       config_.reg.Grad(shared_[i]);
+      double* state = sps > 0 ? shared_opt_state_.data() + i * sps : nullptr;
+      shared_optimizer_->ApplyUpdate(&shared_[i], g, state);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> ColumnSgdEngine::FullModel() const {
+  const int wpf = model_->weights_per_feature();
+  std::vector<double> full(num_features_ * wpf, 0.0);
+  for (int g = 0; g < num_groups_; ++g) {
+    const GroupState& state = groups_[g];
+    for (uint64_t lf = 0; lf < state.local_dim; ++lf) {
+      const uint64_t feature = partitioner_->GlobalIndex(g, lf);
+      for (int j = 0; j < wpf; ++j) {
+        full[feature * wpf + j] = state.weights[lf * wpf + j];
+      }
+    }
+  }
+  return full;
+}
+
+}  // namespace colsgd

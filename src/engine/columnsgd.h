@@ -1,0 +1,99 @@
+// The ColumnSGD engine (Algorithm 3 / Fig. 3 of the paper): training data
+// and model are partitioned by columns with the same scheme and collocated
+// on each worker; per iteration only per-point statistics cross the network.
+//
+// Supports:
+//  * S-backup computation for straggler resilience (Section IV-B / Fig. 6):
+//    workers form groups of S+1 replicas; the master proceeds with the
+//    earliest reply of each group.
+//  * straggler injection (Section V-C) and scripted task/worker failures
+//    with the recovery protocol of Appendix X.
+#ifndef COLSGD_ENGINE_COLUMNSGD_H_
+#define COLSGD_ENGINE_COLUMNSGD_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/failure.h"
+#include "cluster/straggler.h"
+#include "engine/api.h"
+#include "storage/partitioner.h"
+#include "storage/sampler.h"
+
+namespace colsgd {
+
+struct ColumnSgdOptions {
+  /// S in S-backup computation; 0 disables backup. num_workers must be a
+  /// multiple of S+1.
+  int backup = 0;
+  StragglerInjector straggler;
+  FailureInjector failures;
+  /// Simulated seconds to re-launch a failed task (Appendix X, Fig. 13a).
+  double task_retry_overhead = 0.2;
+  /// Exchange statistics as float32 instead of float64: halves the (already
+  /// batch-sized) traffic at the cost of rounding each partial statistic —
+  /// an ablation on the "form of statistics" discussion of Section III-C.
+  bool fp32_statistics = false;
+};
+
+class ColumnSgdEngine : public Engine {
+ public:
+  ColumnSgdEngine(const ClusterSpec& cluster_spec, const TrainConfig& config,
+                  ColumnSgdOptions options = {});
+
+  std::string name() const override { return "columnsgd"; }
+  Status Setup(const Dataset& dataset) override;
+  Status RunIteration(int64_t iteration) override;
+  std::vector<double> FullModel() const override;
+
+  int num_groups() const { return num_groups_; }
+  const BlockDirectory& directory() const { return directory_; }
+  /// \brief Replicated shared parameters (e.g. the MLP output layer); empty
+  /// for models without them.
+  const std::vector<double>& shared_params() const { return shared_; }
+  /// \brief Modeled resident bytes on one worker (data + model + optimizer
+  /// state + scratch): the worker column of Table I.
+  uint64_t WorkerMemoryBytes(int worker) const;
+
+ private:
+  /// \brief State of one partition group: a single materialized copy shared
+  /// by all S+1 replica workers (replicas are bit-identical by construction;
+  /// compute is charged on every member's clock).
+  struct GroupState {
+    WorksetStore store;
+    std::vector<double> weights;    // local_dim * weights_per_feature
+    std::vector<double> opt_state;  // local_dim * wpf * state_per_slot
+    std::unique_ptr<GradAccumulator> grad;
+    std::unique_ptr<Optimizer> optimizer;
+    uint64_t local_dim = 0;
+  };
+
+  int GroupOf(int worker) const { return worker / (options_.backup + 1); }
+
+  void InitGroupModel(int group, GroupState* state);
+  void HandleFailure(const FailureEvent& event);
+  /// \brief Assembles the shard views + labels of the sampled batch for one
+  /// group's store.
+  BatchView MakeBatchView(const GroupState& state,
+                          const std::vector<RowRef>& batch) const;
+
+  ColumnSgdOptions options_;
+  int num_groups_ = 0;
+  std::unique_ptr<ColumnPartitioner> partitioner_;  // G-way
+  std::vector<GroupState> groups_;
+  // Shared (replicated) parameters: every worker holds a copy and applies
+  // identical updates derived from the broadcast statistics; a single
+  // materialized copy stands in for all replicas.
+  std::vector<double> shared_;
+  std::vector<double> shared_opt_state_;
+  std::unique_ptr<Optimizer> shared_optimizer_;
+  std::vector<double> shared_grad_;
+  std::vector<RowBlock> blocks_;  // retained: worker-failure reload source
+  BlockDirectory directory_;
+  std::unique_ptr<BatchSampler> sampler_;
+  uint64_t num_features_ = 0;
+};
+
+}  // namespace colsgd
+
+#endif  // COLSGD_ENGINE_COLUMNSGD_H_

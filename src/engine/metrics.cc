@@ -1,0 +1,64 @@
+#include "engine/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace colsgd {
+
+double AreaUnderRoc(const std::vector<double>& scores,
+                    const std::vector<float>& labels) {
+  COLSGD_CHECK_EQ(scores.size(), labels.size());
+  // Rank-sum (Mann-Whitney) AUC with midranks for tied scores.
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+
+  double positive_rank_sum = 0.0;
+  size_t positives = 0;
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j < order.size() && scores[order[j]] == scores[order[i]]) ++j;
+    // Midrank of the tie group [i, j), 1-based ranks.
+    const double midrank = (static_cast<double>(i + 1) + j) / 2.0;
+    for (size_t k = i; k < j; ++k) {
+      if (labels[order[k]] > 0) {
+        positive_rank_sum += midrank;
+        ++positives;
+      }
+    }
+    i = j;
+  }
+  const size_t negatives = scores.size() - positives;
+  if (positives == 0 || negatives == 0) return 0.5;  // degenerate
+  const double u = positive_rank_sum -
+                   static_cast<double>(positives) * (positives + 1) / 2.0;
+  return u / (static_cast<double>(positives) * negatives);
+}
+
+BinaryMetrics EvaluateBinaryMetrics(const ModelSpec& model,
+                                    const std::vector<double>& weights,
+                                    const Dataset& dataset, size_t max_rows) {
+  const size_t rows = std::min(max_rows, dataset.num_rows());
+  COLSGD_CHECK_GT(rows, 0u);
+  BinaryMetrics metrics;
+  metrics.rows = rows;
+  std::vector<double> scores(rows);
+  std::vector<float> labels(rows);
+  size_t correct = 0;
+  for (size_t i = 0; i < rows; ++i) {
+    const SparseVectorView row = dataset.rows.Row(i);
+    scores[i] = model.RowScore(row, weights);
+    labels[i] = dataset.labels[i];
+    if ((scores[i] > 0.0) == (labels[i] > 0.0f)) ++correct;
+    metrics.avg_loss += model.RowLoss(row, labels[i], weights, nullptr);
+  }
+  metrics.accuracy = static_cast<double>(correct) / rows;
+  metrics.avg_loss /= static_cast<double>(rows);
+  metrics.auc = AreaUnderRoc(scores, labels);
+  return metrics;
+}
+
+}  // namespace colsgd

@@ -1,0 +1,35 @@
+// Evaluation metrics for trained models: accuracy, AUC, and average log
+// loss over a dataset (or its first max_rows rows). Instrumentation — never
+// charged to simulated time.
+#ifndef COLSGD_ENGINE_METRICS_H_
+#define COLSGD_ENGINE_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "model/model_spec.h"
+#include "storage/dataset.h"
+
+namespace colsgd {
+
+struct BinaryMetrics {
+  double accuracy = 0.0;  // sign agreement on +-1 labels
+  double auc = 0.0;       // area under the ROC curve
+  double avg_loss = 0.0;  // average per-point data loss
+  size_t rows = 0;
+};
+
+/// \brief Evaluates a binary model (LR / SVM / FM) with a full
+/// (global-layout) weight vector over the first `max_rows` rows.
+BinaryMetrics EvaluateBinaryMetrics(const ModelSpec& model,
+                                    const std::vector<double>& weights,
+                                    const Dataset& dataset, size_t max_rows);
+
+/// \brief Area under the ROC curve from scores and +-1 labels (rank-sum
+/// statistic; ties contribute half).
+double AreaUnderRoc(const std::vector<double>& scores,
+                    const std::vector<float>& labels);
+
+}  // namespace colsgd
+
+#endif  // COLSGD_ENGINE_METRICS_H_

@@ -1,0 +1,148 @@
+#include "engine/mllib_star.h"
+
+#include "engine/row_sampling.h"
+
+namespace colsgd {
+
+namespace {
+constexpr double kDefaultSchedOverhead = 0.4;  // Spark driver, like MLlib
+}  // namespace
+
+MllibStarEngine::MllibStarEngine(const ClusterSpec& cluster_spec,
+                                 const TrainConfig& config,
+                                 MllibStarOptions options)
+    : Engine(cluster_spec, config), options_(options) {
+  COLSGD_CHECK_GE(options_.local_steps, 1);
+}
+
+Status MllibStarEngine::Setup(const Dataset& dataset) {
+  if (!model_->SupportsRowPath()) {
+    return Status::InvalidArgument(
+        model_->name() + " is only implemented for the column framework; "
+        "use the columnsgd engine");
+  }
+  num_features_ = dataset.num_features;
+  const int wpf = model_->weights_per_feature();
+  const int K = runtime_->num_workers();
+  const uint64_t slots = num_features_ * wpf;
+
+  std::vector<RowBlock> blocks = MakeRowBlocks(dataset, config_.block_rows);
+  RowLoadResult load =
+      LoadRowPartitioned(blocks, runtime_.get(), config_.transform_cost);
+  partitions_ = std::move(load.partitions);
+  partition_rows_.assign(partitions_.size(), 0);
+  for (size_t k = 0; k < partitions_.size(); ++k) {
+    for (const RowBlock& b : partitions_[k]) partition_rows_[k] += b.num_rows();
+    if (partition_rows_[k] == 0) {
+      return Status::FailedPrecondition(
+          "worker " + std::to_string(k) +
+          " received no rows; use more blocks than workers");
+    }
+  }
+  runtime_->Barrier();
+  load_time_ = runtime_->MaxClock();
+
+  const uint64_t per_worker_bytes =
+      slots * sizeof(double) * 2;  // replica + gradient buffer
+  if (per_worker_bytes > cluster_spec_.node_memory_budget) {
+    return Status::OutOfMemory("MLlib* replica does not fit on a worker");
+  }
+
+  std::vector<double> init(slots, 0.0);
+  for (uint64_t f = 0; f < num_features_; ++f) {
+    for (int j = 0; j < wpf; ++j) {
+      init[f * wpf + j] = model_->InitWeight(f, j, config_.seed);
+    }
+  }
+  replicas_.assign(K, init);
+  optimizers_.clear();
+  opt_states_.clear();
+  for (int k = 0; k < K; ++k) {
+    optimizers_.push_back(
+        MakeOptimizer(config_.optimizer, config_.learning_rate));
+    opt_states_.emplace_back(slots * optimizers_[k]->state_per_slot(), 0.0);
+  }
+  grad_ = std::make_unique<GradAccumulator>(slots);
+  return Status::OK();
+}
+
+size_t MllibStarEngine::WorkerBatchSize(int worker) const {
+  const size_t K = partitions_.size();
+  return config_.batch_size / K +
+         (static_cast<size_t>(worker) < config_.batch_size % K ? 1 : 0);
+}
+
+void MllibStarEngine::RingAllReduceAverage() {
+  const int K = runtime_->num_workers();
+  const uint64_t slots = replicas_[0].size();
+  if (K == 1) return;
+
+  // Semantics: replace every replica with the element-wise average.
+  std::vector<double> avg(slots, 0.0);
+  for (const auto& replica : replicas_) {
+    for (uint64_t i = 0; i < slots; ++i) avg[i] += replica[i];
+  }
+  const double inv = 1.0 / static_cast<double>(K);
+  for (uint64_t i = 0; i < slots; ++i) avg[i] *= inv;
+  for (auto& replica : replicas_) replica = avg;
+
+  // Cost: ring all-reduce, 2(K-1) steps; in each step every node sends one
+  // m/K chunk to its ring successor and reduces the chunk it received.
+  const uint64_t chunk_bytes =
+      (slots * sizeof(double) + static_cast<uint64_t>(K) - 1) / K;
+  const uint64_t chunk_slots = (slots + K - 1) / K;
+  for (int step = 0; step < 2 * (K - 1); ++step) {
+    for (int k = 0; k < K; ++k) {
+      const NodeId from = runtime_->worker_node(k);
+      const NodeId to = runtime_->worker_node((k + 1) % K);
+      runtime_->Send(from, to, chunk_bytes);
+      runtime_->ChargeCompute(to, chunk_slots);  // reduce/assign the chunk
+    }
+  }
+  runtime_->Barrier();
+}
+
+Status MllibStarEngine::RunIteration(int64_t iteration) {
+  const int K = runtime_->num_workers();
+
+  runtime_->AdvanceClock(runtime_->master(),
+                         SchedOverhead(kDefaultSchedOverhead));
+  for (int w = 0; w < K; ++w) {
+    runtime_->Send(runtime_->master(), runtime_->worker_node(w), 24);
+  }
+
+  double loss_sum = 0.0;
+  size_t loss_count = 0;
+  for (int w = 0; w < K; ++w) {
+    const NodeId node = runtime_->worker_node(w);
+    Rng rng = WorkerIterationRng(config_.seed, iteration, w);
+    FlopCounter flops;
+    const size_t local_batch = WorkerBatchSize(w);
+    for (int step = 0; step < options_.local_steps; ++step) {
+      for (size_t i = 0; i < local_batch; ++i) {
+        const LocalRowSample sample =
+            DrawLocalRow(partitions_[w], partition_rows_[w], &rng);
+        if (step == 0) {
+          loss_sum +=
+              model_->RowLoss(sample.row, sample.label, replicas_[w], &flops);
+          ++loss_count;
+        }
+        model_->AccumulateRowGradient(sample.row, sample.label, replicas_[w],
+                                      grad_.get(), &flops);
+      }
+      ApplySparseUpdate(grad_.get(), local_batch, config_.reg,
+                        optimizers_[w].get(), &replicas_[w], &opt_states_[w],
+                        &flops);
+    }
+    runtime_->ChargeCompute(node, flops.flops());
+  }
+  last_batch_loss_ = loss_sum / static_cast<double>(loss_count);
+
+  RingAllReduceAverage();
+
+  // The driver gets a tiny completion/loss ping.
+  runtime_->Send(runtime_->worker_node(0), runtime_->master(), 32);
+  return Status::OK();
+}
+
+}  // namespace colsgd

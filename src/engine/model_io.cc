@@ -1,0 +1,74 @@
+#include "engine/model_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/bytes.h"
+#include "model/factory.h"
+
+namespace colsgd {
+
+namespace {
+constexpr uint32_t kMagic = 0xC01D56D1;  // "ColSGD" model file
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+Status WriteModelFile(const SavedModel& model, const std::string& path) {
+  BufferWriter writer;
+  writer.PutU32(kMagic);
+  writer.PutU32(kVersion);
+  writer.PutString(model.model_name);
+  writer.PutU64(model.num_features);
+  writer.PutDoubleVector(model.weights);
+  writer.PutDoubleVector(model.shared);
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open model file for writing: " + path);
+  }
+  out.write(reinterpret_cast<const char*>(writer.buffer().data()),
+            static_cast<std::streamsize>(writer.size()));
+  if (!out.good()) return Status::IOError("model write failed: " + path);
+  return Status::OK();
+}
+
+Result<SavedModel> ReadModelFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open model file: " + path);
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  BufferReader reader(bytes);
+  COLSGD_ASSIGN_OR_RETURN(uint32_t magic, reader.GetU32());
+  if (magic != kMagic) {
+    return Status::SerializationError("not a ColumnSGD model file: " + path);
+  }
+  COLSGD_ASSIGN_OR_RETURN(uint32_t version, reader.GetU32());
+  if (version != kVersion) {
+    return Status::SerializationError("unsupported model file version " +
+                                      std::to_string(version));
+  }
+  SavedModel model;
+  COLSGD_ASSIGN_OR_RETURN(model.model_name, reader.GetString());
+  COLSGD_ASSIGN_OR_RETURN(model.num_features, reader.GetU64());
+  COLSGD_ASSIGN_OR_RETURN(model.weights, reader.GetDoubleVector());
+  COLSGD_ASSIGN_OR_RETURN(model.shared, reader.GetDoubleVector());
+
+  auto spec = MakeModel(model.model_name);
+  const uint64_t expected_weights =
+      model.num_features * spec->weights_per_feature();
+  if (model.weights.size() != expected_weights) {
+    return Status::SerializationError(
+        "model file weight count " + std::to_string(model.weights.size()) +
+        " does not match " + model.model_name + " over " +
+        std::to_string(model.num_features) + " features");
+  }
+  if (model.shared.size() != spec->num_shared_params()) {
+    return Status::SerializationError("model file shared-parameter count "
+                                      "mismatch");
+  }
+  return model;
+}
+
+}  // namespace colsgd

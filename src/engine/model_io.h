@@ -1,0 +1,31 @@
+// Trained-model serialization: a small binary format holding the model
+// name, dimension, the full (global-layout) weight vector, and any shared
+// parameters. Lets the CLI tools round-trip train -> save -> predict.
+#ifndef COLSGD_ENGINE_MODEL_IO_H_
+#define COLSGD_ENGINE_MODEL_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/model_spec.h"
+
+namespace colsgd {
+
+struct SavedModel {
+  std::string model_name;       // factory name, e.g. "lr", "fm10"
+  uint64_t num_features = 0;
+  std::vector<double> weights;  // num_features * weights_per_feature
+  std::vector<double> shared;   // replicated parameters (may be empty)
+};
+
+/// \brief Writes a model to `path` (binary, versioned, magic-tagged).
+Status WriteModelFile(const SavedModel& model, const std::string& path);
+
+/// \brief Reads a model written by WriteModelFile, validating magic,
+/// version, and the weight-count consistency against the model name.
+Result<SavedModel> ReadModelFile(const std::string& path);
+
+}  // namespace colsgd
+
+#endif  // COLSGD_ENGINE_MODEL_IO_H_

@@ -1,0 +1,248 @@
+#include "engine/ps.h"
+
+#include <unordered_set>
+
+#include "engine/row_sampling.h"
+
+namespace colsgd {
+
+namespace {
+constexpr double kDefaultSchedOverhead = 0.002;  // no Spark driver in the loop
+constexpr uint64_t kRequestHeaderBytes = 16;
+constexpr uint64_t kSampleFlops = 32;
+}  // namespace
+
+PsEngine::PsEngine(const ClusterSpec& cluster_spec, const TrainConfig& config,
+                   PsOptions options)
+    : Engine(cluster_spec, config), options_(options) {
+  // Server s is a thread co-located with worker s but runs concurrently with
+  // it, so it gets its own simulated endpoint.
+  runtime_ = std::make_unique<ClusterRuntime>(cluster_spec,
+                                              cluster_spec.num_workers);
+}
+
+Status PsEngine::Setup(const Dataset& dataset) {
+  if (!model_->SupportsRowPath()) {
+    return Status::InvalidArgument(
+        model_->name() + " is only implemented for the column framework; "
+        "use the columnsgd engine");
+  }
+  num_features_ = dataset.num_features;
+  const int wpf = model_->weights_per_feature();
+  const int K = runtime_->num_workers();
+
+  std::vector<RowBlock> blocks = MakeRowBlocks(dataset, config_.block_rows);
+  RowLoadResult load =
+      LoadRowPartitioned(blocks, runtime_.get(), config_.transform_cost);
+  partitions_ = std::move(load.partitions);
+  partition_rows_.assign(partitions_.size(), 0);
+  for (size_t k = 0; k < partitions_.size(); ++k) {
+    for (const RowBlock& b : partitions_[k]) partition_rows_[k] += b.num_rows();
+    if (partition_rows_[k] == 0) {
+      return Status::FailedPrecondition(
+          "worker " + std::to_string(k) +
+          " received no rows; use more blocks than workers");
+    }
+  }
+  runtime_->Barrier();
+  load_time_ = runtime_->MaxClock();
+
+  shard_map_ =
+      std::make_unique<RoundRobinPartitioner>(num_features_, K);
+
+  // Memory check BEFORE materializing anything model-sized: the modeled
+  // per-node requirement can exceed the host's real memory (that is the
+  // Table V OOM scenario) and must fail cleanly.
+  for (int s = 0; s < K; ++s) {
+    if (ServerMemoryBytes(s) > cluster_spec_.node_memory_budget) {
+      return Status::OutOfMemory("PS server " + std::to_string(s) +
+                                 " shard does not fit: " +
+                                 std::to_string(ServerMemoryBytes(s)) +
+                                 " bytes");
+    }
+    if (WorkerMemoryBytes(s) > cluster_spec_.node_memory_budget) {
+      return Status::OutOfMemory(
+          "PS worker " + std::to_string(s) + " needs " +
+          std::to_string(WorkerMemoryBytes(s)) + " bytes > budget " +
+          std::to_string(cluster_spec_.node_memory_budget));
+    }
+  }
+
+  const uint64_t slots = num_features_ * wpf;
+  weights_.assign(slots, 0.0);
+  for (uint64_t f = 0; f < num_features_; ++f) {
+    for (int j = 0; j < wpf; ++j) {
+      weights_[f * wpf + j] = model_->InitWeight(f, j, config_.seed);
+    }
+  }
+  optimizer_ = MakeOptimizer(config_.optimizer, config_.learning_rate);
+  opt_state_.assign(slots * optimizer_->state_per_slot(), 0.0);
+  grad_ = std::make_unique<GradAccumulator>(slots);
+  return Status::OK();
+}
+
+uint64_t PsEngine::ServerMemoryBytes(int server) const {
+  const int wpf = model_->weights_per_feature();
+  const uint64_t shard_slots = shard_map_->LocalDim(server) * wpf;
+  const int sps = MakeOptimizer(config_.optimizer, config_.learning_rate)
+                      ->state_per_slot();
+  return shard_slots * sizeof(double) * (1 + sps);
+}
+
+uint64_t PsEngine::WorkerMemoryBytes(int worker) const {
+  uint64_t data_bytes = 0;
+  for (const RowBlock& b : partitions_[worker]) {
+    data_bytes += b.rows.ByteSize() + b.labels.size() * sizeof(float);
+  }
+  // Dense weight cache + dense gradient buffer (the kvstore arrays).
+  const uint64_t model_bytes =
+      num_features_ * model_->weights_per_feature() * sizeof(double);
+  return data_bytes + 2 * model_bytes;
+}
+
+size_t PsEngine::WorkerBatchSize(int worker) const {
+  const size_t K = partitions_.size();
+  return config_.batch_size / K +
+         (static_cast<size_t>(worker) < config_.batch_size % K ? 1 : 0);
+}
+
+Status PsEngine::RunIteration(int64_t iteration) {
+  const int K = runtime_->num_workers();
+  const int wpf = model_->weights_per_feature();
+  const uint64_t model_bytes = weights_.size() * sizeof(double);
+
+  runtime_->AdvanceClock(runtime_->master(),
+                         SchedOverhead(kDefaultSchedOverhead));
+
+  // Server w is co-located with worker w: transfers between them are
+  // loopback (clock sync only, no NIC time or bytes).
+  auto transfer = [&](NodeId from, NodeId to, uint64_t bytes, bool local) {
+    if (local) {
+      runtime_->SyncClockTo(to, runtime_->clock(from));
+    } else {
+      runtime_->Send(from, to, bytes);
+    }
+  };
+
+  // Phase 0: every worker samples its slice of the batch; with sparse pull
+  // the key set depends on the batch content.
+  std::vector<std::vector<LocalRowSample>> samples(K);
+  std::vector<std::vector<uint64_t>> keys_per_server(K);
+  std::vector<FlopCounter> worker_flops(K);
+  for (int w = 0; w < K; ++w) {
+    Rng rng = WorkerIterationRng(config_.seed, iteration, w);
+    const size_t local_batch = WorkerBatchSize(w);
+    samples[w].reserve(local_batch);
+    keys_per_server[w].assign(K, 0);
+    std::unordered_set<uint32_t> batch_features;
+    for (size_t i = 0; i < local_batch; ++i) {
+      samples[w].push_back(
+          DrawLocalRow(partitions_[w], partition_rows_[w], &rng));
+      worker_flops[w].Add(kSampleFlops);
+      if (options_.sparse_pull) {
+        for (size_t j = 0; j < samples[w].back().row.nnz; ++j) {
+          batch_features.insert(samples[w].back().row.indices[j]);
+        }
+      }
+    }
+    if (options_.sparse_pull) {
+      for (uint32_t f : batch_features) {
+        keys_per_server[w][shard_map_->Owner(f)]++;
+      }
+    }
+  }
+
+  // Phase 1: all pull requests go out (asynchronously, pipelining on each
+  // worker's outbound NIC).
+  for (int w = 0; w < K; ++w) {
+    const NodeId node = runtime_->worker_node(w);
+    for (int s = 0; s < K; ++s) {
+      if (options_.sparse_pull && keys_per_server[w][s] == 0) continue;
+      const uint64_t request_bytes =
+          kRequestHeaderBytes + (options_.sparse_pull
+                                     ? keys_per_server[w][s] * sizeof(uint32_t)
+                                     : 0);
+      transfer(node, runtime_->extra_node(s), request_bytes, s == w);
+    }
+  }
+
+  // Phase 2: servers look keys up and reply; workers block until their last
+  // reply arrives. Iterate server-major so each server's CPU serializes its
+  // own lookups, not the cluster's.
+  for (int s = 0; s < K; ++s) {
+    const NodeId server_node = runtime_->extra_node(s);
+    for (int w = 0; w < K; ++w) {
+      uint64_t reply_bytes;
+      uint64_t server_keys;
+      if (options_.sparse_pull) {
+        if (keys_per_server[w][s] == 0) continue;
+        reply_bytes = kRequestHeaderBytes +
+                      keys_per_server[w][s] * sizeof(double) * wpf;
+        server_keys = keys_per_server[w][s];
+      } else {
+        reply_bytes = kRequestHeaderBytes +
+                      shard_map_->LocalDim(s) * wpf * sizeof(double);
+        server_keys = shard_map_->LocalDim(s);
+      }
+      runtime_->ChargeCompute(server_node,
+                              server_keys * options_.flops_per_key);
+      transfer(server_node, runtime_->worker_node(w), reply_bytes, s == w);
+    }
+  }
+
+  // Phase 3: workers compute gradients against the pulled (current) model.
+  double loss_sum = 0.0;
+  size_t batch_total = 0;
+  for (int w = 0; w < K; ++w) {
+    const NodeId node = runtime_->worker_node(w);
+    for (const LocalRowSample& sample : samples[w]) {
+      loss_sum +=
+          model_->RowLoss(sample.row, sample.label, weights_, &worker_flops[w]);
+      model_->AccumulateRowGradient(sample.row, sample.label, weights_,
+                                    grad_.get(), &worker_flops[w]);
+    }
+    batch_total += samples[w].size();
+    runtime_->ChargeCompute(node, worker_flops[w].flops());
+    // Dense weight/gradient buffer sweeps on the worker (the kvstore
+    // arrays): this is the O(m) per-iteration term of the PS baselines.
+    runtime_->ChargeMemTouch(node, 2 * model_bytes);
+  }
+  last_batch_loss_ = loss_sum / static_cast<double>(batch_total);
+
+  // Phase 4: workers push gradients; servers apply them.
+  for (int w = 0; w < K; ++w) {
+    const NodeId node = runtime_->worker_node(w);
+    for (int s = 0; s < K; ++s) {
+      const NodeId server_node = runtime_->extra_node(s);
+      uint64_t push_bytes;
+      uint64_t server_keys;
+      if (options_.sparse_pull) {
+        if (keys_per_server[w][s] == 0) continue;
+        push_bytes =
+            kRequestHeaderBytes +
+            keys_per_server[w][s] * (sizeof(uint32_t) + sizeof(double) * wpf);
+        server_keys = keys_per_server[w][s];
+      } else {
+        push_bytes = kRequestHeaderBytes +
+                     shard_map_->LocalDim(s) * wpf * sizeof(double);
+        server_keys = shard_map_->LocalDim(s);
+      }
+      transfer(node, server_node, push_bytes, s == w);
+      runtime_->ChargeCompute(server_node,
+                              server_keys * options_.flops_per_key);
+    }
+  }
+
+  // The aggregated update lands on the server shards (BSP round).
+  FlopCounter update_flops;
+  ApplySparseUpdate(grad_.get(), batch_total, config_.reg, optimizer_.get(),
+                    &weights_, &opt_state_, &update_flops);
+  for (int s = 0; s < K; ++s) {
+    runtime_->ChargeCompute(runtime_->extra_node(s),
+                            update_flops.flops() / K);
+  }
+  runtime_->Barrier();  // BSP synchronization barrier
+  return Status::OK();
+}
+
+}  // namespace colsgd

@@ -1,0 +1,62 @@
+// Parameter-server baseline: the model is sharded across K servers that are
+// co-located with the K workers (the paper sets #servers = #workers).
+//
+// Two modes, matching the paper's baselines:
+//  * dense pulls/pushes ("Petuum"): every worker pulls the entire model and
+//    pushes a dense gradient every iteration;
+//  * sparse pulls/pushes ("MXNet"): only the dimensions present in the local
+//    batch are pulled and pushed, but the worker still sweeps O(m) dense
+//    weight/gradient buffers per iteration (the kvstore arrays), which is
+//    what makes its per-iteration time grow with the model size (Table IV)
+//    and what runs out of memory for the billion-parameter FM (Table V).
+#ifndef COLSGD_ENGINE_PS_H_
+#define COLSGD_ENGINE_PS_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/api.h"
+#include "storage/partitioner.h"
+
+namespace colsgd {
+
+struct PsOptions {
+  bool sparse_pull = false;  // false: Petuum-style; true: MXNet-style
+  /// Server-side cost per requested key (hash lookup + lock), in flops.
+  uint64_t flops_per_key = 20;
+};
+
+class PsEngine : public Engine {
+ public:
+  PsEngine(const ClusterSpec& cluster_spec, const TrainConfig& config,
+           PsOptions options = {});
+
+  std::string name() const override {
+    return options_.sparse_pull ? "ps_sparse(mxnet)" : "ps_dense(petuum)";
+  }
+  Status Setup(const Dataset& dataset) override;
+  Status RunIteration(int64_t iteration) override;
+  std::vector<double> FullModel() const override { return weights_; }
+
+  uint64_t ServerMemoryBytes(int server) const;
+  uint64_t WorkerMemoryBytes(int worker) const;
+
+ private:
+  size_t WorkerBatchSize(int worker) const;
+
+  PsOptions options_;
+  uint64_t num_features_ = 0;
+  // Logical global model; shards belong to servers (traffic/memory charged
+  // per shard), workers see bit-identical pulled copies under BSP.
+  std::vector<double> weights_;
+  std::vector<double> opt_state_;
+  std::unique_ptr<Optimizer> optimizer_;
+  std::unique_ptr<GradAccumulator> grad_;
+  std::unique_ptr<ColumnPartitioner> shard_map_;  // feature -> server
+  std::vector<std::vector<RowBlock>> partitions_;
+  std::vector<uint64_t> partition_rows_;
+};
+
+}  // namespace colsgd
+
+#endif  // COLSGD_ENGINE_PS_H_

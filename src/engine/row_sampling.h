@@ -1,0 +1,43 @@
+// Local row sampling for row-partitioned engines: each worker draws from its
+// own partition with a per-(iteration, worker) seeded stream.
+#ifndef COLSGD_ENGINE_ROW_SAMPLING_H_
+#define COLSGD_ENGINE_ROW_SAMPLING_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/dataset.h"
+
+namespace colsgd {
+
+struct LocalRowSample {
+  SparseVectorView row;
+  float label = 0.0f;
+};
+
+/// \brief Draws one uniform row from a worker's blocks ('total_rows' must be
+/// their combined row count).
+inline LocalRowSample DrawLocalRow(const std::vector<RowBlock>& blocks,
+                                   uint64_t total_rows, Rng* rng) {
+  uint64_t target = rng->NextBounded(total_rows);
+  for (const RowBlock& block : blocks) {
+    if (target < block.num_rows()) {
+      return LocalRowSample{block.rows.Row(static_cast<size_t>(target)),
+                            block.labels[static_cast<size_t>(target)]};
+    }
+    target -= block.num_rows();
+  }
+  COLSGD_CHECK(false) << "total_rows inconsistent with blocks";
+  return {};
+}
+
+/// \brief Per-(seed, iteration, worker) random stream.
+inline Rng WorkerIterationRng(uint64_t seed, int64_t iteration, int worker) {
+  return Rng(seed)
+      .Split(static_cast<uint64_t>(iteration))
+      .Split(static_cast<uint64_t>(worker) + 1);
+}
+
+}  // namespace colsgd
+
+#endif  // COLSGD_ENGINE_ROW_SAMPLING_H_

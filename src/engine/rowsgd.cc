@@ -1,0 +1,164 @@
+#include "engine/rowsgd.h"
+
+#include <unordered_set>
+
+namespace colsgd {
+
+namespace {
+constexpr double kDefaultSchedOverhead = 0.4;  // Spark stage/task latency
+constexpr uint64_t kSampleFlops = 32;
+}  // namespace
+
+MllibEngine::MllibEngine(const ClusterSpec& cluster_spec,
+                         const TrainConfig& config, RowSgdOptions options)
+    : Engine(cluster_spec, config), options_(options) {}
+
+Status MllibEngine::Setup(const Dataset& dataset) {
+  if (!model_->SupportsRowPath()) {
+    return Status::InvalidArgument(
+        model_->name() + " is only implemented for the column framework; "
+        "use the columnsgd engine");
+  }
+  num_features_ = dataset.num_features;
+  const int wpf = model_->weights_per_feature();
+  const uint64_t slots = num_features_ * wpf;
+
+  std::vector<RowBlock> blocks = MakeRowBlocks(dataset, config_.block_rows);
+  RowLoadResult load =
+      LoadRowPartitioned(blocks, runtime_.get(), config_.transform_cost);
+  partitions_ = std::move(load.partitions);
+  partition_rows_.assign(partitions_.size(), 0);
+  for (size_t k = 0; k < partitions_.size(); ++k) {
+    for (const RowBlock& b : partitions_[k]) {
+      partition_rows_[k] += b.num_rows();
+    }
+    if (partition_rows_[k] == 0) {
+      return Status::FailedPrecondition(
+          "worker " + std::to_string(k) +
+          " received no rows; use more blocks than workers");
+    }
+  }
+  runtime_->Barrier();
+  load_time_ = runtime_->MaxClock();
+
+  weights_.assign(slots, 0.0);
+  for (uint64_t f = 0; f < num_features_; ++f) {
+    for (int j = 0; j < wpf; ++j) {
+      weights_[f * wpf + j] = model_->InitWeight(f, j, config_.seed);
+    }
+  }
+  optimizer_ = MakeOptimizer(config_.optimizer, config_.learning_rate);
+  opt_state_.assign(slots * optimizer_->state_per_slot(), 0.0);
+  grad_ = std::make_unique<GradAccumulator>(slots);
+
+  if (MasterMemoryBytes() > cluster_spec_.node_memory_budget) {
+    return Status::OutOfMemory("MLlib master model does not fit: " +
+                               std::to_string(MasterMemoryBytes()) + " bytes");
+  }
+  for (int w = 0; w < runtime_->num_workers(); ++w) {
+    if (WorkerMemoryBytes(w) > cluster_spec_.node_memory_budget) {
+      return Status::OutOfMemory("MLlib worker " + std::to_string(w) +
+                                 " does not fit");
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t MllibEngine::MasterMemoryBytes() const {
+  // Model + dense aggregation buffer + optimizer state (Table I: m + m*phi2,
+  // with a dense aggregation buffer phi2 -> 1).
+  return (weights_.size() * 2 + opt_state_.size()) * sizeof(double);
+}
+
+uint64_t MllibEngine::WorkerMemoryBytes(int worker) const {
+  uint64_t data_bytes = 0;
+  for (const RowBlock& b : partitions_[worker]) {
+    data_bytes += b.rows.ByteSize() + b.labels.size() * sizeof(float);
+  }
+  // Pulled model copy + dense gradient buffer (Table I: S/K + 2*m*phi1 with
+  // dense buffers phi1 -> 1).
+  return data_bytes + 2 * weights_.size() * sizeof(double);
+}
+
+size_t MllibEngine::WorkerBatchSize(int worker) const {
+  const size_t K = partitions_.size();
+  return config_.batch_size / K +
+         (static_cast<size_t>(worker) < config_.batch_size % K ? 1 : 0);
+}
+
+Status MllibEngine::RunIteration(int64_t iteration) {
+  const int K = runtime_->num_workers();
+  const uint64_t model_bytes = weights_.size() * sizeof(double);
+
+  runtime_->AdvanceClock(runtime_->master(),
+                         SchedOverhead(kDefaultSchedOverhead));
+
+  // Step 1: every worker pulls the latest model (dense broadcast; the K
+  // copies serialize through the master's NIC).
+  runtime_->BroadcastToWorkers(runtime_->master(), model_bytes);
+
+  // Step 2: each worker samples B/K local rows and computes its gradient.
+  // The gradient sum across workers lands in one accumulator; per-worker
+  // compute is charged individually.
+  double loss_sum = 0.0;
+  size_t batch_total = 0;
+  for (int w = 0; w < K; ++w) {
+    const NodeId node = runtime_->worker_node(w);
+    Rng rng = Rng(config_.seed)
+                  .Split(static_cast<uint64_t>(iteration))
+                  .Split(static_cast<uint64_t>(w) + 1);
+    FlopCounter flops;
+    std::unordered_set<uint32_t> batch_features;  // for the sparse-push size
+    const size_t local_batch = WorkerBatchSize(w);
+    for (size_t i = 0; i < local_batch; ++i) {
+      // Locate a local row: global ordinal within this worker's blocks.
+      uint64_t target = rng.NextBounded(partition_rows_[w]);
+      const RowBlock* block = nullptr;
+      for (const RowBlock& b : partitions_[w]) {
+        if (target < b.num_rows()) {
+          block = &b;
+          break;
+        }
+        target -= b.num_rows();
+      }
+      flops.Add(kSampleFlops);
+      const SparseVectorView row =
+          block->rows.Row(static_cast<size_t>(target));
+      const float label = block->labels[static_cast<size_t>(target)];
+      loss_sum += model_->RowLoss(row, label, weights_, &flops);
+      model_->AccumulateRowGradient(row, label, weights_, grad_.get(), &flops);
+      if (options_.sparse_gradient_push) {
+        for (size_t j = 0; j < row.nnz; ++j) {
+          batch_features.insert(row.indices[j]);
+        }
+      }
+    }
+    batch_total += local_batch;
+    // Dense gradient buffer sweep (zeroing + densification for the push).
+    runtime_->ChargeCompute(node, flops.flops());
+    runtime_->ChargeMemTouch(node, model_bytes);
+
+    // Step 3: push the gradient to the master.
+    uint64_t push_bytes = model_bytes;
+    if (options_.sparse_gradient_push) {
+      // m*phi1 touched features, each carrying its weights_per_feature
+      // gradient entries (Table I's sparse worker push).
+      push_bytes = 16 + batch_features.size() *
+                            (sizeof(uint32_t) +
+                             sizeof(double) * model_->weights_per_feature());
+    }
+    runtime_->Send(node, runtime_->master(), push_bytes);
+  }
+  last_batch_loss_ = loss_sum / static_cast<double>(batch_total);
+
+  // Step 4: the master aggregates K dense gradients and updates the model.
+  runtime_->ChargeCompute(runtime_->master(),
+                          static_cast<uint64_t>(K) * weights_.size());
+  FlopCounter update_flops;
+  ApplySparseUpdate(grad_.get(), batch_total, config_.reg, optimizer_.get(),
+                    &weights_, &opt_state_, &update_flops);
+  runtime_->ChargeCompute(runtime_->master(), update_flops.flops());
+  return Status::OK();
+}
+
+}  // namespace colsgd

@@ -1,0 +1,57 @@
+// RowSGD baseline in the MLlib style (Algorithm 2 of the paper): a single
+// master holds the full model; workers hold row partitions; every iteration
+// broadcasts the full model and aggregates gradients at the master.
+//
+// The full model and gradient are exchanged densely by default (MLlib's
+// treeAggregate of dense vectors); `sparse_gradient_push` switches the push
+// to a sparse encoding for the ablation bench.
+#ifndef COLSGD_ENGINE_ROWSGD_H_
+#define COLSGD_ENGINE_ROWSGD_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/api.h"
+
+namespace colsgd {
+
+struct RowSgdOptions {
+  bool sparse_gradient_push = false;
+};
+
+class MllibEngine : public Engine {
+ public:
+  MllibEngine(const ClusterSpec& cluster_spec, const TrainConfig& config,
+              RowSgdOptions options = {});
+
+  std::string name() const override { return "mllib"; }
+  Status Setup(const Dataset& dataset) override;
+  Status RunIteration(int64_t iteration) override;
+  std::vector<double> FullModel() const override { return weights_; }
+
+  /// \brief Modeled resident bytes on the master (model + aggregation
+  /// buffer): the master column of Table I.
+  uint64_t MasterMemoryBytes() const;
+  uint64_t WorkerMemoryBytes(int worker) const;
+
+ private:
+  /// \brief Rows each worker contributes to a batch of size B.
+  size_t WorkerBatchSize(int worker) const;
+
+  RowSgdOptions options_;
+  uint64_t num_features_ = 0;
+  // The model logically lives on the master; workers receive bit-identical
+  // copies every iteration, so a single materialized vector serves all
+  // nodes while traffic and compute are charged per node.
+  std::vector<double> weights_;
+  std::vector<double> opt_state_;
+  std::unique_ptr<Optimizer> optimizer_;
+  std::unique_ptr<GradAccumulator> grad_;
+  // Worker-local row partitions.
+  std::vector<std::vector<RowBlock>> partitions_;
+  std::vector<uint64_t> partition_rows_;
+};
+
+}  // namespace colsgd
+
+#endif  // COLSGD_ENGINE_ROWSGD_H_

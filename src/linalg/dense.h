@@ -1,0 +1,51 @@
+// Small dense vector helpers used by model partitions and optimizers.
+#ifndef COLSGD_LINALG_DENSE_H_
+#define COLSGD_LINALG_DENSE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace colsgd {
+
+/// \brief out += scale * in (element-wise, equal sizes).
+inline void Axpy(double scale, const std::vector<double>& in,
+                 std::vector<double>* out) {
+  COLSGD_CHECK_EQ(in.size(), out->size());
+  for (size_t i = 0; i < in.size(); ++i) (*out)[i] += scale * in[i];
+}
+
+/// \brief Element-wise sum into `out` (used by statistics reduction).
+inline void AddInto(const std::vector<double>& in, std::vector<double>* out) {
+  COLSGD_CHECK_EQ(in.size(), out->size());
+  for (size_t i = 0; i < in.size(); ++i) (*out)[i] += in[i];
+}
+
+inline void Scale(double s, std::vector<double>* v) {
+  for (auto& x : *v) x *= s;
+}
+
+inline double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  COLSGD_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+inline double SquaredNorm(const std::vector<double>& v) {
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return acc;
+}
+
+inline double L1Norm(const std::vector<double>& v) {
+  double acc = 0.0;
+  for (double x : v) acc += std::fabs(x);
+  return acc;
+}
+
+}  // namespace colsgd
+
+#endif  // COLSGD_LINALG_DENSE_H_

@@ -1,0 +1,31 @@
+#include "model/factory.h"
+
+#include "common/check.h"
+#include "model/fm.h"
+#include "model/glm.h"
+#include "model/mlp.h"
+#include "model/mlr.h"
+
+namespace colsgd {
+
+std::unique_ptr<ModelSpec> MakeModel(const std::string& name) {
+  if (name == "lr") return std::make_unique<LogisticRegression>();
+  if (name == "svm") return std::make_unique<LinearSvm>();
+  if (name == "lsq") return std::make_unique<LeastSquares>();
+  if (name.rfind("mlp", 0) == 0) {
+    const int hidden = std::stoi(name.substr(3));
+    return std::make_unique<MlpModel>(hidden);
+  }
+  if (name.rfind("mlr", 0) == 0) {
+    const int classes = std::stoi(name.substr(3));
+    return std::make_unique<MultinomialLogisticRegression>(classes);
+  }
+  if (name.rfind("fm", 0) == 0) {
+    const int factors = std::stoi(name.substr(2));
+    return std::make_unique<FactorizationMachine>(factors);
+  }
+  COLSGD_CHECK(false) << "unknown model: " << name;
+  return nullptr;
+}
+
+}  // namespace colsgd

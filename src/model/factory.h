@@ -1,0 +1,19 @@
+// Model factory.
+#ifndef COLSGD_MODEL_FACTORY_H_
+#define COLSGD_MODEL_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "model/model_spec.h"
+
+namespace colsgd {
+
+/// \brief Creates a model by name: "lr", "svm", "lsq", "mlr<C>"
+/// (e.g. "mlr10"), "fm<F>" (e.g. "fm10"), "mlp<H>" (e.g. "mlp16";
+/// ColumnSGD engine only).
+std::unique_ptr<ModelSpec> MakeModel(const std::string& name);
+
+}  // namespace colsgd
+
+#endif  // COLSGD_MODEL_FACTORY_H_

@@ -1,0 +1,147 @@
+#include "model/fm.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace colsgd {
+
+double FactorizationMachine::InitWeight(uint64_t feature, int j,
+                                        uint64_t seed) const {
+  if (j == 0) return 0.0;
+  const uint64_t slot = feature * static_cast<uint64_t>(1 + num_factors_) +
+                        static_cast<uint64_t>(j);
+  return init_scale_ * GaussianFromHash(slot, seed);
+}
+
+void FactorizationMachine::ComputePartialStats(
+    const BatchView& batch, const std::vector<double>& local_model,
+    std::vector<double>* stats, FlopCounter* flops) const {
+  const int F = num_factors_;
+  const int wpf = 1 + F;
+  COLSGD_CHECK_EQ(stats->size(), batch.size() * static_cast<size_t>(wpf));
+  uint64_t work = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const SparseVectorView& row = batch.rows[i];
+    double* out = stats->data() + i * wpf;
+    for (size_t j = 0; j < row.nnz; ++j) {
+      const double x = row.values[j];
+      const double* w = local_model.data() +
+                        static_cast<size_t>(row.indices[j]) * wpf;
+      out[0] += w[0] * x;
+      const double x2 = x * x;
+      for (int c = 1; c <= F; ++c) {
+        out[0] -= 0.5 * w[c] * w[c] * x2;
+        out[c] += w[c] * x;
+      }
+    }
+    work += row.nnz * (4 + 5 * static_cast<uint64_t>(F));
+  }
+  if (flops != nullptr) flops->Add(work);
+}
+
+double FactorizationMachine::ScoreFromStats(const double* stats) const {
+  double score = stats[0];
+  for (int c = 1; c <= num_factors_; ++c) {
+    score += 0.5 * stats[c] * stats[c];
+  }
+  return score;
+}
+
+double FactorizationMachine::PointLoss(double y, double score) {
+  const double z = y * score;
+  if (z > 30.0) return std::exp(-z);
+  if (z < -30.0) return -z;
+  return std::log1p(std::exp(-z));
+}
+
+double FactorizationMachine::PointCoeff(double y, double score) {
+  const double z = y * score;
+  if (z > 30.0) return -y * std::exp(-z);
+  return -y / (1.0 + std::exp(z));
+}
+
+void FactorizationMachine::AccumulateGradFromStats(
+    const BatchView& batch, const std::vector<double>& agg_stats,
+    const std::vector<double>& local_model, GradAccumulator* grad,
+    FlopCounter* flops) const {
+  const int F = num_factors_;
+  const int wpf = 1 + F;
+  COLSGD_CHECK_EQ(agg_stats.size(), batch.size() * static_cast<size_t>(wpf));
+  uint64_t work = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const double* stats = agg_stats.data() + i * wpf;
+    const double coeff = PointCoeff(batch.labels[i], ScoreFromStats(stats));
+    if (coeff == 0.0) continue;
+    const SparseVectorView& row = batch.rows[i];
+    for (size_t j = 0; j < row.nnz; ++j) {
+      const double x = row.values[j];
+      const uint64_t base = static_cast<uint64_t>(row.indices[j]) * wpf;
+      const double* w = local_model.data() + base;
+      // Equation 12: dL/dw_f = coeff * x_f.
+      grad->Add(base, coeff * x);
+      // Equation 13: dL/dv_{f,c} = coeff * (x_f * stat_c - v_{f,c} x_f^2),
+      // where stat_c = sum_j v_{j,c} x_j is the aggregated dot product.
+      const double x2 = x * x;
+      for (int c = 1; c <= F; ++c) {
+        grad->Add(base + c, coeff * (x * stats[c] - w[c] * x2));
+      }
+    }
+    work += row.nnz * (3 + 5 * static_cast<uint64_t>(F));
+  }
+  if (flops != nullptr) flops->Add(work);
+}
+
+double FactorizationMachine::BatchLossFromStats(
+    const std::vector<double>& agg_stats,
+    const std::vector<float>& labels) const {
+  const int wpf = 1 + num_factors_;
+  COLSGD_CHECK_EQ(agg_stats.size(), labels.size() * static_cast<size_t>(wpf));
+  double loss = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    loss += PointLoss(labels[i], ScoreFromStats(agg_stats.data() + i * wpf));
+  }
+  return loss;
+}
+
+void FactorizationMachine::AccumulateRowGradient(const SparseVectorView& row,
+                                                 float label,
+                                                 const std::vector<double>& model,
+                                                 GradAccumulator* grad,
+                                                 FlopCounter* flops) const {
+  // Single-node version: compute the F+1 statistics of this row, then reuse
+  // the stats-based gradient. This is exactly what the column path does with
+  // one partition, which keeps the two paths trivially consistent.
+  const int wpf = 1 + num_factors_;
+  std::vector<double> stats(wpf, 0.0);
+  BatchView batch;
+  batch.rows = {row};
+  batch.labels = {label};
+  ComputePartialStats(batch, model, &stats, flops);
+  AccumulateGradFromStats(batch, stats, model, grad, flops);
+}
+
+double FactorizationMachine::RowScore(const SparseVectorView& row,
+                                      const std::vector<double>& model) const {
+  const int wpf = 1 + num_factors_;
+  std::vector<double> stats(wpf, 0.0);
+  BatchView batch;
+  batch.rows = {row};
+  batch.labels = {0.0f};
+  ComputePartialStats(batch, model, &stats, nullptr);
+  return ScoreFromStats(stats.data());
+}
+
+double FactorizationMachine::RowLoss(const SparseVectorView& row, float label,
+                                     const std::vector<double>& model,
+                                     FlopCounter* flops) const {
+  const int wpf = 1 + num_factors_;
+  std::vector<double> stats(wpf, 0.0);
+  BatchView batch;
+  batch.rows = {row};
+  batch.labels = {label};
+  ComputePartialStats(batch, model, &stats, flops);
+  return PointLoss(label, ScoreFromStats(stats.data()));
+}
+
+}  // namespace colsgd

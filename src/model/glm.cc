@@ -1,0 +1,102 @@
+#include "model/glm.h"
+
+#include <cmath>
+
+namespace colsgd {
+
+void BinaryGlm::ComputePartialStats(const BatchView& batch,
+                                    const std::vector<double>& local_model,
+                                    std::vector<double>* stats,
+                                    FlopCounter* flops) const {
+  COLSGD_CHECK_EQ(stats->size(), batch.size());
+  uint64_t work = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    (*stats)[i] += batch.rows[i].Dot(local_model);
+    work += 2 * batch.rows[i].nnz;
+  }
+  if (flops != nullptr) flops->Add(work);
+}
+
+void BinaryGlm::AccumulateGradFromStats(const BatchView& batch,
+                                        const std::vector<double>& agg_stats,
+                                        const std::vector<double>& local_model,
+                                        GradAccumulator* grad,
+                                        FlopCounter* flops) const {
+  (void)local_model;
+  COLSGD_CHECK_EQ(agg_stats.size(), batch.size());
+  uint64_t work = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const double coeff = PointCoeff(batch.labels[i], agg_stats[i]);
+    if (coeff == 0.0) continue;  // e.g. hinge loss outside the margin
+    const SparseVectorView& row = batch.rows[i];
+    for (size_t j = 0; j < row.nnz; ++j) {
+      grad->Add(row.indices[j], coeff * static_cast<double>(row.values[j]));
+    }
+    work += 2 * row.nnz;
+  }
+  if (flops != nullptr) flops->Add(work);
+}
+
+double BinaryGlm::BatchLossFromStats(const std::vector<double>& agg_stats,
+                                     const std::vector<float>& labels) const {
+  COLSGD_CHECK_EQ(agg_stats.size(), labels.size());
+  double loss = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    loss += PointLoss(labels[i], agg_stats[i]);
+  }
+  return loss;
+}
+
+void BinaryGlm::AccumulateRowGradient(const SparseVectorView& row, float label,
+                                      const std::vector<double>& model,
+                                      GradAccumulator* grad,
+                                      FlopCounter* flops) const {
+  const double s = row.Dot(model);
+  const double coeff = PointCoeff(label, s);
+  if (coeff != 0.0) {
+    for (size_t j = 0; j < row.nnz; ++j) {
+      grad->Add(row.indices[j], coeff * static_cast<double>(row.values[j]));
+    }
+  }
+  if (flops != nullptr) flops->Add(4 * row.nnz);
+}
+
+double BinaryGlm::RowLoss(const SparseVectorView& row, float label,
+                          const std::vector<double>& model,
+                          FlopCounter* flops) const {
+  if (flops != nullptr) flops->Add(2 * row.nnz);
+  return PointLoss(label, row.Dot(model));
+}
+
+double LogisticRegression::PointLoss(double y, double s) const {
+  // log(1 + exp(-ys)) computed stably for large |ys|.
+  const double z = y * s;
+  if (z > 30.0) return std::exp(-z);
+  if (z < -30.0) return -z;
+  return std::log1p(std::exp(-z));
+}
+
+double LogisticRegression::PointCoeff(double y, double s) const {
+  // -y / (1 + exp(ys)), Equation 6 of the paper.
+  const double z = y * s;
+  if (z > 30.0) return -y * std::exp(-z);
+  return -y / (1.0 + std::exp(z));
+}
+
+double LinearSvm::PointLoss(double y, double s) const {
+  const double margin = 1.0 - y * s;
+  return margin > 0.0 ? margin : 0.0;
+}
+
+double LinearSvm::PointCoeff(double y, double s) const {
+  // Subgradient of the hinge loss, Equation 4 of the paper.
+  return (1.0 - y * s > 0.0) ? -y : 0.0;
+}
+
+double LeastSquares::PointLoss(double y, double s) const {
+  return 0.5 * (s - y) * (s - y);
+}
+
+double LeastSquares::PointCoeff(double y, double s) const { return s - y; }
+
+}  // namespace colsgd

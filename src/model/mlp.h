@@ -1,0 +1,94 @@
+// Two-layer perceptron with a column-partitioned input layer — the
+// fully-connected-network case of Section III-C of the paper.
+//
+// Architecture: z1 = W1^T x + b1 (H hidden units), a = tanh(z1),
+// o = w2^T a + b2, logistic loss on labels in {-1, +1}.
+//
+// Column mapping:
+//  * W1 rows partition by input feature: feature f owns H weight slots
+//    (weights_per_feature() == H), collocated with f's data column.
+//  * The statistics per data point are the H partial pre-activations
+//    sum_{f local} W1[f,:] x_f — exactly the "aggregate the dot products at
+//    each layer" synchronization the paper describes. After the reduce +
+//    broadcast, every worker holds the full z1 of the batch.
+//  * b1, w2, b2 are shared parameters (2H+1 values), replicated on every
+//    worker: the backward pass for them depends only on the broadcast
+//    statistics and the labels, so all replicas compute identical updates
+//    with zero extra communication.
+//
+// The row path is intentionally unsupported: the paper only develops FC
+// layers for the column framework, and our RowSGD baselines model GLM/FM
+// workloads. Calling the row-path methods dies with a CHECK.
+#ifndef COLSGD_MODEL_MLP_H_
+#define COLSGD_MODEL_MLP_H_
+
+#include "model/model_spec.h"
+
+namespace colsgd {
+
+class MlpModel : public ModelSpec {
+ public:
+  /// \param hidden_units H, the width of the hidden layer.
+  explicit MlpModel(int hidden_units, double init_scale = 0.1)
+      : hidden_(hidden_units), init_scale_(init_scale) {
+    COLSGD_CHECK_GE(hidden_units, 1);
+  }
+
+  std::string name() const override { return "mlp" + std::to_string(hidden_); }
+  int weights_per_feature() const override { return hidden_; }
+  int stats_per_point() const override { return hidden_; }
+  int hidden_units() const { return hidden_; }
+
+  double InitWeight(uint64_t feature, int j, uint64_t seed) const override;
+
+  // Shared block layout: [w2 (H), b2 (1), b1 (H)].
+  size_t num_shared_params() const override {
+    return 2 * static_cast<size_t>(hidden_) + 1;
+  }
+  double InitSharedParam(size_t index, uint64_t seed) const override;
+
+  void ComputePartialStats(const BatchView& batch,
+                           const std::vector<double>& local_model,
+                           std::vector<double>* stats,
+                           FlopCounter* flops) const override;
+
+  double BatchLossFromStatsShared(const std::vector<double>& agg_stats,
+                                  const std::vector<float>& labels,
+                                  const std::vector<double>& shared)
+      const override;
+
+  void AccumulateGradFromStatsShared(const BatchView& batch,
+                                     const std::vector<double>& agg_stats,
+                                     const std::vector<double>& local_model,
+                                     const std::vector<double>& shared,
+                                     GradAccumulator* grad,
+                                     std::vector<double>* shared_grad,
+                                     FlopCounter* flops) const override;
+
+  bool SupportsRowPath() const override { return false; }
+
+  // Shared-free overloads are meaningless for the MLP.
+  double BatchLossFromStats(const std::vector<double>&,
+                            const std::vector<float>&) const override;
+  void AccumulateGradFromStats(const BatchView&, const std::vector<double>&,
+                               const std::vector<double>&, GradAccumulator*,
+                               FlopCounter*) const override;
+  void AccumulateRowGradient(const SparseVectorView&, float,
+                             const std::vector<double>&, GradAccumulator*,
+                             FlopCounter*) const override;
+  double RowLoss(const SparseVectorView&, float, const std::vector<double>&,
+                 FlopCounter*) const override;
+
+ private:
+  /// \brief Forward pass of one point from its aggregated statistics:
+  /// returns the output logit and fills `activations` (size H).
+  double Forward(const double* stats, const std::vector<double>& shared,
+                 std::vector<double>* activations) const;
+
+  int hidden_;
+  double init_scale_;
+};
+
+}  // namespace colsgd
+
+#endif  // COLSGD_MODEL_MLP_H_

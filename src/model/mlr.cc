@@ -1,0 +1,126 @@
+#include "model/mlr.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace colsgd {
+
+void MultinomialLogisticRegression::Softmax(const double* scores,
+                                            std::vector<double>* probs) const {
+  probs->resize(num_classes_);
+  double max_score = scores[0];
+  for (int c = 1; c < num_classes_; ++c) {
+    max_score = std::max(max_score, scores[c]);
+  }
+  double sum = 0.0;
+  for (int c = 0; c < num_classes_; ++c) {
+    (*probs)[c] = std::exp(scores[c] - max_score);
+    sum += (*probs)[c];
+  }
+  for (int c = 0; c < num_classes_; ++c) (*probs)[c] /= sum;
+}
+
+void MultinomialLogisticRegression::ComputePartialStats(
+    const BatchView& batch, const std::vector<double>& local_model,
+    std::vector<double>* stats, FlopCounter* flops) const {
+  const int C = num_classes_;
+  COLSGD_CHECK_EQ(stats->size(), batch.size() * static_cast<size_t>(C));
+  uint64_t work = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const SparseVectorView& row = batch.rows[i];
+    double* out = stats->data() + i * C;
+    for (size_t j = 0; j < row.nnz; ++j) {
+      const double v = row.values[j];
+      const double* w = local_model.data() +
+                        static_cast<size_t>(row.indices[j]) * C;
+      for (int c = 0; c < C; ++c) out[c] += w[c] * v;
+    }
+    work += 2 * row.nnz * C;
+  }
+  if (flops != nullptr) flops->Add(work);
+}
+
+void MultinomialLogisticRegression::AccumulateGradFromStats(
+    const BatchView& batch, const std::vector<double>& agg_stats,
+    const std::vector<double>& local_model, GradAccumulator* grad,
+    FlopCounter* flops) const {
+  (void)local_model;
+  const int C = num_classes_;
+  COLSGD_CHECK_EQ(agg_stats.size(), batch.size() * static_cast<size_t>(C));
+  std::vector<double> probs;
+  uint64_t work = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Softmax(agg_stats.data() + i * C, &probs);
+    const int target = static_cast<int>(batch.labels[i]);
+    COLSGD_CHECK_GE(target, 0);
+    COLSGD_CHECK_LT(target, C);
+    // Equation 8: grad_{w_c} = (softmax_c - t_c) * x.
+    probs[target] -= 1.0;
+    const SparseVectorView& row = batch.rows[i];
+    for (size_t j = 0; j < row.nnz; ++j) {
+      const double v = row.values[j];
+      const uint64_t base = static_cast<uint64_t>(row.indices[j]) * C;
+      for (int c = 0; c < C; ++c) {
+        grad->Add(base + c, probs[c] * v);
+      }
+    }
+    work += (2 * row.nnz + 3) * C;
+  }
+  if (flops != nullptr) flops->Add(work);
+}
+
+double MultinomialLogisticRegression::BatchLossFromStats(
+    const std::vector<double>& agg_stats,
+    const std::vector<float>& labels) const {
+  const int C = num_classes_;
+  COLSGD_CHECK_EQ(agg_stats.size(), labels.size() * static_cast<size_t>(C));
+  std::vector<double> probs;
+  double loss = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    Softmax(agg_stats.data() + i * C, &probs);
+    const int target = static_cast<int>(labels[i]);
+    loss += -std::log(std::max(probs[target], 1e-300));
+  }
+  return loss;
+}
+
+void MultinomialLogisticRegression::AccumulateRowGradient(
+    const SparseVectorView& row, float label, const std::vector<double>& model,
+    GradAccumulator* grad, FlopCounter* flops) const {
+  const int C = num_classes_;
+  std::vector<double> scores(C, 0.0);
+  for (size_t j = 0; j < row.nnz; ++j) {
+    const double v = row.values[j];
+    const double* w = model.data() + static_cast<size_t>(row.indices[j]) * C;
+    for (int c = 0; c < C; ++c) scores[c] += w[c] * v;
+  }
+  std::vector<double> probs;
+  Softmax(scores.data(), &probs);
+  const int target = static_cast<int>(label);
+  probs[target] -= 1.0;
+  for (size_t j = 0; j < row.nnz; ++j) {
+    const double v = row.values[j];
+    const uint64_t base = static_cast<uint64_t>(row.indices[j]) * C;
+    for (int c = 0; c < C; ++c) grad->Add(base + c, probs[c] * v);
+  }
+  if (flops != nullptr) flops->Add(4 * row.nnz * C);
+}
+
+double MultinomialLogisticRegression::RowLoss(const SparseVectorView& row,
+                                              float label,
+                                              const std::vector<double>& model,
+                                              FlopCounter* flops) const {
+  const int C = num_classes_;
+  std::vector<double> scores(C, 0.0);
+  for (size_t j = 0; j < row.nnz; ++j) {
+    const double v = row.values[j];
+    const double* w = model.data() + static_cast<size_t>(row.indices[j]) * C;
+    for (int c = 0; c < C; ++c) scores[c] += w[c] * v;
+  }
+  std::vector<double> probs;
+  Softmax(scores.data(), &probs);
+  if (flops != nullptr) flops->Add(2 * row.nnz * C);
+  return -std::log(std::max(probs[static_cast<int>(label)], 1e-300));
+}
+
+}  // namespace colsgd

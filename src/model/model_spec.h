@@ -1,0 +1,198 @@
+// The ColumnSGD programming interface (Appendix IX of the paper).
+//
+// A ModelSpec describes one trainable model through two computation paths:
+//
+//  * the COLUMN path (initModel / computeStat / reduceStat / updateModel):
+//    partial statistics are computed from a worker's local column shard and
+//    local model partition; the master reduces them (element-wise sum); each
+//    worker then turns the aggregated statistics into gradients for its own
+//    dimensions. This is Algorithm 3.
+//
+//  * the ROW path: the classic gradient computation from a full row and a
+//    full model, used by the RowSGD baseline engines (MLlib, PS, MLlib*).
+//
+// The two paths are mathematically equivalent; tests/model_equivalence_test
+// checks that they produce identical updates.
+//
+// Weight layout: feature f contributes `weights_per_feature()` consecutive
+// slots starting at f * weights_per_feature() (global layout), or at
+// local_index(f) * weights_per_feature() (partitioned layout). GLMs have one
+// weight per feature; MLR has C; FM has 1 + F (w plus the latent factors).
+#ifndef COLSGD_MODEL_MODEL_SPEC_H_
+#define COLSGD_MODEL_MODEL_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/sparse.h"
+#include "simnet/compute_model.h"
+
+namespace colsgd {
+
+/// \brief A sampled mini-batch as seen by one node: row views (local shards
+/// on the column path, full rows on the row path) plus labels.
+struct BatchView {
+  std::vector<SparseVectorView> rows;
+  std::vector<float> labels;
+
+  size_t size() const { return rows.size(); }
+};
+
+/// \brief Sparse gradient accumulator over a dense slot space: O(1) adds,
+/// O(touched) iteration and reset. One instance is reused across iterations.
+class GradAccumulator {
+ public:
+  explicit GradAccumulator(size_t num_slots)
+      : grad_(num_slots, 0.0), is_touched_(num_slots, 0) {}
+
+  void Add(uint64_t slot, double g) {
+    COLSGD_CHECK_LT(slot, grad_.size());
+    if (!is_touched_[slot]) {
+      is_touched_[slot] = 1;
+      touched_.push_back(slot);
+    }
+    grad_[slot] += g;
+  }
+
+  const std::vector<uint64_t>& touched() const { return touched_; }
+  double value(uint64_t slot) const { return grad_[slot]; }
+  size_t num_slots() const { return grad_.size(); }
+
+  void Reset() {
+    for (uint64_t slot : touched_) {
+      grad_[slot] = 0.0;
+      is_touched_[slot] = 0;
+    }
+    touched_.clear();
+  }
+
+ private:
+  std::vector<double> grad_;
+  std::vector<uint8_t> is_touched_;
+  std::vector<uint64_t> touched_;
+};
+
+/// \brief One trainable model (LR, SVM, MLR, FM, ...).
+class ModelSpec {
+ public:
+  virtual ~ModelSpec() = default;
+
+  virtual std::string name() const = 0;
+
+  /// \brief Weight slots per feature (1 GLM, C MLR, 1+F FM).
+  virtual int weights_per_feature() const = 0;
+
+  /// \brief Doubles of statistics exchanged per sampled data point
+  /// (1 for LR/SVM, C for MLR, F+1 for FM).
+  virtual int stats_per_point() const = 0;
+
+  /// \brief Initial value of weight slot `j` of feature `feature`.
+  /// Deterministic in (feature, j, seed) so that row- and column-partitioned
+  /// layouts initialize identically. GLM weights start at 0; FM latent
+  /// factors need small random values (a zero V has zero gradient).
+  virtual double InitWeight(uint64_t feature, int j, uint64_t seed) const {
+    (void)feature;
+    (void)j;
+    (void)seed;
+    return 0.0;
+  }
+
+  // ---- Column path (Algorithm 3) ----------------------------------------
+
+  /// \brief computeStat: partial statistics from the local shard and local
+  /// model partition. `stats` has batch.size() * stats_per_point() entries,
+  /// pre-zeroed by the caller. reduceStat is an element-wise sum.
+  virtual void ComputePartialStats(const BatchView& batch,
+                                   const std::vector<double>& local_model,
+                                   std::vector<double>* stats,
+                                   FlopCounter* flops) const = 0;
+
+  /// \brief updateModel step 1: gradients of the local dimensions from the
+  /// aggregated statistics. Row i of `batch` corresponds to statistics
+  /// [i*stats_per_point(), (i+1)*stats_per_point()). Gradients are summed
+  /// over the batch (not averaged; the engine scales by 1/B).
+  virtual void AccumulateGradFromStats(const BatchView& batch,
+                                       const std::vector<double>& agg_stats,
+                                       const std::vector<double>& local_model,
+                                       GradAccumulator* grad,
+                                       FlopCounter* flops) const = 0;
+
+  /// \brief Batch data loss (sum over points) from aggregated statistics and
+  /// labels; any worker can evaluate this locally after the broadcast.
+  virtual double BatchLossFromStats(const std::vector<double>& agg_stats,
+                                    const std::vector<float>& labels) const = 0;
+
+  // ---- Shared (replicated) parameters ------------------------------------
+  //
+  // Some models carry a small parameter block that cannot be partitioned by
+  // feature — e.g. the hidden-to-output layer of an MLP (Section III-C of
+  // the paper: fully-connected layers are supported by synchronizing layer
+  // statistics). Shared parameters are replicated on every worker and
+  // updated identically from the broadcast statistics, so they add no
+  // communication. Models without such parameters ignore this block.
+
+  virtual size_t num_shared_params() const { return 0; }
+  virtual double InitSharedParam(size_t index, uint64_t seed) const {
+    (void)index;
+    (void)seed;
+    return 0.0;
+  }
+
+  /// \brief Batch loss for models whose loss depends on shared parameters;
+  /// defaults to the shared-free overload.
+  virtual double BatchLossFromStatsShared(
+      const std::vector<double>& agg_stats, const std::vector<float>& labels,
+      const std::vector<double>& shared) const {
+    (void)shared;
+    return BatchLossFromStats(agg_stats, labels);
+  }
+
+  /// \brief Gradient accumulation with shared parameters: fills
+  /// `shared_grad` (pre-zeroed, size num_shared_params()) in addition to the
+  /// per-feature gradients. Defaults to the shared-free overload.
+  virtual void AccumulateGradFromStatsShared(
+      const BatchView& batch, const std::vector<double>& agg_stats,
+      const std::vector<double>& local_model,
+      const std::vector<double>& shared, GradAccumulator* grad,
+      std::vector<double>* shared_grad, FlopCounter* flops) const {
+    (void)shared;
+    (void)shared_grad;
+    AccumulateGradFromStats(batch, agg_stats, local_model, grad, flops);
+  }
+
+  /// \brief Whether the classic row path (full row x full model) is
+  /// implemented. Models that exist only in the column framework (the MLP
+  /// of Section III-C) return false; callers must not route them through
+  /// RowSGD engines or row-based evaluation.
+  virtual bool SupportsRowPath() const { return true; }
+
+  // ---- Row path (RowSGD baselines) ---------------------------------------
+
+  /// \brief Classic gradient of one full row against a full (global-layout)
+  /// model, summed into `grad`.
+  virtual void AccumulateRowGradient(const SparseVectorView& row, float label,
+                                     const std::vector<double>& model,
+                                     GradAccumulator* grad,
+                                     FlopCounter* flops) const = 0;
+
+  /// \brief Loss of one full row against a full model.
+  virtual double RowLoss(const SparseVectorView& row, float label,
+                         const std::vector<double>& model,
+                         FlopCounter* flops) const = 0;
+
+  /// \brief Decision score of one row against a full (global-layout) model:
+  /// the margin for binary models, y(x) for FMs. Used by evaluation metrics
+  /// (accuracy / AUC). Models without a scalar score (MLR) die.
+  virtual double RowScore(const SparseVectorView& row,
+                          const std::vector<double>& model) const {
+    (void)row;
+    (void)model;
+    COLSGD_CHECK(false) << name() << " has no scalar decision score";
+    return 0.0;
+  }
+};
+
+}  // namespace colsgd
+
+#endif  // COLSGD_MODEL_MODEL_SPEC_H_

@@ -1,0 +1,15 @@
+#include "optim/optimizer.h"
+
+#include "common/check.h"
+
+namespace colsgd {
+
+std::unique_ptr<Optimizer> MakeOptimizer(const std::string& name, double lr) {
+  if (name == "sgd") return std::make_unique<SgdOptimizer>(lr);
+  if (name == "adagrad") return std::make_unique<AdaGradOptimizer>(lr);
+  if (name == "adam") return std::make_unique<AdamOptimizer>(lr);
+  COLSGD_CHECK(false) << "unknown optimizer: " << name;
+  return nullptr;
+}
+
+}  // namespace colsgd

@@ -1,0 +1,43 @@
+// Deterministic compute-time charging.
+//
+// Worker compute is charged from counted work (non-zeros touched, dimensions
+// updated) at a fixed effective FLOP rate, rather than from host wall time.
+// On a simulated cluster that is both more reproducible and more faithful:
+// running 8-40 "machines" on one host would otherwise serialize their compute
+// and destroy every per-iteration-time shape the paper reports.
+#ifndef COLSGD_SIMNET_COMPUTE_MODEL_H_
+#define COLSGD_SIMNET_COMPUTE_MODEL_H_
+
+#include <cstdint>
+
+namespace colsgd {
+
+/// \brief Converts counted work into simulated seconds.
+struct ComputeModel {
+  double flops_per_second = 2e9;  // effective rate of one worker core
+  double per_task_overhead = 0.0;  // e.g. Spark task-launch latency
+
+  double SecondsFor(uint64_t flops) const {
+    return per_task_overhead + static_cast<double>(flops) / flops_per_second;
+  }
+
+  /// \brief One 2-CPU Cluster-1 machine of the paper.
+  static ComputeModel Cluster1Worker() { return ComputeModel{2e9, 0.0}; }
+  /// \brief One 8-CPU Cluster-2 machine of the paper.
+  static ComputeModel Cluster2Worker() { return ComputeModel{8e9, 0.0}; }
+};
+
+/// \brief Tallies work performed by one node during a task.
+class FlopCounter {
+ public:
+  void Add(uint64_t flops) { flops_ += flops; }
+  uint64_t flops() const { return flops_; }
+  void Reset() { flops_ = 0; }
+
+ private:
+  uint64_t flops_ = 0;
+};
+
+}  // namespace colsgd
+
+#endif  // COLSGD_SIMNET_COMPUTE_MODEL_H_

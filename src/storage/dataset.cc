@@ -1,0 +1,52 @@
+#include "storage/dataset.h"
+
+#include <cmath>
+
+namespace colsgd {
+
+namespace {
+int DecimalDigits(uint64_t v) {
+  int d = 1;
+  while (v >= 10) {
+    v /= 10;
+    ++d;
+  }
+  return d;
+}
+}  // namespace
+
+uint64_t LibsvmTextBytes(const CsrBatch& rows, const std::vector<float>& labels,
+                         size_t i) {
+  // "label" then " idx:value" per feature then "\n". Values are printed with
+  // 6 significant digits (~8 chars incl. sign/point).
+  (void)labels;
+  uint64_t bytes = 3 /* label like "+1" or "-1" or class id */ + 1 /* \n */;
+  SparseVectorView row = rows.Row(i);
+  for (size_t j = 0; j < row.nnz; ++j) {
+    bytes += 1 /* space */ + DecimalDigits(row.indices[j]) + 1 /* ':' */ +
+             8 /* value text */;
+  }
+  return bytes;
+}
+
+std::vector<RowBlock> MakeRowBlocks(const Dataset& dataset, size_t block_rows) {
+  std::vector<RowBlock> blocks;
+  const size_t n = dataset.num_rows();
+  size_t i = 0;
+  uint64_t next_id = 0;
+  while (i < n) {
+    RowBlock block;
+    block.block_id = next_id++;
+    const size_t end = std::min(n, i + block_rows);
+    for (size_t r = i; r < end; ++r) {
+      block.rows.AppendRow(dataset.rows.Row(r));
+      block.labels.push_back(dataset.labels[r]);
+      block.text_bytes += LibsvmTextBytes(dataset.rows, dataset.labels, r);
+    }
+    blocks.push_back(std::move(block));
+    i = end;
+  }
+  return blocks;
+}
+
+}  // namespace colsgd

@@ -1,0 +1,64 @@
+// In-memory training dataset (row-oriented, CSR) and row blocks.
+#ifndef COLSGD_STORAGE_DATASET_H_
+#define COLSGD_STORAGE_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/sparse.h"
+
+namespace colsgd {
+
+/// \brief A labelled sparse dataset. Labels are +-1 for binary tasks and
+/// class ids 0..C-1 for multiclass (MLR).
+struct Dataset {
+  uint64_t num_features = 0;
+  int num_classes = 2;
+  CsrBatch rows;
+  std::vector<float> labels;
+
+  size_t num_rows() const { return rows.num_rows(); }
+  size_t nnz() const { return rows.nnz(); }
+
+  /// \brief Fraction of zero entries (the paper's rho).
+  double Sparsity() const {
+    if (num_rows() == 0 || num_features == 0) return 1.0;
+    return 1.0 - static_cast<double>(nnz()) /
+                     (static_cast<double>(num_rows()) *
+                      static_cast<double>(num_features));
+  }
+
+  /// \brief Average non-zeros per row.
+  double AvgNnzPerRow() const {
+    return num_rows() == 0 ? 0.0
+                           : static_cast<double>(nnz()) /
+                                 static_cast<double>(num_rows());
+  }
+};
+
+/// \brief A contiguous chunk of rows, the unit of the block queue in the
+/// block-based column dispatching protocol (Fig. 5 / Algorithm 4).
+struct RowBlock {
+  uint64_t block_id = 0;
+  CsrBatch rows;
+  std::vector<float> labels;
+  /// Size of this block in the row-oriented source format (libsvm text),
+  /// used to charge read/parse time during loading.
+  uint64_t text_bytes = 0;
+
+  size_t num_rows() const { return rows.num_rows(); }
+};
+
+/// \brief Bytes row `i` of `rows` would occupy as libsvm text
+/// ("label idx:val idx:val ...\n").
+uint64_t LibsvmTextBytes(const CsrBatch& rows, const std::vector<float>& labels,
+                         size_t i);
+
+/// \brief Chops a dataset into blocks of up to `block_rows` rows with
+/// consecutive ids starting at 0; the master's block queue ("HDFS" blocks).
+std::vector<RowBlock> MakeRowBlocks(const Dataset& dataset, size_t block_rows);
+
+}  // namespace colsgd
+
+#endif  // COLSGD_STORAGE_DATASET_H_

@@ -1,0 +1,111 @@
+#include "storage/libsvm.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace colsgd {
+
+namespace {
+
+Status ParseLine(const std::string& line, size_t line_no, bool zero_based,
+                 Dataset* out) {
+  const char* p = line.c_str();
+  char* end = nullptr;
+  const double label = std::strtod(p, &end);
+  if (end == p) {
+    return Status::IOError("libsvm line " + std::to_string(line_no) +
+                           ": cannot parse label");
+  }
+  p = end;
+  SparseRow row;
+  while (true) {
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '\0' || *p == '#') break;
+    const unsigned long long raw_index = std::strtoull(p, &end, 10);
+    if (end == p || *end != ':') {
+      return Status::IOError("libsvm line " + std::to_string(line_no) +
+                             ": malformed index:value pair");
+    }
+    p = end + 1;
+    const double value = std::strtod(p, &end);
+    if (end == p) {
+      return Status::IOError("libsvm line " + std::to_string(line_no) +
+                             ": malformed feature value");
+    }
+    p = end;
+    uint64_t index = raw_index;
+    if (!zero_based) {
+      if (index == 0) {
+        return Status::IOError("libsvm line " + std::to_string(line_no) +
+                               ": 1-based file contains index 0");
+      }
+      index -= 1;
+    }
+    if (index > 0xFFFFFFFFull) {
+      return Status::IOError("libsvm line " + std::to_string(line_no) +
+                             ": feature index exceeds uint32 range");
+    }
+    row.Push(static_cast<uint32_t>(index), static_cast<float>(value));
+    if (index + 1 > out->num_features) out->num_features = index + 1;
+  }
+  out->rows.AppendRow(row);
+  out->labels.push_back(static_cast<float>(label));
+  return Status::OK();
+}
+
+Result<Dataset> ParseStream(std::istream& in, bool zero_based,
+                            uint64_t expected_features) {
+  Dataset dataset;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    COLSGD_RETURN_NOT_OK(ParseLine(line, line_no, zero_based, &dataset));
+  }
+  if (expected_features > 0) {
+    if (dataset.num_features > expected_features) {
+      return Status::IOError("dataset has feature index beyond expected " +
+                             std::to_string(expected_features));
+    }
+    dataset.num_features = expected_features;
+  }
+  return dataset;
+}
+
+}  // namespace
+
+Result<Dataset> ReadLibsvmFile(const std::string& path, bool zero_based,
+                               uint64_t expected_features) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open libsvm file: " + path);
+  }
+  return ParseStream(in, zero_based, expected_features);
+}
+
+Result<Dataset> ParseLibsvm(const std::string& text, bool zero_based,
+                            uint64_t expected_features) {
+  std::istringstream in(text);
+  return ParseStream(in, zero_based, expected_features);
+}
+
+Status WriteLibsvmFile(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open file for writing: " + path);
+  }
+  for (size_t i = 0; i < dataset.num_rows(); ++i) {
+    out << dataset.labels[i];
+    SparseVectorView row = dataset.rows.Row(i);
+    for (size_t j = 0; j < row.nnz; ++j) {
+      out << ' ' << (row.indices[j] + 1) << ':' << row.values[j];
+    }
+    out << '\n';
+  }
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace colsgd

@@ -1,0 +1,29 @@
+// Libsvm text format reader/writer.
+#ifndef COLSGD_STORAGE_LIBSVM_H_
+#define COLSGD_STORAGE_LIBSVM_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/dataset.h"
+
+namespace colsgd {
+
+/// \brief Parses a libsvm-format file ("label idx:val idx:val ...", indices
+/// 1-based as in the LIBSVM distribution unless `zero_based`).
+///
+/// `num_features` of the result is max feature index + 1, or the explicit
+/// override when `expected_features` > 0.
+Result<Dataset> ReadLibsvmFile(const std::string& path, bool zero_based = false,
+                               uint64_t expected_features = 0);
+
+/// \brief Parses libsvm-format text from a string (for tests).
+Result<Dataset> ParseLibsvm(const std::string& text, bool zero_based = false,
+                            uint64_t expected_features = 0);
+
+/// \brief Writes a dataset in libsvm format (1-based indices).
+Status WriteLibsvmFile(const Dataset& dataset, const std::string& path);
+
+}  // namespace colsgd
+
+#endif  // COLSGD_STORAGE_LIBSVM_H_

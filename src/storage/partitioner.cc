@@ -1,0 +1,24 @@
+#include "storage/partitioner.h"
+
+namespace colsgd {
+
+std::unique_ptr<ColumnPartitioner> MakePartitioner(const std::string& name,
+                                                   uint64_t num_features,
+                                                   int num_workers) {
+  if (name == "round_robin") {
+    return std::make_unique<RoundRobinPartitioner>(num_features, num_workers);
+  }
+  if (name == "range") {
+    return std::make_unique<RangePartitioner>(num_features, num_workers);
+  }
+  const std::string kCyclicPrefix = "block_cyclic_";
+  if (name.rfind(kCyclicPrefix, 0) == 0) {
+    const uint64_t chunk = std::stoull(name.substr(kCyclicPrefix.size()));
+    return std::make_unique<BlockCyclicPartitioner>(num_features, num_workers,
+                                                    chunk);
+  }
+  COLSGD_CHECK(false) << "unknown partitioner: " << name;
+  return nullptr;
+}
+
+}  // namespace colsgd

@@ -1,0 +1,101 @@
+// Two-phase mini-batch sampling over column-partitioned data
+// (Section IV-A2 of the paper).
+//
+// After the transform, every worker holds a workset for every block, and the
+// blocks have identical ids and row counts on all workers. A batch draw is a
+// sequence of (block id, row offset) pairs generated from a shared seed
+// (the iteration number), so all workers land on column shards of exactly
+// the same rows without any coordination.
+#ifndef COLSGD_STORAGE_SAMPLER_H_
+#define COLSGD_STORAGE_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace colsgd {
+
+/// \brief One sampled row: which block and which row within it.
+struct RowRef {
+  uint64_t block_id;
+  uint32_t offset;
+};
+
+/// \brief Shared metadata about the block layout; identical on master and
+/// all workers (it is fully determined by the dataset and block size).
+class BlockDirectory {
+ public:
+  BlockDirectory() = default;
+
+  /// \brief `rows_per_block[i]` is the row count of block id `i`.
+  explicit BlockDirectory(std::vector<uint32_t> rows_per_block)
+      : rows_per_block_(std::move(rows_per_block)) {
+    prefix_.reserve(rows_per_block_.size() + 1);
+    prefix_.push_back(0);
+    for (uint32_t rows : rows_per_block_) {
+      prefix_.push_back(prefix_.back() + rows);
+    }
+  }
+
+  uint64_t total_rows() const { return prefix_.empty() ? 0 : prefix_.back(); }
+  size_t num_blocks() const { return rows_per_block_.size(); }
+  uint32_t rows_in_block(uint64_t block_id) const {
+    COLSGD_CHECK_LT(block_id, rows_per_block_.size());
+    return rows_per_block_[block_id];
+  }
+
+  /// \brief Maps a global row ordinal to (block, offset).
+  RowRef Locate(uint64_t global_row) const {
+    COLSGD_CHECK_LT(global_row, total_rows());
+    // Binary search over the prefix sums (phase 1: find the block).
+    size_t lo = 0;
+    size_t hi = rows_per_block_.size();
+    while (lo + 1 < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (prefix_[mid] <= global_row) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return RowRef{static_cast<uint64_t>(lo),
+                  static_cast<uint32_t>(global_row - prefix_[lo])};
+  }
+
+ private:
+  std::vector<uint32_t> rows_per_block_;
+  std::vector<uint64_t> prefix_;
+};
+
+/// \brief Seeded batch sampler; identical draws on every node that uses the
+/// same (seed, iteration).
+class BatchSampler {
+ public:
+  BatchSampler(const BlockDirectory* directory, uint64_t seed)
+      : directory_(directory), seed_(seed) {}
+
+  /// \brief Samples `batch_size` rows (with replacement) for `iteration`.
+  std::vector<RowRef> Sample(int64_t iteration, size_t batch_size) const {
+    // Phase 1 picks the block (via a uniform global row so large blocks are
+    // proportionally likely), phase 2 the offset inside it.
+    Rng rng = Rng(seed_).Split(static_cast<uint64_t>(iteration));
+    std::vector<RowRef> batch;
+    batch.reserve(batch_size);
+    const uint64_t n = directory_->total_rows();
+    COLSGD_CHECK_GT(n, 0u);
+    for (size_t i = 0; i < batch_size; ++i) {
+      batch.push_back(directory_->Locate(rng.NextBounded(n)));
+    }
+    return batch;
+  }
+
+ private:
+  const BlockDirectory* directory_;
+  uint64_t seed_;
+};
+
+}  // namespace colsgd
+
+#endif  // COLSGD_STORAGE_SAMPLER_H_

@@ -1,0 +1,109 @@
+// Data-loading paths (Section IV-A of the paper), simulated on a cluster
+// runtime. Four loaders, matching Fig. 7:
+//
+//  * LoadRowPartitioned        — MLlib: each worker parses its row blocks.
+//  * LoadRowRepartitioned      — MLlib-Repartition: plus a global shuffle.
+//  * NaiveColumnLoad           — row-by-row column dispatch (the strawman).
+//  * BlockColumnLoad           — Algorithm 4: block-based dispatching with
+//                                CSR-compressed worksets and a dynamic block
+//                                queue (blocks go to the least-loaded idle
+//                                worker).
+//
+// All loaders charge simulated time on the runtime's clocks; the caller reads
+// the elapsed MaxClock as the loading time.
+#ifndef COLSGD_STORAGE_TRANSFORM_H_
+#define COLSGD_STORAGE_TRANSFORM_H_
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "storage/dataset.h"
+#include "storage/partitioner.h"
+#include "storage/sampler.h"
+#include "storage/workset.h"
+
+namespace colsgd {
+
+/// \brief Cost constants of the ingest paths. The defaults are calibrated so
+/// that per-byte rates match the paper's measured MLlib load throughput
+/// (7.4 GB avazu in 28 s on 8 workers ~ 33 MB/s/worker) and the relative
+/// rates of the other paths; see DESIGN.md "calibration".
+struct TransformCostConfig {
+  double disk_bandwidth = 200e6;  // HDFS sequential read, bytes/s
+  /// MLlib ingest (parse text + materialize row objects into the RDD cache).
+  double mllib_ingest_per_byte = 30e-9;
+  /// ColumnSGD-side parse straight into CSR (no per-row object graph).
+  double csr_ingest_per_byte = 10e-9;
+  double split_per_nnz = 4e-9;      // column split of a parsed block
+  double serialize_per_msg = 1e-6;  // per-object serialization cost
+  double insert_per_nnz = 2e-9;     // receiver-side workset insert
+  double recache_per_byte = 10e-9;  // receiver re-cache after a shuffle
+};
+
+/// \brief Result of a column-oriented load: one workset store per worker
+/// plus the shared block directory for two-phase sampling.
+struct ColumnLoadResult {
+  std::vector<WorksetStore> stores;
+  BlockDirectory directory;
+};
+
+/// \brief Result of a row-oriented load: each worker's list of row blocks.
+struct RowLoadResult {
+  std::vector<std::vector<RowBlock>> partitions;
+};
+
+/// \brief Splits one row block into K per-worker worksets with feature ids
+/// translated to local model slots. Every workset gets all `labels` and one
+/// (possibly empty) shard row per block row.
+std::vector<Workset> SplitBlock(const RowBlock& block,
+                                const ColumnPartitioner& partitioner);
+
+/// \brief Block directory shared by master and workers.
+BlockDirectory MakeDirectory(const std::vector<RowBlock>& blocks);
+
+/// \brief MLlib-style load: block i goes to worker i % K; parse + cache.
+RowLoadResult LoadRowPartitioned(const std::vector<RowBlock>& blocks,
+                                 ClusterRuntime* runtime,
+                                 const TransformCostConfig& cost);
+
+/// \brief MLlib load followed by a global block shuffle (repartition).
+RowLoadResult LoadRowRepartitioned(const std::vector<RowBlock>& blocks,
+                                   ClusterRuntime* runtime,
+                                   const TransformCostConfig& cost,
+                                   uint64_t shuffle_seed);
+
+/// \brief Strawman: split each row into K pieces and ship each piece as its
+/// own message ("Naive-ColumnSGD" in Section IV-A1).
+ColumnLoadResult NaiveColumnLoad(const std::vector<RowBlock>& blocks,
+                                 const ColumnPartitioner& partitioner,
+                                 ClusterRuntime* runtime,
+                                 const TransformCostConfig& cost);
+
+/// \brief Algorithm 4: block-based column dispatching.
+ColumnLoadResult BlockColumnLoad(const std::vector<RowBlock>& blocks,
+                                 const ColumnPartitioner& partitioner,
+                                 ClusterRuntime* runtime,
+                                 const TransformCostConfig& cost);
+
+/// \brief Block-based column dispatching with S-backup replication
+/// (Section IV-B): the partitioner is G-way (G groups of workers), and the
+/// shard of group g is sent to every worker in `replicas[g]`. Only one copy
+/// per group is materialized (replicas are bit-identical by construction);
+/// traffic and receiver work are charged for every replica.
+ColumnLoadResult BlockColumnLoadReplicated(
+    const std::vector<RowBlock>& blocks, const ColumnPartitioner& partitioner,
+    const std::vector<std::vector<int>>& replicas, ClusterRuntime* runtime,
+    const TransformCostConfig& cost);
+
+/// \brief Reloads a single worker's worksets after a worker failure
+/// (Appendix X): every other worker re-reads nothing; the failed worker's
+/// shards are rebuilt from the row blocks and re-sent to it. Returns the
+/// rebuilt store for the failed worker.
+WorksetStore ReloadWorkerShards(const std::vector<RowBlock>& blocks,
+                                const ColumnPartitioner& partitioner,
+                                int failed_worker, ClusterRuntime* runtime,
+                                const TransformCostConfig& cost);
+
+}  // namespace colsgd
+
+#endif  // COLSGD_STORAGE_TRANSFORM_H_

@@ -1,0 +1,68 @@
+#include "storage/workset.h"
+
+namespace colsgd {
+
+std::vector<uint8_t> Workset::Serialize() const {
+  BufferWriter writer(SerializedSize());
+  writer.PutU64(block_id);
+  writer.PutFloatVector(labels);
+  writer.PutU32Vector(shard.indices());
+  writer.PutFloatVector(shard.values());
+  writer.PutU64Vector(shard.row_offsets());
+  return writer.Release();
+}
+
+Result<Workset> Workset::Deserialize(const uint8_t* data, size_t size) {
+  BufferReader reader(data, size);
+  Workset workset;
+  COLSGD_ASSIGN_OR_RETURN(workset.block_id, reader.GetU64());
+  COLSGD_ASSIGN_OR_RETURN(workset.labels, reader.GetFloatVector());
+  COLSGD_ASSIGN_OR_RETURN(std::vector<uint32_t> indices,
+                          reader.GetU32Vector());
+  COLSGD_ASSIGN_OR_RETURN(std::vector<float> values, reader.GetFloatVector());
+  COLSGD_ASSIGN_OR_RETURN(std::vector<uint64_t> offsets,
+                          reader.GetU64Vector());
+  if (offsets.empty() || offsets.back() != indices.size() ||
+      indices.size() != values.size() ||
+      offsets.size() != workset.labels.size() + 1) {
+    return Status::SerializationError("inconsistent workset CSR arrays");
+  }
+  workset.shard.Adopt(std::move(indices), std::move(values),
+                      std::move(offsets));
+  return workset;
+}
+
+uint64_t Workset::SerializedSize() const {
+  return sizeof(uint64_t)                                     // block id
+         + sizeof(uint64_t) + labels.size() * sizeof(float)   // labels
+         + sizeof(uint64_t) + shard.nnz() * sizeof(uint32_t)  // indices
+         + sizeof(uint64_t) + shard.nnz() * sizeof(float)     // values
+         + sizeof(uint64_t) +
+         shard.row_offsets().size() * sizeof(uint64_t);  // offsets
+}
+
+void WorksetStore::Put(Workset workset) {
+  COLSGD_CHECK(index_.find(workset.block_id) == index_.end())
+      << "duplicate workset for block " << workset.block_id;
+  total_rows_ += workset.num_rows();
+  total_nnz_ += workset.shard.nnz();
+  index_[workset.block_id] = worksets_.size();
+  worksets_.push_back(std::move(workset));
+}
+
+uint64_t WorksetStore::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& w : worksets_) {
+    bytes += w.shard.ByteSize() + w.labels.size() * sizeof(float);
+  }
+  return bytes;
+}
+
+void WorksetStore::Clear() {
+  worksets_.clear();
+  index_.clear();
+  total_rows_ = 0;
+  total_nnz_ = 0;
+}
+
+}  // namespace colsgd

@@ -1,0 +1,71 @@
+// Worksets: the column-partitioned shards produced by block-based column
+// dispatching (Fig. 5 / Algorithm 4 of the paper).
+//
+// A workset is one worker's column shard of one row block: for each row of
+// the block it holds the (local-index, value) pairs of the features this
+// worker owns, in CSR form, plus the block id and the labels. Labels are
+// replicated into every workset so each worker can evaluate losses and
+// gradient coefficients locally.
+#ifndef COLSGD_STORAGE_WORKSET_H_
+#define COLSGD_STORAGE_WORKSET_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "linalg/sparse.h"
+
+namespace colsgd {
+
+struct Workset {
+  uint64_t block_id = 0;
+  /// Column shard: row i holds this worker's features of block row i, with
+  /// feature ids already translated to local model slots.
+  CsrBatch shard;
+  /// Labels of all rows in the block (replicated on every worker).
+  std::vector<float> labels;
+
+  size_t num_rows() const { return shard.num_rows(); }
+
+  /// \brief Wire encoding; its size is what the network model charges.
+  std::vector<uint8_t> Serialize() const;
+  static Result<Workset> Deserialize(const uint8_t* data, size_t size);
+
+  /// \brief On-the-wire size without materializing the buffer.
+  uint64_t SerializedSize() const;
+};
+
+/// \brief A worker's collection of worksets, keyed by block id — the first
+/// phase of the two-phase index (Section IV-A2).
+class WorksetStore {
+ public:
+  void Put(Workset workset);
+
+  const Workset* Find(uint64_t block_id) const {
+    auto it = index_.find(block_id);
+    return it == index_.end() ? nullptr : &worksets_[it->second];
+  }
+
+  size_t num_worksets() const { return worksets_.size(); }
+  uint64_t total_rows() const { return total_rows_; }
+  uint64_t total_nnz() const { return total_nnz_; }
+
+  /// \brief Approximate resident bytes (CSR payload + labels).
+  uint64_t MemoryBytes() const;
+
+  const std::vector<Workset>& worksets() const { return worksets_; }
+
+  void Clear();
+
+ private:
+  std::vector<Workset> worksets_;
+  std::unordered_map<uint64_t, size_t> index_;
+  uint64_t total_rows_ = 0;
+  uint64_t total_nnz_ = 0;
+};
+
+}  // namespace colsgd
+
+#endif  // COLSGD_STORAGE_WORKSET_H_

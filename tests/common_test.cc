@@ -1,0 +1,312 @@
+// Unit tests for common/: Status, Result, byte buffers, RNG, flags, CSV.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/bytes.h"
+#include "common/csv.h"
+#include "common/flags.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace colsgd {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad k");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, CopyAndMovePreserveState) {
+  Status st = Status::OutOfMemory("big");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsOutOfMemory());
+  EXPECT_TRUE(st.IsOutOfMemory());
+  Status moved = std::move(st);
+  EXPECT_TRUE(moved.IsOutOfMemory());
+  EXPECT_EQ(moved.message(), "big");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_EQ(Status::SerializationError("x").code(),
+            StatusCode::kSerializationError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    COLSGD_RETURN_NOT_OK(Status::NotFound("gone"));
+    return Status::OK();
+  };
+  EXPECT_TRUE(fails().IsNotFound());
+  auto passes = []() -> Status {
+    COLSGD_RETURN_NOT_OK(Status::OK());
+    return Status::InvalidArgument("reached");
+  };
+  EXPECT_TRUE(passes().IsInvalidArgument());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::IOError("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::NotFound("inner");
+    return 7;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    COLSGD_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v * 2;
+  };
+  EXPECT_EQ(*outer(false), 14);
+  EXPECT_TRUE(outer(true).status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(BytesTest, ScalarRoundTrip) {
+  BufferWriter writer;
+  writer.PutU8(0xAB);
+  writer.PutU32(123456);
+  writer.PutU64(1ull << 40);
+  writer.PutI32(-77);
+  writer.PutI64(-(1ll << 40));
+  writer.PutFloat(1.5f);
+  writer.PutDouble(-2.25);
+  writer.PutString("hello");
+
+  BufferReader reader(writer.buffer());
+  EXPECT_EQ(*reader.GetU8(), 0xAB);
+  EXPECT_EQ(*reader.GetU32(), 123456u);
+  EXPECT_EQ(*reader.GetU64(), 1ull << 40);
+  EXPECT_EQ(*reader.GetI32(), -77);
+  EXPECT_EQ(*reader.GetI64(), -(1ll << 40));
+  EXPECT_EQ(*reader.GetFloat(), 1.5f);
+  EXPECT_EQ(*reader.GetDouble(), -2.25);
+  EXPECT_EQ(*reader.GetString(), "hello");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BytesTest, VectorRoundTrip) {
+  BufferWriter writer;
+  writer.PutDoubleVector({1.0, -2.0, 3.5});
+  writer.PutU32Vector({7, 8, 9});
+  writer.PutU64Vector({1ull << 50});
+  writer.PutFloatVector({0.5f});
+
+  BufferReader reader(writer.buffer());
+  EXPECT_EQ(*reader.GetDoubleVector(), (std::vector<double>{1.0, -2.0, 3.5}));
+  EXPECT_EQ(*reader.GetU32Vector(), (std::vector<uint32_t>{7, 8, 9}));
+  EXPECT_EQ(*reader.GetU64Vector(), (std::vector<uint64_t>{1ull << 50}));
+  EXPECT_EQ(*reader.GetFloatVector(), (std::vector<float>{0.5f}));
+}
+
+TEST(BytesTest, EmptyVectorsRoundTrip) {
+  BufferWriter writer;
+  writer.PutDoubleVector({});
+  writer.PutString("");
+  BufferReader reader(writer.buffer());
+  EXPECT_TRUE(reader.GetDoubleVector()->empty());
+  EXPECT_TRUE(reader.GetString()->empty());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BytesTest, TruncatedBufferIsSerializationError) {
+  BufferWriter writer;
+  writer.PutU64(99);
+  BufferReader reader(writer.buffer().data(), 3);  // cut mid-scalar
+  EXPECT_EQ(reader.GetU64().status().code(), StatusCode::kSerializationError);
+}
+
+TEST(BytesTest, TruncatedVectorIsSerializationError) {
+  BufferWriter writer;
+  writer.PutDoubleVector({1.0, 2.0, 3.0});
+  // Keep the length prefix but cut the payload.
+  BufferReader reader(writer.buffer().data(), sizeof(uint64_t) + 8);
+  EXPECT_FALSE(reader.GetDoubleVector().ok());
+}
+
+TEST(BytesTest, CorruptLengthPrefixDoesNotOverflow) {
+  BufferWriter writer;
+  writer.PutU64(~0ull);  // absurd element count
+  BufferReader reader(writer.buffer());
+  EXPECT_FALSE(reader.GetDoubleVector().ok());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentButDeterministic) {
+  Rng base(99);
+  Rng s1 = base.Split(1);
+  Rng s2 = base.Split(2);
+  Rng s1_again = base.Split(1);
+  EXPECT_EQ(s1.NextU64(), s1_again.NextU64());
+  EXPECT_NE(s1.NextU64(), s2.NextU64());
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(6);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(7);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianFromHashIsDeterministicAndStandard) {
+  EXPECT_EQ(GaussianFromHash(42, 7), GaussianFromHash(42, 7));
+  EXPECT_NE(GaussianFromHash(42, 7), GaussianFromHash(43, 7));
+  EXPECT_NE(GaussianFromHash(42, 7), GaussianFromHash(42, 8));
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = GaussianFromHash(i, 3);
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.06);
+}
+
+TEST(FlagsTest, ParsesAllTypes) {
+  FlagParser flags;
+  int64_t n = 1;
+  double lr = 0.5;
+  bool verbose = false;
+  std::string name = "x";
+  flags.AddInt64("n", &n, "count");
+  flags.AddDouble("lr", &lr, "rate");
+  flags.AddBool("verbose", &verbose, "talky");
+  flags.AddString("name", &name, "label");
+
+  const char* argv[] = {"prog", "--n=42", "--lr", "0.25", "--verbose",
+                        "--name=test"};
+  ASSERT_TRUE(flags.Parse(6, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(n, 42);
+  EXPECT_EQ(lr, 0.25);
+  EXPECT_TRUE(verbose);
+  EXPECT_EQ(name, "test");
+}
+
+TEST(FlagsTest, RejectsUnknownFlag) {
+  FlagParser flags;
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_TRUE(flags.Parse(2, const_cast<char**>(argv)).IsInvalidArgument());
+}
+
+TEST(FlagsTest, RejectsBadValue) {
+  FlagParser flags;
+  int64_t n = 0;
+  flags.AddInt64("n", &n, "count");
+  const char* argv[] = {"prog", "--n=notanumber"};
+  EXPECT_TRUE(flags.Parse(2, const_cast<char**>(argv)).IsInvalidArgument());
+}
+
+TEST(FlagsTest, RejectsMissingValue) {
+  FlagParser flags;
+  int64_t n = 0;
+  flags.AddInt64("n", &n, "count");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_TRUE(flags.Parse(2, const_cast<char**>(argv)).IsInvalidArgument());
+}
+
+TEST(CsvTest, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/colsgd_csv_test.csv";
+  CsvWriter csv;
+  ASSERT_TRUE(csv.Open(path, {"a", "b"}).ok());
+  csv.WriteRow({"1", "x"});
+  csv.WriteNumericRow({2.5, 3.0});
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2.5,3");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, OpenFailsOnBadPath) {
+  CsvWriter csv;
+  EXPECT_TRUE(csv.Open("/nonexistent-dir/foo.csv", {"a"}).IsIOError());
+}
+
+TEST(FormatDoubleTest, CompactRepresentation) {
+  EXPECT_EQ(FormatDouble(1.0), "1");
+  EXPECT_EQ(FormatDouble(0.125), "0.125");
+  EXPECT_EQ(FormatDouble(1e9), "1e+09");
+}
+
+}  // namespace
+}  // namespace colsgd

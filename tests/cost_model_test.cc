@@ -1,0 +1,106 @@
+// Tests for the Table I analytic cost model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/cost_model.h"
+
+namespace colsgd {
+namespace {
+
+CostModelInput PaperishInput() {
+  CostModelInput in;
+  in.m = 1000000;
+  in.rho = 0.99998;  // ~20 nnz per row
+  in.B = 1000;
+  in.K = 8;
+  in.N = 100000;
+  return in;
+}
+
+TEST(CostModelTest, PhiMonotoneInBatchSize) {
+  CostModelInput in = PaperishInput();
+  const double p1 = Phi1(in);
+  const double p2 = Phi2(in);
+  EXPECT_GT(p2, p1);  // whole batch touches more dims than a 1/K share
+  EXPECT_GT(p1, 0.0);
+  EXPECT_LT(p2, 1.0);
+  in.B *= 10;
+  EXPECT_GT(Phi1(in), p1);
+  EXPECT_GT(Phi2(in), p2);
+}
+
+TEST(CostModelTest, PhiLimits) {
+  CostModelInput in = PaperishInput();
+  in.rho = 0.0;  // fully dense rows
+  EXPECT_DOUBLE_EQ(Phi1(in), 1.0);
+  EXPECT_DOUBLE_EQ(Phi2(in), 1.0);
+}
+
+TEST(CostModelTest, DataSizeFormula) {
+  CostModelInput in;
+  in.N = 10;
+  in.m = 100;
+  in.rho = 0.9;
+  EXPECT_NEAR(DataSize(in), 10 + 10 * 100 * 0.1, 1e-9);
+}
+
+TEST(CostModelTest, RowSgdMatchesTableI) {
+  CostModelInput in = PaperishInput();
+  const double m = static_cast<double>(in.m);
+  const double phi1 = Phi1(in);
+  const double phi2 = Phi2(in);
+  const CostEntry row = RowSgdCost(in);
+  EXPECT_DOUBLE_EQ(row.master_memory, m + m * phi2);
+  EXPECT_DOUBLE_EQ(row.worker_memory, DataSize(in) / in.K + 2 * m * phi1);
+  EXPECT_DOUBLE_EQ(row.master_comm, 2 * in.K * m * phi1);
+  EXPECT_DOUBLE_EQ(row.worker_comm, 2 * m * phi1);
+}
+
+TEST(CostModelTest, ColumnSgdMatchesTableI) {
+  CostModelInput in = PaperishInput();
+  const CostEntry col = ColumnSgdCost(in);
+  EXPECT_DOUBLE_EQ(col.master_memory, 1000.0);
+  EXPECT_DOUBLE_EQ(col.master_comm, 2.0 * 8 * 1000);
+  EXPECT_DOUBLE_EQ(col.worker_comm, 2000.0);
+  EXPECT_DOUBLE_EQ(col.worker_memory,
+                   DataSize(in) / in.K + 2000.0 + 1000000.0 / 8);
+}
+
+TEST(CostModelTest, ColumnCommIndependentOfModelSize) {
+  CostModelInput in = PaperishInput();
+  const CostEntry small = ColumnSgdCost(in);
+  in.m *= 1000;
+  const CostEntry big = ColumnSgdCost(in);
+  EXPECT_DOUBLE_EQ(small.worker_comm, big.worker_comm);
+  EXPECT_DOUBLE_EQ(small.master_comm, big.master_comm);
+  // RowSGD communication grows with m.
+  CostModelInput row_in = PaperishInput();
+  const double before = RowSgdCost(row_in).worker_comm;
+  row_in.m *= 1000;
+  EXPECT_GT(RowSgdCost(row_in).worker_comm, 100 * before);
+}
+
+TEST(CostModelTest, ColumnBeatsRowForLargeModels) {
+  // The paper's headline tradeoff: ColumnSGD wins on worker communication
+  // when a worker's batch share touches far more dimensions than 2B, i.e.
+  // when nnz/row >> K (dense-ish rows over a huge dimension).
+  CostModelInput in = PaperishInput();
+  in.m = 50000000;
+  in.rho = 1.0 - 200.0 / static_cast<double>(in.m);  // ~200 nnz per row
+  EXPECT_GT(RowSgdCost(in).worker_comm, 10 * ColumnSgdCost(in).worker_comm);
+  // And the master's aggregate traffic shrinks even more.
+  EXPECT_GT(RowSgdCost(in).master_comm, 10 * ColumnSgdCost(in).master_comm);
+}
+
+TEST(CostModelTest, CrossoverForTinyModels) {
+  // For very small models, RowSGD's m*phi1 can drop below 2B: ColumnSGD is
+  // not a "one size fits all" (paper's discussion section).
+  CostModelInput in = PaperishInput();
+  in.m = 100;
+  in.rho = 0.5;
+  EXPECT_LT(RowSgdCost(in).worker_comm, ColumnSgdCost(in).worker_comm);
+}
+
+}  // namespace
+}  // namespace colsgd

@@ -1,0 +1,201 @@
+// Cross-engine equivalence properties:
+//  * ColumnSGD is exact distributed mini-batch SGD: with the same batch
+//    draws, K workers produce the same model as a sequential reference and
+//    as ColumnSGD with any other K.
+//  * MLlib and the PS engines share sampling and update rules, so their
+//    models coincide exactly.
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "engine/columnsgd.h"
+#include "engine/ps.h"
+#include "engine/rowsgd.h"
+#include "engine/trainer.h"
+#include "storage/sampler.h"
+
+namespace colsgd {
+namespace {
+
+Dataset TestData(const std::string& model_name = "lr") {
+  SyntheticSpec spec = TinySpec();
+  spec.num_rows = 2000;
+  spec.num_features = 403;  // awkward: not divisible by any worker count
+  if (model_name.rfind("mlr", 0) == 0) {
+    spec.num_classes = std::stoi(model_name.substr(3));
+  }
+  return GenerateSynthetic(spec);
+}
+
+ClusterSpec Cluster(int workers) {
+  ClusterSpec spec = ClusterSpec::Cluster1();
+  spec.num_workers = workers;
+  return spec;
+}
+
+TrainConfig Config(const std::string& model) {
+  TrainConfig config;
+  config.model = model;
+  config.learning_rate = 0.3;
+  config.batch_size = 50;
+  config.block_rows = 128;
+  return config;
+}
+
+/// Sequential reference: plain mini-batch SGD over the full model, using the
+/// same two-phase sampler draws as ColumnSGD.
+std::vector<double> SequentialReference(const Dataset& d,
+                                        const TrainConfig& config,
+                                        int iterations) {
+  auto model = MakeModel(config.model);
+  const int wpf = model->weights_per_feature();
+  std::vector<double> weights(d.num_features * wpf);
+  for (uint64_t f = 0; f < d.num_features; ++f) {
+    for (int j = 0; j < wpf; ++j) {
+      weights[f * wpf + j] = model->InitWeight(f, j, config.seed);
+    }
+  }
+  auto optimizer = MakeOptimizer(config.optimizer, config.learning_rate);
+  std::vector<double> opt_state(weights.size() * optimizer->state_per_slot(),
+                                0.0);
+  GradAccumulator grad(weights.size());
+
+  std::vector<RowBlock> blocks = MakeRowBlocks(d, config.block_rows);
+  BlockDirectory directory = MakeDirectory(blocks);
+  BatchSampler sampler(&directory, config.seed);
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    const std::vector<RowRef> batch =
+        sampler.Sample(iter, config.batch_size);
+    for (const RowRef& ref : batch) {
+      const RowBlock& block = blocks[ref.block_id];
+      model->AccumulateRowGradient(block.rows.Row(ref.offset),
+                                   block.labels[ref.offset], weights, &grad,
+                                   nullptr);
+    }
+    ApplySparseUpdate(&grad, config.batch_size, config.reg, optimizer.get(),
+                      &weights, &opt_state, nullptr);
+  }
+  return weights;
+}
+
+class ColumnSgdExactnessTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(ColumnSgdExactnessTest, MatchesSequentialMinibatchSgd) {
+  const auto& [model_name, workers] = GetParam();
+  Dataset d = TestData(model_name);
+  TrainConfig config = Config(model_name);
+  const int iterations = 8;
+
+  ColumnSgdEngine engine(Cluster(workers), config);
+  ASSERT_TRUE(engine.Setup(d).ok());
+  for (int i = 0; i < iterations; ++i) {
+    ASSERT_TRUE(engine.RunIteration(i).ok());
+  }
+  const std::vector<double> distributed = engine.FullModel();
+  const std::vector<double> reference =
+      SequentialReference(d, config, iterations);
+  ASSERT_EQ(distributed.size(), reference.size());
+  double max_diff = 0.0;
+  for (size_t i = 0; i < reference.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(distributed[i] - reference[i]));
+  }
+  // Only floating-point summation order differs between K partitions and
+  // the sequential pass.
+  EXPECT_LT(max_diff, 1e-9) << model_name << " K=" << workers;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndClusterSizes, ColumnSgdExactnessTest,
+    ::testing::Combine(::testing::Values("lr", "svm", "mlr3", "fm4"),
+                       ::testing::Values(1, 2, 4, 8)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ColumnSgdExactnessTest, IndependentOfPartitioner) {
+  Dataset d = TestData();
+  TrainConfig a_config = Config("lr");
+  a_config.partitioner = "round_robin";
+  TrainConfig b_config = Config("lr");
+  b_config.partitioner = "range";
+  ColumnSgdEngine a(Cluster(4), a_config), b(Cluster(4), b_config);
+  ASSERT_TRUE(a.Setup(d).ok());
+  ASSERT_TRUE(b.Setup(d).ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(a.RunIteration(i).ok());
+    ASSERT_TRUE(b.RunIteration(i).ok());
+  }
+  const auto model_a = a.FullModel();
+  const auto model_b = b.FullModel();
+  for (size_t i = 0; i < model_a.size(); ++i) {
+    ASSERT_NEAR(model_a[i], model_b[i], 1e-9);
+  }
+}
+
+TEST(ColumnSgdExactnessTest, AdaptiveOptimizersAlsoExact) {
+  // AdaGrad/Adam state is per-slot and partitions with the model, so the
+  // distributed run stays exactly equivalent (Section III-A remark).
+  Dataset d = TestData();
+  for (const std::string& opt : {"adagrad", "adam"}) {
+    TrainConfig config = Config("lr");
+    config.optimizer = opt;
+    config.learning_rate = 0.05;
+    ColumnSgdEngine engine(Cluster(4), config);
+    ASSERT_TRUE(engine.Setup(d).ok());
+    for (int i = 0; i < 6; ++i) ASSERT_TRUE(engine.RunIteration(i).ok());
+    const auto distributed = engine.FullModel();
+    const auto reference = SequentialReference(d, config, 6);
+    for (size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_NEAR(distributed[i], reference[i], 1e-9) << opt;
+    }
+  }
+}
+
+TEST(RowEngineEquivalenceTest, MllibAndPsComputeTheSameModel) {
+  // Identical sampling streams and update rules; only the communication
+  // topology differs, which must not change the math.
+  Dataset d = TestData();
+  TrainConfig config = Config("lr");
+  MllibEngine mllib(Cluster(4), config);
+  PsEngine petuum(Cluster(4), config, PsOptions{});
+  ASSERT_TRUE(mllib.Setup(d).ok());
+  ASSERT_TRUE(petuum.Setup(d).ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(mllib.RunIteration(i).ok());
+    ASSERT_TRUE(petuum.RunIteration(i).ok());
+  }
+  EXPECT_EQ(mllib.FullModel(), petuum.FullModel());
+  EXPECT_DOUBLE_EQ(mllib.last_batch_loss(), petuum.last_batch_loss());
+}
+
+double SquaredNormOf(const std::vector<double>& v) {
+  double s = 0;
+  for (double x : v) s += x * x;
+  return s;
+}
+
+TEST(RowEngineEquivalenceTest, RegularizationAppliedConsistently) {
+  Dataset d = TestData();
+  TrainConfig config = Config("lr");
+  config.reg.l2 = 0.01;
+  const int iterations = 8;
+  ColumnSgdEngine column(Cluster(4), config);
+  ASSERT_TRUE(column.Setup(d).ok());
+  for (int i = 0; i < iterations; ++i) {
+    ASSERT_TRUE(column.RunIteration(i).ok());
+  }
+  const auto distributed = column.FullModel();
+  const auto reference = SequentialReference(d, config, iterations);
+  for (size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_NEAR(distributed[i], reference[i], 1e-9);
+  }
+  // L2 keeps the model smaller than the unregularized run.
+  TrainConfig no_reg = Config("lr");
+  const auto unregularized = SequentialReference(d, no_reg, iterations);
+  EXPECT_LT(SquaredNormOf(distributed), SquaredNormOf(unregularized));
+}
+
+}  // namespace
+}  // namespace colsgd

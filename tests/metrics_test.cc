@@ -1,0 +1,117 @@
+// Tests for evaluation metrics (accuracy / AUC / loss) and RowScore.
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "engine/metrics.h"
+#include "engine/trainer.h"
+#include "model/factory.h"
+
+namespace colsgd {
+namespace {
+
+TEST(AucTest, PerfectSeparationIsOne) {
+  EXPECT_DOUBLE_EQ(AreaUnderRoc({1, 2, 3, 4}, {-1, -1, 1, 1}), 1.0);
+}
+
+TEST(AucTest, PerfectInversionIsZero) {
+  EXPECT_DOUBLE_EQ(AreaUnderRoc({4, 3, 2, 1}, {-1, -1, 1, 1}), 0.0);
+}
+
+TEST(AucTest, AllTiedIsHalf) {
+  EXPECT_DOUBLE_EQ(AreaUnderRoc({7, 7, 7, 7}, {-1, 1, -1, 1}), 0.5);
+}
+
+TEST(AucTest, HandCheckedMixedCase) {
+  // scores: n(-1):1, p(+1):2, n:3, p:4 -> pairs won: (p2>n1), (p4>n1),
+  // (p4>n3); lost: (p2<n3). AUC = 3/4.
+  EXPECT_DOUBLE_EQ(AreaUnderRoc({1, 2, 3, 4}, {-1, 1, -1, 1}), 0.75);
+}
+
+TEST(AucTest, TiesCountHalf) {
+  // p tied with n at score 2: 0.5; p4 beats both negatives: 2. AUC = 2.5/4.
+  EXPECT_DOUBLE_EQ(AreaUnderRoc({2, 2, 3, 4}, {-1, 1, -1, 1}), 0.625);
+}
+
+TEST(AucTest, DegenerateSingleClassIsHalf) {
+  EXPECT_DOUBLE_EQ(AreaUnderRoc({1, 2}, {1, 1}), 0.5);
+}
+
+TEST(RowScoreTest, GlmScoreIsMargin) {
+  auto lr = MakeModel("lr");
+  SparseRow row;
+  row.Push(0, 2.0f);
+  row.Push(2, -1.0f);
+  std::vector<double> weights = {1.0, 5.0, 3.0};
+  EXPECT_DOUBLE_EQ(lr->RowScore(row.View(), weights), 2.0 - 3.0);
+}
+
+TEST(RowScoreTest, FmScoreMatchesRowLossLogit) {
+  auto fm = MakeModel("fm3");
+  SparseRow row;
+  row.Push(0, 1.0f);
+  row.Push(1, 2.0f);
+  std::vector<double> weights(2 * 4);
+  for (size_t i = 0; i < weights.size(); ++i) weights[i] = 0.1 * (i + 1);
+  const double score = fm->RowScore(row.View(), weights);
+  // loss(+1) = log(1+exp(-score)).
+  EXPECT_NEAR(fm->RowLoss(row.View(), 1.0f, weights, nullptr),
+              std::log1p(std::exp(-score)), 1e-12);
+}
+
+TEST(RowScoreTest, MlrHasNoScalarScore) {
+  auto mlr = MakeModel("mlr3");
+  SparseRow row;
+  row.Push(0, 1.0f);
+  std::vector<double> weights(3, 0.0);
+  EXPECT_DEATH(mlr->RowScore(row.View(), weights), "no scalar decision");
+}
+
+TEST(MetricsTest, ZeroModelIsChance) {
+  SyntheticSpec spec = TinySpec();
+  spec.num_rows = 2000;
+  Dataset d = GenerateSynthetic(spec);
+  auto lr = MakeModel("lr");
+  std::vector<double> weights(d.num_features, 0.0);
+  BinaryMetrics metrics = EvaluateBinaryMetrics(*lr, weights, d, 2000);
+  EXPECT_EQ(metrics.rows, 2000u);
+  EXPECT_DOUBLE_EQ(metrics.auc, 0.5);  // all scores tied at zero
+  EXPECT_NEAR(metrics.avg_loss, std::log(2.0), 1e-12);
+}
+
+TEST(MetricsTest, TrainedModelBeatsChance) {
+  SyntheticSpec spec = TinySpec();
+  spec.num_rows = 4000;
+  spec.num_features = 400;
+  spec.label_noise = 8.0;
+  Dataset d = GenerateSynthetic(spec);
+
+  TrainConfig config;
+  config.model = "lr";
+  config.learning_rate = 8.0;
+  config.batch_size = 200;
+  ClusterSpec cluster = ClusterSpec::Cluster1();
+  cluster.num_workers = 4;
+  auto engine = MakeEngine("columnsgd", cluster, config);
+  RunOptions options;
+  options.iterations = 200;
+  TrainResult result = RunTraining(engine.get(), d, options);
+  ASSERT_TRUE(result.status.ok());
+
+  BinaryMetrics metrics =
+      EvaluateBinaryMetrics(engine->model(), engine->FullModel(), d, 4000);
+  EXPECT_GT(metrics.accuracy, 0.7);
+  EXPECT_GT(metrics.auc, 0.8);
+  EXPECT_LT(metrics.avg_loss, 0.6);
+}
+
+TEST(MetricsTest, CapsAtDatasetSize) {
+  SyntheticSpec spec = TinySpec();
+  spec.num_rows = 50;
+  Dataset d = GenerateSynthetic(spec);
+  auto lr = MakeModel("lr");
+  std::vector<double> weights(d.num_features, 0.0);
+  EXPECT_EQ(EvaluateBinaryMetrics(*lr, weights, d, 1000000).rows, 50u);
+}
+
+}  // namespace
+}  // namespace colsgd

@@ -1,0 +1,94 @@
+// Tests for trained-model serialization.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "engine/model_io.h"
+
+namespace colsgd {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(ModelIoTest, RoundTripGlm) {
+  SavedModel model;
+  model.model_name = "lr";
+  model.num_features = 5;
+  model.weights = {0.1, -0.2, 0.3, 0.0, 5.5};
+  const std::string path = TempPath("lr_model.bin");
+  ASSERT_TRUE(WriteModelFile(model, path).ok());
+  auto loaded = ReadModelFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->model_name, "lr");
+  EXPECT_EQ(loaded->num_features, 5u);
+  EXPECT_EQ(loaded->weights, model.weights);
+  EXPECT_TRUE(loaded->shared.empty());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, RoundTripWithSharedParams) {
+  SavedModel model;
+  model.model_name = "mlp2";
+  model.num_features = 3;
+  model.weights = {1, 2, 3, 4, 5, 6};  // 3 features x 2 hidden
+  model.shared = {0.5, -0.5, 0.1, 0.2, 0.3};  // 2H+1 = 5
+  const std::string path = TempPath("mlp_model.bin");
+  ASSERT_TRUE(WriteModelFile(model, path).ok());
+  auto loaded = ReadModelFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->shared, model.shared);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, RejectsWrongMagic) {
+  const std::string path = TempPath("not_a_model.bin");
+  std::ofstream out(path, std::ios::binary);
+  out << "definitely not a model file, but long enough to read";
+  out.close();
+  auto loaded = ReadModelFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kSerializationError);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, RejectsInconsistentWeightCount) {
+  SavedModel model;
+  model.model_name = "fm2";  // needs 3 weights per feature
+  model.num_features = 4;
+  model.weights = {1, 2, 3};  // wrong: should be 12
+  const std::string path = TempPath("bad_model.bin");
+  ASSERT_TRUE(WriteModelFile(model, path).ok());
+  auto loaded = ReadModelFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kSerializationError);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, RejectsTruncatedFile) {
+  SavedModel model;
+  model.model_name = "lr";
+  model.num_features = 100;
+  model.weights.assign(100, 1.0);
+  const std::string path = TempPath("truncated_model.bin");
+  ASSERT_TRUE(WriteModelFile(model, path).ok());
+  // Truncate.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  out.close();
+  EXPECT_FALSE(ReadModelFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, MissingFileIsIOError) {
+  EXPECT_TRUE(ReadModelFile("/no/such/model.bin").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace colsgd

@@ -1,0 +1,358 @@
+// Model math tests: finite-difference gradient checks, equivalence of the
+// column (statistics) path and the row path, statistics additivity across
+// column partitions, and closed-form spot checks (including FM's Equation 10
+// rewrite against the direct pairwise Equation 9).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+#include "model/factory.h"
+#include "model/fm.h"
+#include "model/glm.h"
+#include "model/mlr.h"
+#include "storage/partitioner.h"
+
+namespace colsgd {
+namespace {
+
+constexpr uint64_t kNumFeatures = 23;
+constexpr uint64_t kSeed = 77;
+
+struct TestBatch {
+  CsrBatch rows;
+  std::vector<float> labels;
+
+  BatchView View() const {
+    BatchView view;
+    for (size_t i = 0; i < rows.num_rows(); ++i) {
+      view.rows.push_back(rows.Row(i));
+      view.labels.push_back(labels[i]);
+    }
+    return view;
+  }
+};
+
+TestBatch MakeBatch(const ModelSpec& model, size_t batch, uint64_t seed) {
+  Rng rng(seed);
+  TestBatch out;
+  const bool multiclass = model.name().rfind("mlr", 0) == 0;
+  const int classes = multiclass ? model.stats_per_point() : 2;
+  for (size_t i = 0; i < batch; ++i) {
+    SparseRow row;
+    for (uint64_t f = 0; f < kNumFeatures; ++f) {
+      if (rng.NextBernoulli(0.4)) {
+        row.Push(static_cast<uint32_t>(f),
+                 static_cast<float>(rng.NextUniform(-1.0, 1.0)));
+      }
+    }
+    if (row.nnz() == 0) row.Push(0, 1.0f);
+    out.rows.AppendRow(row);
+    if (multiclass) {
+      out.labels.push_back(
+          static_cast<float>(rng.NextBounded(static_cast<uint64_t>(classes))));
+    } else {
+      out.labels.push_back(rng.NextBernoulli(0.5) ? 1.0f : -1.0f);
+    }
+  }
+  return out;
+}
+
+std::vector<double> MakeModelWeights(const ModelSpec& model, uint64_t seed) {
+  std::vector<double> weights(kNumFeatures * model.weights_per_feature());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 0.3 * GaussianFromHash(i, seed);
+  }
+  return weights;
+}
+
+class ModelMathTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<ModelSpec> model_ = MakeModel(GetParam());
+};
+
+TEST_P(ModelMathTest, FiniteDifferenceGradientCheck) {
+  const ModelSpec& model = *model_;
+  TestBatch batch = MakeBatch(model, 6, 1);
+  std::vector<double> weights = MakeModelWeights(model, 2);
+  GradAccumulator grad(weights.size());
+
+  for (size_t i = 0; i < batch.rows.num_rows(); ++i) {
+    const SparseVectorView row = batch.rows.Row(i);
+    const float label = batch.labels[i];
+    // Hinge loss is non-differentiable at margin 0; nudge away from the kink
+    // by scaling weights if this sample sits near it.
+    if (model.name() == "svm") {
+      const double s = row.Dot(weights);
+      if (std::fabs(1.0 - label * s) < 0.05) continue;
+    }
+    grad.Reset();
+    model.AccumulateRowGradient(row, label, weights, &grad, nullptr);
+    const double h = 1e-6;
+    for (size_t j = 0; j < row.nnz; ++j) {
+      for (int c = 0; c < model.weights_per_feature(); ++c) {
+        const uint64_t slot =
+            static_cast<uint64_t>(row.indices[j]) *
+                model.weights_per_feature() +
+            c;
+        const double saved = weights[slot];
+        weights[slot] = saved + h;
+        const double up = model.RowLoss(row, label, weights, nullptr);
+        weights[slot] = saved - h;
+        const double down = model.RowLoss(row, label, weights, nullptr);
+        weights[slot] = saved;
+        const double numeric = (up - down) / (2 * h);
+        EXPECT_NEAR(grad.value(slot), numeric,
+                    1e-4 * std::max(1.0, std::fabs(numeric)))
+            << model.name() << " row " << i << " slot " << slot;
+      }
+    }
+  }
+}
+
+TEST_P(ModelMathTest, ColumnPathEqualsRowPath) {
+  const ModelSpec& model = *model_;
+  const int wpf = model.weights_per_feature();
+  const int spp = model.stats_per_point();
+  const size_t B = 16;
+  TestBatch batch = MakeBatch(model, B, 3);
+  std::vector<double> global = MakeModelWeights(model, 4);
+
+  // Row path: gradient over the full batch against the full model.
+  GradAccumulator row_grad(global.size());
+  for (size_t i = 0; i < B; ++i) {
+    model.AccumulateRowGradient(batch.rows.Row(i), batch.labels[i], global,
+                                &row_grad, nullptr);
+  }
+  double row_loss = 0.0;
+  for (size_t i = 0; i < B; ++i) {
+    row_loss += model.RowLoss(batch.rows.Row(i), batch.labels[i], global,
+                              nullptr);
+  }
+
+  for (int k : {1, 2, 3, 5}) {
+    auto partitioner = MakePartitioner("round_robin", kNumFeatures, k);
+    // Build per-worker shards (local indices) and model partitions.
+    std::vector<double> agg_stats(B * spp, 0.0);
+    std::vector<CsrBatch> shards(k);
+    std::vector<std::vector<double>> locals(k);
+    for (int w = 0; w < k; ++w) {
+      locals[w].assign(partitioner->LocalDim(w) * wpf, 0.0);
+      for (uint64_t lf = 0; lf < partitioner->LocalDim(w); ++lf) {
+        const uint64_t f = partitioner->GlobalIndex(w, lf);
+        for (int c = 0; c < wpf; ++c) {
+          locals[w][lf * wpf + c] = global[f * wpf + c];
+        }
+      }
+      for (size_t i = 0; i < B; ++i) {
+        const SparseVectorView row = batch.rows.Row(i);
+        SparseRow shard_row;
+        for (size_t j = 0; j < row.nnz; ++j) {
+          if (partitioner->Owner(row.indices[j]) == w) {
+            shard_row.Push(
+                static_cast<uint32_t>(partitioner->LocalIndex(row.indices[j])),
+                row.values[j]);
+          }
+        }
+        shards[w].AppendRow(shard_row);
+      }
+    }
+    // computeStat on every worker; reduceStat = element-wise sum.
+    std::vector<BatchView> views(k);
+    for (int w = 0; w < k; ++w) {
+      for (size_t i = 0; i < B; ++i) views[w].rows.push_back(shards[w].Row(i));
+      views[w].labels = batch.labels;
+      std::vector<double> partial(B * spp, 0.0);
+      model.ComputePartialStats(views[w], locals[w], &partial, nullptr);
+      for (size_t i = 0; i < partial.size(); ++i) agg_stats[i] += partial[i];
+    }
+    // Loss from the aggregated statistics matches the row path.
+    EXPECT_NEAR(model.BatchLossFromStats(agg_stats, batch.labels), row_loss,
+                1e-9 * std::max(1.0, std::fabs(row_loss)))
+        << model.name() << " k=" << k;
+    // updateModel: per-worker gradients mapped back to global slots must
+    // match the row-path gradient.
+    for (int w = 0; w < k; ++w) {
+      GradAccumulator local_grad(locals[w].size());
+      model.AccumulateGradFromStats(views[w], agg_stats, locals[w],
+                                    &local_grad, nullptr);
+      for (uint64_t slot : local_grad.touched()) {
+        const uint64_t lf = slot / wpf;
+        const int c = static_cast<int>(slot % wpf);
+        const uint64_t global_slot =
+            partitioner->GlobalIndex(w, lf) * wpf + c;
+        EXPECT_NEAR(local_grad.value(slot), row_grad.value(global_slot), 1e-9)
+            << model.name() << " k=" << k << " slot " << global_slot;
+      }
+    }
+  }
+}
+
+TEST_P(ModelMathTest, StatsSizesMatchInterface) {
+  const ModelSpec& model = *model_;
+  TestBatch batch = MakeBatch(model, 4, 9);
+  std::vector<double> weights = MakeModelWeights(model, 10);
+  std::vector<double> stats(4 * model.stats_per_point(), 0.0);
+  BatchView view = batch.View();
+  model.ComputePartialStats(view, weights, &stats, nullptr);
+  // Mis-sized stats buffers must be rejected.
+  std::vector<double> wrong(stats.size() + 1, 0.0);
+  EXPECT_DEATH(model.ComputePartialStats(view, weights, &wrong, nullptr),
+               "CHECK failed");
+}
+
+TEST_P(ModelMathTest, FlopsAreCounted) {
+  const ModelSpec& model = *model_;
+  TestBatch batch = MakeBatch(model, 4, 11);
+  std::vector<double> weights = MakeModelWeights(model, 12);
+  std::vector<double> stats(4 * model.stats_per_point(), 0.0);
+  BatchView view = batch.View();
+  FlopCounter flops;
+  model.ComputePartialStats(view, weights, &stats, &flops);
+  EXPECT_GT(flops.flops(), 0u);
+  FlopCounter grad_flops;
+  GradAccumulator grad(weights.size());
+  model.AccumulateGradFromStats(view, stats, weights, &grad, &grad_flops);
+  EXPECT_GT(grad_flops.flops(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelMathTest,
+                         ::testing::Values("lr", "svm", "lsq", "mlr4", "fm5"),
+                         [](const auto& info) { return info.param; });
+
+TEST(LeastSquaresTest, QuadraticLossAndResidualCoeff) {
+  LeastSquares lsq;
+  EXPECT_DOUBLE_EQ(lsq.PointLoss(2.0, 5.0), 4.5);  // (5-2)^2/2
+  EXPECT_DOUBLE_EQ(lsq.PointCoeff(2.0, 5.0), 3.0);
+  EXPECT_DOUBLE_EQ(lsq.PointCoeff(2.0, 2.0), 0.0);
+}
+
+TEST(LrTest, CoeffAndLossClosedForm) {
+  LogisticRegression lr;
+  // At s=0: loss = log 2, coeff = -y/2.
+  EXPECT_NEAR(lr.PointLoss(1.0, 0.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(lr.PointCoeff(1.0, 0.0), -0.5, 1e-12);
+  EXPECT_NEAR(lr.PointCoeff(-1.0, 0.0), 0.5, 1e-12);
+  // Saturated cases stay finite.
+  EXPECT_NEAR(lr.PointLoss(1.0, 100.0), 0.0, 1e-12);
+  EXPECT_NEAR(lr.PointLoss(1.0, -100.0), 100.0, 1e-9);
+  EXPECT_NEAR(lr.PointCoeff(1.0, 100.0), 0.0, 1e-12);
+  EXPECT_NEAR(lr.PointCoeff(1.0, -100.0), -1.0, 1e-9);
+}
+
+TEST(SvmTest, HingeCoeffAndLoss) {
+  LinearSvm svm;
+  EXPECT_DOUBLE_EQ(svm.PointLoss(1.0, 2.0), 0.0);   // outside margin
+  EXPECT_DOUBLE_EQ(svm.PointCoeff(1.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(svm.PointLoss(1.0, 0.5), 0.5);   // inside margin
+  EXPECT_DOUBLE_EQ(svm.PointCoeff(1.0, 0.5), -1.0);
+  EXPECT_DOUBLE_EQ(svm.PointLoss(-1.0, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(svm.PointCoeff(-1.0, 0.5), 1.0);
+}
+
+TEST(MlrTest, GradientSumsToZeroAcrossClasses) {
+  // sum_c (softmax_c - t_c) = 0, so per feature the class gradients cancel.
+  MultinomialLogisticRegression mlr(4);
+  TestBatch batch = MakeBatch(mlr, 8, 5);
+  std::vector<double> weights = MakeModelWeights(mlr, 6);
+  GradAccumulator grad(weights.size());
+  for (size_t i = 0; i < batch.rows.num_rows(); ++i) {
+    grad.Reset();
+    mlr.AccumulateRowGradient(batch.rows.Row(i), batch.labels[i], weights,
+                              &grad, nullptr);
+    const SparseVectorView row = batch.rows.Row(i);
+    for (size_t j = 0; j < row.nnz; ++j) {
+      double sum = 0.0;
+      for (int c = 0; c < 4; ++c) {
+        sum += grad.value(static_cast<uint64_t>(row.indices[j]) * 4 + c);
+      }
+      EXPECT_NEAR(sum, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(FmTest, Equation10MatchesPairwiseEquation9) {
+  // ScoreFromStats (the additive rewrite) must equal the direct
+  // y(x) = <w,x> + sum_{i<j} <v_i, v_j> x_i x_j.
+  const int F = 3;
+  FactorizationMachine fm(F);
+  const int wpf = 1 + F;
+  TestBatch batch = MakeBatch(fm, 5, 21);
+  std::vector<double> weights = MakeModelWeights(fm, 22);
+
+  for (size_t i = 0; i < batch.rows.num_rows(); ++i) {
+    const SparseVectorView row = batch.rows.Row(i);
+    BatchView view;
+    view.rows = {row};
+    view.labels = {batch.labels[i]};
+    std::vector<double> stats(wpf, 0.0);
+    fm.ComputePartialStats(view, weights, &stats, nullptr);
+    const double via_stats =
+        stats[0] + 0.5 * (stats[1] * stats[1] + stats[2] * stats[2] +
+                          stats[3] * stats[3]);
+
+    double direct = 0.0;
+    for (size_t a = 0; a < row.nnz; ++a) {
+      direct += weights[static_cast<uint64_t>(row.indices[a]) * wpf] *
+                row.values[a];
+      for (size_t b = a + 1; b < row.nnz; ++b) {
+        double vv = 0.0;
+        for (int c = 1; c <= F; ++c) {
+          vv += weights[static_cast<uint64_t>(row.indices[a]) * wpf + c] *
+                weights[static_cast<uint64_t>(row.indices[b]) * wpf + c];
+        }
+        direct += vv * row.values[a] * row.values[b];
+      }
+    }
+    EXPECT_NEAR(via_stats, direct, 1e-9) << "row " << i;
+  }
+}
+
+TEST(FmTest, InitWeightsZeroLinearRandomFactors) {
+  FactorizationMachine fm(4);
+  EXPECT_DOUBLE_EQ(fm.InitWeight(13, 0, 9), 0.0);
+  const double v = fm.InitWeight(13, 2, 9);
+  EXPECT_NE(v, 0.0);
+  EXPECT_LT(std::fabs(v), 0.1);  // small init
+  EXPECT_EQ(fm.InitWeight(13, 2, 9), v);                // deterministic
+  EXPECT_NE(fm.InitWeight(14, 2, 9), v);                // per-feature
+  EXPECT_NE(fm.InitWeight(13, 3, 9), v);                // per-factor
+}
+
+TEST(GlmTest, InitWeightsAreZero) {
+  LogisticRegression lr;
+  EXPECT_DOUBLE_EQ(lr.InitWeight(5, 0, 3), 0.0);
+}
+
+TEST(FactoryTest, BuildsAllModels) {
+  EXPECT_EQ(MakeModel("lr")->name(), "lr");
+  EXPECT_EQ(MakeModel("svm")->name(), "svm");
+  EXPECT_EQ(MakeModel("mlr7")->weights_per_feature(), 7);
+  EXPECT_EQ(MakeModel("fm10")->stats_per_point(), 11);
+  EXPECT_DEATH(MakeModel("resnet"), "unknown model");
+}
+
+TEST(GradAccumulatorTest, TracksTouchedSlotsAndResets) {
+  GradAccumulator grad(10);
+  grad.Add(3, 1.0);
+  grad.Add(3, 2.0);
+  grad.Add(7, -1.0);
+  EXPECT_EQ(grad.touched().size(), 2u);
+  EXPECT_DOUBLE_EQ(grad.value(3), 3.0);
+  EXPECT_DOUBLE_EQ(grad.value(7), -1.0);
+  EXPECT_DOUBLE_EQ(grad.value(0), 0.0);
+  grad.Reset();
+  EXPECT_TRUE(grad.touched().empty());
+  EXPECT_DOUBLE_EQ(grad.value(3), 0.0);
+  grad.Add(3, 5.0);  // accumulates cleanly after reset
+  EXPECT_DOUBLE_EQ(grad.value(3), 5.0);
+}
+
+TEST(GradAccumulatorTest, OutOfRangeSlotDies) {
+  GradAccumulator grad(4);
+  EXPECT_DEATH(grad.Add(4, 1.0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace colsgd

@@ -1,0 +1,117 @@
+// Tests for optimizers and regularization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "optim/optimizer.h"
+
+namespace colsgd {
+namespace {
+
+TEST(RegularizerTest, L2GradientIsLinear) {
+  RegularizerConfig reg;
+  reg.l2 = 0.5;
+  EXPECT_DOUBLE_EQ(reg.Grad(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(reg.Grad(-2.0), -1.0);
+  EXPECT_DOUBLE_EQ(reg.Grad(0.0), 0.0);
+}
+
+TEST(RegularizerTest, L1GradientIsSign) {
+  RegularizerConfig reg;
+  reg.l1 = 0.1;
+  EXPECT_DOUBLE_EQ(reg.Grad(3.0), 0.1);
+  EXPECT_DOUBLE_EQ(reg.Grad(-3.0), -0.1);
+  EXPECT_DOUBLE_EQ(reg.Grad(0.0), 0.0);
+}
+
+TEST(SgdTest, PlainStep) {
+  SgdOptimizer sgd(0.1);
+  sgd.BeginStep();
+  double w = 1.0;
+  sgd.ApplyUpdate(&w, 2.0, nullptr);
+  EXPECT_DOUBLE_EQ(w, 1.0 - 0.1 * 2.0);
+  EXPECT_EQ(sgd.state_per_slot(), 0);
+}
+
+TEST(SgdTest, DecaySchedule) {
+  SgdOptimizer sgd(1.0, /*decay=*/1.0);
+  double w = 0.0;
+  sgd.BeginStep();  // t=0: lr = 1
+  sgd.ApplyUpdate(&w, 1.0, nullptr);
+  EXPECT_DOUBLE_EQ(w, -1.0);
+  sgd.BeginStep();  // t=1: lr = 1/2
+  sgd.ApplyUpdate(&w, 1.0, nullptr);
+  EXPECT_DOUBLE_EQ(w, -1.5);
+}
+
+TEST(AdaGradTest, ShrinksStepOnRepeatedGradients) {
+  AdaGradOptimizer opt(1.0);
+  double w = 0.0;
+  double state = 0.0;
+  opt.BeginStep();
+  opt.ApplyUpdate(&w, 2.0, &state);
+  const double first_step = std::fabs(w);
+  EXPECT_NEAR(first_step, 2.0 / (2.0 + 1e-8), 1e-9);
+  const double w_before = w;
+  opt.ApplyUpdate(&w, 2.0, &state);
+  EXPECT_LT(std::fabs(w - w_before), first_step);
+  EXPECT_DOUBLE_EQ(state, 8.0);  // accumulated g^2
+}
+
+TEST(AdamTest, FirstStepIsApproxLearningRate) {
+  AdamOptimizer opt(0.01);
+  double w = 0.0;
+  double state[2] = {0.0, 0.0};
+  opt.BeginStep();
+  opt.ApplyUpdate(&w, 5.0, state);
+  // With bias correction, the first Adam step is ~lr regardless of |g|.
+  EXPECT_NEAR(std::fabs(w), 0.01, 1e-4);
+}
+
+TEST(AdamTest, StatePerSlotIsTwo) {
+  EXPECT_EQ(AdamOptimizer(0.1).state_per_slot(), 2);
+  EXPECT_EQ(AdaGradOptimizer(0.1).state_per_slot(), 1);
+}
+
+TEST(OptimizerTest, CloneIsFreshButEquivalent) {
+  AdamOptimizer original(0.01);
+  original.BeginStep();
+  double w1 = 0.0, w2 = 0.0;
+  double s1[2] = {0, 0}, s2[2] = {0, 0};
+  original.ApplyUpdate(&w1, 1.0, s1);
+
+  auto clone = original.Clone();
+  clone->BeginStep();  // clone starts at step 1, like a fresh optimizer
+  clone->ApplyUpdate(&w2, 1.0, s2);
+  EXPECT_DOUBLE_EQ(w1, w2);
+}
+
+TEST(OptimizerTest, FactoryBuildsByName) {
+  EXPECT_EQ(MakeOptimizer("sgd", 0.1)->name(), "sgd");
+  EXPECT_EQ(MakeOptimizer("adagrad", 0.1)->name(), "adagrad");
+  EXPECT_EQ(MakeOptimizer("adam", 0.1)->name(), "adam");
+  EXPECT_DEATH(MakeOptimizer("lbfgs", 0.1), "unknown optimizer");
+}
+
+// A 1-D convex problem must converge for every optimizer: f(w) = (w-3)^2.
+class OptimizerConvergenceTest : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(OptimizerConvergenceTest, MinimizesQuadratic) {
+  auto opt = MakeOptimizer(GetParam(), GetParam() == "sgd" ? 0.1 : 0.3);
+  double w = 0.0;
+  std::vector<double> state(opt->state_per_slot(), 0.0);
+  for (int t = 0; t < 500; ++t) {
+    opt->BeginStep();
+    const double grad = 2.0 * (w - 3.0);
+    opt->ApplyUpdate(&w, grad, state.empty() ? nullptr : state.data());
+  }
+  EXPECT_NEAR(w, 3.0, 0.05) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOptimizers, OptimizerConvergenceTest,
+                         ::testing::Values("sgd", "adagrad", "adam"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace colsgd

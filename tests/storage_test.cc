@@ -1,0 +1,273 @@
+// Tests for storage/: datasets, row blocks, libsvm IO, worksets, and the
+// two-phase mini-batch sampler.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "datagen/synthetic.h"
+#include "storage/dataset.h"
+#include "storage/libsvm.h"
+#include "storage/sampler.h"
+#include "storage/workset.h"
+
+namespace colsgd {
+namespace {
+
+Dataset SmallDataset() {
+  Dataset d;
+  d.num_features = 6;
+  SparseRow r1;
+  r1.Push(0, 1.0f);
+  r1.Push(5, -2.0f);
+  d.rows.AppendRow(r1);
+  d.labels.push_back(1.0f);
+  SparseRow r2;
+  r2.Push(2, 0.5f);
+  d.rows.AppendRow(r2);
+  d.labels.push_back(-1.0f);
+  SparseRow r3;
+  r3.Push(1, 3.0f);
+  r3.Push(3, 4.0f);
+  r3.Push(4, 5.0f);
+  d.rows.AppendRow(r3);
+  d.labels.push_back(1.0f);
+  return d;
+}
+
+TEST(DatasetTest, BasicStats) {
+  Dataset d = SmallDataset();
+  EXPECT_EQ(d.num_rows(), 3u);
+  EXPECT_EQ(d.nnz(), 6u);
+  EXPECT_DOUBLE_EQ(d.AvgNnzPerRow(), 2.0);
+  EXPECT_NEAR(d.Sparsity(), 1.0 - 6.0 / 18.0, 1e-12);
+}
+
+TEST(DatasetTest, EmptyDatasetSparsity) {
+  Dataset d;
+  EXPECT_DOUBLE_EQ(d.Sparsity(), 1.0);
+  EXPECT_DOUBLE_EQ(d.AvgNnzPerRow(), 0.0);
+}
+
+TEST(MakeRowBlocksTest, SplitsRowsWithConsecutiveIds) {
+  Dataset d = SmallDataset();
+  std::vector<RowBlock> blocks = MakeRowBlocks(d, 2);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].block_id, 0u);
+  EXPECT_EQ(blocks[1].block_id, 1u);
+  EXPECT_EQ(blocks[0].num_rows(), 2u);
+  EXPECT_EQ(blocks[1].num_rows(), 1u);
+  EXPECT_GT(blocks[0].text_bytes, 0u);
+  // Content preserved.
+  EXPECT_EQ(blocks[1].rows.Row(0).nnz, 3u);
+  EXPECT_EQ(blocks[1].labels[0], 1.0f);
+}
+
+TEST(MakeRowBlocksTest, SingleBlockWhenBlockRowsLarge) {
+  Dataset d = SmallDataset();
+  std::vector<RowBlock> blocks = MakeRowBlocks(d, 100);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].num_rows(), 3u);
+}
+
+TEST(LibsvmTest, ParsesOneBasedIndices) {
+  auto result = ParseLibsvm("+1 1:0.5 3:2\n-1 2:1\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Dataset& d = *result;
+  EXPECT_EQ(d.num_rows(), 2u);
+  EXPECT_EQ(d.num_features, 3u);
+  EXPECT_EQ(d.labels[0], 1.0f);
+  EXPECT_EQ(d.labels[1], -1.0f);
+  EXPECT_EQ(d.rows.Row(0).indices[0], 0u);  // 1-based -> 0-based
+  EXPECT_EQ(d.rows.Row(0).indices[1], 2u);
+  EXPECT_EQ(d.rows.Row(1).values[0], 1.0f);
+}
+
+TEST(LibsvmTest, SkipsCommentsAndBlankLines) {
+  auto result = ParseLibsvm("# header\n\n+1 1:1\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 1u);
+}
+
+TEST(LibsvmTest, RejectsMalformedPair) {
+  EXPECT_FALSE(ParseLibsvm("+1 3-0.5\n").ok());
+  EXPECT_FALSE(ParseLibsvm("+1 3:\n").ok());
+  EXPECT_FALSE(ParseLibsvm("notalabel 1:1\n").ok());
+}
+
+TEST(LibsvmTest, RejectsIndexZeroInOneBasedMode) {
+  EXPECT_FALSE(ParseLibsvm("+1 0:1\n", /*zero_based=*/false).ok());
+  EXPECT_TRUE(ParseLibsvm("+1 0:1\n", /*zero_based=*/true).ok());
+}
+
+TEST(LibsvmTest, ExpectedFeaturesOverride) {
+  auto result = ParseLibsvm("+1 2:1\n", false, 10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_features, 10u);
+  EXPECT_FALSE(ParseLibsvm("+1 20:1\n", false, 10).ok());
+}
+
+TEST(LibsvmTest, FileRoundTrip) {
+  Dataset d = SmallDataset();
+  const std::string path = ::testing::TempDir() + "/colsgd_libsvm_test.txt";
+  ASSERT_TRUE(WriteLibsvmFile(d, path).ok());
+  auto result = ReadLibsvmFile(path);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), d.num_rows());
+  EXPECT_EQ(result->num_features, d.num_features);
+  for (size_t i = 0; i < d.num_rows(); ++i) {
+    ASSERT_EQ(result->rows.Row(i).nnz, d.rows.Row(i).nnz);
+    EXPECT_EQ(result->labels[i], d.labels[i]);
+    for (size_t j = 0; j < d.rows.Row(i).nnz; ++j) {
+      EXPECT_EQ(result->rows.Row(i).indices[j], d.rows.Row(i).indices[j]);
+      EXPECT_EQ(result->rows.Row(i).values[j], d.rows.Row(i).values[j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LibsvmTest, MissingFileIsIOError) {
+  EXPECT_TRUE(ReadLibsvmFile("/no/such/file").status().IsIOError());
+}
+
+TEST(WorksetTest, SerializationRoundTrip) {
+  Workset w;
+  w.block_id = 42;
+  w.labels = {1.0f, -1.0f};
+  SparseRow r;
+  r.Push(3, 0.5f);
+  w.shard.AppendRow(r);
+  w.shard.AppendEmptyRow();
+
+  std::vector<uint8_t> wire = w.Serialize();
+  EXPECT_EQ(wire.size(), w.SerializedSize());
+  auto result = Workset::Deserialize(wire.data(), wire.size());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->block_id, 42u);
+  EXPECT_EQ(result->labels, w.labels);
+  ASSERT_EQ(result->shard.num_rows(), 2u);
+  EXPECT_EQ(result->shard.Row(0).indices[0], 3u);
+  EXPECT_EQ(result->shard.Row(1).nnz, 0u);
+}
+
+TEST(WorksetTest, DeserializeRejectsTruncation) {
+  Workset w;
+  w.block_id = 1;
+  w.labels = {1.0f};
+  w.shard.AppendEmptyRow();
+  std::vector<uint8_t> wire = w.Serialize();
+  for (size_t cut : {size_t{0}, wire.size() / 2, wire.size() - 1}) {
+    EXPECT_FALSE(Workset::Deserialize(wire.data(), cut).ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(WorksetStoreTest, PutFindAndTotals) {
+  WorksetStore store;
+  Workset w1;
+  w1.block_id = 0;
+  w1.labels = {1.0f};
+  SparseRow r;
+  r.Push(0, 1.0f);
+  w1.shard.AppendRow(r);
+  store.Put(std::move(w1));
+  Workset w2;
+  w2.block_id = 5;
+  w2.labels = {1.0f, -1.0f};
+  w2.shard.AppendEmptyRow();
+  w2.shard.AppendEmptyRow();
+  store.Put(std::move(w2));
+
+  EXPECT_EQ(store.num_worksets(), 2u);
+  EXPECT_EQ(store.total_rows(), 3u);
+  EXPECT_EQ(store.total_nnz(), 1u);
+  ASSERT_NE(store.Find(5), nullptr);
+  EXPECT_EQ(store.Find(5)->num_rows(), 2u);
+  EXPECT_EQ(store.Find(7), nullptr);
+  EXPECT_GT(store.MemoryBytes(), 0u);
+  store.Clear();
+  EXPECT_EQ(store.num_worksets(), 0u);
+  EXPECT_EQ(store.Find(5), nullptr);
+}
+
+TEST(WorksetStoreTest, DuplicateBlockIdDies) {
+  WorksetStore store;
+  Workset a;
+  a.block_id = 3;
+  store.Put(std::move(a));
+  Workset b;
+  b.block_id = 3;
+  EXPECT_DEATH(store.Put(std::move(b)), "duplicate workset");
+}
+
+TEST(BlockDirectoryTest, LocateMapsGlobalRowToBlockAndOffset) {
+  BlockDirectory dir({3, 1, 4});
+  EXPECT_EQ(dir.total_rows(), 8u);
+  EXPECT_EQ(dir.num_blocks(), 3u);
+  EXPECT_EQ(dir.rows_in_block(2), 4u);
+
+  RowRef r = dir.Locate(0);
+  EXPECT_EQ(r.block_id, 0u);
+  EXPECT_EQ(r.offset, 0u);
+  r = dir.Locate(2);
+  EXPECT_EQ(r.block_id, 0u);
+  EXPECT_EQ(r.offset, 2u);
+  r = dir.Locate(3);
+  EXPECT_EQ(r.block_id, 1u);
+  EXPECT_EQ(r.offset, 0u);
+  r = dir.Locate(7);
+  EXPECT_EQ(r.block_id, 2u);
+  EXPECT_EQ(r.offset, 3u);
+}
+
+TEST(BlockDirectoryTest, LocateOutOfRangeDies) {
+  BlockDirectory dir({2});
+  EXPECT_DEATH(dir.Locate(2), "CHECK failed");
+}
+
+TEST(BatchSamplerTest, SameSeedSameDraws) {
+  BlockDirectory dir({10, 20, 30});
+  BatchSampler a(&dir, 99), b(&dir, 99);
+  const auto batch_a = a.Sample(7, 100);
+  const auto batch_b = b.Sample(7, 100);
+  ASSERT_EQ(batch_a.size(), 100u);
+  for (size_t i = 0; i < batch_a.size(); ++i) {
+    EXPECT_EQ(batch_a[i].block_id, batch_b[i].block_id);
+    EXPECT_EQ(batch_a[i].offset, batch_b[i].offset);
+  }
+}
+
+TEST(BatchSamplerTest, DifferentIterationsDiffer) {
+  BlockDirectory dir({1000});
+  BatchSampler sampler(&dir, 99);
+  const auto b1 = sampler.Sample(1, 50);
+  const auto b2 = sampler.Sample(2, 50);
+  int same = 0;
+  for (size_t i = 0; i < b1.size(); ++i) {
+    if (b1[i].offset == b2[i].offset) ++same;
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(BatchSamplerTest, DrawsValidRefsAndRoughlyUniform) {
+  BlockDirectory dir({100, 300});
+  BatchSampler sampler(&dir, 5);
+  int block1 = 0;
+  const auto batch = sampler.Sample(0, 4000);
+  for (const RowRef& ref : batch) {
+    ASSERT_LT(ref.block_id, 2u);
+    ASSERT_LT(ref.offset, dir.rows_in_block(ref.block_id));
+    if (ref.block_id == 1) ++block1;
+  }
+  // Block 1 holds 75% of the rows.
+  EXPECT_NEAR(block1 / 4000.0, 0.75, 0.03);
+}
+
+TEST(LibsvmTextBytesTest, CountsPlausibleTextSize) {
+  Dataset d = SmallDataset();
+  // Row 0: "+1 1:1 6:-2\n"-ish; formula: 4 + per-feature (1+digits+1+8).
+  const uint64_t bytes = LibsvmTextBytes(d.rows, d.labels, 0);
+  EXPECT_EQ(bytes, 4u + 2 * (1 + 1 + 1 + 8));
+}
+
+}  // namespace
+}  // namespace colsgd

@@ -1,0 +1,129 @@
+// Tests for the training driver and result bookkeeping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/synthetic.h"
+#include "engine/columnsgd.h"
+#include "engine/trainer.h"
+
+namespace colsgd {
+namespace {
+
+Dataset SmallData() {
+  SyntheticSpec spec = TinySpec();
+  spec.num_rows = 1500;
+  spec.num_features = 300;
+  return GenerateSynthetic(spec);
+}
+
+ClusterSpec Cluster() {
+  ClusterSpec spec = ClusterSpec::Cluster1();
+  spec.num_workers = 4;
+  return spec;
+}
+
+TrainConfig Config() {
+  TrainConfig config;
+  config.model = "lr";
+  config.learning_rate = 1.0;
+  config.batch_size = 100;
+  config.block_rows = 128;
+  return config;
+}
+
+TEST(TrainerTest, EvalCadenceFollowsEvalEvery) {
+  Dataset d = SmallData();
+  auto engine = MakeEngine("columnsgd", Cluster(), Config());
+  RunOptions options;
+  options.iterations = 10;
+  options.eval_every = 4;
+  TrainResult result = RunTraining(engine.get(), d, options);
+  ASSERT_TRUE(result.status.ok());
+  ASSERT_EQ(result.trace.size(), 10u);
+  for (const auto& record : result.trace) {
+    const bool should_eval =
+        record.iteration % 4 == 0 || record.iteration == 9;  // last iter too
+    EXPECT_EQ(!std::isnan(record.eval_loss), should_eval)
+        << "iteration " << record.iteration;
+  }
+}
+
+TEST(TrainerTest, RecordTraceFalseSkipsTrace) {
+  Dataset d = SmallData();
+  auto engine = MakeEngine("columnsgd", Cluster(), Config());
+  RunOptions options;
+  options.iterations = 5;
+  options.record_trace = false;
+  TrainResult result = RunTraining(engine.get(), d, options);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(result.trace.empty());
+  EXPECT_GT(result.avg_iter_time, 0.0);
+}
+
+TEST(TrainerTest, EngineNamePropagates) {
+  Dataset d = SmallData();
+  for (const char* name : {"columnsgd", "mllib", "petuum"}) {
+    auto engine = MakeEngine(name, Cluster(), Config());
+    RunOptions options;
+    options.iterations = 1;
+    TrainResult result = RunTraining(engine.get(), d, options);
+    ASSERT_TRUE(result.status.ok());
+    EXPECT_EQ(result.engine, engine->name());
+  }
+}
+
+TEST(TrainerTest, SimTimeAtMasterNotLaggards) {
+  // With 1-backup and a heavy straggler, trace times must track the master
+  // (training progress), not the straggler's own clock.
+  Dataset d = SmallData();
+  // Baseline without stragglers.
+  auto baseline = MakeEngine("columnsgd", Cluster(), Config());
+  RunOptions options;
+  options.iterations = 10;
+  TrainResult base = RunTraining(baseline.get(), d, options);
+  ASSERT_TRUE(base.status.ok());
+
+  ColumnSgdOptions engine_options;
+  engine_options.backup = 1;
+  engine_options.straggler = StragglerInjector(10.0, 4, 3);
+  auto engine = std::make_unique<ColumnSgdEngine>(Cluster(), Config(),
+                                                  std::move(engine_options));
+  TrainResult result = RunTraining(engine.get(), d, options);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_LT(result.avg_iter_time, 1.5 * base.avg_iter_time);
+}
+
+TEST(TrainerTest, LoadTimeSeparatedFromTrainTime) {
+  Dataset d = SmallData();
+  auto engine = MakeEngine("columnsgd", Cluster(), Config());
+  RunOptions options;
+  options.iterations = 5;
+  TrainResult result = RunTraining(engine.get(), d, options);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_GT(result.load_time, 0.0);
+  // First trace point sits after load but within ~an iteration of it.
+  EXPECT_GE(result.trace.front().sim_time, result.load_time);
+}
+
+TEST(TrainerTest, MessagesCountedPerIteration) {
+  Dataset d = SmallData();
+  auto engine = MakeEngine("columnsgd", Cluster(), Config());
+  RunOptions options;
+  options.iterations = 7;
+  TrainResult result = RunTraining(engine.get(), d, options);
+  ASSERT_TRUE(result.status.ok());
+  // ColumnSGD: K commands + K stats + K broadcasts per iteration.
+  EXPECT_EQ(result.messages, 7u * 3u * 4u);
+}
+
+TEST(EvaluateLossTest, CapsAtDatasetSize) {
+  Dataset d = SmallData();
+  auto model = MakeModel("lr");
+  std::vector<double> weights(d.num_features, 0.0);
+  const double capped = EvaluateLoss(*model, weights, d, 1u << 30);
+  EXPECT_NEAR(capped, std::log(2.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace colsgd
