@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_modelsize.dir/bench_fig10_modelsize.cc.o"
+  "CMakeFiles/bench_fig10_modelsize.dir/bench_fig10_modelsize.cc.o.d"
+  "bench_fig10_modelsize"
+  "bench_fig10_modelsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_modelsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

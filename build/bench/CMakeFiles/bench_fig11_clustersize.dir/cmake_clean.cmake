@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_clustersize.dir/bench_fig11_clustersize.cc.o"
+  "CMakeFiles/bench_fig11_clustersize.dir/bench_fig11_clustersize.cc.o.d"
+  "bench_fig11_clustersize"
+  "bench_fig11_clustersize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_clustersize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

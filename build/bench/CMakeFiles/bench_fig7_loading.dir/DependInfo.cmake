@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_loading.cc" "bench/CMakeFiles/bench_fig7_loading.dir/bench_fig7_loading.cc.o" "gcc" "bench/CMakeFiles/bench_fig7_loading.dir/bench_fig7_loading.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/colsgd_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/colsgd_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/colsgd_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/colsgd_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/colsgd_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/colsgd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

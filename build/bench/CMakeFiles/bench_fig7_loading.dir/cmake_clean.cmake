@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_loading.dir/bench_fig7_loading.cc.o"
+  "CMakeFiles/bench_fig7_loading.dir/bench_fig7_loading.cc.o.d"
+  "bench_fig7_loading"
+  "bench_fig7_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_stragglers.dir/bench_fig9_stragglers.cc.o"
+  "CMakeFiles/bench_fig9_stragglers.dir/bench_fig9_stragglers.cc.o.d"
+  "bench_fig9_stragglers"
+  "bench_fig9_stragglers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_stragglers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_periter_fm.dir/bench_table5_periter_fm.cc.o"
+  "CMakeFiles/bench_table5_periter_fm.dir/bench_table5_periter_fm.cc.o.d"
+  "bench_table5_periter_fm"
+  "bench_table5_periter_fm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_periter_fm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

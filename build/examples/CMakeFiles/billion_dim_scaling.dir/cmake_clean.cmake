@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/billion_dim_scaling.dir/billion_dim_scaling.cpp.o"
+  "CMakeFiles/billion_dim_scaling.dir/billion_dim_scaling.cpp.o.d"
+  "billion_dim_scaling"
+  "billion_dim_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/billion_dim_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

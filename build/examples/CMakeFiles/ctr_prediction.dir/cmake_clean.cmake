@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctr_prediction.dir/ctr_prediction.cpp.o"
+  "CMakeFiles/ctr_prediction.dir/ctr_prediction.cpp.o.d"
+  "ctr_prediction"
+  "ctr_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctr_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

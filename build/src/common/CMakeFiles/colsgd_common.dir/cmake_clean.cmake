@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colsgd_common.dir/csv.cc.o"
+  "CMakeFiles/colsgd_common.dir/csv.cc.o.d"
+  "CMakeFiles/colsgd_common.dir/flags.cc.o"
+  "CMakeFiles/colsgd_common.dir/flags.cc.o.d"
+  "CMakeFiles/colsgd_common.dir/logging.cc.o"
+  "CMakeFiles/colsgd_common.dir/logging.cc.o.d"
+  "CMakeFiles/colsgd_common.dir/status.cc.o"
+  "CMakeFiles/colsgd_common.dir/status.cc.o.d"
+  "libcolsgd_common.a"
+  "libcolsgd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colsgd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

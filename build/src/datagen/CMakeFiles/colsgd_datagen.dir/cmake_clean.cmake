@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colsgd_datagen.dir/synthetic.cc.o"
+  "CMakeFiles/colsgd_datagen.dir/synthetic.cc.o.d"
+  "libcolsgd_datagen.a"
+  "libcolsgd_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colsgd_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/columnsgd.cc" "src/engine/CMakeFiles/colsgd_engine.dir/columnsgd.cc.o" "gcc" "src/engine/CMakeFiles/colsgd_engine.dir/columnsgd.cc.o.d"
+  "/root/repo/src/engine/cost_model.cc" "src/engine/CMakeFiles/colsgd_engine.dir/cost_model.cc.o" "gcc" "src/engine/CMakeFiles/colsgd_engine.dir/cost_model.cc.o.d"
+  "/root/repo/src/engine/metrics.cc" "src/engine/CMakeFiles/colsgd_engine.dir/metrics.cc.o" "gcc" "src/engine/CMakeFiles/colsgd_engine.dir/metrics.cc.o.d"
+  "/root/repo/src/engine/mllib_star.cc" "src/engine/CMakeFiles/colsgd_engine.dir/mllib_star.cc.o" "gcc" "src/engine/CMakeFiles/colsgd_engine.dir/mllib_star.cc.o.d"
+  "/root/repo/src/engine/model_io.cc" "src/engine/CMakeFiles/colsgd_engine.dir/model_io.cc.o" "gcc" "src/engine/CMakeFiles/colsgd_engine.dir/model_io.cc.o.d"
+  "/root/repo/src/engine/ps.cc" "src/engine/CMakeFiles/colsgd_engine.dir/ps.cc.o" "gcc" "src/engine/CMakeFiles/colsgd_engine.dir/ps.cc.o.d"
+  "/root/repo/src/engine/rowsgd.cc" "src/engine/CMakeFiles/colsgd_engine.dir/rowsgd.cc.o" "gcc" "src/engine/CMakeFiles/colsgd_engine.dir/rowsgd.cc.o.d"
+  "/root/repo/src/engine/trainer.cc" "src/engine/CMakeFiles/colsgd_engine.dir/trainer.cc.o" "gcc" "src/engine/CMakeFiles/colsgd_engine.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/colsgd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/colsgd_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/colsgd_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/colsgd_optim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colsgd_engine.dir/columnsgd.cc.o"
+  "CMakeFiles/colsgd_engine.dir/columnsgd.cc.o.d"
+  "CMakeFiles/colsgd_engine.dir/cost_model.cc.o"
+  "CMakeFiles/colsgd_engine.dir/cost_model.cc.o.d"
+  "CMakeFiles/colsgd_engine.dir/metrics.cc.o"
+  "CMakeFiles/colsgd_engine.dir/metrics.cc.o.d"
+  "CMakeFiles/colsgd_engine.dir/mllib_star.cc.o"
+  "CMakeFiles/colsgd_engine.dir/mllib_star.cc.o.d"
+  "CMakeFiles/colsgd_engine.dir/model_io.cc.o"
+  "CMakeFiles/colsgd_engine.dir/model_io.cc.o.d"
+  "CMakeFiles/colsgd_engine.dir/ps.cc.o"
+  "CMakeFiles/colsgd_engine.dir/ps.cc.o.d"
+  "CMakeFiles/colsgd_engine.dir/rowsgd.cc.o"
+  "CMakeFiles/colsgd_engine.dir/rowsgd.cc.o.d"
+  "CMakeFiles/colsgd_engine.dir/trainer.cc.o"
+  "CMakeFiles/colsgd_engine.dir/trainer.cc.o.d"
+  "libcolsgd_engine.a"
+  "libcolsgd_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colsgd_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/factory.cc" "src/model/CMakeFiles/colsgd_model.dir/factory.cc.o" "gcc" "src/model/CMakeFiles/colsgd_model.dir/factory.cc.o.d"
+  "/root/repo/src/model/fm.cc" "src/model/CMakeFiles/colsgd_model.dir/fm.cc.o" "gcc" "src/model/CMakeFiles/colsgd_model.dir/fm.cc.o.d"
+  "/root/repo/src/model/glm.cc" "src/model/CMakeFiles/colsgd_model.dir/glm.cc.o" "gcc" "src/model/CMakeFiles/colsgd_model.dir/glm.cc.o.d"
+  "/root/repo/src/model/mlp.cc" "src/model/CMakeFiles/colsgd_model.dir/mlp.cc.o" "gcc" "src/model/CMakeFiles/colsgd_model.dir/mlp.cc.o.d"
+  "/root/repo/src/model/mlr.cc" "src/model/CMakeFiles/colsgd_model.dir/mlr.cc.o" "gcc" "src/model/CMakeFiles/colsgd_model.dir/mlr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/colsgd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

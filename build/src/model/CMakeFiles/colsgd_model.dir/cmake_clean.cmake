@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colsgd_model.dir/factory.cc.o"
+  "CMakeFiles/colsgd_model.dir/factory.cc.o.d"
+  "CMakeFiles/colsgd_model.dir/fm.cc.o"
+  "CMakeFiles/colsgd_model.dir/fm.cc.o.d"
+  "CMakeFiles/colsgd_model.dir/glm.cc.o"
+  "CMakeFiles/colsgd_model.dir/glm.cc.o.d"
+  "CMakeFiles/colsgd_model.dir/mlp.cc.o"
+  "CMakeFiles/colsgd_model.dir/mlp.cc.o.d"
+  "CMakeFiles/colsgd_model.dir/mlr.cc.o"
+  "CMakeFiles/colsgd_model.dir/mlr.cc.o.d"
+  "libcolsgd_model.a"
+  "libcolsgd_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colsgd_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

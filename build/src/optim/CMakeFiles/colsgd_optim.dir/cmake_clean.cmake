@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colsgd_optim.dir/optimizer.cc.o"
+  "CMakeFiles/colsgd_optim.dir/optimizer.cc.o.d"
+  "libcolsgd_optim.a"
+  "libcolsgd_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colsgd_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

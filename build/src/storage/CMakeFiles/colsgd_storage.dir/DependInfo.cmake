@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/dataset.cc" "src/storage/CMakeFiles/colsgd_storage.dir/dataset.cc.o" "gcc" "src/storage/CMakeFiles/colsgd_storage.dir/dataset.cc.o.d"
+  "/root/repo/src/storage/libsvm.cc" "src/storage/CMakeFiles/colsgd_storage.dir/libsvm.cc.o" "gcc" "src/storage/CMakeFiles/colsgd_storage.dir/libsvm.cc.o.d"
+  "/root/repo/src/storage/partitioner.cc" "src/storage/CMakeFiles/colsgd_storage.dir/partitioner.cc.o" "gcc" "src/storage/CMakeFiles/colsgd_storage.dir/partitioner.cc.o.d"
+  "/root/repo/src/storage/transform.cc" "src/storage/CMakeFiles/colsgd_storage.dir/transform.cc.o" "gcc" "src/storage/CMakeFiles/colsgd_storage.dir/transform.cc.o.d"
+  "/root/repo/src/storage/workset.cc" "src/storage/CMakeFiles/colsgd_storage.dir/workset.cc.o" "gcc" "src/storage/CMakeFiles/colsgd_storage.dir/workset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/colsgd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colsgd_storage.dir/dataset.cc.o"
+  "CMakeFiles/colsgd_storage.dir/dataset.cc.o.d"
+  "CMakeFiles/colsgd_storage.dir/libsvm.cc.o"
+  "CMakeFiles/colsgd_storage.dir/libsvm.cc.o.d"
+  "CMakeFiles/colsgd_storage.dir/partitioner.cc.o"
+  "CMakeFiles/colsgd_storage.dir/partitioner.cc.o.d"
+  "CMakeFiles/colsgd_storage.dir/transform.cc.o"
+  "CMakeFiles/colsgd_storage.dir/transform.cc.o.d"
+  "CMakeFiles/colsgd_storage.dir/workset.cc.o"
+  "CMakeFiles/colsgd_storage.dir/workset.cc.o.d"
+  "libcolsgd_storage.a"
+  "libcolsgd_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colsgd_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for colsgd_storage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_baselines_test.dir/engine_baselines_test.cc.o"
+  "CMakeFiles/engine_baselines_test.dir/engine_baselines_test.cc.o.d"
+  "engine_baselines_test"
+  "engine_baselines_test.pdb"
+  "engine_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_columnsgd_test.dir/engine_columnsgd_test.cc.o"
+  "CMakeFiles/engine_columnsgd_test.dir/engine_columnsgd_test.cc.o.d"
+  "engine_columnsgd_test"
+  "engine_columnsgd_test.pdb"
+  "engine_columnsgd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_columnsgd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_sweep_test.dir/transform_sweep_test.cc.o"
+  "CMakeFiles/transform_sweep_test.dir/transform_sweep_test.cc.o.d"
+  "transform_sweep_test"
+  "transform_sweep_test.pdb"
+  "transform_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

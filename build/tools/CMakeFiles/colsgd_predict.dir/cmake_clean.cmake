@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colsgd_predict.dir/colsgd_predict.cc.o"
+  "CMakeFiles/colsgd_predict.dir/colsgd_predict.cc.o.d"
+  "colsgd_predict"
+  "colsgd_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colsgd_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colsgd_train.dir/colsgd_train.cc.o"
+  "CMakeFiles/colsgd_train.dir/colsgd_train.cc.o.d"
+  "colsgd_train"
+  "colsgd_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colsgd_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
