@@ -27,11 +27,16 @@ RunOutcome Run(const colsgd::Dataset& dataset, int backup,
   ClusterSpec cluster = ClusterSpec::Cluster1();
   ColumnSgdOptions options;
   options.backup = backup;
-  if (straggler_level > 0) {
-    options.straggler =
-        StragglerInjector(straggler_level, cluster.num_workers, 4242);
-  }
   ColumnSgdEngine engine(cluster, config, std::move(options));
+  if (straggler_level > 0) {
+    FaultPlanConfig plan;
+    plan.seed = 4242;
+    plan.stragglers.mode = StragglerSpec::Mode::kRotating;
+    plan.stragglers.level = straggler_level;
+    FaultConfig faults;
+    faults.plan = FaultPlan(plan);
+    engine.set_faults(faults);
+  }
   COLSGD_CHECK_OK(engine.Setup(dataset));
   const NodeId master = engine.runtime().master();
   const double start = engine.runtime().clock(master);

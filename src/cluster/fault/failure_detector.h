@@ -1,0 +1,57 @@
+// Master-side failure detection and retry policy, charged to simulated
+// clocks. The master learns of a dead worker only after a heartbeat window
+// elapses (detection time, the first component of Fig. 13's recovery stall);
+// failed tasks are relaunched with exponential backoff, the standard policy
+// of Spark/YARN-style schedulers.
+#ifndef COLSGD_CLUSTER_FAULT_FAILURE_DETECTOR_H_
+#define COLSGD_CLUSTER_FAULT_FAILURE_DETECTOR_H_
+
+#include <algorithm>
+
+namespace colsgd {
+
+struct FailureDetectorConfig {
+  /// Workers heartbeat the master every `heartbeat_interval` simulated
+  /// seconds; a worker is declared dead `heartbeat_timeout` seconds after
+  /// its last heartbeat. Detection time for a worker failure is therefore
+  /// interval + timeout in the worst case, which is what we charge.
+  double heartbeat_interval = 0.1;
+  double heartbeat_timeout = 0.5;
+  /// Task relaunch delays: attempt k (0-based) waits
+  /// task_retry_base * task_retry_multiplier^k, capped at task_retry_max.
+  double task_retry_base = 0.2;
+  double task_retry_multiplier = 2.0;
+  double task_retry_max = 5.0;
+  /// Sender-side wait before retransmitting a dropped data-plane message.
+  double ack_timeout = 0.05;
+};
+
+class FailureDetector {
+ public:
+  FailureDetector() = default;
+  explicit FailureDetector(const FailureDetectorConfig& config)
+      : config_(config) {}
+
+  /// \brief Simulated seconds between a worker dying and the master knowing.
+  double WorkerDetectionDelay() const {
+    return config_.heartbeat_interval + config_.heartbeat_timeout;
+  }
+
+  /// \brief Relaunch delay of the (attempt+1)-th retry of a task on one
+  /// worker within one iteration (exponential backoff, capped).
+  double TaskRetryDelay(int attempt) const {
+    double delay = config_.task_retry_base;
+    for (int i = 0; i < attempt; ++i) delay *= config_.task_retry_multiplier;
+    return std::min(delay, config_.task_retry_max);
+  }
+
+  double ack_timeout() const { return config_.ack_timeout; }
+  const FailureDetectorConfig& config() const { return config_; }
+
+ private:
+  FailureDetectorConfig config_;
+};
+
+}  // namespace colsgd
+
+#endif  // COLSGD_CLUSTER_FAULT_FAILURE_DETECTOR_H_

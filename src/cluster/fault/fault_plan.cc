@@ -1,0 +1,132 @@
+#include "cluster/fault/fault_plan.h"
+
+#include <utility>
+
+namespace colsgd {
+
+namespace {
+
+// Domain-separation tags for the stateless hash draws. Each probabilistic
+// process hashes (seed, tag, iteration, worker) so processes never share a
+// stream and every draw is random-access.
+enum : uint64_t {
+  kTagTaskFailure = 0xF001,
+  kTagWorkerFailure = 0xF002,
+  kTagMessageDrop = 0xF003,
+  kTagStragglerPick = 0xF004,
+  kTagStragglerHit = 0xF005,
+  kTagStragglerLevel = 0xF006,
+  kTagCorrelatedIter = 0xF007,
+};
+
+/// \brief Uniform [0, 1) keyed by (seed, tag, a, b).
+double HashU01(uint64_t seed, uint64_t tag, uint64_t a, uint64_t b) {
+  uint64_t h = SplitMix64(seed ^ SplitMix64(tag));
+  h = SplitMix64(h ^ SplitMix64(a));
+  h = SplitMix64(h ^ SplitMix64(b));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+uint64_t HashBounded(uint64_t seed, uint64_t tag, uint64_t a, uint64_t bound) {
+  uint64_t h = SplitMix64(seed ^ SplitMix64(tag));
+  h = SplitMix64(h ^ SplitMix64(a));
+  return h % bound;
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultPlanConfig config) : config_(std::move(config)) {
+  for (const FaultEvent& e : config_.scripted) {
+    scripted_by_iter_[e.iteration].push_back(e);
+  }
+}
+
+FaultPlan FaultPlan::Scripted(std::vector<FaultEvent> events) {
+  FaultPlanConfig config;
+  config.scripted = std::move(events);
+  return FaultPlan(std::move(config));
+}
+
+bool FaultPlan::active() const {
+  return has_failures() || config_.message_drop_prob > 0.0 ||
+         config_.stragglers.mode != StragglerSpec::Mode::kNone;
+}
+
+bool FaultPlan::has_failures() const {
+  return !scripted_by_iter_.empty() || config_.task_mtbf_iters > 0.0 ||
+         config_.worker_mtbf_iters > 0.0;
+}
+
+std::vector<FaultEvent> FaultPlan::EventsAt(int64_t iteration) const {
+  std::vector<FaultEvent> events;
+  const auto it = scripted_by_iter_.find(iteration);
+  if (it != scripted_by_iter_.end()) events = it->second;
+  const uint64_t iter = static_cast<uint64_t>(iteration);
+  if (config_.task_mtbf_iters > 0.0) {
+    const double p = 1.0 / config_.task_mtbf_iters;
+    for (int w = 0; w < config_.num_workers; ++w) {
+      if (HashU01(config_.seed, kTagTaskFailure, iter, w) < p) {
+        events.push_back({iteration, w, FaultKind::kTaskFailure});
+      }
+    }
+  }
+  if (config_.worker_mtbf_iters > 0.0) {
+    const double p = 1.0 / config_.worker_mtbf_iters;
+    for (int w = 0; w < config_.num_workers; ++w) {
+      if (HashU01(config_.seed, kTagWorkerFailure, iter, w) < p) {
+        events.push_back({iteration, w, FaultKind::kWorkerFailure});
+      }
+    }
+  }
+  return events;
+}
+
+bool FaultPlan::DropMessage(int64_t iteration, int from, int to) const {
+  if (config_.message_drop_prob <= 0.0) return false;
+  const uint64_t link = (static_cast<uint64_t>(from) << 20) ^
+                        static_cast<uint64_t>(to);
+  return HashU01(config_.seed, kTagMessageDrop,
+                 static_cast<uint64_t>(iteration),
+                 link) < config_.message_drop_prob;
+}
+
+double FaultPlan::DrawLevel(int64_t iteration, int worker) const {
+  const StragglerSpec& s = config_.stragglers;
+  if (s.level_hi <= s.level) return s.level;
+  const double u = HashU01(config_.seed, kTagStragglerLevel,
+                           static_cast<uint64_t>(iteration), worker);
+  return s.level + (s.level_hi - s.level) * u;
+}
+
+double FaultPlan::StragglerLevel(int64_t iteration, int worker) const {
+  const StragglerSpec& s = config_.stragglers;
+  const uint64_t iter = static_cast<uint64_t>(iteration);
+  switch (s.mode) {
+    case StragglerSpec::Mode::kNone:
+      return 0.0;
+    case StragglerSpec::Mode::kRotating: {
+      if (config_.num_workers <= 0) return 0.0;
+      const int pick = static_cast<int>(HashBounded(
+          config_.seed, kTagStragglerPick, iter, config_.num_workers));
+      return worker == pick ? DrawLevel(iteration, worker) : 0.0;
+    }
+    case StragglerSpec::Mode::kPersistent: {
+      for (int w : s.workers) {
+        if (w == worker) return DrawLevel(iteration, worker);
+      }
+      return 0.0;
+    }
+    case StragglerSpec::Mode::kCorrelated: {
+      if (HashU01(config_.seed, kTagCorrelatedIter, iter, 0) >= s.probability) {
+        return 0.0;
+      }
+      if (HashU01(config_.seed, kTagStragglerHit, iter, worker) >= s.fraction) {
+        return 0.0;
+      }
+      return DrawLevel(iteration, worker);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace colsgd

@@ -1,0 +1,119 @@
+// Unified fault model for the simulated cluster (Appendix X + Section V-C).
+//
+// A FaultPlan composes scripted fault events with seeded probabilistic
+// processes, and is the single source of "what goes wrong when" for every
+// engine:
+//
+//  * scripted task/worker failures — any number of events per iteration,
+//    indexed by iteration (O(1) lookup instead of the old injector's
+//    O(events) scan and its one-event-per-iteration limit);
+//  * probabilistic task/worker failures — per-worker MTBF expressed in
+//    iterations; each (iteration, worker) pair draws independently from a
+//    stateless hash of the seed, so EventsAt is random-access and two plans
+//    with the same seed replay bit-identically;
+//  * message drops — each data-plane message is lost with a configurable
+//    probability, forcing a timeout + retransmit (see Engine::SendWithFaults);
+//  * stragglers — per-iteration slowdown levels per worker, in three modes:
+//    rotating (one random worker per iteration, the paper's Section V-C
+//    model), persistent (a fixed set of chronically slow workers), and
+//    correlated (whole-cluster degraded iterations hitting a random subset of
+//    workers at once). Levels are drawn from a configurable distribution.
+//
+// StragglerLevel keeps the paper's definition: a straggler at level L takes
+// (1+L)x the normal task time.
+#ifndef COLSGD_CLUSTER_FAULT_FAULT_PLAN_H_
+#define COLSGD_CLUSTER_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace colsgd {
+
+enum class FaultKind {
+  kTaskFailure,    // a task throws; retried on the same worker, state intact
+  kWorkerFailure,  // a worker dies; its resident data and model are lost
+};
+
+struct FaultEvent {
+  int64_t iteration = 0;  // fires at the start of this iteration
+  int worker = 0;
+  FaultKind kind = FaultKind::kTaskFailure;
+};
+
+/// \brief Straggler process configuration.
+struct StragglerSpec {
+  enum class Mode {
+    kNone,
+    kRotating,    // one uniformly random worker per iteration (Section V-C)
+    kPersistent,  // the workers in `workers` straggle every iteration
+    kCorrelated,  // with `probability`, an iteration degrades a random
+                  // `fraction` of the cluster at once (co-tenant interference)
+  };
+  Mode mode = Mode::kNone;
+  /// Straggler level L (extra time = L x task time). If `level_hi > level`,
+  /// each straggling (iteration, worker) draws uniformly from
+  /// [level, level_hi); otherwise the level is the constant `level`.
+  double level = 0.0;
+  double level_hi = 0.0;
+  std::vector<int> workers;   // kPersistent: the chronically slow workers
+  double probability = 0.0;   // kCorrelated: P(iteration is degraded)
+  double fraction = 0.5;      // kCorrelated: expected fraction of slow workers
+};
+
+/// \brief Full fault-plan configuration.
+struct FaultPlanConfig {
+  uint64_t seed = 0;
+  /// Number of workers the probabilistic processes draw over. Engines fill
+  /// this in from their cluster spec when it is left at 0.
+  int num_workers = 0;
+  std::vector<FaultEvent> scripted;
+  /// Mean iterations between task failures per worker; 0 disables.
+  double task_mtbf_iters = 0.0;
+  /// Mean iterations between worker failures per worker; 0 disables.
+  double worker_mtbf_iters = 0.0;
+  /// Probability that any one data-plane message is dropped in flight.
+  double message_drop_prob = 0.0;
+  StragglerSpec stragglers;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(FaultPlanConfig config);
+
+  /// \brief Plan with only scripted events (the common test/bench setup).
+  static FaultPlan Scripted(std::vector<FaultEvent> events);
+
+  /// \brief All faults firing at the start of `iteration`: the scripted ones
+  /// (in script order) followed by the probabilistic draws (by worker).
+  std::vector<FaultEvent> EventsAt(int64_t iteration) const;
+
+  /// \brief Whether the message sent on `iteration` from node `from` to node
+  /// `to` is lost in flight.
+  bool DropMessage(int64_t iteration, int from, int to) const;
+
+  /// \brief Straggler level of `worker` on `iteration` (0 = full speed).
+  double StragglerLevel(int64_t iteration, int worker) const;
+
+  bool active() const;
+  bool has_failures() const;
+  const FaultPlanConfig& config() const { return config_; }
+  /// \brief Engines call this before training to bind the probabilistic
+  /// processes to the cluster size when the plan was built with 0 workers.
+  void set_num_workers(int num_workers) {
+    if (config_.num_workers == 0) config_.num_workers = num_workers;
+  }
+
+ private:
+  double DrawLevel(int64_t iteration, int worker) const;
+
+  FaultPlanConfig config_;
+  std::unordered_map<int64_t, std::vector<FaultEvent>> scripted_by_iter_;
+};
+
+}  // namespace colsgd
+
+#endif  // COLSGD_CLUSTER_FAULT_FAULT_PLAN_H_

@@ -8,16 +8,30 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "cluster/fault/failure_detector.h"
+#include "cluster/fault/fault_plan.h"
 #include "common/status.h"
+#include "engine/checkpoint.h"
+#include "engine/metrics.h"
 #include "model/factory.h"
 #include "model/model_spec.h"
 #include "optim/optimizer.h"
 #include "storage/transform.h"
 
 namespace colsgd {
+
+/// \brief Everything an engine needs to know about faults: what goes wrong
+/// (the plan), how the master notices and retries (the detector), and how
+/// state is protected (checkpointing).
+struct FaultConfig {
+  FaultPlan plan;
+  FailureDetectorConfig detector;
+  CheckpointConfig checkpoint;
+};
 
 /// \brief Hyperparameters and run settings shared by every engine.
 struct TrainConfig {
@@ -54,6 +68,7 @@ struct TrainResult {
   double avg_iter_time = 0.0;  // train_time / iterations
   uint64_t bytes_on_wire = 0;  // total traffic during training
   uint64_t messages = 0;
+  RecoveryMetrics recovery;    // fault-recovery accounting (Fig. 13)
   Status status;  // non-OK e.g. when a baseline runs out of memory (Table V)
 };
 
@@ -74,7 +89,25 @@ class Engine {
   virtual Status Setup(const Dataset& dataset) = 0;
 
   /// \brief Runs one BSP SGD iteration. `iteration` seeds the batch draw.
-  virtual Status RunIteration(int64_t iteration) = 0;
+  /// Template method: fires this iteration's faults (task retries, worker
+  /// recovery), runs the engine body, then takes a periodic checkpoint.
+  Status RunIteration(int64_t iteration) {
+    ProcessFaults(iteration);
+    COLSGD_RETURN_NOT_OK(DoRunIteration(iteration));
+    return MaybeCheckpoint(iteration);
+  }
+
+  /// \brief Installs the fault model. Call after construction, before
+  /// Setup/RunIteration; replaces any previous fault configuration.
+  void set_faults(FaultConfig faults) {
+    faults_ = std::move(faults);
+    faults_.plan.set_num_workers(cluster_spec_.num_workers);
+    detector_ = FailureDetector(faults_.detector);
+    checkpoints_ = CheckpointStore(faults_.checkpoint);
+    recovery_ = RecoveryMetrics{};
+  }
+  const FaultConfig& faults() const { return faults_; }
+  const RecoveryMetrics& recovery_metrics() const { return recovery_; }
 
   /// \brief Materializes the full model in global layout
   /// (slot = feature * weights_per_feature + j). For tests and evaluation;
@@ -92,16 +125,71 @@ class Engine {
   double load_time() const { return load_time_; }
 
  protected:
+  /// \brief The engine's BSP iteration body (compute + communication).
+  virtual Status DoRunIteration(int64_t iteration) = 0;
+
+  /// \brief Repairs the engine's state after `event.worker` died: reload or
+  /// re-seed its data, restore or re-initialize its model partition, and
+  /// charge the simulated cost. Engines update `recovery_.iterations_lost`
+  /// themselves; detection delay, recovery time, and retransferred bytes are
+  /// measured by the caller (ProcessFaults). The default engine loses
+  /// nothing and pays nothing (a stateless worker).
+  virtual void RecoverWorkerFailure(const FaultEvent& event) { (void)event; }
+
+  /// \brief Charges the traffic of gathering the model to the master for a
+  /// checkpoint. Engines whose current model already lives at the master (or
+  /// a master-equivalent) charge nothing.
+  virtual void ChargeCheckpointGather() {}
+
+  /// \brief Replicated shared parameters to include in checkpoints.
+  virtual std::vector<double> SharedCheckpointParams() const { return {}; }
+
   /// \brief Engine-specific default driver overhead per iteration.
   double SchedOverhead(double engine_default) const {
     return config_.sched_overhead >= 0.0 ? config_.sched_overhead
                                          : engine_default;
   }
 
+  /// \brief Fires this iteration's fault events: task failures charge
+  /// exponential-backoff retries on the failed worker; worker failures
+  /// charge heartbeat detection on the master, invoke the engine's recovery
+  /// path, and measure recovery time + retransferred bytes.
+  void ProcessFaults(int64_t iteration);
+
+  /// \brief Takes a periodic checkpoint of the full model via model_io,
+  /// charging gather traffic and the stable-storage write.
+  Status MaybeCheckpoint(int64_t iteration);
+
+  /// \brief Point-to-point send subject to the plan's message-drop process:
+  /// a dropped message still burns wire time, then the sender waits out the
+  /// ack timeout and retransmits. Returns the delivery time of the copy that
+  /// arrives.
+  SimTime SendWithFaults(NodeId from, NodeId to, uint64_t bytes,
+                         int64_t iteration);
+
+  /// \brief Straggler level of `worker` on `iteration` under the plan.
+  double StragglerLevelFor(int64_t iteration, int worker) const {
+    return faults_.plan.StragglerLevel(iteration, worker);
+  }
+
+  /// \brief Latest checkpoint, or nullptr when none exists.
+  const SavedModel* LatestCheckpoint() const { return checkpoints_.Latest(); }
+
+  /// \brief Charges a stable-storage read of `bytes` on `node`'s clock
+  /// (checkpoint restore).
+  void ChargeCheckpointRead(NodeId node, uint64_t bytes) {
+    runtime_->AdvanceClock(
+        node, static_cast<double>(bytes) / faults_.checkpoint.disk_bandwidth);
+  }
+
   ClusterSpec cluster_spec_;
   TrainConfig config_;
   std::unique_ptr<ClusterRuntime> runtime_;
   std::unique_ptr<ModelSpec> model_;
+  FaultConfig faults_;
+  FailureDetector detector_;
+  CheckpointStore checkpoints_;
+  RecoveryMetrics recovery_;
   double last_batch_loss_ = std::numeric_limits<double>::quiet_NaN();
   double load_time_ = 0.0;
 };

@@ -1,0 +1,28 @@
+#include "engine/checkpoint.h"
+
+namespace colsgd {
+
+uint64_t SerializedModelBytes(const SavedModel& model) {
+  // Mirrors WriteModelFile's layout: magic + version + length-prefixed name
+  // + num_features + two length-prefixed double vectors.
+  return 2 * sizeof(uint32_t) + sizeof(uint32_t) + model.model_name.size() +
+         sizeof(uint64_t) +
+         sizeof(uint64_t) + model.weights.size() * sizeof(double) +
+         sizeof(uint64_t) + model.shared.size() * sizeof(double);
+}
+
+Status CheckpointStore::Save(const SavedModel& model,
+                             int64_t completed_iterations) {
+  bytes_ = SerializedModelBytes(model);
+  if (!config_.path.empty()) {
+    COLSGD_RETURN_NOT_OK(WriteModelFile(model, config_.path));
+    COLSGD_ASSIGN_OR_RETURN(SavedModel reread, ReadModelFile(config_.path));
+    latest_ = std::make_unique<SavedModel>(std::move(reread));
+  } else {
+    latest_ = std::make_unique<SavedModel>(model);
+  }
+  completed_iterations_ = completed_iterations;
+  return Status::OK();
+}
+
+}  // namespace colsgd

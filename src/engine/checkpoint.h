@@ -1,0 +1,69 @@
+// Periodic model checkpointing for fault recovery, built on the model_io
+// binary format. The store keeps the latest checkpoint in memory (the
+// simulated "stable storage" copy) and, when a path is configured, also
+// round-trips it through WriteModelFile/ReadModelFile so restores exercise
+// the real serialization path. Simulated checkpoint cost (gather traffic +
+// disk write) is charged by the engine, not here.
+#ifndef COLSGD_ENGINE_CHECKPOINT_H_
+#define COLSGD_ENGINE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "engine/model_io.h"
+
+namespace colsgd {
+
+struct CheckpointConfig {
+  /// Checkpoint after every `every` iterations; 0 disables checkpointing.
+  int64_t every = 0;
+  /// File the checkpoint is written to via model_io; empty keeps the
+  /// checkpoint in memory only (same recovery semantics, no file I/O).
+  std::string path;
+  /// Modeled stable-storage write/read bandwidth, bytes/second.
+  double disk_bandwidth = 200e6;
+};
+
+class CheckpointStore {
+ public:
+  CheckpointStore() = default;
+  explicit CheckpointStore(CheckpointConfig config)
+      : config_(std::move(config)) {}
+
+  const CheckpointConfig& config() const { return config_; }
+
+  /// \brief Whether iteration `iteration` (0-based, just completed) is a
+  /// checkpoint boundary.
+  bool ShouldCheckpoint(int64_t iteration) const {
+    return config_.every > 0 && (iteration + 1) % config_.every == 0;
+  }
+
+  /// \brief Saves `model` as the state after `completed_iterations`
+  /// iterations. Writes through model_io when a path is configured.
+  Status Save(const SavedModel& model, int64_t completed_iterations);
+
+  /// \brief Latest checkpoint, or nullptr if none was taken yet. When a path
+  /// is configured the returned model was read back via ReadModelFile, so a
+  /// restore observes exactly what a restarted process would.
+  const SavedModel* Latest() const { return latest_.get(); }
+
+  /// \brief Number of iterations whose updates the latest checkpoint covers.
+  int64_t completed_iterations() const { return completed_iterations_; }
+
+  /// \brief Serialized size of the latest checkpoint in bytes.
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  CheckpointConfig config_;
+  std::unique_ptr<SavedModel> latest_;
+  int64_t completed_iterations_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+/// \brief Serialized model_io size of a model, without writing it.
+uint64_t SerializedModelBytes(const SavedModel& model);
+
+}  // namespace colsgd
+
+#endif  // COLSGD_ENGINE_CHECKPOINT_H_

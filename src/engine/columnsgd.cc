@@ -124,38 +124,78 @@ BatchView ColumnSgdEngine::MakeBatchView(
   return view;
 }
 
-void ColumnSgdEngine::HandleFailure(const FailureEvent& event) {
-  const NodeId node = runtime_->worker_node(event.worker);
-  if (event.kind == FailureKind::kTaskFailure) {
-    // Appendix X: relaunch the task on the same worker; data and model are
-    // still cached there, so only the retry overhead is paid.
-    runtime_->AdvanceClock(node, options_.task_retry_overhead);
-    return;
+void ColumnSgdEngine::RecoverWorkerFailure(const FaultEvent& event) {
+  const int group = GroupOf(event.worker);
+  GroupState& state = groups_[group];
+  const NodeId failed_node = runtime_->worker_node(event.worker);
+  const uint64_t model_bytes =
+      (state.weights.size() + state.opt_state.size()) * sizeof(double);
+
+  if (options_.backup > 0) {
+    // A surviving replica of the group holds the identical partition: it
+    // re-seeds the replacement over the network — column shards, model, and
+    // optimizer state — instead of re-reading any row blocks. Nothing is
+    // lost; only the transfer is paid.
+    int survivor = -1;
+    for (int r = 0; r <= options_.backup; ++r) {
+      const int w = group * (options_.backup + 1) + r;
+      if (w != event.worker) {
+        survivor = w;
+        break;
+      }
+    }
+    COLSGD_CHECK_GE(survivor, 0);
+    const uint64_t data_bytes = state.store.MemoryBytes();
+    runtime_->Send(runtime_->worker_node(survivor), failed_node,
+                   data_bytes + model_bytes);
+    // Receiver-side materialization of the shipped state.
+    runtime_->ChargeMemTouch(failed_node, data_bytes + model_bytes);
+    return;  // no iterations lost
   }
-  // Worker failure: its shards are gone. Reload the column shards from the
-  // row blocks and reinitialize the model partition (no checkpoint; SGD's
-  // robustness takes care of re-convergence — Fig. 13b).
-  COLSGD_CHECK_EQ(options_.backup, 0)
-      << "worker-failure injection with backup groups is not modeled";
-  GroupState& state = groups_[event.worker];
+
+  // No backup: the shards are rebuilt from the row blocks (Appendix X) and
+  // the model partition restores from the last checkpoint, or restarts from
+  // initial weights and relies on SGD's robustness (Fig. 13b).
   state.store.Clear();
   state.store = ReloadWorkerShards(blocks_, *partitioner_, event.worker,
                                    runtime_.get(), config_.transform_cost);
-  InitGroupModel(event.worker, &state);
-  runtime_->Barrier();  // BSP: everyone waits for the reload
+  InitGroupModel(group, &state);
+  const SavedModel* checkpoint = LatestCheckpoint();
+  if (checkpoint != nullptr) {
+    const int wpf = model_->weights_per_feature();
+    for (uint64_t lf = 0; lf < state.local_dim; ++lf) {
+      const uint64_t feature = partitioner_->GlobalIndex(group, lf);
+      for (int j = 0; j < wpf; ++j) {
+        state.weights[lf * wpf + j] = checkpoint->weights[feature * wpf + j];
+      }
+    }
+    // The master reads the partition from stable storage and ships it.
+    const uint64_t partition_bytes = state.weights.size() * sizeof(double);
+    ChargeCheckpointRead(runtime_->master(), partition_bytes);
+    runtime_->Send(runtime_->master(), failed_node, partition_bytes);
+    recovery_.iterations_lost +=
+        event.iteration - checkpoints_.completed_iterations();
+  } else {
+    recovery_.iterations_lost += event.iteration;
+  }
 }
 
-Status ColumnSgdEngine::RunIteration(int64_t iteration) {
+void ColumnSgdEngine::ChargeCheckpointGather() {
+  // The primary replica of each group ships its partition to the master.
+  for (int g = 0; g < num_groups_; ++g) {
+    const int w = g * (options_.backup + 1);
+    runtime_->Send(runtime_->worker_node(w), runtime_->master(),
+                   groups_[g].weights.size() * sizeof(double));
+  }
+}
+
+Status ColumnSgdEngine::DoRunIteration(int64_t iteration) {
   const int K = runtime_->num_workers();
   const size_t B = config_.batch_size;
   const int spp = model_->stats_per_point();
   const size_t stat_width =
       options_.fp32_statistics ? sizeof(float) : sizeof(double);
   const uint64_t stats_bytes = 16 + B * spp * stat_width;
-
-  if (const FailureEvent* event = options_.failures.EventAt(iteration)) {
-    HandleFailure(*event);
-  }
 
   // Driver dispatch.
   runtime_->AdvanceClock(runtime_->master(),
@@ -167,7 +207,6 @@ Status ColumnSgdEngine::RunIteration(int64_t iteration) {
 
   // Every node draws the same batch from the shared seed (two-phase index).
   const std::vector<RowRef> batch = sampler_->Sample(iteration, B);
-  const int straggler = options_.straggler.PickStraggler();
 
   // Step 1: computeStat on each worker. Replicas of a group compute the
   // same statistics; we materialize them once per group and charge each
@@ -209,7 +248,7 @@ Status ColumnSgdEngine::RunIteration(int64_t iteration) {
           compute_seconds + SchedOverhead(kDefaultSchedOverhead);
       const SimTime finish =
           runtime_->clock(runtime_->worker_node(w)) + compute_seconds +
-          options_.straggler.ExtraSeconds(w, straggler, task_seconds);
+          StragglerLevelFor(iteration, w) * task_seconds;
       if (finish < earliest_finish) {
         earliest_finish = finish;
         winner = w;
@@ -218,7 +257,8 @@ Status ColumnSgdEngine::RunIteration(int64_t iteration) {
     group_winner[g] = winner;
     const NodeId node = runtime_->worker_node(winner);
     runtime_->set_clock(node, earliest_finish);
-    group_reply[g] = runtime_->Send(node, runtime_->master(), stats_bytes);
+    group_reply[g] =
+        SendWithFaults(node, runtime_->master(), stats_bytes, iteration);
     gather_time = std::max(gather_time, group_reply[g]);
   }
   runtime_->set_clock(runtime_->master(), gather_time);
@@ -253,7 +293,8 @@ Status ColumnSgdEngine::RunIteration(int64_t iteration) {
 
   // Step 4: broadcast the aggregated statistics back.
   for (int w = 0; w < K; ++w) {
-    runtime_->Send(runtime_->master(), runtime_->worker_node(w), stats_bytes);
+    SendWithFaults(runtime_->master(), runtime_->worker_node(w), stats_bytes,
+                   iteration);
   }
 
   // Step 5: updateModel on every worker (once per group for real; charged on

@@ -6,16 +6,16 @@
 //  * S-backup computation for straggler resilience (Section IV-B / Fig. 6):
 //    workers form groups of S+1 replicas; the master proceeds with the
 //    earliest reply of each group.
-//  * straggler injection (Section V-C) and scripted task/worker failures
-//    with the recovery protocol of Appendix X.
+//  * the fault model of cluster/fault (stragglers, task/worker failures,
+//    message drops) with the recovery protocol of Appendix X; with backup
+//    groups, a surviving replica re-seeds a dead worker's partition over the
+//    network instead of a full reload.
 #ifndef COLSGD_ENGINE_COLUMNSGD_H_
 #define COLSGD_ENGINE_COLUMNSGD_H_
 
 #include <memory>
 #include <vector>
 
-#include "cluster/failure.h"
-#include "cluster/straggler.h"
 #include "engine/api.h"
 #include "storage/partitioner.h"
 #include "storage/sampler.h"
@@ -26,10 +26,6 @@ struct ColumnSgdOptions {
   /// S in S-backup computation; 0 disables backup. num_workers must be a
   /// multiple of S+1.
   int backup = 0;
-  StragglerInjector straggler;
-  FailureInjector failures;
-  /// Simulated seconds to re-launch a failed task (Appendix X, Fig. 13a).
-  double task_retry_overhead = 0.2;
   /// Exchange statistics as float32 instead of float64: halves the (already
   /// batch-sized) traffic at the cost of rounding each partial statistic —
   /// an ablation on the "form of statistics" discussion of Section III-C.
@@ -43,7 +39,6 @@ class ColumnSgdEngine : public Engine {
 
   std::string name() const override { return "columnsgd"; }
   Status Setup(const Dataset& dataset) override;
-  Status RunIteration(int64_t iteration) override;
   std::vector<double> FullModel() const override;
 
   int num_groups() const { return num_groups_; }
@@ -54,6 +49,19 @@ class ColumnSgdEngine : public Engine {
   /// \brief Modeled resident bytes on one worker (data + model + optimizer
   /// state + scratch): the worker column of Table I.
   uint64_t WorkerMemoryBytes(int worker) const;
+
+ protected:
+  Status DoRunIteration(int64_t iteration) override;
+  /// \brief Appendix X recovery. With backup groups the surviving replica
+  /// re-seeds the lost partition over the network (no reload, no lost
+  /// state); without backup the shards are rebuilt from the row blocks and
+  /// the model partition restores from the last checkpoint, or re-zeroes.
+  void RecoverWorkerFailure(const FaultEvent& event) override;
+  /// \brief One replica of each group ships its partition to the master.
+  void ChargeCheckpointGather() override;
+  std::vector<double> SharedCheckpointParams() const override {
+    return shared_;
+  }
 
  private:
   /// \brief State of one partition group: a single materialized copy shared
@@ -71,7 +79,6 @@ class ColumnSgdEngine : public Engine {
   int GroupOf(int worker) const { return worker / (options_.backup + 1); }
 
   void InitGroupModel(int group, GroupState* state);
-  void HandleFailure(const FailureEvent& event);
   /// \brief Assembles the shard views + labels of the sampled batch for one
   /// group's store.
   BatchView MakeBatchView(const GroupState& state,

@@ -1,0 +1,93 @@
+// Fault handling shared by every engine: the template-method half of
+// Engine::RunIteration. Engines supply only the recovery actions
+// (RecoverWorkerFailure, ChargeCheckpointGather); detection, retry backoff,
+// checkpoint cost accounting, and RecoveryMetrics bookkeeping live here so
+// the four engines are measured identically (Fig. 13's comparison hinges on
+// that).
+#include <vector>
+
+#include "engine/api.h"
+
+namespace colsgd {
+
+void Engine::ProcessFaults(int64_t iteration) {
+  if (!faults_.plan.has_failures()) return;
+  const std::vector<FaultEvent> events = faults_.plan.EventsAt(iteration);
+  if (events.empty()) return;
+
+  // Multiple task failures of the same worker in one iteration back off
+  // exponentially (attempt counter resets every iteration).
+  std::vector<int> attempts(cluster_spec_.num_workers, 0);
+  for (const FaultEvent& event : events) {
+    if (event.worker < 0 || event.worker >= cluster_spec_.num_workers) {
+      continue;
+    }
+    if (event.kind == FaultKind::kTaskFailure) {
+      ++recovery_.task_failures;
+      const double delay = detector_.TaskRetryDelay(attempts[event.worker]++);
+      runtime_->AdvanceClock(runtime_->worker_node(event.worker), delay);
+      recovery_.recovery_seconds += delay;
+      continue;
+    }
+    // Worker failure: the master only learns of the death after a heartbeat
+    // window, then drives the engine-specific repair; BSP makes everyone
+    // wait for it. Recovery time and bytes are measured, not modeled.
+    ++recovery_.worker_failures;
+    const double detection = detector_.WorkerDetectionDelay();
+    runtime_->AdvanceClock(runtime_->master(), detection);
+    recovery_.detection_seconds += detection;
+    // The cluster stalls until the master has declared the death and
+    // rescheduled; repair work starts from this common point, so the barrier
+    // after the repair measures the repair alone.
+    runtime_->Barrier();
+
+    const TrafficStats before = runtime_->net().TotalStats();
+    const SimTime repair_start = runtime_->clock(runtime_->master());
+    RecoverWorkerFailure(event);
+    runtime_->Barrier();
+    recovery_.recovery_seconds +=
+        runtime_->clock(runtime_->master()) - repair_start;
+    const TrafficStats after = runtime_->net().TotalStats();
+    recovery_.bytes_retransferred += after.bytes_sent - before.bytes_sent;
+  }
+}
+
+Status Engine::MaybeCheckpoint(int64_t iteration) {
+  if (!checkpoints_.ShouldCheckpoint(iteration)) return Status::OK();
+  const SimTime start = runtime_->clock(runtime_->master());
+
+  SavedModel model;
+  model.model_name = config_.model;
+  model.weights = FullModel();
+  model.shared = SharedCheckpointParams();
+  const int wpf = model_->weights_per_feature();
+  model.num_features = model.weights.size() / static_cast<uint64_t>(wpf);
+
+  ChargeCheckpointGather();
+  COLSGD_RETURN_NOT_OK(checkpoints_.Save(model, iteration + 1));
+  runtime_->AdvanceClock(runtime_->master(),
+                         static_cast<double>(checkpoints_.bytes()) /
+                             faults_.checkpoint.disk_bandwidth);
+  runtime_->Barrier();  // BSP: the next iteration dispatches after the write
+
+  ++recovery_.checkpoints_taken;
+  recovery_.checkpoint_bytes += checkpoints_.bytes();
+  recovery_.checkpoint_seconds += runtime_->clock(runtime_->master()) - start;
+  return Status::OK();
+}
+
+SimTime Engine::SendWithFaults(NodeId from, NodeId to, uint64_t bytes,
+                               int64_t iteration) {
+  if (faults_.plan.DropMessage(iteration, static_cast<int>(from),
+                               static_cast<int>(to))) {
+    // The lost copy occupies the sender's NIC and the wire but never syncs
+    // the receiver; the sender retransmits after the ack timeout.
+    runtime_->net().Send(from, to, bytes, runtime_->clock(from));
+    runtime_->AdvanceClock(from, detector_.ack_timeout());
+    ++recovery_.messages_dropped;
+    recovery_.bytes_retransferred += bytes;
+  }
+  return runtime_->Send(from, to, bytes);
+}
+
+}  // namespace colsgd

@@ -5,12 +5,36 @@
 #define COLSGD_ENGINE_METRICS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "model/model_spec.h"
 #include "storage/dataset.h"
 
 namespace colsgd {
+
+/// \brief Fault-recovery accounting of a training run (Fig. 13 metrics).
+/// Accumulated by the Engine base as its FaultPlan fires; all times are
+/// simulated seconds and all byte counts are measured on the wire.
+struct RecoveryMetrics {
+  int64_t task_failures = 0;
+  int64_t worker_failures = 0;
+  /// Heartbeat-window time the master spent noticing dead workers.
+  double detection_seconds = 0.0;
+  /// Master-clock time from detection to the post-recovery barrier.
+  double recovery_seconds = 0.0;
+  /// Network bytes moved to repair state (data re-sends, model re-broadcasts,
+  /// replica re-seeds, checkpoint restores, message retransmits).
+  uint64_t bytes_retransferred = 0;
+  /// Iterations of updates lost on failed partitions (0 when a surviving
+  /// replica or an up-to-date master copy preserved the state).
+  int64_t iterations_lost = 0;
+  int64_t checkpoints_taken = 0;
+  uint64_t checkpoint_bytes = 0;
+  /// Master-clock time spent gathering + writing checkpoints.
+  double checkpoint_seconds = 0.0;
+  int64_t messages_dropped = 0;
+};
 
 struct BinaryMetrics {
   double accuracy = 0.0;  // sign agreement on +-1 labels

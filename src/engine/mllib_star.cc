@@ -1,5 +1,7 @@
 #include "engine/mllib_star.h"
 
+#include <algorithm>
+
 #include "engine/row_sampling.h"
 
 namespace colsgd {
@@ -72,7 +74,33 @@ size_t MllibStarEngine::WorkerBatchSize(int worker) const {
          (static_cast<size_t>(worker) < config_.batch_size % K ? 1 : 0);
 }
 
-void MllibStarEngine::RingAllReduceAverage() {
+void MllibStarEngine::RecoverWorkerFailure(const FaultEvent& event) {
+  const int K = runtime_->num_workers();
+  const int w = event.worker;
+  const NodeId node = runtime_->worker_node(w);
+  const TransformCostConfig& cost = config_.transform_cost;
+
+  // Data: re-read the row partition from storage.
+  for (const RowBlock& b : partitions_[w]) {
+    runtime_->AdvanceClock(node,
+                           static_cast<double>(b.text_bytes) /
+                                   cost.disk_bandwidth +
+                               b.text_bytes * cost.mllib_ingest_per_byte);
+  }
+
+  // Model: the ring successor ships its replica (equal to the dead one right
+  // after the last averaging round — no updates are lost), the optimizer
+  // state restarts cold, and a fresh averaging round re-establishes the
+  // all-replicas-equal invariant.
+  const int neighbor = (w + 1) % K;
+  runtime_->Send(runtime_->worker_node(neighbor), node,
+                 replicas_[neighbor].size() * sizeof(double));
+  replicas_[w] = replicas_[neighbor];
+  std::fill(opt_states_[w].begin(), opt_states_[w].end(), 0.0);
+  RingAllReduceAverage(event.iteration);
+}
+
+void MllibStarEngine::RingAllReduceAverage(int64_t iteration) {
   const int K = runtime_->num_workers();
   const uint64_t slots = replicas_[0].size();
   if (K == 1) return;
@@ -95,14 +123,14 @@ void MllibStarEngine::RingAllReduceAverage() {
     for (int k = 0; k < K; ++k) {
       const NodeId from = runtime_->worker_node(k);
       const NodeId to = runtime_->worker_node((k + 1) % K);
-      runtime_->Send(from, to, chunk_bytes);
+      SendWithFaults(from, to, chunk_bytes, iteration);
       runtime_->ChargeCompute(to, chunk_slots);  // reduce/assign the chunk
     }
   }
   runtime_->Barrier();
 }
 
-Status MllibStarEngine::RunIteration(int64_t iteration) {
+Status MllibStarEngine::DoRunIteration(int64_t iteration) {
   const int K = runtime_->num_workers();
 
   runtime_->AdvanceClock(runtime_->master(),
@@ -135,10 +163,15 @@ Status MllibStarEngine::RunIteration(int64_t iteration) {
                         &flops);
     }
     runtime_->ChargeCompute(node, flops.flops());
+    const double level = StragglerLevelFor(iteration, w);
+    if (level > 0.0) {
+      runtime_->AdvanceClock(
+          node, level * cluster_spec_.compute.SecondsFor(flops.flops()));
+    }
   }
   last_batch_loss_ = loss_sum / static_cast<double>(loss_count);
 
-  RingAllReduceAverage();
+  RingAllReduceAverage(iteration);
 
   // The driver gets a tiny completion/loss ping.
   runtime_->Send(runtime_->worker_node(0), runtime_->master(), 32);

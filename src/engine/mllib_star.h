@@ -29,14 +29,21 @@ class MllibStarEngine : public Engine {
 
   std::string name() const override { return "mllib_star"; }
   Status Setup(const Dataset& dataset) override;
-  Status RunIteration(int64_t iteration) override;
   /// \brief The averaged model (all replicas are equal right after an
   /// iteration's AllReduce).
   std::vector<double> FullModel() const override { return replicas_[0]; }
 
+ protected:
+  Status DoRunIteration(int64_t iteration) override;
+  /// \brief Ring repair: the failed worker's ring successor ships it a full
+  /// replica (all replicas are equal after each iteration's average, so no
+  /// updates are lost), the worker re-reads its row partition, and a fresh
+  /// averaging round re-establishes the invariant.
+  void RecoverWorkerFailure(const FaultEvent& event) override;
+
  private:
   size_t WorkerBatchSize(int worker) const;
-  void RingAllReduceAverage();
+  void RingAllReduceAverage(int64_t iteration);
 
   MllibStarOptions options_;
   uint64_t num_features_ = 0;

@@ -106,7 +106,74 @@ size_t PsEngine::WorkerBatchSize(int worker) const {
          (static_cast<size_t>(worker) < config_.batch_size % K ? 1 : 0);
 }
 
-Status PsEngine::RunIteration(int64_t iteration) {
+void PsEngine::RecoverWorkerFailure(const FaultEvent& event) {
+  const int wpf = model_->weights_per_feature();
+  const int sps = optimizer_->state_per_slot();
+  const NodeId worker_node = runtime_->worker_node(event.worker);
+  const TransformCostConfig& cost = config_.transform_cost;
+
+  // The worker side re-reads its row partition and re-materializes the dense
+  // kvstore arrays.
+  for (const RowBlock& b : partitions_[event.worker]) {
+    runtime_->AdvanceClock(worker_node,
+                           static_cast<double>(b.text_bytes) /
+                                   cost.disk_bandwidth +
+                               b.text_bytes * cost.mllib_ingest_per_byte);
+  }
+  runtime_->ChargeMemTouch(worker_node,
+                           2 * weights_.size() * sizeof(double));
+  // The replacement re-pulls the full model from the servers to rebuild its
+  // dense kvstore weight cache (the co-located shard is loopback).
+  for (int srv = 0; srv < runtime_->num_workers(); ++srv) {
+    const uint64_t pull_bytes =
+        shard_map_->LocalDim(srv) * wpf * sizeof(double);
+    if (srv == event.worker) {
+      runtime_->SyncClockTo(worker_node,
+                            runtime_->clock(runtime_->extra_node(srv)));
+    } else {
+      runtime_->Send(runtime_->extra_node(srv), worker_node, pull_bytes);
+    }
+  }
+
+  // The co-located server shard is gone with the node. Restore its slots
+  // from the last checkpoint, or re-initialize and lose that slice's
+  // updates.
+  const int s = event.worker;
+  const NodeId server_node = runtime_->extra_node(s);
+  const SavedModel* checkpoint = LatestCheckpoint();
+  const uint64_t shard_dim = shard_map_->LocalDim(s);
+  for (uint64_t i = 0; i < shard_dim; ++i) {
+    const uint64_t feature = shard_map_->GlobalIndex(s, i);
+    for (int j = 0; j < wpf; ++j) {
+      const uint64_t slot = feature * wpf + j;
+      weights_[slot] = checkpoint != nullptr
+                           ? checkpoint->weights[slot]
+                           : model_->InitWeight(feature, j, config_.seed);
+      for (int k = 0; k < sps; ++k) opt_state_[slot * sps + k] = 0.0;
+    }
+  }
+  const uint64_t shard_bytes = shard_dim * wpf * sizeof(double);
+  if (checkpoint != nullptr) {
+    // The master reads the shard from stable storage and ships it.
+    ChargeCheckpointRead(runtime_->master(), shard_bytes);
+    runtime_->Send(runtime_->master(), server_node, shard_bytes);
+    recovery_.iterations_lost +=
+        event.iteration - checkpoints_.completed_iterations();
+  } else {
+    runtime_->ChargeMemTouch(server_node, shard_bytes);
+    recovery_.iterations_lost += event.iteration;
+  }
+}
+
+void PsEngine::ChargeCheckpointGather() {
+  const int wpf = model_->weights_per_feature();
+  for (int s = 0; s < runtime_->num_workers(); ++s) {
+    runtime_->Send(runtime_->extra_node(s), runtime_->master(),
+                   shard_map_->LocalDim(s) * wpf * sizeof(double));
+  }
+}
+
+Status PsEngine::DoRunIteration(int64_t iteration) {
   const int K = runtime_->num_workers();
   const int wpf = model_->weights_per_feature();
   const uint64_t model_bytes = weights_.size() * sizeof(double);
@@ -120,7 +187,7 @@ Status PsEngine::RunIteration(int64_t iteration) {
     if (local) {
       runtime_->SyncClockTo(to, runtime_->clock(from));
     } else {
-      runtime_->Send(from, to, bytes);
+      SendWithFaults(from, to, bytes, iteration);
     }
   };
 
@@ -206,6 +273,12 @@ Status PsEngine::RunIteration(int64_t iteration) {
     // Dense weight/gradient buffer sweeps on the worker (the kvstore
     // arrays): this is the O(m) per-iteration term of the PS baselines.
     runtime_->ChargeMemTouch(node, 2 * model_bytes);
+    const double level = StragglerLevelFor(iteration, w);
+    if (level > 0.0) {
+      runtime_->AdvanceClock(
+          node,
+          level * cluster_spec_.compute.SecondsFor(worker_flops[w].flops()));
+    }
   }
   last_batch_loss_ = loss_sum / static_cast<double>(batch_total);
 

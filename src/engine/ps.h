@@ -35,11 +35,19 @@ class PsEngine : public Engine {
     return options_.sparse_pull ? "ps_sparse(mxnet)" : "ps_dense(petuum)";
   }
   Status Setup(const Dataset& dataset) override;
-  Status RunIteration(int64_t iteration) override;
   std::vector<double> FullModel() const override { return weights_; }
 
   uint64_t ServerMemoryBytes(int server) const;
   uint64_t WorkerMemoryBytes(int worker) const;
+
+ protected:
+  Status DoRunIteration(int64_t iteration) override;
+  /// \brief Node death takes worker w AND its co-located server shard w:
+  /// the worker re-reads its row partition; the shard restores from the last
+  /// checkpoint (or re-initializes, losing its slice's updates).
+  void RecoverWorkerFailure(const FaultEvent& event) override;
+  /// \brief Every server ships its shard to the master.
+  void ChargeCheckpointGather() override;
 
  private:
   size_t WorkerBatchSize(int worker) const;

@@ -86,7 +86,22 @@ size_t MllibEngine::WorkerBatchSize(int worker) const {
          (static_cast<size_t>(worker) < config_.batch_size % K ? 1 : 0);
 }
 
-Status MllibEngine::RunIteration(int64_t iteration) {
+void MllibEngine::RecoverWorkerFailure(const FaultEvent& event) {
+  // The replacement executor re-reads the worker's row partition from
+  // storage (parse included) and pulls a fresh copy of the full model from
+  // the master. The master's model is intact, so no updates are lost.
+  const NodeId node = runtime_->worker_node(event.worker);
+  const TransformCostConfig& cost = config_.transform_cost;
+  for (const RowBlock& b : partitions_[event.worker]) {
+    runtime_->AdvanceClock(node,
+                           static_cast<double>(b.text_bytes) /
+                                   cost.disk_bandwidth +
+                               b.text_bytes * cost.mllib_ingest_per_byte);
+  }
+  runtime_->Send(runtime_->master(), node, weights_.size() * sizeof(double));
+}
+
+Status MllibEngine::DoRunIteration(int64_t iteration) {
   const int K = runtime_->num_workers();
   const uint64_t model_bytes = weights_.size() * sizeof(double);
 
@@ -137,6 +152,11 @@ Status MllibEngine::RunIteration(int64_t iteration) {
     // Dense gradient buffer sweep (zeroing + densification for the push).
     runtime_->ChargeCompute(node, flops.flops());
     runtime_->ChargeMemTouch(node, model_bytes);
+    const double level = StragglerLevelFor(iteration, w);
+    if (level > 0.0) {
+      runtime_->AdvanceClock(
+          node, level * cluster_spec_.compute.SecondsFor(flops.flops()));
+    }
 
     // Step 3: push the gradient to the master.
     uint64_t push_bytes = model_bytes;
@@ -147,7 +167,7 @@ Status MllibEngine::RunIteration(int64_t iteration) {
                             (sizeof(uint32_t) +
                              sizeof(double) * model_->weights_per_feature());
     }
-    runtime_->Send(node, runtime_->master(), push_bytes);
+    SendWithFaults(node, runtime_->master(), push_bytes, iteration);
   }
   last_batch_loss_ = loss_sum / static_cast<double>(batch_total);
 

@@ -26,13 +26,19 @@ class MllibEngine : public Engine {
 
   std::string name() const override { return "mllib"; }
   Status Setup(const Dataset& dataset) override;
-  Status RunIteration(int64_t iteration) override;
   std::vector<double> FullModel() const override { return weights_; }
 
   /// \brief Modeled resident bytes on the master (model + aggregation
   /// buffer): the master column of Table I.
   uint64_t MasterMemoryBytes() const;
   uint64_t WorkerMemoryBytes(int worker) const;
+
+ protected:
+  Status DoRunIteration(int64_t iteration) override;
+  /// \brief Spark stage restart: the dead worker re-reads its row partition
+  /// from storage and re-pulls the full model. The model itself lives at the
+  /// master, so no updates are lost.
+  void RecoverWorkerFailure(const FaultEvent& event) override;
 
  private:
   /// \brief Rows each worker contributes to a batch of size B.

@@ -61,6 +61,7 @@ TrainResult RunTraining(Engine* engine, const Dataset& dataset,
       result.train_time / static_cast<double>(options.iterations);
   result.bytes_on_wire = after.bytes_sent - before.bytes_sent;
   result.messages = after.messages_sent - before.messages_sent;
+  result.recovery = engine->recovery_metrics();
   return result;
 }
 

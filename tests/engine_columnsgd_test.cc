@@ -31,6 +31,22 @@ TrainConfig Config() {
   return config;
 }
 
+FaultConfig RotatingStraggler(double level, uint64_t seed) {
+  FaultPlanConfig plan;
+  plan.seed = seed;
+  plan.stragglers.mode = StragglerSpec::Mode::kRotating;
+  plan.stragglers.level = level;
+  FaultConfig faults;
+  faults.plan = FaultPlan(plan);
+  return faults;
+}
+
+FaultConfig Scripted(std::vector<FaultEvent> events) {
+  FaultConfig faults;
+  faults.plan = FaultPlan::Scripted(std::move(events));
+  return faults;
+}
+
 TEST(ColumnSgdEngineTest, SetupPartitionsDataAndModel) {
   Dataset d = TestData();
   ColumnSgdEngine engine(Cluster(), Config());
@@ -143,8 +159,8 @@ TEST(ColumnSgdEngineTest, BackupAbsorbsStragglers) {
   auto run = [&](int backup, double level) {
     ColumnSgdOptions options;
     options.backup = backup;
-    if (level > 0) options.straggler = StragglerInjector(level, 4, 99);
     ColumnSgdEngine engine(Cluster(4), Config(), std::move(options));
+    if (level > 0) engine.set_faults(RotatingStraggler(level, 99));
     EXPECT_TRUE(engine.Setup(d).ok());
     // Progress is what the master sees; under backup computation the
     // straggler's own clock lags by design.
@@ -169,8 +185,8 @@ TEST(ColumnSgdEngineTest, ThreeBackupStillExactAndStragglerProof) {
   ColumnSgdEngine pure(Cluster(8), Config());
   ColumnSgdOptions options;
   options.backup = 3;
-  options.straggler = StragglerInjector(5.0, 8, 5);
   ColumnSgdEngine backed(Cluster(8), Config(), std::move(options));
+  backed.set_faults(RotatingStraggler(5.0, 5));
   ASSERT_TRUE(pure.Setup(d).ok());
   ASSERT_TRUE(backed.Setup(d).ok());
   EXPECT_EQ(backed.num_groups(), 2);
@@ -215,11 +231,8 @@ TEST(ColumnSgdEngineTest, BatchLargerThanDataset) {
 
 TEST(ColumnSgdEngineTest, TaskFailureOnlyCostsRetryTime) {
   Dataset d = TestData();
-  ColumnSgdOptions options;
-  options.failures =
-      FailureInjector({{3, 1, FailureKind::kTaskFailure}});
-  options.task_retry_overhead = 0.2;
-  ColumnSgdEngine engine(Cluster(4), Config(), std::move(options));
+  ColumnSgdEngine engine(Cluster(4), Config());
+  engine.set_faults(Scripted({{3, 1, FaultKind::kTaskFailure}}));
   ColumnSgdEngine reference(Cluster(4), Config());
   ASSERT_TRUE(engine.Setup(d).ok());
   ASSERT_TRUE(reference.Setup(d).ok());
@@ -239,10 +252,8 @@ TEST(ColumnSgdEngineTest, WorkerFailureReloadsAndReconverges) {
   Dataset d = TestData(4000, 300);
   TrainConfig config = Config();
   config.batch_size = 256;
-  ColumnSgdOptions options;
-  options.failures =
-      FailureInjector({{20, 2, FailureKind::kWorkerFailure}});
-  ColumnSgdEngine engine(Cluster(4), config, std::move(options));
+  ColumnSgdEngine engine(Cluster(4), config);
+  engine.set_faults(Scripted({{20, 2, FaultKind::kWorkerFailure}}));
   ASSERT_TRUE(engine.Setup(d).ok());
 
   double loss_before_failure = 0.0;

@@ -1,0 +1,254 @@
+// Tests for the cluster/fault subsystem: FaultPlan (scripted index,
+// probabilistic processes, straggler modes, message drops), the failure
+// detector's timing policy, and checkpoint save/restore via model_io.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "cluster/fault/failure_detector.h"
+#include "cluster/fault/fault_plan.h"
+#include "engine/checkpoint.h"
+
+namespace colsgd {
+namespace {
+
+TEST(FaultPlanTest, EmptyPlanIsInert) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.active());
+  EXPECT_FALSE(plan.has_failures());
+  EXPECT_TRUE(plan.EventsAt(0).empty());
+  EXPECT_FALSE(plan.DropMessage(0, 0, 1));
+  EXPECT_DOUBLE_EQ(plan.StragglerLevel(0, 0), 0.0);
+}
+
+TEST(FaultPlanTest, ScriptedEventsIndexedByIteration) {
+  // Multiple events on one iteration, plus events far apart: lookup must
+  // return exactly the scheduled set, in script order.
+  FaultPlan plan = FaultPlan::Scripted({
+      {5, 2, FaultKind::kWorkerFailure},
+      {5, 0, FaultKind::kTaskFailure},
+      {1000000, 1, FaultKind::kTaskFailure},
+  });
+  EXPECT_TRUE(plan.has_failures());
+  EXPECT_TRUE(plan.EventsAt(4).empty());
+  const std::vector<FaultEvent> at5 = plan.EventsAt(5);
+  ASSERT_EQ(at5.size(), 2u);
+  EXPECT_EQ(at5[0].worker, 2);
+  EXPECT_EQ(at5[0].kind, FaultKind::kWorkerFailure);
+  EXPECT_EQ(at5[1].worker, 0);
+  EXPECT_EQ(at5[1].kind, FaultKind::kTaskFailure);
+  ASSERT_EQ(plan.EventsAt(1000000).size(), 1u);
+}
+
+TEST(FaultPlanTest, MtbfDrawsAreDeterministicAndRateMatched) {
+  FaultPlanConfig config;
+  config.seed = 42;
+  config.num_workers = 8;
+  config.worker_mtbf_iters = 50.0;  // p = 0.02 per worker per iteration
+  FaultPlan a(config), b(config);
+
+  int64_t failures = 0;
+  const int64_t iters = 20000;
+  for (int64_t i = 0; i < iters; ++i) {
+    const auto ea = a.EventsAt(i);
+    EXPECT_EQ(ea.size(), b.EventsAt(i).size()) << "iteration " << i;
+    failures += static_cast<int64_t>(ea.size());
+    for (const FaultEvent& e : ea) {
+      EXPECT_EQ(e.kind, FaultKind::kWorkerFailure);
+    }
+  }
+  // Expected 8 * 20000 / 50 = 3200 failures; allow 10% slack.
+  EXPECT_NEAR(static_cast<double>(failures), 3200.0, 320.0);
+}
+
+TEST(FaultPlanTest, EventsAtIsRandomAccess) {
+  // Querying out of order or repeatedly must not change the draws.
+  FaultPlanConfig config;
+  config.seed = 7;
+  config.num_workers = 4;
+  config.task_mtbf_iters = 10.0;
+  FaultPlan plan(config);
+  const auto first = plan.EventsAt(123);
+  plan.EventsAt(7);
+  plan.EventsAt(999);
+  const auto again = plan.EventsAt(123);
+  ASSERT_EQ(first.size(), again.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].worker, again[i].worker);
+  }
+}
+
+TEST(FaultPlanTest, RotatingStragglerPicksOneWorkerPerIteration) {
+  FaultPlanConfig config;
+  config.seed = 99;
+  config.num_workers = 8;
+  config.stragglers.mode = StragglerSpec::Mode::kRotating;
+  config.stragglers.level = 5.0;
+  FaultPlan plan(config);
+  EXPECT_TRUE(plan.active());
+  EXPECT_FALSE(plan.has_failures());
+
+  std::set<int> picked;
+  for (int64_t i = 0; i < 200; ++i) {
+    int slow = 0;
+    for (int w = 0; w < 8; ++w) {
+      const double level = plan.StragglerLevel(i, w);
+      if (level > 0.0) {
+        EXPECT_DOUBLE_EQ(level, 5.0);
+        picked.insert(w);
+        ++slow;
+      }
+    }
+    EXPECT_EQ(slow, 1) << "iteration " << i;
+  }
+  // Over 200 iterations the pick should rotate across the cluster.
+  EXPECT_GT(picked.size(), 4u);
+}
+
+TEST(FaultPlanTest, PersistentStragglersHitConfiguredWorkersOnly) {
+  FaultPlanConfig config;
+  config.seed = 3;
+  config.num_workers = 6;
+  config.stragglers.mode = StragglerSpec::Mode::kPersistent;
+  config.stragglers.workers = {1, 4};
+  config.stragglers.level = 2.0;
+  FaultPlan plan(config);
+  for (int64_t i = 0; i < 50; ++i) {
+    for (int w = 0; w < 6; ++w) {
+      const bool slow = (w == 1 || w == 4);
+      EXPECT_DOUBLE_EQ(plan.StragglerLevel(i, w), slow ? 2.0 : 0.0);
+    }
+  }
+}
+
+TEST(FaultPlanTest, LevelDistributionDrawsWithinRange) {
+  FaultPlanConfig config;
+  config.seed = 11;
+  config.num_workers = 4;
+  config.stragglers.mode = StragglerSpec::Mode::kPersistent;
+  config.stragglers.workers = {0};
+  config.stragglers.level = 1.0;
+  config.stragglers.level_hi = 4.0;
+  FaultPlan plan(config);
+  double lo = 1e9, hi = -1e9;
+  for (int64_t i = 0; i < 500; ++i) {
+    const double level = plan.StragglerLevel(i, 0);
+    EXPECT_GE(level, 1.0);
+    EXPECT_LT(level, 4.0);
+    lo = std::min(lo, level);
+    hi = std::max(hi, level);
+  }
+  EXPECT_LT(lo, 1.5);  // the distribution actually spreads
+  EXPECT_GT(hi, 3.5);
+}
+
+TEST(FaultPlanTest, CorrelatedStragglersDegradeIterationsTogether) {
+  FaultPlanConfig config;
+  config.seed = 21;
+  config.num_workers = 16;
+  config.stragglers.mode = StragglerSpec::Mode::kCorrelated;
+  config.stragglers.probability = 0.25;
+  config.stragglers.fraction = 0.5;
+  config.stragglers.level = 3.0;
+  FaultPlan plan(config);
+
+  int degraded_iters = 0;
+  int slow_workers = 0;
+  const int64_t iters = 2000;
+  for (int64_t i = 0; i < iters; ++i) {
+    int slow = 0;
+    for (int w = 0; w < 16; ++w) {
+      if (plan.StragglerLevel(i, w) > 0.0) ++slow;
+    }
+    if (slow > 0) ++degraded_iters;
+    slow_workers += slow;
+  }
+  // ~25% of iterations degraded (a degraded iteration virtually always has
+  // at least one of 16 workers slow), ~half the cluster each time.
+  EXPECT_NEAR(degraded_iters, 500, 100);
+  EXPECT_NEAR(static_cast<double>(slow_workers) / degraded_iters, 8.0, 1.5);
+}
+
+TEST(FaultPlanTest, MessageDropRateMatchesProbability) {
+  FaultPlanConfig config;
+  config.seed = 5;
+  config.num_workers = 4;
+  config.message_drop_prob = 0.1;
+  FaultPlan plan(config);
+  EXPECT_TRUE(plan.active());
+  int drops = 0;
+  const int64_t iters = 10000;
+  for (int64_t i = 0; i < iters; ++i) {
+    if (plan.DropMessage(i, 1, 0)) ++drops;
+    // Deterministic per (iteration, link).
+    EXPECT_EQ(plan.DropMessage(i, 1, 0), plan.DropMessage(i, 1, 0));
+  }
+  EXPECT_NEAR(static_cast<double>(drops), 1000.0, 150.0);
+}
+
+TEST(FailureDetectorTest, DetectionAndBackoffPolicy) {
+  FailureDetector detector{FailureDetectorConfig{}};
+  // Defaults: 0.1 heartbeat interval + 0.5 timeout.
+  EXPECT_DOUBLE_EQ(detector.WorkerDetectionDelay(), 0.6);
+  // Exponential backoff from 0.2, doubling, capped at 5.
+  EXPECT_DOUBLE_EQ(detector.TaskRetryDelay(0), 0.2);
+  EXPECT_DOUBLE_EQ(detector.TaskRetryDelay(1), 0.4);
+  EXPECT_DOUBLE_EQ(detector.TaskRetryDelay(2), 0.8);
+  EXPECT_DOUBLE_EQ(detector.TaskRetryDelay(10), 5.0);
+}
+
+TEST(CheckpointStoreTest, ScheduleFollowsEvery) {
+  CheckpointConfig config;
+  config.every = 10;
+  CheckpointStore store(config);
+  EXPECT_FALSE(store.ShouldCheckpoint(0));
+  EXPECT_TRUE(store.ShouldCheckpoint(9));    // after 10 completed iterations
+  EXPECT_FALSE(store.ShouldCheckpoint(10));
+  EXPECT_TRUE(store.ShouldCheckpoint(19));
+  EXPECT_FALSE(CheckpointStore().ShouldCheckpoint(9));  // disabled by default
+}
+
+SavedModel TestModel() {
+  SavedModel model;
+  model.model_name = "lr";
+  model.num_features = 4;
+  model.weights = {0.5, -1.25, 3.0, 0.0};
+  model.shared = {};
+  return model;
+}
+
+TEST(CheckpointStoreTest, InMemorySaveRestoresExactState) {
+  CheckpointStore store(CheckpointConfig{});
+  EXPECT_EQ(store.Latest(), nullptr);
+  ASSERT_TRUE(store.Save(TestModel(), 30).ok());
+  ASSERT_NE(store.Latest(), nullptr);
+  EXPECT_EQ(store.Latest()->weights, TestModel().weights);
+  EXPECT_EQ(store.completed_iterations(), 30);
+  EXPECT_EQ(store.bytes(), SerializedModelBytes(TestModel()));
+}
+
+TEST(CheckpointStoreTest, FileBackedSaveRoundTripsThroughModelIo) {
+  CheckpointConfig config;
+  config.path = ::testing::TempDir() + "/colsgd_checkpoint_test.bin";
+  CheckpointStore store(config);
+  const SavedModel model = TestModel();
+  ASSERT_TRUE(store.Save(model, 10).ok());
+
+  // The store's copy went through WriteModelFile + ReadModelFile: the
+  // restore observes exactly the serialized state, bit for bit.
+  ASSERT_NE(store.Latest(), nullptr);
+  EXPECT_EQ(store.Latest()->model_name, model.model_name);
+  EXPECT_EQ(store.Latest()->num_features, model.num_features);
+  EXPECT_EQ(store.Latest()->weights, model.weights);
+  EXPECT_EQ(store.Latest()->shared, model.shared);
+
+  // And the file itself is independently readable.
+  auto reread = ReadModelFile(config.path);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread.ValueOrDie().weights, model.weights);
+  std::remove(config.path.c_str());
+}
+
+}  // namespace
+}  // namespace colsgd

@@ -1,11 +1,9 @@
 // Tests for the network/compute simulation and the cluster runtime:
-// byte-accurate transfer times, NIC serialization, barriers, straggler and
-// failure injection.
+// byte-accurate transfer times, NIC serialization, and barriers. (Fault
+// injection lives in cluster/fault and is tested in fault_test.cc.)
 #include <gtest/gtest.h>
 
 #include "cluster/cluster.h"
-#include "cluster/failure.h"
-#include "cluster/straggler.h"
 #include "simnet/compute_model.h"
 #include "simnet/network.h"
 
@@ -166,40 +164,6 @@ TEST(ClusterRuntimeTest, ChargeMemTouchUsesMemBandwidth) {
   ClusterRuntime runtime(spec);
   runtime.ChargeMemTouch(2, 5e8);
   EXPECT_DOUBLE_EQ(runtime.clock(2), 0.5);
-}
-
-TEST(StragglerInjectorTest, DisabledByDefault) {
-  StragglerInjector injector;
-  EXPECT_FALSE(injector.enabled());
-  EXPECT_EQ(injector.PickStraggler(), -1);
-  EXPECT_DOUBLE_EQ(injector.ExtraSeconds(0, 0, 1.0), 0.0);
-}
-
-TEST(StragglerInjectorTest, OnlyPickedWorkerStraggles) {
-  StragglerInjector injector(5.0, 8, 42);
-  const int straggler = injector.PickStraggler();
-  ASSERT_GE(straggler, 0);
-  ASSERT_LT(straggler, 8);
-  EXPECT_DOUBLE_EQ(injector.ExtraSeconds(straggler, straggler, 2.0), 10.0);
-  EXPECT_DOUBLE_EQ(injector.ExtraSeconds((straggler + 1) % 8, straggler, 2.0),
-                   0.0);
-}
-
-TEST(StragglerInjectorTest, DeterministicSequence) {
-  StragglerInjector a(1.0, 8, 7), b(1.0, 8, 7);
-  for (int i = 0; i < 20; ++i) {
-    EXPECT_EQ(a.PickStraggler(), b.PickStraggler());
-  }
-}
-
-TEST(FailureInjectorTest, ReturnsScheduledEvent) {
-  FailureInjector injector({{5, 2, FailureKind::kWorkerFailure}});
-  EXPECT_EQ(injector.EventAt(4), nullptr);
-  const FailureEvent* e = injector.EventAt(5);
-  ASSERT_NE(e, nullptr);
-  EXPECT_EQ(e->worker, 2);
-  EXPECT_EQ(e->kind, FailureKind::kWorkerFailure);
-  EXPECT_TRUE(FailureInjector().empty());
 }
 
 TEST(NetworkConfigTest, ClusterPresetsMatchPaper) {

@@ -86,9 +86,15 @@ TEST(TrainerTest, SimTimeAtMasterNotLaggards) {
 
   ColumnSgdOptions engine_options;
   engine_options.backup = 1;
-  engine_options.straggler = StragglerInjector(10.0, 4, 3);
   auto engine = std::make_unique<ColumnSgdEngine>(Cluster(), Config(),
                                                   std::move(engine_options));
+  FaultPlanConfig plan;
+  plan.seed = 3;
+  plan.stragglers.mode = StragglerSpec::Mode::kRotating;
+  plan.stragglers.level = 10.0;
+  FaultConfig faults;
+  faults.plan = FaultPlan(plan);
+  engine->set_faults(faults);
   TrainResult result = RunTraining(engine.get(), d, options);
   ASSERT_TRUE(result.status.ok());
   EXPECT_LT(result.avg_iter_time, 1.5 * base.avg_iter_time);
