@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Smoke-runs every bench binary with a tiny configuration and asserts a clean
+# exit. This keeps the experiment harnesses compiling *and running* — a bench
+# that only builds can still crash on a renamed flag or a changed TrainResult
+# field. Usage: bench/smoke.sh <build-dir> (default: build).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+BENCH_DIR="$BUILD_DIR/bench"
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "error: $BENCH_DIR not found (build first)" >&2
+  exit 2
+fi
+
+run() {
+  local name="$1"
+  shift
+  echo "--- $name $*"
+  "$BENCH_DIR/$name" "$@" > "$OUT_DIR/$name.log" 2>&1 || {
+    echo "FAILED: $name (exit $?)" >&2
+    tail -40 "$OUT_DIR/$name.log" >&2
+    exit 1
+  }
+}
+
+run bench_table1_costmodel --batch_size 100 --out_dir "$OUT_DIR"
+run bench_fig4_batchsize --iterations 2 --max_batch 100 --out_dir "$OUT_DIR"
+run bench_fig7_loading --block_rows 4096 --out_dir "$OUT_DIR"
+run bench_fig8_convergence --iterations 2 --out_dir "$OUT_DIR"
+run bench_table4_periter_lr --iterations 2 --out_dir "$OUT_DIR"
+run bench_table5_periter_fm --iterations 2 --out_dir "$OUT_DIR"
+run bench_fig9_stragglers --iterations 2 --out_dir "$OUT_DIR"
+run bench_fig10_modelsize --iterations 2 --max_dim 200000 --out_dir "$OUT_DIR"
+run bench_fig11_clustersize --iterations 2 --out_dir "$OUT_DIR"
+run bench_fig13_faults --iterations 6 --fail_at 2 --out_dir "$OUT_DIR"
+run bench_ablation_partitioner --iterations 2 --out_dir "$OUT_DIR"
+run bench_ablation_optimizer --iterations 2 --out_dir "$OUT_DIR"
+# bench_micro is a Google-benchmark binary; listing its cases exercises
+# registration without timing anything.
+run bench_micro --benchmark_list_tests
+
+# The table-IV harness must emit the phase-breakdown columns produced by the
+# tracing subsystem (src/obs).
+if ! grep -q "serialization" "$OUT_DIR/table4_periter_lr.csv"; then
+  echo "FAILED: table4_periter_lr.csv lacks phase-breakdown columns" >&2
+  exit 1
+fi
+if ! grep -q "phase breakdown" "$OUT_DIR/bench_table4_periter_lr.log"; then
+  echo "FAILED: bench_table4_periter_lr printed no phase breakdown" >&2
+  exit 1
+fi
+
+echo "bench smoke: all binaries exited cleanly"

@@ -68,6 +68,18 @@ class ClusterRuntime {
   SimNetwork& net() { return net_; }
   int num_workers() const { return spec_.num_workers; }
 
+  /// \brief Attaches a (non-owning, nullable) tracer to the runtime and its
+  /// network. Recording is passive; simulated clocks are unaffected.
+  void set_tracer(Tracer* tracer) {
+    tracer_ = tracer;
+    net_.set_tracer(tracer);
+    if (tracer != nullptr) {
+      tracer->SetTopology(static_cast<int>(clocks_.size()),
+                          spec_.num_workers);
+    }
+  }
+  Tracer* tracer() const { return tracer_; }
+
   NodeId master() const { return 0; }
   NodeId worker_node(int k) const {
     COLSGD_CHECK_GE(k, 0);
@@ -94,12 +106,20 @@ class ClusterRuntime {
 
   /// \brief Charges `flops` of compute on a node's clock.
   void ChargeCompute(NodeId node, uint64_t flops) {
-    AdvanceClock(node, spec_.compute.SecondsFor(flops));
+    const double seconds = spec_.compute.SecondsFor(flops);
+    if (tracer_ != nullptr) {
+      tracer_->RecordCompute(node, clocks_[node], seconds, flops);
+    }
+    AdvanceClock(node, seconds);
   }
 
   /// \brief Charges an O(bytes) dense-memory sweep on a node's clock.
   void ChargeMemTouch(NodeId node, uint64_t bytes) {
-    AdvanceClock(node, static_cast<double>(bytes) / spec_.mem_bandwidth);
+    const double seconds = static_cast<double>(bytes) / spec_.mem_bandwidth;
+    if (tracer_ != nullptr) {
+      tracer_->RecordMemTouch(node, clocks_[node], seconds, bytes);
+    }
+    AdvanceClock(node, seconds);
   }
 
   /// \brief Simulated time at which every node has finished.
@@ -110,6 +130,7 @@ class ClusterRuntime {
   /// \brief BSP barrier: all clocks jump to the global maximum.
   void Barrier() {
     const SimTime t = MaxClock();
+    if (tracer_ != nullptr) tracer_->RecordBarrier(t);
     for (auto& c : clocks_) c = t;
   }
 
@@ -150,6 +171,7 @@ class ClusterRuntime {
   ClusterSpec spec_;
   SimNetwork net_;
   std::vector<SimTime> clocks_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace colsgd

@@ -19,6 +19,7 @@
 #include "engine/metrics.h"
 #include "model/factory.h"
 #include "model/model_spec.h"
+#include "obs/trace.h"
 #include "optim/optimizer.h"
 #include "storage/transform.h"
 
@@ -69,6 +70,11 @@ struct TrainResult {
   uint64_t bytes_on_wire = 0;  // total traffic during training
   uint64_t messages = 0;
   RecoveryMetrics recovery;    // fault-recovery accounting (Fig. 13)
+  /// Per-iteration master-clock phase breakdowns (only filled when a Tracer
+  /// was attached to the engine; see obs/trace.h).
+  std::vector<IterationPhases> phase_trace;
+  /// Sum of phase_trace over iterations.
+  PhaseBreakdown phase_totals;
   Status status;  // non-OK e.g. when a baseline runs out of memory (Table V)
 };
 
@@ -91,11 +97,19 @@ class Engine {
   /// \brief Runs one BSP SGD iteration. `iteration` seeds the batch draw.
   /// Template method: fires this iteration's faults (task retries, worker
   /// recovery), runs the engine body, then takes a periodic checkpoint.
-  Status RunIteration(int64_t iteration) {
-    ProcessFaults(iteration);
-    COLSGD_RETURN_NOT_OK(DoRunIteration(iteration));
-    return MaybeCheckpoint(iteration);
+  /// With a tracer attached, the whole window is phase-accounted on the
+  /// master clock (obs/trace.h).
+  Status RunIteration(int64_t iteration);
+
+  /// \brief Attaches a (non-owning, nullable) tracer to the engine and its
+  /// cluster runtime. Attach before Setup to capture loading traffic; the
+  /// tracer must outlive the engine or be detached with set_tracer(nullptr).
+  /// Tracing is passive — it changes no simulated time and no trained bit.
+  void set_tracer(Tracer* tracer) {
+    tracer_ = tracer;
+    runtime_->set_tracer(tracer);
   }
+  Tracer* tracer() const { return tracer_; }
 
   /// \brief Installs the fault model. Call after construction, before
   /// Setup/RunIteration; replaces any previous fault configuration.
@@ -150,6 +164,15 @@ class Engine {
                                          : engine_default;
   }
 
+  /// \brief Marks a master-timeline phase boundary at the current master
+  /// clock. Engines bracket their DoRunIteration body with these so the
+  /// phase breakdown tiles the iteration's master-clock delta exactly.
+  void TracePhase(Phase phase) {
+    if (tracer_ != nullptr) {
+      tracer_->SetPhase(phase, runtime_->clock(runtime_->master()));
+    }
+  }
+
   /// \brief Fires this iteration's fault events: task failures charge
   /// exponential-backoff retries on the failed worker; worker failures
   /// charge heartbeat detection on the master, invoke the engine's recovery
@@ -190,6 +213,7 @@ class Engine {
   FailureDetector detector_;
   CheckpointStore checkpoints_;
   RecoveryMetrics recovery_;
+  Tracer* tracer_ = nullptr;
   double last_batch_loss_ = std::numeric_limits<double>::quiet_NaN();
   double load_time_ = 0.0;
 };

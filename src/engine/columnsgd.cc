@@ -198,12 +198,14 @@ Status ColumnSgdEngine::DoRunIteration(int64_t iteration) {
   const uint64_t stats_bytes = 16 + B * spp * stat_width;
 
   // Driver dispatch.
+  TracePhase(Phase::kSerialization);
   runtime_->AdvanceClock(runtime_->master(),
                          SchedOverhead(kDefaultSchedOverhead));
   for (int w = 0; w < K; ++w) {
     runtime_->Send(runtime_->master(), runtime_->worker_node(w),
                    kCommandMsgBytes);
   }
+  TracePhase(Phase::kWire);  // master now waits on the statistics gather
 
   // Every node draws the same batch from the shared seed (two-phase index).
   const std::vector<RowRef> batch = sampler_->Sample(iteration, B);
@@ -256,12 +258,20 @@ Status ColumnSgdEngine::DoRunIteration(int64_t iteration) {
     }
     group_winner[g] = winner;
     const NodeId node = runtime_->worker_node(winner);
+    if (tracer_ != nullptr) {
+      // The winner's computeStat block (charged below via set_clock, not
+      // ChargeCompute, because backup replicas race on the same work).
+      tracer_->RecordCompute(node, runtime_->clock(node),
+                             earliest_finish - runtime_->clock(node),
+                             group_flops[g]);
+    }
     runtime_->set_clock(node, earliest_finish);
     group_reply[g] =
         SendWithFaults(node, runtime_->master(), stats_bytes, iteration);
     gather_time = std::max(gather_time, group_reply[g]);
   }
   runtime_->set_clock(runtime_->master(), gather_time);
+  TracePhase(Phase::kCompute);  // reduceStat + loss on the master
   // Losing replicas are killed once the master has every group's reply.
   for (int g = 0; g < num_groups_; ++g) {
     for (int r = 0; r <= options_.backup; ++r) {

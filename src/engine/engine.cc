@@ -10,6 +10,25 @@
 
 namespace colsgd {
 
+Status Engine::RunIteration(int64_t iteration) {
+  if (tracer_ != nullptr) {
+    // Time before the engine body's first phase mark (i.e. ProcessFaults)
+    // is charged to kRecovery; see Tracer::BeginIteration.
+    tracer_->BeginIteration(iteration,
+                            runtime_->clock(runtime_->master()));
+  }
+  ProcessFaults(iteration);
+  Status status = DoRunIteration(iteration);
+  if (status.ok()) {
+    TracePhase(Phase::kCheckpoint);
+    status = MaybeCheckpoint(iteration);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->EndIteration(runtime_->clock(runtime_->master()));
+  }
+  return status;
+}
+
 void Engine::ProcessFaults(int64_t iteration) {
   if (!faults_.plan.has_failures()) return;
   const std::vector<FaultEvent> events = faults_.plan.EventsAt(iteration);
@@ -25,7 +44,14 @@ void Engine::ProcessFaults(int64_t iteration) {
     if (event.kind == FaultKind::kTaskFailure) {
       ++recovery_.task_failures;
       const double delay = detector_.TaskRetryDelay(attempts[event.worker]++);
-      runtime_->AdvanceClock(runtime_->worker_node(event.worker), delay);
+      const NodeId node = runtime_->worker_node(event.worker);
+      if (tracer_ != nullptr) {
+        tracer_->RecordInstant("fault.task", node, runtime_->clock(node),
+                               iteration);
+        tracer_->RecordSpan("recovery.retry", node, runtime_->clock(node),
+                            delay, 0, iteration);
+      }
+      runtime_->AdvanceClock(node, delay);
       recovery_.recovery_seconds += delay;
       continue;
     }
@@ -34,6 +60,14 @@ void Engine::ProcessFaults(int64_t iteration) {
     // wait for it. Recovery time and bytes are measured, not modeled.
     ++recovery_.worker_failures;
     const double detection = detector_.WorkerDetectionDelay();
+    if (tracer_ != nullptr) {
+      tracer_->RecordInstant("fault.worker",
+                             runtime_->worker_node(event.worker),
+                             runtime_->clock(runtime_->master()), iteration);
+      tracer_->RecordSpan("recovery.detect", runtime_->master(),
+                          runtime_->clock(runtime_->master()), detection, 0,
+                          iteration);
+    }
     runtime_->AdvanceClock(runtime_->master(), detection);
     recovery_.detection_seconds += detection;
     // The cluster stalls until the master has declared the death and
@@ -49,6 +83,12 @@ void Engine::ProcessFaults(int64_t iteration) {
         runtime_->clock(runtime_->master()) - repair_start;
     const TrafficStats after = runtime_->net().TotalStats();
     recovery_.bytes_retransferred += after.bytes_sent - before.bytes_sent;
+    if (tracer_ != nullptr) {
+      tracer_->RecordSpan("recovery.repair",
+                          runtime_->worker_node(event.worker), repair_start,
+                          runtime_->clock(runtime_->master()) - repair_start,
+                          after.bytes_sent - before.bytes_sent, iteration);
+    }
   }
 }
 
@@ -73,6 +113,11 @@ Status Engine::MaybeCheckpoint(int64_t iteration) {
   ++recovery_.checkpoints_taken;
   recovery_.checkpoint_bytes += checkpoints_.bytes();
   recovery_.checkpoint_seconds += runtime_->clock(runtime_->master()) - start;
+  if (tracer_ != nullptr) {
+    tracer_->RecordSpan("checkpoint", runtime_->master(), start,
+                        runtime_->clock(runtime_->master()) - start,
+                        checkpoints_.bytes(), iteration);
+  }
   return Status::OK();
 }
 
@@ -82,6 +127,10 @@ SimTime Engine::SendWithFaults(NodeId from, NodeId to, uint64_t bytes,
                                static_cast<int>(to))) {
     // The lost copy occupies the sender's NIC and the wire but never syncs
     // the receiver; the sender retransmits after the ack timeout.
+    if (tracer_ != nullptr) {
+      tracer_->RecordInstant("fault.drop", from, runtime_->clock(from),
+                             iteration);
+    }
     runtime_->net().Send(from, to, bytes, runtime_->clock(from));
     runtime_->AdvanceClock(from, detector_.ack_timeout());
     ++recovery_.messages_dropped;

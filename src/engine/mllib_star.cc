@@ -133,11 +133,16 @@ void MllibStarEngine::RingAllReduceAverage(int64_t iteration) {
 Status MllibStarEngine::DoRunIteration(int64_t iteration) {
   const int K = runtime_->num_workers();
 
+  TracePhase(Phase::kSerialization);
   runtime_->AdvanceClock(runtime_->master(),
                          SchedOverhead(kDefaultSchedOverhead));
   for (int w = 0; w < K; ++w) {
     runtime_->Send(runtime_->master(), runtime_->worker_node(w), 24);
   }
+  // The master idles until the post-allreduce barrier lifts it; local steps
+  // and the ring both land in the barrier bucket. (No marks inside
+  // RingAllReduceAverage itself — recovery also calls it.)
+  TracePhase(Phase::kBarrier);
 
   double loss_sum = 0.0;
   size_t loss_count = 0;
@@ -172,6 +177,7 @@ Status MllibStarEngine::DoRunIteration(int64_t iteration) {
   last_batch_loss_ = loss_sum / static_cast<double>(loss_count);
 
   RingAllReduceAverage(iteration);
+  TracePhase(Phase::kWire);
 
   // The driver gets a tiny completion/loss ping.
   runtime_->Send(runtime_->worker_node(0), runtime_->master(), 32);

@@ -178,8 +178,12 @@ Status PsEngine::DoRunIteration(int64_t iteration) {
   const int wpf = model_->weights_per_feature();
   const uint64_t model_bytes = weights_.size() * sizeof(double);
 
+  TracePhase(Phase::kSerialization);
   runtime_->AdvanceClock(runtime_->master(),
                          SchedOverhead(kDefaultSchedOverhead));
+  // The master (driver) stays out of the pull/compute/push loop — its clock
+  // only moves again at the BSP barrier, so the whole round shows up there.
+  TracePhase(Phase::kWire);
 
   // Server w is co-located with worker w: transfers between them are
   // loopback (clock sync only, no NIC time or bytes).
@@ -314,6 +318,7 @@ Status PsEngine::DoRunIteration(int64_t iteration) {
     runtime_->ChargeCompute(runtime_->extra_node(s),
                             update_flops.flops() / K);
   }
+  TracePhase(Phase::kBarrier);
   runtime_->Barrier();  // BSP synchronization barrier
   return Status::OK();
 }

@@ -105,8 +105,10 @@ Status MllibEngine::DoRunIteration(int64_t iteration) {
   const int K = runtime_->num_workers();
   const uint64_t model_bytes = weights_.size() * sizeof(double);
 
+  TracePhase(Phase::kSerialization);
   runtime_->AdvanceClock(runtime_->master(),
                          SchedOverhead(kDefaultSchedOverhead));
+  TracePhase(Phase::kWire);  // master waits on gradient-push arrivals
 
   // Step 1: every worker pulls the latest model (dense broadcast; the K
   // copies serialize through the master's NIC).
@@ -172,6 +174,7 @@ Status MllibEngine::DoRunIteration(int64_t iteration) {
   last_batch_loss_ = loss_sum / static_cast<double>(batch_total);
 
   // Step 4: the master aggregates K dense gradients and updates the model.
+  TracePhase(Phase::kCompute);
   runtime_->ChargeCompute(runtime_->master(),
                           static_cast<uint64_t>(K) * weights_.size());
   FlopCounter update_flops;

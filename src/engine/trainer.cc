@@ -62,6 +62,14 @@ TrainResult RunTraining(Engine* engine, const Dataset& dataset,
   result.bytes_on_wire = after.bytes_sent - before.bytes_sent;
   result.messages = after.messages_sent - before.messages_sent;
   result.recovery = engine->recovery_metrics();
+  if (engine->tracer() != nullptr) {
+    result.phase_trace = engine->tracer()->iterations();
+    for (const IterationPhases& iter : result.phase_trace) {
+      for (int p = 0; p < static_cast<int>(Phase::kNumPhases); ++p) {
+        result.phase_totals.seconds[p] += iter.phases.seconds[p];
+      }
+    }
+  }
   return result;
 }
 

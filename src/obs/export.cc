@@ -1,0 +1,154 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <string_view>
+
+#include "common/csv.h"
+
+namespace colsgd {
+
+namespace {
+
+// Simulated seconds -> microseconds with fixed precision (picosecond
+// granularity), so the JSON is byte-stable for identical simulations.
+void AppendMicros(std::string* out, double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", seconds * 1e6);
+  *out += buf;
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+void AppendMetadata(std::string* out, const char* name, uint32_t pid,
+                    uint32_t tid, const std::string& value) {
+  *out += "{\"name\":\"";
+  *out += name;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\",\"ph\":\"M\",\"pid\":%u,\"tid\":%u,",
+                pid, tid);
+  *out += buf;
+  *out += "\"args\":{\"name\":\"";
+  AppendEscaped(out, value);
+  *out += "\"}},\n";
+}
+
+void AppendEvent(std::string* out, const TraceEvent& event) {
+  char buf[96];
+  *out += "{\"name\":\"";
+  *out += event.name;
+  std::snprintf(buf, sizeof(buf), "\",\"ph\":\"%c\",\"pid\":%u,\"tid\":%u,",
+                event.ph, event.node, static_cast<uint32_t>(event.track));
+  *out += buf;
+  *out += "\"ts\":";
+  AppendMicros(out, event.ts);
+  if (event.ph == 'X') {
+    *out += ",\"dur\":";
+    AppendMicros(out, event.dur);
+  }
+  if (event.ph == 'i') *out += ",\"s\":\"t\"";
+
+  *out += ",\"args\":{";
+  bool first = true;
+  auto arg = [&](const char* key) {
+    if (!first) *out += ",";
+    first = false;
+    *out += "\"";
+    *out += key;
+    *out += "\":";
+  };
+  if (std::string_view(event.name) == "net.send") {
+    arg("from");
+    std::snprintf(buf, sizeof(buf), "%u", event.node);
+    *out += buf;
+    arg("to");
+    std::snprintf(buf, sizeof(buf), "%u", event.peer);
+    *out += buf;
+    arg("bytes");
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, event.bytes);
+    *out += buf;
+    arg("control");
+    *out += event.control ? "true" : "false";
+    arg("rx_start");
+    AppendMicros(out, event.rx_start);
+    arg("rx_done");
+    AppendMicros(out, event.rx_done);
+  } else {
+    if (event.flops > 0) {
+      arg("flops");
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, event.flops);
+      *out += buf;
+    }
+    if (event.bytes > 0) {
+      arg("bytes");
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, event.bytes);
+      *out += buf;
+    }
+    if (event.iteration >= 0) {
+      arg("iteration");
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(event.iteration));
+      *out += buf;
+    }
+  }
+  *out += "}},\n";
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const Tracer& tracer) {
+  std::string out;
+  out.reserve(160 * tracer.events().size() + 1024);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  for (int node = 0; node < tracer.num_nodes(); ++node) {
+    const uint32_t pid = static_cast<uint32_t>(node);
+    AppendMetadata(&out, "process_name", pid, 0, tracer.NodeName(pid));
+    AppendMetadata(&out, "thread_name", pid, 0, "events");
+    if (node == 0) AppendMetadata(&out, "thread_name", pid, 1, "phases");
+  }
+  for (const TraceEvent& event : tracer.events()) {
+    AppendEvent(&out, event);
+  }
+  // trace_event JSON tolerates no trailing comma; close with a sentinel
+  // metadata event instead of rewriting the last line.
+  out += "{\"name\":\"trace_end\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+         "\"args\":{}}\n]}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open trace output: " + path);
+  }
+  const std::string json = ChromeTraceJson(tracer);
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  if (!out.good()) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Status WritePhaseCsv(const Tracer& tracer, const std::string& path) {
+  CsvWriter csv;
+  std::vector<std::string> header = {"iteration", "start", "end"};
+  for (int p = 0; p < static_cast<int>(Phase::kNumPhases); ++p) {
+    header.push_back(PhaseName(static_cast<Phase>(p)));
+  }
+  header.push_back("total");
+  COLSGD_RETURN_NOT_OK(csv.Open(path, header));
+  for (const IterationPhases& row : tracer.iterations()) {
+    std::vector<double> cells = {static_cast<double>(row.iteration),
+                                 row.start, row.end};
+    for (double s : row.phases.seconds) cells.push_back(s);
+    cells.push_back(row.phases.total());
+    csv.WriteNumericRow(cells);
+  }
+  return Status::OK();
+}
+
+}  // namespace colsgd

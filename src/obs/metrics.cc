@@ -1,0 +1,85 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace colsgd {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  COLSGD_CHECK(!bounds_.empty()) << "histogram needs at least one bound";
+  COLSGD_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending";
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double value) {
+  size_t bucket = bounds_.size();  // overflow bucket
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++buckets_[bucket];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+std::vector<double> DefaultSecondsBuckets() {
+  std::vector<double> bounds;
+  for (double b = 1e-6; b <= 1e3; b *= 10.0) bounds.push_back(b);
+  return bounds;
+}
+
+std::vector<double> DefaultBytesBuckets() {
+  std::vector<double> bounds;
+  for (double b = 64.0; b <= 1.1e9; b *= 4.0) bounds.push_back(b);
+  return bounds;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  return &counters_[name];
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(std::move(bounds))).first;
+  }
+  return &it->second;
+}
+
+std::string MetricsRegistry::Format() const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, counter] : counters_) {
+    std::snprintf(line, sizeof(line), "%-32s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(counter.value()));
+    out += line;
+  }
+  for (const auto& [name, hist] : histograms_) {
+    std::snprintf(line, sizeof(line),
+                  "%-32s count=%llu mean=%.6g max=%.6g\n", name.c_str(),
+                  static_cast<unsigned long long>(hist.count()), hist.mean(),
+                  hist.max());
+    out += line;
+  }
+  return out;
+}
+
+void MetricsRegistry::Clear() {
+  counters_.clear();
+  histograms_.clear();
+}
+
+}  // namespace colsgd

@@ -1,0 +1,95 @@
+// Counters and fixed-bucket histograms for the simulation.
+//
+// A MetricsRegistry aggregates what the Tracer (obs/trace.h) observes —
+// message counts, bytes, FLOPs, per-iteration phase times — into compact
+// summaries that ship in TrainResult and print from the tools. Everything is
+// deterministic: registries iterate in name order, buckets are fixed at
+// construction, and no wall-clock value is ever recorded.
+//
+// Metrics are instrumentation only. They never feed back into the
+// simulation, so an attached registry cannot change a simulated timestamp or
+// a trained weight (tests/obs_trace_test.cc holds this bit-exactly).
+#ifndef COLSGD_OBS_METRICS_H_
+#define COLSGD_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace colsgd {
+
+/// \brief Monotonic counter.
+class Counter {
+ public:
+  void Add(uint64_t delta) { value_ += delta; }
+  void Increment() { ++value_; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// \brief Fixed-bucket histogram: bucket i counts observations with
+/// value <= bounds[i] (first matching bucket); the implicit last bucket
+/// catches everything above the largest bound.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// \brief Bucket counts; size bounds().size() + 1 (overflow bucket last).
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Exponential bucket bounds for simulated-seconds histograms
+/// (1 us ... 1000 s).
+std::vector<double> DefaultSecondsBuckets();
+/// \brief Exponential bucket bounds for message-size histograms
+/// (64 B ... 1 GB).
+std::vector<double> DefaultBytesBuckets();
+
+/// \brief Named counters + histograms with deterministic (sorted) iteration
+/// order and stable pointers (callers may cache GetCounter results).
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  /// \brief Returns the histogram `name`, creating it with `bounds` on first
+  /// use (later calls ignore `bounds`).
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = DefaultSecondsBuckets());
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// \brief Human-readable dump: one `name value` line per counter, one
+  /// `name count/mean/max` line per histogram, sorted by name.
+  std::string Format() const;
+
+  void Clear();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace colsgd
+
+#endif  // COLSGD_OBS_METRICS_H_

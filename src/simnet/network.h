@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace colsgd {
 
@@ -70,6 +71,11 @@ class SimNetwork {
   int num_nodes() const { return static_cast<int>(out_nic_free_.size()); }
   const NetworkConfig& config() const { return config_; }
 
+  /// \brief Attaches a (non-owning, nullable) tracer that records every
+  /// message. Tracing is passive: it never changes a simulated timestamp.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+
   /// \brief Simulates sending `bytes` from `from` (whose local clock reads
   /// `sender_time`) to `to`. Returns the simulated time at which the message
   /// is fully available at the receiver.
@@ -85,9 +91,10 @@ class SimNetwork {
     // Propagation, then inbound NIC occupancy at the receiver. Control-sized
     // messages slip past queued bulk data.
     SimTime arrival = tx_done + config_.latency;
+    SimTime rx_start = arrival;
     SimTime rx_done = arrival;
     if (bytes > kControlMessageBytes) {
-      SimTime rx_start = std::max(in_nic_free_[to], arrival - wire_time);
+      rx_start = std::max(in_nic_free_[to], arrival - wire_time);
       rx_done = std::max(arrival, rx_start + wire_time);
       in_nic_free_[to] = rx_done;
     }
@@ -96,6 +103,10 @@ class SimNetwork {
     stats_[from].bytes_sent += bytes;
     stats_[to].messages_received++;
     stats_[to].bytes_received += bytes;
+    if (tracer_ != nullptr) {
+      tracer_->RecordNetSend(from, to, bytes, bytes <= kControlMessageBytes,
+                             start, tx_done, rx_start, rx_done);
+    }
     return rx_done;
   }
 
@@ -128,6 +139,7 @@ class SimNetwork {
   std::vector<SimTime> out_nic_free_;
   std::vector<SimTime> in_nic_free_;
   std::vector<TrafficStats> stats_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace colsgd

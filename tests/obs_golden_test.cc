@@ -1,0 +1,119 @@
+// Determinism golden test: the simulation plus the trace exporter are
+// bit-deterministic, so a fixed config must reproduce a byte-identical
+// Chrome trace JSON across runs, machines, and refactors. The golden file
+// lives in tests/golden/; regenerate it after an *intentional* timing or
+// schema change with
+//
+//   COLSGD_REGEN_GOLDEN=1 ./obs_golden_test
+//
+// and review the diff — an unintentional diff here means simulated timing
+// changed.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "datagen/synthetic.h"
+#include "engine/trainer.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+
+#ifndef COLSGD_TEST_GOLDEN_DIR
+#error "COLSGD_TEST_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace colsgd {
+namespace {
+
+const char kGoldenPath[] =
+    COLSGD_TEST_GOLDEN_DIR "/trace_tiny_columnsgd.json";
+
+// Small but not trivial: 2 workers, 3 iterations, one scripted worker
+// failure and one checkpoint, so the golden trace covers net/compute/phase
+// events as well as the fault/recovery/checkpoint schema.
+std::string GoldenTraceJson(uint64_t seed) {
+  SyntheticSpec spec = TinySpec();
+  spec.num_rows = 128;
+  spec.num_features = 64;
+  Dataset data = GenerateSynthetic(spec);
+
+  ClusterSpec cluster = ClusterSpec::Cluster1();
+  cluster.num_workers = 2;
+
+  TrainConfig config;
+  config.model = "lr";
+  config.learning_rate = 0.5;
+  config.batch_size = 32;
+  config.block_rows = 32;
+  config.seed = seed;
+
+  auto engine = MakeEngine("columnsgd", cluster, config);
+  FaultConfig faults;
+  FaultEvent failure;
+  failure.iteration = 1;
+  failure.worker = 1;
+  failure.kind = FaultKind::kWorkerFailure;
+  faults.plan = FaultPlan::Scripted({failure});
+  faults.checkpoint.every = 2;
+  engine->set_faults(std::move(faults));
+
+  Tracer tracer;
+  engine->set_tracer(&tracer);
+  EXPECT_TRUE(engine->Setup(data).ok());
+  for (int64_t iter = 0; iter < 3; ++iter) {
+    EXPECT_TRUE(engine->RunIteration(iter).ok());
+  }
+  return ChromeTraceJson(tracer);
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return "";
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(GoldenTraceTest, MatchesCheckedInGolden) {
+  const std::string json = GoldenTraceJson(/*seed=*/13);
+  if (std::getenv("COLSGD_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenPath, std::ios::binary);
+    ASSERT_TRUE(out.is_open()) << "cannot write " << kGoldenPath;
+    out << json;
+    GTEST_SKIP() << "golden regenerated at " << kGoldenPath;
+  }
+  const std::string golden = ReadFileOrEmpty(kGoldenPath);
+  ASSERT_FALSE(golden.empty())
+      << "missing golden file " << kGoldenPath
+      << "; run with COLSGD_REGEN_GOLDEN=1 to create it";
+  // Byte-identical, not just semantically equal: the exporter's fixed-width
+  // formatting is part of the determinism contract.
+  if (json != golden) {
+    // Locate the first divergence for a useful failure message.
+    size_t line = 1, pos = 0;
+    const size_t n = std::min(json.size(), golden.size());
+    while (pos < n && json[pos] == golden[pos]) {
+      if (json[pos] == '\n') ++line;
+      ++pos;
+    }
+    FAIL() << "trace diverges from golden at byte " << pos << " (line "
+           << line << "); if the timing change is intentional, regenerate "
+           << "with COLSGD_REGEN_GOLDEN=1 and review the diff";
+  }
+}
+
+TEST(GoldenTraceTest, SameSeedReproducesByteIdenticalTrace) {
+  EXPECT_EQ(GoldenTraceJson(13), GoldenTraceJson(13));
+}
+
+TEST(GoldenTraceTest, DifferentSeedProducesDifferentTrace) {
+  // A different seed draws different batches, so compute times — and with
+  // them the trace — must differ. (Guards against the tracer accidentally
+  // recording a canned schedule.)
+  EXPECT_NE(GoldenTraceJson(13), GoldenTraceJson(14));
+}
+
+}  // namespace
+}  // namespace colsgd

@@ -1,0 +1,371 @@
+// Tests for the obs subsystem: metrics primitives, byte conservation between
+// the trace and the network's TrafficStats, the passivity guarantee (tracing
+// changes no simulated time and no trained bit), the master-clock phase
+// decomposition, and the trace-reader round trip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "datagen/synthetic.h"
+#include "engine/trainer.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_reader.h"
+
+namespace colsgd {
+namespace {
+
+Dataset TestData(uint64_t rows = 1000, uint64_t features = 300,
+                 const std::string& model = "lr") {
+  SyntheticSpec spec = TinySpec();
+  spec.num_rows = rows;
+  spec.num_features = features;
+  if (model.rfind("mlr", 0) == 0) {
+    spec.num_classes = std::stoi(model.substr(3));
+  }
+  return GenerateSynthetic(spec);
+}
+
+ClusterSpec Cluster(int workers = 4) {
+  ClusterSpec spec = ClusterSpec::Cluster1();
+  spec.num_workers = workers;
+  return spec;
+}
+
+TrainConfig Config(const std::string& model = "lr") {
+  TrainConfig config;
+  config.model = model;
+  config.learning_rate = 0.5;
+  config.batch_size = 64;
+  config.block_rows = 128;
+  return config;
+}
+
+// ---- metrics primitives ---------------------------------------------------
+
+TEST(HistogramTest, BucketsAndStats) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);    // bucket 0 (<= 1)
+  h.Observe(1.0);    // bucket 0 (boundary is inclusive)
+  h.Observe(5.0);    // bucket 1
+  h.Observe(1000.0); // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  ASSERT_EQ(h.buckets().size(), 4u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 0u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+}
+
+TEST(MetricsRegistryTest, StablePointersAndDeterministicOrder) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("zzz");
+  registry.GetCounter("aaa")->Add(7);
+  c->Increment();
+  EXPECT_EQ(registry.GetCounter("zzz"), c);  // same object on re-lookup
+  EXPECT_EQ(c->value(), 1u);
+  // Iteration is name-sorted regardless of creation order.
+  std::vector<std::string> names;
+  for (const auto& [name, counter] : registry.counters()) {
+    names.push_back(name);
+  }
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "aaa");
+  EXPECT_EQ(names[1], "zzz");
+  registry.Clear();
+  EXPECT_TRUE(registry.counters().empty());
+}
+
+TEST(MetricsRegistryTest, HistogramKeepsFirstBounds) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("x", {1.0, 2.0});
+  EXPECT_EQ(registry.GetHistogram("x", {99.0}), h);
+  EXPECT_EQ(h->bounds().size(), 2u);
+}
+
+// ---- byte conservation ----------------------------------------------------
+
+struct EngineModelCase {
+  const char* engine;
+  const char* model;
+};
+
+std::string CaseName(const testing::TestParamInfo<EngineModelCase>& info) {
+  return std::string(info.param.engine) + "_" + info.param.model;
+}
+
+class ByteConservationTest : public testing::TestWithParam<EngineModelCase> {};
+
+// Every byte the network counted must appear in exactly one net.send trace
+// event, and vice versa — per node and in total, including loading traffic.
+TEST_P(ByteConservationTest, TraceBytesMatchTrafficStatsExactly) {
+  const EngineModelCase& param = GetParam();
+  Dataset data = TestData(1000, 300, param.model);
+  auto engine = MakeEngine(param.engine, Cluster(), Config(param.model));
+
+  Tracer tracer;
+  engine->set_tracer(&tracer);  // before Setup: loading traffic counts too
+  ASSERT_TRUE(engine->Setup(data).ok());
+  for (int64_t iter = 0; iter < 3; ++iter) {
+    ASSERT_TRUE(engine->RunIteration(iter).ok());
+  }
+
+  const SimNetwork& net = engine->runtime().net();
+  std::map<uint32_t, uint64_t> sent_bytes, received_bytes;
+  std::map<uint32_t, uint64_t> sent_messages, received_messages;
+  uint64_t total_bytes = 0, total_messages = 0;
+  for (const TraceEvent& event : tracer.events()) {
+    if (std::string(event.name) != "net.send") continue;
+    sent_bytes[event.node] += event.bytes;
+    received_bytes[event.peer] += event.bytes;
+    sent_messages[event.node]++;
+    received_messages[event.peer]++;
+    total_bytes += event.bytes;
+    total_messages++;
+  }
+
+  const TrafficStats total = net.TotalStats();
+  EXPECT_EQ(total_bytes, total.bytes_sent);
+  EXPECT_EQ(total_bytes, total.bytes_received);
+  EXPECT_EQ(total_messages, total.messages_sent);
+  for (int node = 0; node < net.num_nodes(); ++node) {
+    const NodeId id = static_cast<NodeId>(node);
+    EXPECT_EQ(sent_bytes[id], net.stats(id).bytes_sent)
+        << "bytes_sent mismatch at node " << node;
+    EXPECT_EQ(received_bytes[id], net.stats(id).bytes_received)
+        << "bytes_received mismatch at node " << node;
+    EXPECT_EQ(sent_messages[id], net.stats(id).messages_sent)
+        << "messages_sent mismatch at node " << node;
+    EXPECT_EQ(received_messages[id], net.stats(id).messages_received)
+        << "messages_received mismatch at node " << node;
+  }
+  // The aggregated counters see the same traffic.
+  EXPECT_EQ(tracer.metrics().GetCounter("net.bytes")->value(), total_bytes);
+  EXPECT_EQ(tracer.metrics().GetCounter("net.messages")->value(),
+            total_messages);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEnginesAndModels, ByteConservationTest,
+    testing::Values(EngineModelCase{"columnsgd", "lr"},
+                    EngineModelCase{"columnsgd", "fm4"},
+                    EngineModelCase{"columnsgd", "mlr3"},
+                    EngineModelCase{"mllib", "lr"},
+                    EngineModelCase{"mllib", "fm4"},
+                    EngineModelCase{"mllib", "mlr3"},
+                    EngineModelCase{"mllib_star", "lr"},
+                    EngineModelCase{"mllib_star", "fm4"},
+                    EngineModelCase{"mllib_star", "mlr3"},
+                    EngineModelCase{"petuum", "lr"},
+                    EngineModelCase{"petuum", "fm4"},
+                    EngineModelCase{"petuum", "mlr3"},
+                    EngineModelCase{"mxnet", "lr"},
+                    EngineModelCase{"mxnet", "fm4"},
+                    EngineModelCase{"mxnet", "mlr3"}),
+    CaseName);
+
+// ---- passivity ------------------------------------------------------------
+
+class TracePassivityTest : public testing::TestWithParam<const char*> {};
+
+// Attaching a tracer changes no simulated clock and no trained bit.
+TEST_P(TracePassivityTest, TracedRunIsBitIdenticalToUntraced) {
+  const char* engine_name = GetParam();
+  Dataset data = TestData();
+
+  auto plain = MakeEngine(engine_name, Cluster(), Config());
+  ASSERT_TRUE(plain->Setup(data).ok());
+  auto traced = MakeEngine(engine_name, Cluster(), Config());
+  Tracer tracer;
+  traced->set_tracer(&tracer);
+  ASSERT_TRUE(traced->Setup(data).ok());
+
+  for (int64_t iter = 0; iter < 3; ++iter) {
+    ASSERT_TRUE(plain->RunIteration(iter).ok());
+    ASSERT_TRUE(traced->RunIteration(iter).ok());
+  }
+
+  const std::vector<double> w_plain = plain->FullModel();
+  const std::vector<double> w_traced = traced->FullModel();
+  ASSERT_EQ(w_plain.size(), w_traced.size());
+  for (size_t i = 0; i < w_plain.size(); ++i) {
+    ASSERT_EQ(w_plain[i], w_traced[i]) << "weight " << i << " diverged";
+  }
+  for (int node = 0; node < plain->runtime().net().num_nodes(); ++node) {
+    EXPECT_EQ(plain->runtime().clock(static_cast<NodeId>(node)),
+              traced->runtime().clock(static_cast<NodeId>(node)))
+        << "clock " << node << " diverged";
+  }
+  EXPECT_FALSE(tracer.events().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, TracePassivityTest,
+                         testing::Values("columnsgd", "mllib", "mllib_star",
+                                         "petuum", "mxnet"));
+
+// ---- phase decomposition --------------------------------------------------
+
+class PhaseDecompositionTest : public testing::TestWithParam<const char*> {};
+
+// The phase breakdown tiles each iteration's master-clock delta: no gaps, no
+// double counting, to float-rounding precision.
+TEST_P(PhaseDecompositionTest, PhasesSumToMasterClockDelta) {
+  Dataset data = TestData();
+  TrainConfig config = Config();
+  config.sched_overhead = 0.05;  // a recognizable serialization share
+  auto engine = MakeEngine(GetParam(), Cluster(), config);
+  Tracer tracer;
+  engine->set_tracer(&tracer);  // RunTraining calls Setup itself
+
+  RunOptions options;
+  options.iterations = 4;
+  options.eval_every = 0;
+  TrainResult result = RunTraining(engine.get(), data, options);
+  ASSERT_TRUE(result.status.ok());
+
+  ASSERT_EQ(result.phase_trace.size(), 4u);
+  double total = 0.0;
+  for (const IterationPhases& iter : result.phase_trace) {
+    EXPECT_GT(iter.end, iter.start);
+    EXPECT_NEAR(iter.phases.total(), iter.end - iter.start, 1e-9)
+        << "iteration " << iter.iteration << " has unattributed time";
+    // Serialization is exactly the configured driver overhead: the only
+    // master-clock advance inside the serialization bracket.
+    EXPECT_NEAR(iter.phases[Phase::kSerialization], 0.05, 1e-12);
+    // No faults, no checkpoints in this run.
+    EXPECT_DOUBLE_EQ(iter.phases[Phase::kRecovery], 0.0);
+    EXPECT_DOUBLE_EQ(iter.phases[Phase::kCheckpoint], 0.0);
+    total += iter.phases.total();
+  }
+  EXPECT_NEAR(result.phase_totals.total(), total, 1e-9);
+  EXPECT_NEAR(total, result.train_time, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, PhaseDecompositionTest,
+                         testing::Values("columnsgd", "mllib", "mllib_star",
+                                         "petuum", "mxnet"));
+
+// RowSGD with known dimensions: each phase matches its first-principles
+// value, not just the sum. m features * 8 bytes broadcast + gradient pushes
+// dominate the wire phase.
+TEST(PhaseDecompositionTest, RowSgdPhasesMatchHandComputedModel) {
+  Dataset data = TestData(1000, 300);
+  TrainConfig config = Config();
+  config.sched_overhead = 0.01;
+  auto engine = MakeEngine("mllib", Cluster(4), config);
+  Tracer tracer;
+  engine->set_tracer(&tracer);
+  ASSERT_TRUE(engine->Setup(data).ok());
+  ASSERT_TRUE(engine->RunIteration(0).ok());
+
+  ASSERT_EQ(tracer.iterations().size(), 1u);
+  const IterationPhases& iter = tracer.iterations()[0];
+  EXPECT_NEAR(iter.phases.total(), iter.end - iter.start, 1e-9);
+  EXPECT_NEAR(iter.phases[Phase::kSerialization], 0.01, 1e-12);
+  // The master's compute phase is exactly its traced in-iteration compute
+  // blocks (K-gradient aggregation + model update) — loading-time blocks
+  // recorded before iter.start don't count.
+  double master_compute = 0.0;
+  for (const TraceEvent& event : tracer.events()) {
+    // track check: the phase segment on the master's phase track is also
+    // named "compute" — only raw events count here.
+    if (std::string(event.name) == "compute" && event.node == 0 &&
+        event.track == TraceTrack::kEvents && event.ts >= iter.start) {
+      master_compute += event.dur;
+    }
+  }
+  EXPECT_NEAR(iter.phases[Phase::kCompute], master_compute, 1e-12);
+  // Everything else this engine pays on the master is waiting for gradient
+  // pushes to arrive.
+  EXPECT_NEAR(iter.phases[Phase::kWire],
+              (iter.end - iter.start) - 0.01 - master_compute, 1e-9);
+  EXPECT_GT(iter.phases[Phase::kWire], 0.0);
+}
+
+// Fault + checkpoint time lands in the recovery / checkpoint buckets.
+TEST(PhaseDecompositionTest, FaultsAndCheckpointsAreAttributed) {
+  Dataset data = TestData();
+  auto engine = MakeEngine("columnsgd", Cluster(), Config());
+  FaultConfig faults;
+  FaultEvent failure;
+  failure.iteration = 1;
+  failure.worker = 2;
+  failure.kind = FaultKind::kWorkerFailure;
+  faults.plan = FaultPlan::Scripted({failure});
+  faults.checkpoint.every = 2;
+  engine->set_faults(std::move(faults));
+  Tracer tracer;
+  engine->set_tracer(&tracer);
+  ASSERT_TRUE(engine->Setup(data).ok());
+  for (int64_t iter = 0; iter < 4; ++iter) {
+    ASSERT_TRUE(engine->RunIteration(iter).ok());
+  }
+
+  ASSERT_EQ(tracer.iterations().size(), 4u);
+  for (const IterationPhases& iter : tracer.iterations()) {
+    EXPECT_NEAR(iter.phases.total(), iter.end - iter.start, 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(tracer.iterations()[0].phases[Phase::kRecovery], 0.0);
+  EXPECT_GT(tracer.iterations()[1].phases[Phase::kRecovery], 0.0);
+  // Checkpoints fire on iterations 1 and 3 (every=2 checkpoints after the
+  // 2nd and 4th iteration complete).
+  EXPECT_GT(tracer.iterations()[1].phases[Phase::kCheckpoint], 0.0);
+  EXPECT_GT(tracer.iterations()[3].phases[Phase::kCheckpoint], 0.0);
+  EXPECT_EQ(tracer.metrics().GetCounter("fault.worker")->value(), 1u);
+  EXPECT_EQ(tracer.metrics().GetCounter("checkpoint")->value(), 2u);
+}
+
+// ---- exporter / reader round trip -----------------------------------------
+
+TEST(TraceRoundTripTest, ExportedJsonParsesBackLosslessly) {
+  Dataset data = TestData();
+  auto engine = MakeEngine("columnsgd", Cluster(), Config());
+  Tracer tracer;
+  engine->set_tracer(&tracer);
+  ASSERT_TRUE(engine->Setup(data).ok());
+  ASSERT_TRUE(engine->RunIteration(0).ok());
+
+  const std::string json = ChromeTraceJson(tracer);
+  Result<ParsedTrace> parsed = ParseChromeTraceJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  // Every recorded event reappears (metadata lines are filtered out).
+  ASSERT_EQ(parsed->events.size(), tracer.events().size());
+  EXPECT_EQ(parsed->process_names.at(0), "master");
+  EXPECT_EQ(parsed->process_names.at(1), "worker 0");
+
+  uint64_t trace_bytes = 0, parsed_bytes = 0;
+  for (const TraceEvent& event : tracer.events()) {
+    if (std::string(event.name) == "net.send") trace_bytes += event.bytes;
+  }
+  for (size_t i = 0; i < parsed->events.size(); ++i) {
+    const ParsedTraceEvent& event = parsed->events[i];
+    const TraceEvent& original = tracer.events()[i];
+    EXPECT_EQ(event.name, std::string(original.name));
+    EXPECT_EQ(event.ph, original.ph);
+    EXPECT_EQ(event.pid, original.node);
+    EXPECT_NEAR(event.ts_us, original.ts * 1e6, 5e-7);
+    if (event.name == "net.send") {
+      parsed_bytes += event.ArgUint("bytes");
+      EXPECT_EQ(event.ArgUint("to"), original.peer);
+      EXPECT_EQ(event.ArgBool("control"), original.control);
+    }
+  }
+  EXPECT_EQ(parsed_bytes, trace_bytes);
+  EXPECT_EQ(trace_bytes, engine->runtime().net().TotalStats().bytes_sent);
+}
+
+TEST(TraceRoundTripTest, ReaderRejectsGarbage) {
+  EXPECT_FALSE(ParseChromeTraceJson("not json").ok());
+  EXPECT_FALSE(ParseChromeTraceJson("{\"traceEvents\":").ok());
+}
+
+}  // namespace
+}  // namespace colsgd

@@ -83,6 +83,78 @@ TEST(SimNetworkTest, BulkMessagesDoQueueAtReceiver) {
   EXPECT_GE(second, first + 0.1 - 1e-9);
 }
 
+TEST(SimNetworkTest, ControlBoundaryIsExactlyKControlMessageBytes) {
+  // A message of exactly kControlMessageBytes (256) takes the control path;
+  // one byte more takes the bulk path. Make the distinction observable by
+  // parking bulk data on the receiver's inbound NIC first.
+  SimNetwork net(3, TestNet());
+  const SimTime bulk_done = net.Send(0, 2, 100000, 0.0);
+  EXPECT_NEAR(bulk_done, 1e-4 + 0.1 + 1e-3, 1e-12);  // overhead + wire + lat
+
+  // 256 bytes from node 1: slips past the queued bulk. Exact timing:
+  // overhead + 256 us wire + 1 ms latency, inbound NIC ignored.
+  const SimTime control = net.Send(1, 2, kControlMessageBytes, 0.0);
+  EXPECT_NEAR(control, 1e-4 + 256e-6 + 1e-3, 1e-12);
+  EXPECT_LT(control, bulk_done);
+
+  // 257 bytes (second send on node 1's outbound NIC): waits for the queued
+  // bulk to drain, then occupies the inbound NIC for its own wire time.
+  const SimTime bulk = net.Send(1, 2, kControlMessageBytes + 1, 0.0);
+  EXPECT_NEAR(bulk, bulk_done + 257e-6, 1e-12);
+}
+
+TEST(SimNetworkTest, BackToBackBulkSerializesOnInboundNicExactly) {
+  // Two 100 kB messages from different senders, started simultaneously,
+  // arrive together but drain one after the other: the second is delivered
+  // exactly one wire time after the first.
+  SimNetwork net(3, TestNet());
+  const SimTime first = net.Send(0, 2, 100000, 0.0);
+  const SimTime second = net.Send(1, 2, 100000, 0.0);
+  EXPECT_NEAR(first, 1e-4 + 0.1 + 1e-3, 1e-12);
+  EXPECT_NEAR(second, first + 0.1, 1e-12);
+}
+
+TEST(SimNetworkTest, TracerSeesControlFlagAndRxWindow) {
+  SimNetwork net(3, TestNet());
+  Tracer tracer;
+  net.set_tracer(&tracer);
+  const SimTime control_done = net.Send(0, 2, kControlMessageBytes, 0.0);
+  const SimTime bulk_done = net.Send(1, 2, kControlMessageBytes + 1, 0.0);
+
+  ASSERT_EQ(tracer.events().size(), 2u);
+  const TraceEvent& control = tracer.events()[0];
+  EXPECT_STREQ(control.name, "net.send");
+  EXPECT_TRUE(control.control);
+  EXPECT_EQ(control.bytes, kControlMessageBytes);
+  EXPECT_EQ(control.node, 0u);
+  EXPECT_EQ(control.peer, 2u);
+  // Control messages skip the inbound queue: zero-width receive window.
+  EXPECT_DOUBLE_EQ(control.rx_start, control.rx_done);
+  EXPECT_DOUBLE_EQ(control.rx_done, control_done);
+
+  const TraceEvent& bulk = tracer.events()[1];
+  EXPECT_FALSE(bulk.control);
+  EXPECT_EQ(bulk.bytes, kControlMessageBytes + 1);
+  EXPECT_DOUBLE_EQ(bulk.rx_done, bulk_done);
+  EXPECT_GT(bulk.rx_done, bulk.rx_start);
+}
+
+TEST(SimNetworkTest, TracerDoesNotChangeTiming) {
+  SimNetwork plain(3, TestNet());
+  SimNetwork traced(3, TestNet());
+  Tracer tracer;
+  traced.set_tracer(&tracer);
+  for (int i = 0; i < 10; ++i) {
+    const uint64_t bytes = 64 + 1000 * static_cast<uint64_t>(i);
+    EXPECT_DOUBLE_EQ(plain.Send(0, 2, bytes, 0.0),
+                     traced.Send(0, 2, bytes, 0.0));
+    EXPECT_DOUBLE_EQ(plain.Send(1, 2, bytes, 0.0),
+                     traced.Send(1, 2, bytes, 0.0));
+  }
+  EXPECT_EQ(tracer.events().size(), 20u);
+  EXPECT_EQ(tracer.metrics().GetCounter("net.messages")->value(), 20);
+}
+
 TEST(SimNetworkTest, SelfSendDies) {
   SimNetwork net(2, TestNet());
   EXPECT_DEATH(net.Send(0, 0, 10, 0.0), "CHECK failed");

@@ -1,0 +1,140 @@
+// colsgd_trace: summarizes a Chrome trace-event JSON produced by
+// colsgd_train --trace_out (or WriteChromeTrace). Prints the simulated span,
+// the top-k master-timeline phases, and per-node traffic / NIC utilization —
+// the quick look before opening the file in Perfetto. Example:
+//
+//   colsgd_train --synthetic tiny --engine columnsgd --trace_out t.json
+//   colsgd_trace --trace t.json --topk 4
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "obs/trace_reader.h"
+
+namespace colsgd {
+namespace {
+
+// Matches TraceTrack in obs/trace.h: tid 1 is the master's phase timeline.
+constexpr uint32_t kPhasesTid = 1;
+
+struct NodeUsage {
+  double out_busy = 0.0;  // seconds the outbound NIC was occupied
+  double in_busy = 0.0;   // seconds the inbound NIC was occupied
+  uint64_t bytes_out = 0;
+  uint64_t bytes_in = 0;
+  uint64_t messages_out = 0;
+};
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  std::string trace_path;
+  int64_t topk = 5;
+  flags.AddString("trace", &trace_path, "trace-event JSON file to summarize");
+  flags.AddInt64("topk", &topk, "phases to print, most expensive first");
+  Status st = flags.Parse(argc, argv);
+  if (st.ok() && trace_path.empty()) {
+    st = Status::InvalidArgument("--trace is required");
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    flags.PrintUsage(argv[0]);
+    return 2;
+  }
+
+  Result<ParsedTrace> parsed = ReadChromeTraceFile(trace_path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  const ParsedTrace& trace = *parsed;
+  if (trace.events.empty()) {
+    std::printf("%s: empty trace\n", trace_path.c_str());
+    return 0;
+  }
+
+  // Simulated span covered by the trace (microseconds in the file).
+  double first_us = trace.events.front().ts_us;
+  double last_us = first_us;
+  for (const ParsedTraceEvent& event : trace.events) {
+    first_us = std::min(first_us, event.ts_us);
+    last_us = std::max(last_us, event.ts_us + event.dur_us);
+  }
+  const double span = (last_us - first_us) * 1e-6;
+
+  // Master-timeline phases (tid 1 'X' events; "iteration" wraps them).
+  std::map<std::string, double> phase_seconds;
+  int64_t iterations = 0;
+  std::map<uint32_t, NodeUsage> usage;
+  for (const ParsedTraceEvent& event : trace.events) {
+    if (event.tid == kPhasesTid && event.ph == 'X') {
+      if (event.name == "iteration") {
+        ++iterations;
+      } else {
+        phase_seconds[event.name] += event.dur_us * 1e-6;
+      }
+      continue;
+    }
+    if (event.name == "net.send" && event.ph == 'X') {
+      const uint64_t bytes = event.ArgUint("bytes");
+      const uint32_t to = static_cast<uint32_t>(event.ArgUint("to"));
+      NodeUsage& sender = usage[event.pid];
+      sender.out_busy += event.dur_us * 1e-6;
+      sender.bytes_out += bytes;
+      sender.messages_out++;
+      NodeUsage& receiver = usage[to];
+      receiver.bytes_in += bytes;
+      // Control messages bypass the inbound NIC queue (rx_start == rx_done).
+      // rx_* args are microseconds, like ts/dur.
+      receiver.in_busy +=
+          (event.ArgDouble("rx_done") - event.ArgDouble("rx_start")) * 1e-6;
+    }
+  }
+
+  std::printf("%s: %zu events, %.6fs simulated span, %lld iterations\n",
+              trace_path.c_str(), trace.events.size(), span,
+              static_cast<long long>(iterations));
+
+  std::vector<std::pair<std::string, double>> phases(phase_seconds.begin(),
+                                                     phase_seconds.end());
+  std::sort(phases.begin(), phases.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  double phase_total = 0.0;
+  for (const auto& [name, seconds] : phases) phase_total += seconds;
+  if (!phases.empty()) {
+    std::printf("\ntop phases (master clock):\n");
+    const size_t n =
+        std::min(phases.size(), static_cast<size_t>(std::max<int64_t>(
+                                    topk, 0)));
+    for (size_t i = 0; i < n; ++i) {
+      std::printf("  %-14s %12.6fs (%5.1f%%)\n", phases[i].first.c_str(),
+                  phases[i].second, 100.0 * phases[i].second / phase_total);
+    }
+  }
+
+  if (!usage.empty()) {
+    std::printf("\nper-node NIC utilization over the span:\n");
+    std::printf("  %-10s %8s %8s %14s %14s %9s\n", "node", "out%", "in%",
+                "bytes_out", "bytes_in", "msgs_out");
+    for (const auto& [node, u] : usage) {
+      const auto name_it = trace.process_names.find(node);
+      const std::string name = name_it != trace.process_names.end()
+                                   ? name_it->second
+                                   : "node " + std::to_string(node);
+      std::printf("  %-10s %7.1f%% %7.1f%% %14llu %14llu %9llu\n",
+                  name.c_str(), span > 0.0 ? 100.0 * u.out_busy / span : 0.0,
+                  span > 0.0 ? 100.0 * u.in_busy / span : 0.0,
+                  static_cast<unsigned long long>(u.bytes_out),
+                  static_cast<unsigned long long>(u.bytes_in),
+                  static_cast<unsigned long long>(u.messages_out));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace colsgd
+
+int main(int argc, char** argv) { return colsgd::Run(argc, argv); }

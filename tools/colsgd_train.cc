@@ -10,6 +10,7 @@
 //   colsgd_train --synthetic avazu-sim --engine columnsgd --workers 16 \
 //                --optimizer adam --lr 0.01 --trace_csv trace.csv
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/csv.h"
 #include "common/flags.h"
@@ -17,10 +18,35 @@
 #include "engine/columnsgd.h"
 #include "engine/model_io.h"
 #include "engine/trainer.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "storage/libsvm.h"
 
 namespace colsgd {
 namespace {
+
+/// Parses "iter:worker[,iter:worker...]" into scripted worker failures.
+Result<std::vector<FaultEvent>> ParseFailWorker(const std::string& spec) {
+  std::vector<FaultEvent> events;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    const size_t colon = item.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("--fail_worker wants iter:worker, got '" +
+                                     item + "'");
+    }
+    FaultEvent event;
+    event.iteration = std::atoll(item.substr(0, colon).c_str());
+    event.worker = std::atoi(item.substr(colon + 1).c_str());
+    event.kind = FaultKind::kWorkerFailure;
+    events.push_back(event);
+    pos = comma + 1;
+  }
+  return events;
+}
 
 Result<Dataset> LoadData(const std::string& data_path,
                          const std::string& synthetic, bool zero_based) {
@@ -79,6 +105,22 @@ int Run(int argc, char** argv) {
   flags.AddBool("cluster2", &cluster2,
                 "use the 10 Gbps Cluster 2 preset instead of Cluster 1");
   flags.AddString("trace_csv", &trace_csv, "write the loss trace to this CSV");
+  std::string trace_out;
+  std::string phase_csv;
+  std::string fail_worker;
+  double worker_mtbf_iters = 0.0;
+  int64_t checkpoint_every = 0;
+  flags.AddString("trace_out", &trace_out,
+                  "write a Chrome trace-event JSON of the run (open in "
+                  "Perfetto / chrome://tracing)");
+  flags.AddString("phase_csv", &phase_csv,
+                  "write the per-iteration phase breakdown to this CSV");
+  flags.AddString("fail_worker", &fail_worker,
+                  "scripted worker failures, 'iter:worker[,iter:worker...]'");
+  flags.AddDouble("worker_mtbf_iters", &worker_mtbf_iters,
+                  "mean iterations between worker failures (0: none)");
+  flags.AddInt64("checkpoint_every", &checkpoint_every,
+                 "checkpoint period in iterations (0: never)");
   std::string save_model;
   flags.AddString("save_model", &save_model,
                   "write the trained model to this file (colsgd_predict "
@@ -117,6 +159,31 @@ int Run(int argc, char** argv) {
   config.seed = static_cast<uint64_t>(seed);
 
   auto engine = MakeEngine(engine_name, cluster, config);
+
+  if (!fail_worker.empty() || worker_mtbf_iters > 0.0 ||
+      checkpoint_every > 0) {
+    FaultConfig faults;
+    if (!fail_worker.empty()) {
+      Result<std::vector<FaultEvent>> events = ParseFailWorker(fail_worker);
+      if (!events.ok()) {
+        std::fprintf(stderr, "%s\n", events.status().ToString().c_str());
+        return 2;
+      }
+      faults.plan = FaultPlan::Scripted(*std::move(events));
+    } else if (worker_mtbf_iters > 0.0) {
+      FaultPlanConfig plan;
+      plan.seed = static_cast<uint64_t>(seed);
+      plan.worker_mtbf_iters = worker_mtbf_iters;
+      faults.plan = FaultPlan(plan);
+    }
+    faults.checkpoint.every = checkpoint_every;
+    engine->set_faults(std::move(faults));
+  }
+
+  Tracer tracer;
+  const bool tracing = !trace_out.empty() || !phase_csv.empty();
+  if (tracing) engine->set_tracer(&tracer);
+
   RunOptions options;
   options.iterations = iterations;
   options.eval_every = eval_every;
@@ -160,6 +227,35 @@ int Run(int argc, char** argv) {
       return 1;
     }
     std::printf("model written to %s\n", save_model.c_str());
+  }
+
+  if (tracing) {
+    std::printf("\nphase breakdown (master clock, summed over %zu iters):\n",
+                result.phase_trace.size());
+    for (int p = 0; p < static_cast<int>(Phase::kNumPhases); ++p) {
+      const double seconds = result.phase_totals.seconds[p];
+      if (seconds <= 0.0) continue;
+      std::printf("  %-14s %10.4fs (%5.1f%%)\n",
+                  PhaseName(static_cast<Phase>(p)), seconds,
+                  100.0 * seconds / result.phase_totals.total());
+    }
+    if (!trace_out.empty()) {
+      Status trace_st = WriteChromeTrace(tracer, trace_out);
+      if (!trace_st.ok()) {
+        std::fprintf(stderr, "%s\n", trace_st.ToString().c_str());
+        return 1;
+      }
+      std::printf("chrome trace written to %s (%zu events)\n",
+                  trace_out.c_str(), tracer.events().size());
+    }
+    if (!phase_csv.empty()) {
+      Status phase_st = WritePhaseCsv(tracer, phase_csv);
+      if (!phase_st.ok()) {
+        std::fprintf(stderr, "%s\n", phase_st.ToString().c_str());
+        return 1;
+      }
+      std::printf("phase breakdown written to %s\n", phase_csv.c_str());
+    }
   }
 
   if (!trace_csv.empty()) {
