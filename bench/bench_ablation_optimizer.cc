@@ -10,6 +10,7 @@
 //      statistics halves the (already batch-bound) traffic; this bench
 //      quantifies both the time saving at large batches and the (absence
 //      of) convergence penalty.
+#include "bench/bench_runner.h"
 #include "bench/bench_util.h"
 #include "engine/columnsgd.h"
 
@@ -21,7 +22,7 @@ using bench::PrintHeader;
 using bench::PrintRow;
 
 void OptimizerSweep(const Dataset& d, int64_t iterations,
-                    const std::string& out_dir) {
+                    const std::string& out_dir, bench::BenchRunner* runner) {
   PrintHeader("Ablation (a): optimizers through the column path (kddb-sim)");
   PrintRow({"optimizer", "lr", "final_loss", "sec/iter"});
   CsvWriter csv;
@@ -40,6 +41,7 @@ void OptimizerSweep(const Dataset& d, int64_t iterations,
     config.batch_size = 1000;
     ColumnSgdEngine engine(ClusterSpec::Cluster1(), config);
     COLSGD_CHECK_OK(engine.Setup(d));
+    runner->BeginRun(std::string("optimizer/") + v.name, &engine);
     const NodeId master = engine.runtime().master();
     const double start = engine.runtime().clock(master);
     double tail_loss = 0.0;
@@ -51,6 +53,7 @@ void OptimizerSweep(const Dataset& d, int64_t iterations,
     }
     const double per_iter =
         (engine.runtime().clock(master) - start) / iterations;
+    runner->EndRun();
     PrintRow({v.name, FormatDouble(v.lr), FormatDouble(tail_loss / 10.0),
               bench::FormatSeconds(per_iter)});
   }
@@ -59,7 +62,8 @@ void OptimizerSweep(const Dataset& d, int64_t iterations,
       "extra communication and converge faster per iteration)\n");
 }
 
-void PrecisionSweep(const Dataset& d, const std::string& out_dir) {
+void PrecisionSweep(const Dataset& d, const std::string& out_dir,
+                    bench::BenchRunner* runner) {
   PrintHeader("Ablation (b): float32 vs float64 statistics");
   PrintRow({"batch", "fp64 s/iter", "fp32 s/iter", "fp64 loss", "fp32 loss"});
   CsvWriter csv;
@@ -78,12 +82,18 @@ void PrecisionSweep(const Dataset& d, const std::string& out_dir) {
       ColumnSgdEngine engine(ClusterSpec::Cluster1(), config,
                              std::move(options));
       COLSGD_CHECK_OK(engine.Setup(d));
+      BenchResult* result =
+          runner->BeginRun("precision/B" + std::to_string(batch) +
+                               (fp32 ? "/fp32" : "/fp64"),
+                           &engine);
+      result->env["precision"] = fp32 ? "fp32" : "fp64";
       const NodeId master = engine.runtime().master();
       const double start = engine.runtime().clock(master);
       const int64_t iters = 30;
       for (int64_t i = 0; i < iters; ++i) {
         COLSGD_CHECK_OK(engine.RunIteration(i));
       }
+      runner->EndRun();
       per_iter[fp32] = (engine.runtime().clock(master) - start) / iters;
       final_loss[fp32] = engine.last_batch_loss();
       csv.WriteRow({std::to_string(batch), fp32 ? "fp32" : "fp64",
@@ -107,11 +117,16 @@ int main(int argc, char** argv) {
   colsgd::FlagParser flags;
   int64_t iterations = 150;
   std::string out_dir = ".";
+  std::string bench_out = ".";
   flags.AddInt64("iterations", &iterations, "iterations per optimizer");
   flags.AddString("out_dir", &out_dir, "directory for CSV dumps");
+  colsgd::bench::AddBenchOutFlag(&flags, &bench_out);
   COLSGD_CHECK_OK(flags.Parse(argc, argv));
+  colsgd::bench::BenchRunner runner("ablation_optimizer", bench_out);
+  runner.SetEnvInt("iterations", iterations);
   const colsgd::Dataset& d = colsgd::bench::GetDataset("kddb-sim");
-  colsgd::OptimizerSweep(d, iterations, out_dir);
-  colsgd::PrecisionSweep(d, out_dir);
+  colsgd::OptimizerSweep(d, iterations, out_dir, &runner);
+  colsgd::PrecisionSweep(d, out_dir, &runner);
+  COLSGD_CHECK_OK(runner.Finish());
   return 0;
 }

@@ -5,6 +5,7 @@
 // its shard size; round-robin (the paper's choice) and block-cyclic spread
 // them. This bench reports per-worker shard nnz imbalance and the resulting
 // per-iteration time for each partitioner.
+#include "bench/bench_runner.h"
 #include "bench/bench_util.h"
 #include "engine/columnsgd.h"
 #include "storage/transform.h"
@@ -18,7 +19,7 @@ struct AblationPoint {
 };
 
 AblationPoint RunOne(const Dataset& d, const std::string& partitioner,
-                     int64_t iterations) {
+                     int64_t iterations, bench::BenchRunner* runner) {
   // Shard imbalance from a direct transform.
   ClusterRuntime runtime(ClusterSpec::Cluster1());
   std::vector<RowBlock> blocks = MakeRowBlocks(d, 1024);
@@ -40,13 +41,18 @@ AblationPoint RunOne(const Dataset& d, const std::string& partitioner,
   config.partitioner = partitioner;
   ColumnSgdEngine engine(ClusterSpec::Cluster1(), config);
   COLSGD_CHECK_OK(engine.Setup(d));
+  BenchResult* result = runner->BeginRun(partitioner, &engine);
+  result->env["partitioner"] = partitioner;
+  result->metrics["nnz_imbalance"] = imbalance;
   const NodeId master = engine.runtime().master();
   const double start = engine.runtime().clock(master);
   for (int64_t i = 0; i < iterations; ++i) {
     COLSGD_CHECK_OK(engine.RunIteration(i));
   }
-  return {imbalance,
-          (engine.runtime().clock(master) - start) / iterations};
+  const AblationPoint point = {
+      imbalance, (engine.runtime().clock(master) - start) / iterations};
+  runner->EndRun();
+  return point;
 }
 
 }  // namespace
@@ -57,9 +63,13 @@ int main(int argc, char** argv) {
   FlagParser flags;
   int64_t iterations = 20;
   std::string out_dir = ".";
+  std::string bench_out = ".";
   flags.AddInt64("iterations", &iterations, "iterations to average over");
   flags.AddString("out_dir", &out_dir, "directory for CSV dumps");
+  bench::AddBenchOutFlag(&flags, &bench_out);
   COLSGD_CHECK_OK(flags.Parse(argc, argv));
+  bench::BenchRunner runner("ablation_partitioner", bench_out);
+  runner.SetEnvInt("iterations", iterations);
 
   // Strongly skewed data: hot features concentrated at low ids.
   SyntheticSpec spec = KddbSimSpec();
@@ -75,7 +85,7 @@ int main(int argc, char** argv) {
   bench::PrintRow({"partitioner", "nnz_imbalance", "sec/iter"}, 18);
   for (const char* name :
        {"round_robin", "block_cyclic_64", "block_cyclic_4096", "range"}) {
-    const AblationPoint point = RunOne(d, name, iterations);
+    const AblationPoint point = RunOne(d, name, iterations, &runner);
     csv.WriteRow({name, FormatDouble(point.nnz_imbalance),
                   FormatDouble(point.iter_seconds)});
     bench::PrintRow({name, FormatDouble(point.nnz_imbalance),
@@ -86,5 +96,6 @@ int main(int argc, char** argv) {
       "(round-robin keeps shards balanced on skewed ids; range piles hot "
       "features on worker 0 — the design choice behind Algorithm 4's "
       "round-robin default)\n");
+  COLSGD_CHECK_OK(runner.Finish());
   return 0;
 }

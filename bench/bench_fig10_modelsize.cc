@@ -3,13 +3,15 @@
 // 10 to 10^8 (pass --max_dim=1000000000 for the paper's full 10^9 sweep;
 // the default stops at 10^8 to stay within 15 GB of host RAM). The number
 // of non-zero features per row is held fixed, as in Boden et al.
+#include "bench/bench_runner.h"
 #include "bench/bench_util.h"
 #include "engine/columnsgd.h"
 
 namespace colsgd {
 namespace {
 
-double PerIterTime(uint64_t dims, int64_t iterations) {
+double PerIterTime(uint64_t dims, int64_t iterations,
+                   bench::BenchRunner* runner) {
   SyntheticSpec spec = CriteoSimSpec(dims);
   Dataset d = GenerateSynthetic(spec);
   TrainConfig config;
@@ -18,12 +20,17 @@ double PerIterTime(uint64_t dims, int64_t iterations) {
   config.learning_rate = 1.0;
   ColumnSgdEngine engine(ClusterSpec::Cluster1(), config);
   COLSGD_CHECK_OK(engine.Setup(d));
+  BenchResult* result =
+      runner->BeginRun("dim_" + std::to_string(dims), &engine);
+  result->env["dimension"] = std::to_string(dims);
   const NodeId master = engine.runtime().master();
   const double start = engine.runtime().clock(master);
   for (int64_t i = 0; i < iterations; ++i) {
     COLSGD_CHECK_OK(engine.RunIteration(i));
   }
-  return (engine.runtime().clock(master) - start) / iterations;
+  const double per_iter = (engine.runtime().clock(master) - start) / iterations;
+  runner->EndRun();
+  return per_iter;
 }
 
 }  // namespace
@@ -35,10 +42,14 @@ int main(int argc, char** argv) {
   int64_t iterations = 10;
   int64_t max_dim = 100000000;  // 10^8 by default; paper goes to 10^9
   std::string out_dir = ".";
+  std::string bench_out = ".";
   flags.AddInt64("iterations", &iterations, "iterations to average over");
   flags.AddInt64("max_dim", &max_dim, "largest model dimension");
   flags.AddString("out_dir", &out_dir, "directory for CSV dumps");
+  bench::AddBenchOutFlag(&flags, &bench_out);
   COLSGD_CHECK_OK(flags.Parse(argc, argv));
+  bench::BenchRunner runner("fig10_modelsize", bench_out);
+  runner.SetEnvInt("iterations", iterations);
 
   CsvWriter csv;
   COLSGD_CHECK_OK(csv.Open(out_dir + "/fig10_modelsize.csv",
@@ -50,12 +61,13 @@ int main(int argc, char** argv) {
   for (uint64_t dims : {10ull, 1000ull, 100000ull, 10000000ull, 100000000ull,
                         1000000000ull}) {
     if (dims > static_cast<uint64_t>(max_dim)) break;
-    const double seconds = PerIterTime(dims, iterations);
+    const double seconds = PerIterTime(dims, iterations, &runner);
     csv.WriteNumericRow({static_cast<double>(dims), seconds});
     bench::PrintRow({std::to_string(dims), bench::FormatSeconds(seconds)});
   }
   std::printf(
       "(paper shape: flat from 10 to 10^9 dimensions — ColumnSGD's "
       "communication depends only on the batch size)\n");
+  COLSGD_CHECK_OK(runner.Finish());
   return 0;
 }

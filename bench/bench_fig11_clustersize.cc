@@ -4,6 +4,7 @@
 //      diminishing returns because every block is split and shuffled);
 //  (b) per-iteration time (roughly flat: less compute per worker, but more
 //      statistics flows through the master).
+#include "bench/bench_runner.h"
 #include "bench/bench_util.h"
 #include "engine/columnsgd.h"
 
@@ -15,20 +16,27 @@ struct ScalePoint {
   double iter_seconds;
 };
 
-ScalePoint RunOne(const Dataset& d, int workers, int64_t iterations) {
+ScalePoint RunOne(const Dataset& d, int workers, int64_t iterations,
+                  bench::BenchRunner* runner) {
   TrainConfig config;
   config.model = "lr";
   config.batch_size = 1000;
   config.learning_rate = 0.5;
   ColumnSgdEngine engine(ClusterSpec::Cluster2(workers), config);
   COLSGD_CHECK_OK(engine.Setup(d));
+  if (runner != nullptr) {
+    runner->BeginRun("workers_" + std::to_string(workers), &engine);
+  }
   const NodeId master = engine.runtime().master();
   const double start = engine.runtime().clock(master);
   for (int64_t i = 0; i < iterations; ++i) {
     COLSGD_CHECK_OK(engine.RunIteration(i));
   }
-  return {engine.load_time(),
-          (engine.runtime().clock(master) - start) / iterations};
+  const ScalePoint point = {
+      engine.load_time(),
+      (engine.runtime().clock(master) - start) / iterations};
+  if (runner != nullptr) runner->EndRun();
+  return point;
 }
 
 }  // namespace
@@ -39,9 +47,13 @@ int main(int argc, char** argv) {
   FlagParser flags;
   int64_t iterations = 20;
   std::string out_dir = ".";
+  std::string bench_out = ".";
   flags.AddInt64("iterations", &iterations, "iterations to average over");
   flags.AddString("out_dir", &out_dir, "directory for CSV dumps");
+  bench::AddBenchOutFlag(&flags, &bench_out);
   COLSGD_CHECK_OK(flags.Parse(argc, argv));
+  bench::BenchRunner runner("fig11_clustersize", bench_out);
+  runner.SetEnvInt("iterations", iterations);
 
   const Dataset& d = bench::GetDataset("wx-sim");
   CsvWriter csv;
@@ -53,7 +65,7 @@ int main(int argc, char** argv) {
   bench::PrintRow({"machines", "load(s)", "sec/iter"});
   double load10 = 0.0;
   for (int workers : {10, 20, 30, 40}) {
-    const ScalePoint point = RunOne(d, workers, iterations);
+    const ScalePoint point = RunOne(d, workers, iterations, &runner);
     if (workers == 10) load10 = point.load_seconds;
     csv.WriteNumericRow({static_cast<double>(workers), point.load_seconds,
                          point.iter_seconds});
@@ -65,6 +77,7 @@ int main(int argc, char** argv) {
       "(paper shape: ~2x faster loading at 40 vs 10 machines (sublinear), "
       "per-iteration time roughly flat; 10->20 machines gave 1.4x; our "
       "10->40 loading speedup: %.2fx)\n",
-      load10 > 0 ? load10 / RunOne(d, 40, 1).load_seconds : 0.0);
+      load10 > 0 ? load10 / RunOne(d, 40, 1, nullptr).load_seconds : 0.0);
+  COLSGD_CHECK_OK(runner.Finish());
   return 0;
 }

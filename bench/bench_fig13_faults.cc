@@ -10,6 +10,7 @@
 //          full-model re-broadcast + data reload.
 //  (d)     a worker-MTBF sweep on ColumnSGD with periodic checkpointing:
 //          failure rate vs. recovery overhead and iterations lost.
+#include "bench/bench_runner.h"
 #include "bench/bench_util.h"
 #include "engine/columnsgd.h"
 
@@ -18,7 +19,8 @@ namespace {
 
 void RunTrace(const Dataset& d, FaultKind kind, int64_t fail_at,
               int64_t iterations, const std::string& csv_path,
-              const char* label) {
+              const char* label, const std::string& bench_name,
+              bench::BenchRunner* runner) {
   TrainConfig config;
   config.model = "lr";
   config.batch_size = 1000;
@@ -28,6 +30,7 @@ void RunTrace(const Dataset& d, FaultKind kind, int64_t fail_at,
   faults.plan = FaultPlan::Scripted({{fail_at, 2, kind}});
   engine.set_faults(faults);
   COLSGD_CHECK_OK(engine.Setup(d));
+  runner->BeginRun(bench_name, &engine);
 
   CsvWriter csv;
   COLSGD_CHECK_OK(csv.Open(csv_path, {"iteration", "sim_time", "loss"}));
@@ -43,6 +46,7 @@ void RunTrace(const Dataset& d, FaultKind kind, int64_t fail_at,
     if (i == fail_at) spike = engine.last_batch_loss();
     final_loss = engine.last_batch_loss();
   }
+  runner->EndRun();
   std::printf(
       "%-16s loss before failure %.4f, at failure %.4f, final %.4f\n", label,
       pre_failure, spike, final_loss);
@@ -50,7 +54,8 @@ void RunTrace(const Dataset& d, FaultKind kind, int64_t fail_at,
 
 // (c) One scripted worker failure, all four engines: recovery cost report.
 void RunEngineComparison(const Dataset& d, int64_t fail_at,
-                         int64_t iterations, const std::string& out_dir) {
+                         int64_t iterations, const std::string& out_dir,
+                         bench::BenchRunner* runner) {
   CsvWriter csv;
   COLSGD_CHECK_OK(csv.Open(
       out_dir + "/fig13c_engine_recovery.csv",
@@ -71,7 +76,8 @@ void RunEngineComparison(const Dataset& d, int64_t fail_at,
 
     RunOptions options;
     options.iterations = iterations;
-    TrainResult result = RunTraining(engine.get(), d, options);
+    TrainResult result = runner->RunMeasured(
+        std::string("worker_failure/") + name, engine.get(), d, options);
     COLSGD_CHECK_OK(result.status);
     const RecoveryMetrics& rm = result.recovery;
     const double final_loss = result.trace.back().batch_loss;
@@ -93,7 +99,7 @@ void RunEngineComparison(const Dataset& d, int64_t fail_at,
 
 // (d) Probabilistic worker failures at varying MTBF, with checkpointing.
 void RunMtbfSweep(const Dataset& d, int64_t iterations,
-                  const std::string& out_dir) {
+                  const std::string& out_dir, bench::BenchRunner* runner) {
   CsvWriter csv;
   COLSGD_CHECK_OK(csv.Open(
       out_dir + "/fig13d_mtbf_sweep.csv",
@@ -119,7 +125,9 @@ void RunMtbfSweep(const Dataset& d, int64_t iterations,
 
     RunOptions options;
     options.iterations = iterations;
-    TrainResult result = RunTraining(&engine, d, options);
+    TrainResult result = runner->RunMeasured(
+        "mtbf_" + std::to_string(static_cast<int64_t>(mtbf)), &engine, d,
+        options);
     COLSGD_CHECK_OK(result.status);
     const RecoveryMetrics& rm = result.recovery;
     const double final_loss = result.trace.back().batch_loss;
@@ -143,21 +151,29 @@ int main(int argc, char** argv) {
   int64_t iterations = 120;
   int64_t fail_at = 40;
   std::string out_dir = ".";
+  std::string bench_out = ".";
   flags.AddInt64("iterations", &iterations, "total SGD iterations");
   flags.AddInt64("fail_at", &fail_at, "iteration at which the failure fires");
   flags.AddString("out_dir", &out_dir, "directory for CSV dumps");
+  bench::AddBenchOutFlag(&flags, &bench_out);
   COLSGD_CHECK_OK(flags.Parse(argc, argv));
+  bench::BenchRunner runner("fig13_faults", bench_out);
+  runner.SetEnvInt("iterations", iterations);
+  runner.SetEnvInt("fail_at", fail_at);
 
   const Dataset& d = bench::GetDataset("kdd12-sim");
   bench::PrintHeader("Fig 13: fault tolerance of ColumnSGD (kdd12-sim, LR)");
   RunTrace(d, FaultKind::kTaskFailure, fail_at, iterations,
-           out_dir + "/fig13a_task_failure.csv", "task failure:");
+           out_dir + "/fig13a_task_failure.csv", "task failure:",
+           "task_failure/columnsgd", &runner);
   RunTrace(d, FaultKind::kWorkerFailure, fail_at, iterations,
-           out_dir + "/fig13b_worker_failure.csv", "worker failure:");
+           out_dir + "/fig13b_worker_failure.csv", "worker failure:",
+           "worker_failure_trace/columnsgd", &runner);
   std::printf(
       "(paper shape: task failure is invisible; worker failure stalls ~data "
       "reload time, spikes the loss, then re-converges to the optimum)\n");
-  RunEngineComparison(d, fail_at, iterations, out_dir);
-  RunMtbfSweep(d, iterations, out_dir);
+  RunEngineComparison(d, fail_at, iterations, out_dir, &runner);
+  RunMtbfSweep(d, iterations, out_dir, &runner);
+  COLSGD_CHECK_OK(runner.Finish());
   return 0;
 }

@@ -3,6 +3,7 @@
 //      small batches thrash, large batches overlap.
 //  (b) per-iteration time vs batch size: flat while latency-bound, linear
 //      once bandwidth-bound (beyond ~100k).
+#include "bench/bench_runner.h"
 #include "bench/bench_util.h"
 #include "engine/columnsgd.h"
 
@@ -14,7 +15,7 @@ using bench::PrintHeader;
 using bench::PrintRow;
 
 void LossCurves(const Dataset& d, int64_t iterations,
-                const std::string& csv_path) {
+                const std::string& csv_path, bench::BenchRunner* runner) {
   PrintHeader("Fig 4(a): SVM train loss vs iteration, kddb-sim");
   const std::vector<size_t> batch_sizes = {10, 100, 1000, 10000, 100000};
   // Fixed learning rate found by grid search with large-batch GD, as in the
@@ -29,11 +30,13 @@ void LossCurves(const Dataset& d, int64_t iterations,
     config.batch_size = B;
     ColumnSgdEngine engine(ClusterSpec::Cluster1(), config);
     COLSGD_CHECK_OK(engine.Setup(d));
+    runner->BeginRun("loss_curve/B" + std::to_string(B), &engine);
     std::vector<double> losses;
     for (int64_t i = 0; i < iterations; ++i) {
       COLSGD_CHECK_OK(engine.RunIteration(i));
       losses.push_back(engine.last_batch_loss());
     }
+    runner->EndRun();
     curves.push_back(std::move(losses));
   }
 
@@ -66,7 +69,8 @@ void LossCurves(const Dataset& d, int64_t iterations,
 }
 
 void PerIterationTime(const Dataset& d, int64_t max_batch,
-                      const std::string& csv_path) {
+                      const std::string& csv_path,
+                      bench::BenchRunner* runner) {
   PrintHeader("Fig 4(b): ColumnSGD per-iteration time vs batch size");
   CsvWriter csv;
   COLSGD_CHECK_OK(csv.Open(csv_path, {"batch_size", "seconds_per_iter"}));
@@ -78,6 +82,7 @@ void PerIterationTime(const Dataset& d, int64_t max_batch,
     config.batch_size = static_cast<size_t>(B);
     ColumnSgdEngine engine(ClusterSpec::Cluster1(), config);
     COLSGD_CHECK_OK(engine.Setup(d));
+    runner->BeginRun("time_sweep/B" + std::to_string(B), &engine);
     const int64_t iters = B >= 1000000 ? 2 : 5;
     const double start = engine.runtime().clock(engine.runtime().master());
     for (int64_t i = 0; i < iters; ++i) {
@@ -85,6 +90,7 @@ void PerIterationTime(const Dataset& d, int64_t max_batch,
     }
     const double per_iter =
         (engine.runtime().clock(engine.runtime().master()) - start) / iters;
+    runner->EndRun();
     csv.WriteNumericRow({static_cast<double>(B), per_iter});
     PrintRow({std::to_string(B), bench::FormatSeconds(per_iter)});
   }
@@ -98,14 +104,22 @@ int main(int argc, char** argv) {
   int64_t iterations = 100;
   int64_t max_batch = 1000000;
   std::string out_dir = ".";
+  std::string bench_out = ".";
   flags.AddInt64("iterations", &iterations, "iterations for the loss curves");
   flags.AddInt64("max_batch", &max_batch,
                  "largest batch size for the time sweep (paper: 10m)");
   flags.AddString("out_dir", &out_dir, "directory for CSV dumps");
+  colsgd::bench::AddBenchOutFlag(&flags, &bench_out);
   COLSGD_CHECK_OK(flags.Parse(argc, argv));
+  colsgd::bench::BenchRunner runner("fig4_batchsize", bench_out);
+  runner.SetEnvInt("iterations", iterations);
+  runner.SetEnvInt("max_batch", max_batch);
 
   const colsgd::Dataset& d = colsgd::bench::GetDataset("kddb-sim");
-  colsgd::LossCurves(d, iterations, out_dir + "/fig4a_loss_vs_iter.csv");
-  colsgd::PerIterationTime(d, max_batch, out_dir + "/fig4b_time_vs_batch.csv");
+  colsgd::LossCurves(d, iterations, out_dir + "/fig4a_loss_vs_iter.csv",
+                     &runner);
+  colsgd::PerIterationTime(d, max_batch,
+                           out_dir + "/fig4b_time_vs_batch.csv", &runner);
+  COLSGD_CHECK_OK(runner.Finish());
   return 0;
 }

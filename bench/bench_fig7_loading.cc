@@ -1,6 +1,7 @@
 // Fig. 7: data-loading time of Naive-ColumnSGD, ColumnSGD (block-based
 // column dispatching), MLlib, and MLlib-Repartition on the three public
 // dataset analogs, plus a block-size ablation for the dispatcher.
+#include "bench/bench_runner.h"
 #include "bench/bench_util.h"
 #include "storage/transform.h"
 
@@ -42,11 +43,15 @@ int main(int argc, char** argv) {
   int64_t block_rows = 1024;
   bool block_sweep = true;
   std::string out_dir = ".";
+  std::string bench_out = ".";
   flags.AddInt64("block_rows", &block_rows, "rows per dispatched block");
   flags.AddBool("block_sweep", &block_sweep,
                 "also run the block-size ablation");
   flags.AddString("out_dir", &out_dir, "directory for CSV dumps");
+  bench::AddBenchOutFlag(&flags, &bench_out);
   COLSGD_CHECK_OK(flags.Parse(argc, argv));
+  bench::BenchRunner runner("fig7_loading", bench_out);
+  runner.SetEnvInt("block_rows", block_rows);
 
   const std::vector<std::string> loaders = {"naive_columnsgd", "columnsgd",
                                             "mllib", "mllib_repartition"};
@@ -66,6 +71,10 @@ int main(int argc, char** argv) {
       const double seconds =
           TimeLoader(loader, d, static_cast<size_t>(block_rows));
       csv.WriteRow({dataset, loader, FormatDouble(seconds)});
+      BenchResult* result = runner.AddResult(dataset + "/" + loader);
+      result->env["dataset"] = dataset;
+      result->env["loader"] = loader;
+      result->metrics["load_time"] = seconds;
       row.push_back(bench::FormatSeconds(seconds));
     }
     bench::PrintRow(row);
@@ -84,8 +93,14 @@ int main(int argc, char** argv) {
     for (size_t rows : {16u, 64u, 256u, 1024u, 4096u, 16384u}) {
       const double seconds = TimeLoader("columnsgd", d, rows);
       sweep.WriteNumericRow({static_cast<double>(rows), seconds});
+      BenchResult* result =
+          runner.AddResult("block_sweep/" + std::to_string(rows));
+      result->env["dataset"] = "kddb-sim";
+      result->env["block_rows"] = std::to_string(rows);
+      result->metrics["load_time"] = seconds;
       bench::PrintRow({std::to_string(rows), bench::FormatSeconds(seconds)});
     }
   }
+  COLSGD_CHECK_OK(runner.Finish());
   return 0;
 }

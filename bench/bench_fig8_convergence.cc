@@ -2,6 +2,7 @@
 // kdd12 analogs, across all five systems (ColumnSGD, MLlib, MLlib*, Petuum,
 // MXNet). Prints time-to-target-loss per system and dumps one CSV per
 // (dataset, model) pair with the full traces.
+#include "bench/bench_runner.h"
 #include "bench/bench_util.h"
 
 namespace colsgd {
@@ -16,7 +17,8 @@ const char* kEngines[] = {"columnsgd", "mllib", "mllib_star", "petuum",
                           "mxnet"};
 
 void RunCombo(const std::string& dataset, const std::string& model,
-              int64_t iterations, const std::string& out_dir) {
+              int64_t iterations, const std::string& out_dir,
+              bench::BenchRunner* runner) {
   const Dataset& d = GetDataset(dataset);
   PrintHeader("Fig 8: " + dataset + ", " + model);
 
@@ -37,7 +39,8 @@ void RunCombo(const std::string& dataset, const std::string& model,
     auto engine = MakeEngine(engine_name, ClusterSpec::Cluster1(), config);
     RunOptions options;
     options.iterations = iterations;
-    TrainResult result = RunTraining(engine.get(), d, options);
+    TrainResult result = runner->RunMeasured(
+        dataset + "/" + model + "/" + engine_name, engine.get(), d, options);
     COLSGD_CHECK_OK(result.status);
     for (const auto& record : result.trace) {
       csv.WriteRow({engine_name, std::to_string(record.iteration),
@@ -96,13 +99,18 @@ int main(int argc, char** argv) {
   colsgd::FlagParser flags;
   int64_t iterations = 200;
   std::string out_dir = ".";
+  std::string bench_out = ".";
   flags.AddInt64("iterations", &iterations, "SGD iterations per system");
   flags.AddString("out_dir", &out_dir, "directory for CSV dumps");
+  colsgd::bench::AddBenchOutFlag(&flags, &bench_out);
   COLSGD_CHECK_OK(flags.Parse(argc, argv));
+  colsgd::bench::BenchRunner runner("fig8_convergence", bench_out);
+  runner.SetEnvInt("iterations", iterations);
   for (const char* dataset : {"avazu-sim", "kddb-sim", "kdd12-sim"}) {
     for (const char* model : {"lr", "svm"}) {
-      colsgd::RunCombo(dataset, model, iterations, out_dir);
+      colsgd::RunCombo(dataset, model, iterations, out_dir, &runner);
     }
   }
+  COLSGD_CHECK_OK(runner.Finish());
   return 0;
 }

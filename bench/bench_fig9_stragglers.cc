@@ -1,6 +1,7 @@
 // Fig. 9: per-iteration time of LR under stragglers, on the three public
 // analogs: pure ColumnSGD, ColumnSGD with 1-backup computation, and
 // ColumnSGD facing a straggler of level 1 and level 5 without backup.
+#include "bench/bench_runner.h"
 #include "bench/bench_util.h"
 #include "engine/columnsgd.h"
 
@@ -12,7 +13,8 @@ using bench::PrintHeader;
 using bench::PrintRow;
 
 double PerIterTime(const Dataset& d, int backup, double straggler_level,
-                   int64_t iterations) {
+                   int64_t iterations, const std::string& bench_name,
+                   bench::BenchRunner* runner) {
   TrainConfig config;
   config.model = "lr";
   config.batch_size = 1000;
@@ -31,12 +33,16 @@ double PerIterTime(const Dataset& d, int backup, double straggler_level,
     engine.set_faults(faults);
   }
   COLSGD_CHECK_OK(engine.Setup(d));
+  BenchResult* result = runner->BeginRun(bench_name, &engine);
+  result->env["backup"] = std::to_string(backup);
   const NodeId master = engine.runtime().master();
   const double start = engine.runtime().clock(master);
   for (int64_t i = 0; i < iterations; ++i) {
     COLSGD_CHECK_OK(engine.RunIteration(i));
   }
-  return (engine.runtime().clock(master) - start) / iterations;
+  const double per_iter = (engine.runtime().clock(master) - start) / iterations;
+  runner->EndRun();
+  return per_iter;
 }
 
 }  // namespace
@@ -47,9 +53,13 @@ int main(int argc, char** argv) {
   FlagParser flags;
   int64_t iterations = 50;
   std::string out_dir = ".";
+  std::string bench_out = ".";
   flags.AddInt64("iterations", &iterations, "iterations to average over");
   flags.AddString("out_dir", &out_dir, "directory for CSV dumps");
+  bench::AddBenchOutFlag(&flags, &bench_out);
   COLSGD_CHECK_OK(flags.Parse(argc, argv));
+  bench::BenchRunner runner("fig9_stragglers", bench_out);
+  runner.SetEnvInt("iterations", iterations);
 
   CsvWriter csv;
   COLSGD_CHECK_OK(csv.Open(out_dir + "/fig9_stragglers.csv",
@@ -69,7 +79,9 @@ int main(int argc, char** argv) {
     for (const Variant& v :
          {Variant{"pure", 0, 0.0}, Variant{"backup", 1, 5.0},
           Variant{"SL1", 0, 1.0}, Variant{"SL5", 0, 5.0}}) {
-      const double seconds = PerIterTime(d, v.backup, v.level, iterations);
+      const double seconds =
+          PerIterTime(d, v.backup, v.level, iterations,
+                      std::string(dataset) + "/" + v.name, &runner);
       csv.WriteRow({dataset, v.name, FormatDouble(seconds)});
       row.push_back(bench::FormatSeconds(seconds));
     }
@@ -78,5 +90,6 @@ int main(int argc, char** argv) {
   std::printf(
       "(paper shape: SL1 ~2x and SL5 ~6x slower than pure; 1-backup matches "
       "pure even with a level-5 straggler present)\n");
+  COLSGD_CHECK_OK(runner.Finish());
   return 0;
 }

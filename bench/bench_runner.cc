@@ -1,0 +1,139 @@
+#include "bench/bench_runner.h"
+
+#include <cstdio>
+
+namespace colsgd {
+namespace bench {
+
+namespace {
+
+std::string FormatEnvDouble(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+}  // namespace
+
+BenchRunner::BenchRunner(std::string suite, std::string bench_out)
+    : bench_out_(std::move(bench_out)) {
+  suite_.suite = std::move(suite);
+  suite_.env["git"] = GitDescribe();
+}
+
+void BenchRunner::SetEnv(const std::string& key, const std::string& value) {
+  suite_.env[key] = value;
+}
+
+void BenchRunner::SetEnvInt(const std::string& key, int64_t value) {
+  suite_.env[key] = std::to_string(value);
+}
+
+BenchResult* BenchRunner::BeginRun(const std::string& name, Engine* engine) {
+  EndRun();  // close a window the caller forgot to end
+  active_result_ = suite_.AddResult(name);
+  active_engine_ = engine;
+  recorder_.Clear();
+  engine->set_recorder(&recorder_);
+
+  const TrainConfig& config = engine->config();
+  active_result_->env["engine"] = engine->name();
+  active_result_->env["model"] = config.model;
+  active_result_->env["optimizer"] = config.optimizer;
+  active_result_->env["batch_size"] = std::to_string(config.batch_size);
+  active_result_->env["learning_rate"] =
+      FormatEnvDouble(config.learning_rate);
+  active_result_->env["seed"] = std::to_string(config.seed);
+  active_result_->env["workers"] =
+      std::to_string(engine->runtime().num_workers());
+  active_result_->env["net_bandwidth"] =
+      FormatEnvDouble(engine->runtime().spec().net.bandwidth);
+  return active_result_;
+}
+
+void BenchRunner::EndRun() {
+  if (active_engine_ == nullptr) return;
+  Engine* engine = active_engine_;
+  BenchResult* result = active_result_;
+  active_engine_ = nullptr;
+  active_result_ = nullptr;
+  engine->set_recorder(nullptr);
+
+  const std::vector<TimeSeriesSample>& samples = recorder_.samples();
+  if (samples.empty()) return;
+  double train_time = 0.0;
+  uint64_t bytes = 0;
+  uint64_t messages = 0;
+  for (const TimeSeriesSample& s : samples) {
+    train_time += s.iter_seconds;
+    bytes += s.bytes_on_wire;
+    messages += s.messages;
+  }
+  result->metrics["train_time"] = train_time;
+  result->metrics["avg_iter_time"] =
+      train_time / static_cast<double>(samples.size());
+  result->metrics["bytes_on_wire"] = static_cast<double>(bytes);
+  result->metrics["messages"] = static_cast<double>(messages);
+  if (engine->load_time() > 0.0) {
+    result->metrics["load_time"] = engine->load_time();
+  }
+  const RecoveryMetrics& rm = engine->recovery_metrics();
+  if (rm.task_failures > 0 || rm.worker_failures > 0 ||
+      rm.checkpoints_taken > 0 || rm.messages_dropped > 0) {
+    result->metrics["task_failures"] = static_cast<double>(rm.task_failures);
+    result->metrics["worker_failures"] =
+        static_cast<double>(rm.worker_failures);
+    result->metrics["recovery_seconds"] =
+        rm.detection_seconds + rm.recovery_seconds;
+    result->metrics["checkpoint_seconds"] = rm.checkpoint_seconds;
+    result->metrics["bytes_retransferred"] =
+        static_cast<double>(rm.bytes_retransferred);
+    result->metrics["iterations_lost"] =
+        static_cast<double>(rm.iterations_lost);
+  }
+  AppendSampleSeries(samples, result);
+  ComputeDerivedStats(result);
+  recorder_.Clear();
+}
+
+TrainResult BenchRunner::RunMeasured(const std::string& name, Engine* engine,
+                                     const Dataset& dataset,
+                                     const RunOptions& options) {
+  BenchResult* result = BeginRun(name, engine);
+  TrainResult train = RunTraining(engine, dataset, options);
+  if (!train.status.ok()) {
+    // Leave a marker instead of timings so the run is visibly failed in the
+    // report (a baseline with `failed` stays comparable run to run).
+    active_engine_ = nullptr;
+    active_result_ = nullptr;
+    engine->set_recorder(nullptr);
+    recorder_.Clear();
+    result->metrics["failed"] = 1.0;
+    return train;
+  }
+  EndRun();
+  return train;
+}
+
+BenchResult* BenchRunner::AddResult(const std::string& name) {
+  EndRun();
+  return suite_.AddResult(name);
+}
+
+Status BenchRunner::Finish() {
+  EndRun();
+  if (bench_out_.empty()) return Status::OK();
+  const std::string path =
+      bench_out_ + "/BENCH_" + suite_.suite + ".json";
+  COLSGD_RETURN_NOT_OK(WriteBenchSuite(suite_, path));
+  std::printf("bench suite written to %s\n", path.c_str());
+  return Status::OK();
+}
+
+void AddBenchOutFlag(FlagParser* flags, std::string* bench_out) {
+  flags->AddString("bench_out", bench_out,
+                   "directory for the BENCH_<suite>.json dump ('' disables)");
+}
+
+}  // namespace bench
+}  // namespace colsgd

@@ -1,0 +1,87 @@
+// BenchRunner: shared telemetry harness for the bench/ binaries.
+//
+// Every bench binary routes its measured runs through one BenchRunner so
+// that, besides the existing stdout tables and CSV dumps (which stay
+// byte-identical — recording is passive), the run leaves a machine-readable
+// BENCH_<suite>.json document behind (obs/bench/bench_result.h). CI diffs
+// those against bench/baselines/ with tools/colsgd_report.
+//
+// Two usage shapes, matching the two shapes of bench binaries:
+//
+//   // RunTraining-based:
+//   BenchRunner runner("fig8_convergence", bench_out);
+//   TrainResult r = runner.RunMeasured(name, engine.get(), dataset, options);
+//
+//   // Binaries that drive RunIteration themselves:
+//   runner.BeginRun(name, &engine);
+//   for (...) engine.RunIteration(i);
+//   runner.EndRun();
+//
+// plus AddResult(name) for measurements without an engine (loader timings,
+// analytic cost models). Call Finish() last to write the file.
+#ifndef COLSGD_BENCH_BENCH_RUNNER_H_
+#define COLSGD_BENCH_BENCH_RUNNER_H_
+
+#include <string>
+
+#include "common/flags.h"
+#include "engine/trainer.h"
+#include "obs/bench/bench_result.h"
+#include "obs/bench/timeseries.h"
+
+namespace colsgd {
+namespace bench {
+
+class BenchRunner {
+ public:
+  /// \param suite file becomes `<bench_out>/BENCH_<suite>.json`.
+  /// \param bench_out output directory; empty disables the JSON dump.
+  BenchRunner(std::string suite, std::string bench_out);
+
+  /// \brief Suite-wide env entry (flag values, cluster presets).
+  void SetEnv(const std::string& key, const std::string& value);
+  void SetEnvInt(const std::string& key, int64_t value);
+
+  /// \brief Starts a measured window on `engine`: attaches a fresh recorder
+  /// and fills the result's env block from the engine's config. The caller
+  /// then drives RunIteration itself; EndRun() closes the window. The
+  /// returned result is valid until the next AddResult/BeginRun.
+  BenchResult* BeginRun(const std::string& name, Engine* engine);
+
+  /// \brief Detaches the recorder, converts its samples into series columns,
+  /// and fills the standard + derived metrics (see bench_runner.cc).
+  void EndRun();
+
+  /// \brief One-call path for RunTraining-based binaries: BeginRun +
+  /// RunTraining + EndRun. Non-OK results (e.g. OOM) are recorded with an
+  /// `oom` marker metric instead of timings and returned for the caller to
+  /// handle.
+  TrainResult RunMeasured(const std::string& name, Engine* engine,
+                          const Dataset& dataset, const RunOptions& options);
+
+  /// \brief Result without an engine (loader timings, analytic models);
+  /// the caller fills env/metrics itself.
+  BenchResult* AddResult(const std::string& name);
+
+  BenchSuite& suite() { return suite_; }
+
+  /// \brief Writes BENCH_<suite>.json (no-op when bench_out was empty).
+  /// Prints the path on success.
+  Status Finish();
+
+ private:
+  BenchSuite suite_;
+  std::string bench_out_;
+  TimeSeriesRecorder recorder_;
+  Engine* active_engine_ = nullptr;
+  BenchResult* active_result_ = nullptr;
+};
+
+/// \brief Registers the shared --bench_out flag (default ".", the repo root
+/// when run from there; empty string disables the dump).
+void AddBenchOutFlag(FlagParser* flags, std::string* bench_out);
+
+}  // namespace bench
+}  // namespace colsgd
+
+#endif  // COLSGD_BENCH_BENCH_RUNNER_H_

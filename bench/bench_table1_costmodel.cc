@@ -1,6 +1,7 @@
 // Table I: analytic memory and communication overheads of RowSGD vs
 // ColumnSGD, evaluated for each dataset analog, and validated against the
 // bytes actually measured on the simulated wire.
+#include "bench/bench_runner.h"
 #include "bench/bench_util.h"
 #include "engine/columnsgd.h"
 #include "engine/cost_model.h"
@@ -14,7 +15,8 @@ using bench::GetDataset;
 using bench::PrintHeader;
 using bench::PrintRow;
 
-void RunOne(const std::string& dataset_name, size_t batch_size) {
+void RunOne(const std::string& dataset_name, size_t batch_size,
+            bench::BenchRunner* runner) {
   const Dataset& d = GetDataset(dataset_name);
   CostModelInput in;
   in.m = d.num_features;
@@ -60,6 +62,10 @@ void RunOne(const std::string& dataset_name, size_t batch_size) {
       "ColumnSGD measured wire traffic per iteration: %.0f doubles "
       "(Table I predicts %.0f for the master, i.e. 2KB)\n",
       measured_elems, col.master_comm);
+  BenchResult* col_result = runner->AddResult(dataset_name + "/columnsgd");
+  col_result->env["dataset"] = dataset_name;
+  col_result->metrics["measured_elems"] = measured_elems;
+  col_result->metrics["predicted_elems"] = col.master_comm;
 
   // RowSGD with sparse gradient push: master comm ~ 2*K*m*phi1.
   RowSgdOptions sparse;
@@ -84,6 +90,12 @@ void RunOne(const std::string& dataset_name, size_t batch_size) {
       "(Table I expectation K*m*phi1 = %.0f; the table's pull term assumes "
       "a sparse pull, which MLlib does not implement)\n",
       broadcast_bytes, push_elements, row.master_comm / 2);
+  BenchResult* row_result =
+      runner->AddResult(dataset_name + "/mllib_sparse_push");
+  row_result->env["dataset"] = dataset_name;
+  row_result->metrics["total_bytes"] = total_bytes;
+  row_result->metrics["broadcast_bytes"] = broadcast_bytes;
+  row_result->metrics["push_elements"] = push_elements;
 }
 
 }  // namespace
@@ -93,11 +105,16 @@ int main(int argc, char** argv) {
   colsgd::FlagParser flags;
   int64_t batch_size = 1000;
   std::string out_dir = ".";  // accepted for runner uniformity (no CSVs)
+  std::string bench_out = ".";
   flags.AddInt64("batch_size", &batch_size, "SGD batch size B");
   flags.AddString("out_dir", &out_dir, "unused; kept for runner uniformity");
+  colsgd::bench::AddBenchOutFlag(&flags, &bench_out);
   COLSGD_CHECK_OK(flags.Parse(argc, argv));
+  colsgd::bench::BenchRunner runner("table1_costmodel", bench_out);
+  runner.SetEnvInt("batch_size", batch_size);
   for (const char* dataset : {"avazu-sim", "kddb-sim", "kdd12-sim"}) {
-    colsgd::RunOne(dataset, static_cast<size_t>(batch_size));
+    colsgd::RunOne(dataset, static_cast<size_t>(batch_size), &runner);
   }
+  COLSGD_CHECK_OK(runner.Finish());
   return 0;
 }

@@ -3,6 +3,7 @@
 // columns the paper reports (MLlib/Col, Petuum/Col, MXNet/Col), and — from
 // the tracing subsystem — each engine's master-clock phase breakdown, which
 // shows *where* the slow engines spend the gap (RowSGD: wire; PS: barrier).
+#include "bench/bench_runner.h"
 #include "bench/bench_util.h"
 #include "obs/trace.h"
 
@@ -21,9 +22,13 @@ int main(int argc, char** argv) {
   FlagParser flags;
   int64_t iterations = 20;
   std::string out_dir = ".";
+  std::string bench_out = ".";
   flags.AddInt64("iterations", &iterations, "iterations to average over");
   flags.AddString("out_dir", &out_dir, "directory for CSV dumps");
+  bench::AddBenchOutFlag(&flags, &bench_out);
   COLSGD_CHECK_OK(flags.Parse(argc, argv));
+  bench::BenchRunner runner("table4_periter_lr", bench_out);
+  runner.SetEnvInt("iterations", iterations);
 
   const std::vector<std::string> engines = {"mllib", "petuum", "mxnet",
                                             "columnsgd"};
@@ -52,7 +57,9 @@ int main(int argc, char** argv) {
       RunOptions options;
       options.iterations = iterations;
       options.record_trace = false;
-      TrainResult result = RunTraining(engine.get(), d, options);
+      TrainResult result =
+          runner.RunMeasured(std::string(dataset) + "/lr/" + engine_name,
+                             engine.get(), d, options);
       COLSGD_CHECK_OK(result.status);
       per_iter[engine_name] = result.avg_iter_time;
       // Average per-iteration seconds spent in each phase (master clock).
@@ -95,5 +102,6 @@ int main(int argc, char** argv) {
                    "barrier"},
                   16);
   for (const auto& row : phase_rows) bench::PrintRow(row, 16);
+  COLSGD_CHECK_OK(runner.Finish());
   return 0;
 }

@@ -4,6 +4,7 @@
 // node memory budgets are scaled with the dataset dimensions (the paper's
 // 2.8-billion-parameter model is 21 GB in FP64 against 32 GB nodes; our
 // kdd12 analog is 10x smaller, so budgets scale by the same factor).
+#include "bench/bench_runner.h"
 #include "bench/bench_util.h"
 
 namespace colsgd {
@@ -15,7 +16,7 @@ using bench::PrintRow;
 
 std::string RunOne(const std::string& engine_name, const std::string& dataset,
                    int factors, int64_t iterations, uint64_t memory_budget,
-                   CsvWriter* csv) {
+                   CsvWriter* csv, bench::BenchRunner* runner) {
   const Dataset& d = GetDataset(dataset);
   TrainConfig config;
   config.model = "fm" + std::to_string(factors);
@@ -27,7 +28,9 @@ std::string RunOne(const std::string& engine_name, const std::string& dataset,
   RunOptions options;
   options.iterations = iterations;
   options.record_trace = false;
-  TrainResult result = RunTraining(engine.get(), d, options);
+  TrainResult result = runner->RunMeasured(
+      dataset + "/" + config.model + "/" + engine_name, engine.get(), d,
+      options);
   if (result.status.IsOutOfMemory()) {
     csv->WriteRow({dataset, std::to_string(factors), engine_name, "OOM"});
     return "OOM";
@@ -48,12 +51,17 @@ int main(int argc, char** argv) {
   // 32 GB paper nodes scaled by the ~10x dataset down-scaling.
   int64_t memory_budget_mb = 3200;
   std::string out_dir = ".";
+  std::string bench_out = ".";
   flags.AddInt64("iterations", &iterations, "iterations to average over");
   flags.AddInt64("memory_budget_mb", &memory_budget_mb,
                  "per-node memory budget (MB), scaled from 32 GB");
   flags.AddString("out_dir", &out_dir, "directory for CSV dumps");
+  bench::AddBenchOutFlag(&flags, &bench_out);
   COLSGD_CHECK_OK(flags.Parse(argc, argv));
   const uint64_t budget = static_cast<uint64_t>(memory_budget_mb) << 20;
+  bench::BenchRunner runner("table5_periter_fm", bench_out);
+  runner.SetEnvInt("iterations", iterations);
+  runner.SetEnvInt("memory_budget_mb", memory_budget_mb);
 
   CsvWriter csv;
   COLSGD_CHECK_OK(csv.Open(out_dir + "/table5_periter_fm.csv",
@@ -68,9 +76,11 @@ int main(int argc, char** argv) {
   for (const Case& c : {Case{"avazu-sim", 10}, Case{"kddb-sim", 10},
                         Case{"kdd12-sim", 10}, Case{"kdd12-sim", 50}}) {
     const std::string mxnet =
-        RunOne("mxnet", c.dataset, c.factors, iterations, budget, &csv);
+        RunOne("mxnet", c.dataset, c.factors, iterations, budget, &csv,
+               &runner);
     const std::string columnsgd =
-        RunOne("columnsgd", c.dataset, c.factors, iterations, budget, &csv);
+        RunOne("columnsgd", c.dataset, c.factors, iterations, budget, &csv,
+               &runner);
     bench::PrintRow({std::string(c.dataset) + "(F=" +
                          std::to_string(c.factors) + ")",
                      mxnet, columnsgd},
@@ -79,5 +89,6 @@ int main(int argc, char** argv) {
   std::printf(
       "(paper: avazu 0.03/0.06, kddb 0.56/0.06, kdd12 F=10 0.84/0.06, kdd12 "
       "F=50 OOM/0.15 — MXNet's dense kvstore buffers blow the node budget)\n");
+  COLSGD_CHECK_OK(runner.Finish());
   return 0;
 }

@@ -7,6 +7,7 @@ set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 BENCH_DIR="$BUILD_DIR/bench"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
 
@@ -26,18 +27,18 @@ run() {
   }
 }
 
-run bench_table1_costmodel --batch_size 100 --out_dir "$OUT_DIR"
-run bench_fig4_batchsize --iterations 2 --max_batch 100 --out_dir "$OUT_DIR"
-run bench_fig7_loading --block_rows 4096 --out_dir "$OUT_DIR"
-run bench_fig8_convergence --iterations 2 --out_dir "$OUT_DIR"
-run bench_table4_periter_lr --iterations 2 --out_dir "$OUT_DIR"
-run bench_table5_periter_fm --iterations 2 --out_dir "$OUT_DIR"
-run bench_fig9_stragglers --iterations 2 --out_dir "$OUT_DIR"
-run bench_fig10_modelsize --iterations 2 --max_dim 200000 --out_dir "$OUT_DIR"
-run bench_fig11_clustersize --iterations 2 --out_dir "$OUT_DIR"
-run bench_fig13_faults --iterations 6 --fail_at 2 --out_dir "$OUT_DIR"
-run bench_ablation_partitioner --iterations 2 --out_dir "$OUT_DIR"
-run bench_ablation_optimizer --iterations 2 --out_dir "$OUT_DIR"
+run bench_table1_costmodel --batch_size 100 --out_dir "$OUT_DIR" --bench_out "$ROOT"
+run bench_fig4_batchsize --iterations 2 --max_batch 100 --out_dir "$OUT_DIR" --bench_out "$ROOT"
+run bench_fig7_loading --block_rows 4096 --out_dir "$OUT_DIR" --bench_out "$ROOT"
+run bench_fig8_convergence --iterations 2 --out_dir "$OUT_DIR" --bench_out "$ROOT"
+run bench_table4_periter_lr --iterations 2 --out_dir "$OUT_DIR" --bench_out "$ROOT"
+run bench_table5_periter_fm --iterations 2 --out_dir "$OUT_DIR" --bench_out "$ROOT"
+run bench_fig9_stragglers --iterations 2 --out_dir "$OUT_DIR" --bench_out "$ROOT"
+run bench_fig10_modelsize --iterations 2 --max_dim 200000 --out_dir "$OUT_DIR" --bench_out "$ROOT"
+run bench_fig11_clustersize --iterations 2 --out_dir "$OUT_DIR" --bench_out "$ROOT"
+run bench_fig13_faults --iterations 6 --fail_at 2 --out_dir "$OUT_DIR" --bench_out "$ROOT"
+run bench_ablation_partitioner --iterations 2 --out_dir "$OUT_DIR" --bench_out "$ROOT"
+run bench_ablation_optimizer --iterations 2 --out_dir "$OUT_DIR" --bench_out "$ROOT"
 # bench_micro is a Google-benchmark binary; listing its cases exercises
 # registration without timing anything.
 run bench_micro --benchmark_list_tests
@@ -52,5 +53,21 @@ if ! grep -q "phase breakdown" "$OUT_DIR/bench_table4_periter_lr.log"; then
   echo "FAILED: bench_table4_periter_lr printed no phase breakdown" >&2
   exit 1
 fi
+
+# Every emitted BENCH_*.json must parse against the colsgd.bench/v1 schema,
+# and a suite compared against itself must pass the regression gate.
+REPORT="$BUILD_DIR/tools/colsgd_report"
+if [ ! -x "$REPORT" ]; then
+  echo "error: $REPORT not found (build first)" >&2
+  exit 2
+fi
+bench_count=0
+for bench_json in "$ROOT"/BENCH_*.json; do
+  [ -e "$bench_json" ] || { echo "FAILED: no BENCH_*.json emitted" >&2; exit 1; }
+  "$REPORT" --check "$bench_json"
+  "$REPORT" "$bench_json" "$bench_json" > /dev/null
+  bench_count=$((bench_count + 1))
+done
+echo "bench smoke: $bench_count BENCH suites validated"
 
 echo "bench smoke: all binaries exited cleanly"

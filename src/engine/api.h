@@ -5,6 +5,7 @@
 #ifndef COLSGD_ENGINE_API_H_
 #define COLSGD_ENGINE_API_H_
 
+#include <cmath>
 #include <limits>
 #include <memory>
 #include <string>
@@ -19,6 +20,7 @@
 #include "engine/metrics.h"
 #include "model/factory.h"
 #include "model/model_spec.h"
+#include "obs/bench/timeseries.h"
 #include "obs/trace.h"
 #include "optim/optimizer.h"
 #include "storage/transform.h"
@@ -75,6 +77,9 @@ struct TrainResult {
   std::vector<IterationPhases> phase_trace;
   /// Sum of phase_trace over iterations.
   PhaseBreakdown phase_totals;
+  /// Per-iteration telemetry samples (only filled when a TimeSeriesRecorder
+  /// was attached to the engine; see obs/bench/timeseries.h).
+  std::vector<TimeSeriesSample> series;
   Status status;  // non-OK e.g. when a baseline runs out of memory (Table V)
 };
 
@@ -110,6 +115,13 @@ class Engine {
     runtime_->set_tracer(tracer);
   }
   Tracer* tracer() const { return tracer_; }
+
+  /// \brief Attaches a (non-owning, nullable) per-iteration telemetry
+  /// recorder. RunIteration deposits one TimeSeriesSample per iteration;
+  /// like the tracer, the recorder only reads simulation state, so attaching
+  /// one changes no simulated time and no trained bit.
+  void set_recorder(TimeSeriesRecorder* recorder) { recorder_ = recorder; }
+  TimeSeriesRecorder* recorder() const { return recorder_; }
 
   /// \brief Installs the fault model. Call after construction, before
   /// Setup/RunIteration; replaces any previous fault configuration.
@@ -164,6 +176,16 @@ class Engine {
                                          : engine_default;
   }
 
+  /// \brief Accumulator for the squared l2 norm of this iteration's applied
+  /// gradients. RunIteration resets it to NaN; engines whose update path
+  /// reports gradient magnitudes pass this to ApplySparseUpdate (or add
+  /// g*g terms directly), which lazily zeroes it. A NaN at the end of the
+  /// iteration means "not measured" and stays NaN in the telemetry.
+  double* grad_sq_accum() {
+    if (std::isnan(last_grad_sq_)) last_grad_sq_ = 0.0;
+    return &last_grad_sq_;
+  }
+
   /// \brief Marks a master-timeline phase boundary at the current master
   /// clock. Engines bracket their DoRunIteration body with these so the
   /// phase breakdown tiles the iteration's master-clock delta exactly.
@@ -214,27 +236,36 @@ class Engine {
   CheckpointStore checkpoints_;
   RecoveryMetrics recovery_;
   Tracer* tracer_ = nullptr;
+  TimeSeriesRecorder* recorder_ = nullptr;
   double last_batch_loss_ = std::numeric_limits<double>::quiet_NaN();
+  double last_grad_sq_ = std::numeric_limits<double>::quiet_NaN();
   double load_time_ = 0.0;
 };
 
 /// \brief Applies accumulated gradients (summed over `batch_total` points)
 /// to `weights` via `optimizer`, adding regularization on touched slots, and
-/// resets the accumulator. Returns the number of touched slots.
+/// resets the accumulator. Returns the number of touched slots. When
+/// `grad_sq` is given, the squared l2 norm of the applied (averaged,
+/// regularized) gradient is added to it — telemetry only, never charged to
+/// simulated time (Engine::grad_sq_accum).
 inline size_t ApplySparseUpdate(GradAccumulator* grad, size_t batch_total,
                                 const RegularizerConfig& reg,
                                 Optimizer* optimizer,
                                 std::vector<double>* weights,
                                 std::vector<double>* opt_state,
-                                FlopCounter* flops) {
+                                FlopCounter* flops,
+                                double* grad_sq = nullptr) {
   const double inv_batch = 1.0 / static_cast<double>(batch_total);
   const int sps = optimizer->state_per_slot();
   optimizer->BeginStep();
+  double sq = 0.0;
   for (uint64_t slot : grad->touched()) {
     double g = grad->value(slot) * inv_batch + reg.Grad((*weights)[slot]);
+    sq += g * g;
     double* state = sps > 0 ? opt_state->data() + slot * sps : nullptr;
     optimizer->ApplyUpdate(&(*weights)[slot], g, state);
   }
+  if (grad_sq != nullptr) *grad_sq += sq;
   const size_t touched = grad->touched().size();
   if (flops != nullptr) flops->Add(8 * touched);
   grad->Reset();

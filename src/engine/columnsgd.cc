@@ -321,8 +321,11 @@ Status ColumnSgdEngine::DoRunIteration(int64_t iteration) {
                                           &group_shared_grad, &flops);
     if (g == 0) shared_grad_ = std::move(group_shared_grad);
     flops.Add(B);  // local loss bookkeeping
+    // Partitions are disjoint across groups, so summing each group's squared
+    // gradient norm yields the full model's (telemetry only).
     ApplySparseUpdate(state.grad.get(), B, config_.reg, state.optimizer.get(),
-                      &state.weights, &state.opt_state, &flops);
+                      &state.weights, &state.opt_state, &flops,
+                      grad_sq_accum());
     flops.Add(8 * shared_.size());
     for (int r = 0; r <= options_.backup; ++r) {
       const int w = g * (options_.backup + 1) + r;
@@ -332,9 +335,11 @@ Status ColumnSgdEngine::DoRunIteration(int64_t iteration) {
   if (!shared_.empty()) {
     shared_optimizer_->BeginStep();
     const int sps = shared_optimizer_->state_per_slot();
+    double* grad_sq = grad_sq_accum();
     for (size_t i = 0; i < shared_.size(); ++i) {
       const double g = shared_grad_[i] / static_cast<double>(B) +
                        config_.reg.Grad(shared_[i]);
+      *grad_sq += g * g;
       double* state = sps > 0 ? shared_opt_state_.data() + i * sps : nullptr;
       shared_optimizer_->ApplyUpdate(&shared_[i], g, state);
     }

@@ -4,6 +4,7 @@
 // checkpoint cost accounting, and RecoveryMetrics bookkeeping live here so
 // the four engines are measured identically (Fig. 13's comparison hinges on
 // that).
+#include <cmath>
 #include <vector>
 
 #include "engine/api.h"
@@ -11,6 +12,28 @@
 namespace colsgd {
 
 Status Engine::RunIteration(int64_t iteration) {
+  // Telemetry baselines, read before the iteration body so the sample holds
+  // per-iteration deltas. Everything here is a read of simulation state —
+  // attaching a recorder changes no simulated time and no trained bit.
+  const bool recording = recorder_ != nullptr;
+  const double start_clock = runtime_->clock(runtime_->master());
+  TrafficStats traffic_before;
+  std::vector<uint64_t> node_bytes_before;
+  RecoveryMetrics recovery_before;
+  size_t phase_rows_before = 0;
+  if (recording) {
+    traffic_before = runtime_->net().TotalStats();
+    const int nodes = runtime_->net().num_nodes();
+    node_bytes_before.reserve(nodes);
+    for (int n = 0; n < nodes; ++n) {
+      node_bytes_before.push_back(
+          runtime_->net().stats(static_cast<NodeId>(n)).bytes_sent);
+    }
+    recovery_before = recovery_;
+    if (tracer_ != nullptr) phase_rows_before = tracer_->iterations().size();
+  }
+  last_grad_sq_ = std::numeric_limits<double>::quiet_NaN();
+
   if (tracer_ != nullptr) {
     // Time before the engine body's first phase mark (i.e. ProcessFaults)
     // is charged to kRecovery; see Tracer::BeginIteration.
@@ -25,6 +48,43 @@ Status Engine::RunIteration(int64_t iteration) {
   }
   if (tracer_ != nullptr) {
     tracer_->EndIteration(runtime_->clock(runtime_->master()));
+  }
+
+  if (recording && status.ok()) {
+    TimeSeriesSample sample;
+    sample.iteration = iteration;
+    sample.sim_time = runtime_->clock(runtime_->master());
+    sample.iter_seconds = sample.sim_time - start_clock;
+    sample.batch_loss = last_batch_loss_;
+    sample.grad_norm =
+        std::isnan(last_grad_sq_)
+            ? std::numeric_limits<double>::quiet_NaN()
+            : std::sqrt(last_grad_sq_);
+    const TrafficStats traffic_after = runtime_->net().TotalStats();
+    sample.bytes_on_wire = traffic_after.bytes_sent - traffic_before.bytes_sent;
+    sample.messages =
+        traffic_after.messages_sent - traffic_before.messages_sent;
+    sample.bytes_sent_per_node.reserve(node_bytes_before.size());
+    for (size_t n = 0; n < node_bytes_before.size(); ++n) {
+      sample.bytes_sent_per_node.push_back(
+          runtime_->net().stats(static_cast<NodeId>(n)).bytes_sent -
+          node_bytes_before[n]);
+    }
+    if (tracer_ != nullptr &&
+        tracer_->iterations().size() > phase_rows_before) {
+      sample.has_phases = true;
+      sample.phases = tracer_->iterations().back().phases;
+    }
+    sample.task_failures =
+        recovery_.task_failures - recovery_before.task_failures;
+    sample.worker_failures =
+        recovery_.worker_failures - recovery_before.worker_failures;
+    sample.checkpoints =
+        recovery_.checkpoints_taken - recovery_before.checkpoints_taken;
+    sample.recovery_seconds =
+        (recovery_.recovery_seconds - recovery_before.recovery_seconds) +
+        (recovery_.detection_seconds - recovery_before.detection_seconds);
+    recorder_->Record(std::move(sample));
   }
   return status;
 }

@@ -163,9 +163,11 @@ Status MllibStarEngine::DoRunIteration(int64_t iteration) {
         model_->AccumulateRowGradient(sample.row, sample.label, replicas_[w],
                                       grad_.get(), &flops);
       }
+      // Aggregated over every worker's local steps — an engine-dependent
+      // notion of "the iteration's gradient", noted in DESIGN.md §9.
       ApplySparseUpdate(grad_.get(), local_batch, config_.reg,
                         optimizers_[w].get(), &replicas_[w], &opt_states_[w],
-                        &flops);
+                        &flops, grad_sq_accum());
     }
     runtime_->ChargeCompute(node, flops.flops());
     const double level = StragglerLevelFor(iteration, w);

@@ -313,7 +313,7 @@ Status PsEngine::DoRunIteration(int64_t iteration) {
   // The aggregated update lands on the server shards (BSP round).
   FlopCounter update_flops;
   ApplySparseUpdate(grad_.get(), batch_total, config_.reg, optimizer_.get(),
-                    &weights_, &opt_state_, &update_flops);
+                    &weights_, &opt_state_, &update_flops, grad_sq_accum());
   for (int s = 0; s < K; ++s) {
     runtime_->ChargeCompute(runtime_->extra_node(s),
                             update_flops.flops() / K);

@@ -179,7 +179,7 @@ Status MllibEngine::DoRunIteration(int64_t iteration) {
                           static_cast<uint64_t>(K) * weights_.size());
   FlopCounter update_flops;
   ApplySparseUpdate(grad_.get(), batch_total, config_.reg, optimizer_.get(),
-                    &weights_, &opt_state_, &update_flops);
+                    &weights_, &opt_state_, &update_flops, grad_sq_accum());
   runtime_->ChargeCompute(runtime_->master(), update_flops.flops());
   return Status::OK();
 }

@@ -50,6 +50,9 @@ TrainResult RunTraining(Engine* engine, const Dataset& dataset,
           (iter % options.eval_every == 0 || iter + 1 == options.iterations)) {
         record.eval_loss = EvaluateLoss(engine->model(), engine->FullModel(),
                                         dataset, options.eval_rows);
+        if (engine->recorder() != nullptr) {
+          engine->recorder()->SetEvalLoss(iter, record.eval_loss);
+        }
       }
       result.trace.push_back(record);
     }
@@ -69,6 +72,9 @@ TrainResult RunTraining(Engine* engine, const Dataset& dataset,
         result.phase_totals.seconds[p] += iter.phases.seconds[p];
       }
     }
+  }
+  if (engine->recorder() != nullptr) {
+    result.series = engine->recorder()->samples();
   }
   return result;
 }

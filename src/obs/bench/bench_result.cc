@@ -1,0 +1,442 @@
+#include "obs/bench/bench_result.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/bench/json.h"
+
+namespace colsgd {
+
+namespace {
+
+void AppendStringMap(std::string* out,
+                     const std::map<std::string, std::string>& map,
+                     const char* indent) {
+  *out += "{";
+  bool first = true;
+  for (const auto& [key, value] : map) {
+    *out += first ? "\n" : ",\n";
+    first = false;
+    *out += indent;
+    AppendJsonString(out, key);
+    *out += ": ";
+    AppendJsonString(out, value);
+  }
+  *out += "\n";
+  out->append(indent, std::strlen(indent) - 2);
+  *out += "}";
+}
+
+void AppendMetricMap(std::string* out,
+                     const std::map<std::string, double>& map,
+                     const char* indent) {
+  *out += "{";
+  bool first = true;
+  for (const auto& [key, value] : map) {
+    *out += first ? "\n" : ",\n";
+    first = false;
+    *out += indent;
+    AppendJsonString(out, key);
+    *out += ": ";
+    AppendJsonNumber(out, value);
+  }
+  *out += "\n";
+  out->append(indent, std::strlen(indent) - 2);
+  *out += "}";
+}
+
+void AppendSeriesMap(std::string* out,
+                     const std::map<std::string, std::vector<double>>& map,
+                     const char* indent) {
+  *out += "{";
+  bool first = true;
+  for (const auto& [key, column] : map) {
+    *out += first ? "\n" : ",\n";
+    first = false;
+    *out += indent;
+    AppendJsonString(out, key);
+    *out += ": [";
+    for (size_t i = 0; i < column.size(); ++i) {
+      if (i > 0) *out += ", ";
+      AppendJsonNumber(out, column[i]);
+    }
+    *out += "]";
+  }
+  *out += "\n";
+  out->append(indent, std::strlen(indent) - 2);
+  *out += "}";
+}
+
+Status SchemaError(const std::string& what) {
+  return Status::SerializationError("bench schema: " + what);
+}
+
+Status ReadStringMap(const JsonValue& value, const std::string& context,
+                     std::map<std::string, std::string>* out) {
+  if (!value.is_object()) return SchemaError(context + " must be an object");
+  for (const auto& [key, member] : value.members()) {
+    if (!member.is_string()) {
+      return SchemaError(context + "." + key + " must be a string");
+    }
+    (*out)[key] = member.string_value();
+  }
+  return Status::OK();
+}
+
+Status ReadResult(const JsonValue& value, BenchResult* out) {
+  if (!value.is_object()) return SchemaError("result must be an object");
+  for (const auto& [key, member] : value.members()) {
+    if (key == "name") {
+      if (!member.is_string()) return SchemaError("result.name not a string");
+      out->name = member.string_value();
+    } else if (key == "env") {
+      COLSGD_RETURN_NOT_OK(ReadStringMap(member, "result.env", &out->env));
+    } else if (key == "metrics") {
+      if (!member.is_object()) return SchemaError("metrics not an object");
+      for (const auto& [metric, cell] : member.members()) {
+        if (!cell.is_number() && !cell.is_null()) {
+          return SchemaError("metric " + metric + " not a number");
+        }
+        out->metrics[metric] = cell.number_value();
+      }
+    } else if (key == "series") {
+      if (!member.is_object()) return SchemaError("series not an object");
+      for (const auto& [column, cells] : member.members()) {
+        if (!cells.is_array()) {
+          return SchemaError("series column " + column + " not an array");
+        }
+        std::vector<double>& values = out->series[column];
+        values.reserve(cells.array().size());
+        for (const JsonValue& cell : cells.array()) {
+          if (!cell.is_number() && !cell.is_null()) {
+            return SchemaError("series column " + column +
+                               " has a non-numeric cell");
+          }
+          values.push_back(cell.number_value());
+        }
+      }
+    } else {
+      return SchemaError("unknown result field '" + key + "'");
+    }
+  }
+  if (out->name.empty()) return SchemaError("result without a name");
+  return Status::OK();
+}
+
+/// Finite values of a series column, in order.
+std::vector<double> FiniteValues(const std::vector<double>& column) {
+  std::vector<double> out;
+  out.reserve(column.size());
+  for (double v : column) {
+    if (std::isfinite(v)) out.push_back(v);
+  }
+  return out;
+}
+
+/// Exact order-statistic quantile with linear interpolation between ranks.
+double ExactQuantile(std::vector<double> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+/// Centered-free trailing moving average over up to `window` points.
+std::vector<double> MovingAverage(const std::vector<double>& values,
+                                  size_t window) {
+  std::vector<double> out(values.size(), 0.0);
+  double running = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    running += values[i];
+    if (i >= window) running -= values[i - window];
+    out[i] = running / static_cast<double>(std::min(i + 1, window));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string BenchSuiteJson(const BenchSuite& suite) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"schema\": ";
+  AppendJsonString(&out, kBenchSchema);
+  out += ",\n  \"suite\": ";
+  AppendJsonString(&out, suite.suite);
+  if (!suite.env.empty()) {
+    out += ",\n  \"env\": ";
+    AppendStringMap(&out, suite.env, "    ");
+  }
+  out += ",\n  \"results\": [";
+  bool first = true;
+  for (const BenchResult& result : suite.results) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\n      \"name\": ";
+    AppendJsonString(&out, result.name);
+    if (!result.env.empty()) {
+      out += ",\n      \"env\": ";
+      AppendStringMap(&out, result.env, "        ");
+    }
+    if (!result.metrics.empty()) {
+      out += ",\n      \"metrics\": ";
+      AppendMetricMap(&out, result.metrics, "        ");
+    }
+    if (!result.series.empty()) {
+      out += ",\n      \"series\": ";
+      AppendSeriesMap(&out, result.series, "        ");
+    }
+    out += "\n    }";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+Status WriteBenchSuite(const BenchSuite& suite, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open bench output: " + path);
+  }
+  const std::string json = BenchSuiteJson(suite);
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  if (!out.good()) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Result<BenchSuite> ParseBenchSuiteJson(const std::string& json) {
+  Result<JsonValue> parsed = ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& root = *parsed;
+  if (!root.is_object()) return SchemaError("document must be an object");
+
+  BenchSuite suite;
+  bool saw_schema = false;
+  for (const auto& [key, member] : root.members()) {
+    if (key == "schema") {
+      if (!member.is_string() || member.string_value() != kBenchSchema) {
+        return SchemaError("unsupported schema tag (want " +
+                           std::string(kBenchSchema) + ")");
+      }
+      saw_schema = true;
+    } else if (key == "suite") {
+      if (!member.is_string()) return SchemaError("suite not a string");
+      suite.suite = member.string_value();
+    } else if (key == "env") {
+      COLSGD_RETURN_NOT_OK(ReadStringMap(member, "env", &suite.env));
+    } else if (key == "results") {
+      if (!member.is_array()) return SchemaError("results not an array");
+      for (const JsonValue& entry : member.array()) {
+        BenchResult result;
+        COLSGD_RETURN_NOT_OK(ReadResult(entry, &result));
+        suite.results.push_back(std::move(result));
+      }
+    } else {
+      return SchemaError("unknown field '" + key + "'");
+    }
+  }
+  if (!saw_schema) return SchemaError("missing schema tag");
+  if (suite.suite.empty()) return SchemaError("missing suite name");
+  return suite;
+}
+
+Result<BenchSuite> ReadBenchSuiteFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<BenchSuite> suite = ParseBenchSuiteJson(buffer.str());
+  if (!suite.ok()) {
+    return Status::SerializationError(path + ": " +
+                                      suite.status().message());
+  }
+  return suite;
+}
+
+void AppendSampleSeries(const std::vector<TimeSeriesSample>& samples,
+                        BenchResult* result) {
+  if (samples.empty()) return;
+  auto any_finite = [&](auto field) {
+    for (const TimeSeriesSample& s : samples) {
+      if (std::isfinite(s.*field)) return true;
+    }
+    return false;
+  };
+  auto column = [&](const std::string& name) -> std::vector<double>& {
+    std::vector<double>& c = result->series[name];
+    c.clear();
+    c.reserve(samples.size());
+    return c;
+  };
+
+  std::vector<double>& iteration = column("iteration");
+  std::vector<double>& sim_time = column("sim_time");
+  std::vector<double>& iter_seconds = column("iter_seconds");
+  std::vector<double>& bytes = column("bytes");
+  std::vector<double>& bytes_master = column("bytes_master");
+  std::vector<double>& messages = column("messages");
+  for (const TimeSeriesSample& s : samples) {
+    iteration.push_back(static_cast<double>(s.iteration));
+    sim_time.push_back(s.sim_time);
+    iter_seconds.push_back(s.iter_seconds);
+    bytes.push_back(static_cast<double>(s.bytes_on_wire));
+    bytes_master.push_back(s.bytes_sent_per_node.empty()
+                               ? 0.0
+                               : static_cast<double>(
+                                     s.bytes_sent_per_node[0]));
+    messages.push_back(static_cast<double>(s.messages));
+  }
+  if (any_finite(&TimeSeriesSample::batch_loss)) {
+    std::vector<double>& c = column("batch_loss");
+    for (const TimeSeriesSample& s : samples) c.push_back(s.batch_loss);
+  }
+  if (any_finite(&TimeSeriesSample::eval_loss)) {
+    std::vector<double>& c = column("eval_loss");
+    for (const TimeSeriesSample& s : samples) c.push_back(s.eval_loss);
+  }
+  if (any_finite(&TimeSeriesSample::grad_norm)) {
+    std::vector<double>& c = column("grad_norm");
+    for (const TimeSeriesSample& s : samples) c.push_back(s.grad_norm);
+  }
+
+  bool has_phases = false;
+  for (const TimeSeriesSample& s : samples) has_phases |= s.has_phases;
+  if (has_phases) {
+    for (int p = 0; p < static_cast<int>(Phase::kNumPhases); ++p) {
+      std::vector<double>& c =
+          column(std::string("phase_") + PhaseName(static_cast<Phase>(p)));
+      for (const TimeSeriesSample& s : samples) {
+        c.push_back(s.phases.seconds[p]);
+      }
+    }
+  }
+
+  bool has_faults = false;
+  for (const TimeSeriesSample& s : samples) {
+    has_faults |= s.task_failures > 0 || s.worker_failures > 0 ||
+                  s.checkpoints > 0 || s.recovery_seconds > 0.0;
+  }
+  if (has_faults) {
+    std::vector<double>& tasks = column("task_failures");
+    std::vector<double>& workers = column("worker_failures");
+    std::vector<double>& ckpts = column("checkpoints");
+    std::vector<double>& rec = column("recovery_seconds");
+    for (const TimeSeriesSample& s : samples) {
+      tasks.push_back(static_cast<double>(s.task_failures));
+      workers.push_back(static_cast<double>(s.worker_failures));
+      ckpts.push_back(static_cast<double>(s.checkpoints));
+      rec.push_back(s.recovery_seconds);
+    }
+  }
+}
+
+void ComputeDerivedStats(BenchResult* result) {
+  auto it = result->series.find("iter_seconds");
+  if (it != result->series.end()) {
+    const std::vector<double> values = FiniteValues(it->second);
+    if (!values.empty()) {
+      result->metrics["iter_p50"] = ExactQuantile(values, 0.50);
+      result->metrics["iter_p95"] = ExactQuantile(values, 0.95);
+      result->metrics["iter_p99"] = ExactQuantile(values, 0.99);
+    }
+  }
+  it = result->series.find("bytes");
+  if (it != result->series.end() && !it->second.empty()) {
+    double total = 0.0;
+    for (double v : it->second) total += v;
+    result->metrics["bytes_per_iter"] =
+        total / static_cast<double>(it->second.size());
+  }
+
+  const auto loss_it = result->series.find("batch_loss");
+  const auto time_it = result->series.find("sim_time");
+  if (loss_it == result->series.end() || time_it == result->series.end() ||
+      loss_it->second.size() != time_it->second.size() ||
+      loss_it->second.empty()) {
+    return;
+  }
+  const std::vector<double> smoothed = MovingAverage(loss_it->second, 10);
+  if (!std::isfinite(smoothed.front()) || !std::isfinite(smoothed.back())) {
+    return;
+  }
+  double target;
+  const auto preset = result->metrics.find("target_loss");
+  if (preset != result->metrics.end()) {
+    target = preset->second;
+  } else {
+    // 90% of the smoothed first→final loss drop (DESIGN.md §9).
+    target = smoothed.back() + 0.1 * (smoothed.front() - smoothed.back());
+    result->metrics["target_loss"] = target;
+  }
+  result->metrics["final_loss"] = smoothed.back();
+  for (size_t i = 0; i < smoothed.size(); ++i) {
+    if (smoothed[i] <= target) {
+      result->metrics["time_to_target_loss"] = time_it->second[i];
+      break;
+    }
+  }
+}
+
+std::string GitDescribe() {
+#ifdef COLSGD_GIT_DESCRIBE
+  return COLSGD_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+std::string MetricsRegistryJson(const MetricsRegistry& registry) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : registry.counters()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    AppendJsonString(&out, name);
+    out += ": ";
+    AppendJsonNumber(&out, static_cast<double>(counter.value()));
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : registry.histograms()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    AppendJsonString(&out, name);
+    out += ": {\"count\": ";
+    AppendJsonNumber(&out, static_cast<double>(hist.count()));
+    out += ", \"sum\": ";
+    AppendJsonNumber(&out, hist.sum());
+    out += ", \"min\": ";
+    AppendJsonNumber(&out, hist.min());
+    out += ", \"max\": ";
+    AppendJsonNumber(&out, hist.max());
+    out += ", \"mean\": ";
+    AppendJsonNumber(&out, hist.mean());
+    out += ", \"p50\": ";
+    AppendJsonNumber(&out, hist.p50());
+    out += ", \"p95\": ";
+    AppendJsonNumber(&out, hist.p95());
+    out += ", \"p99\": ";
+    AppendJsonNumber(&out, hist.p99());
+    out += ", \"bounds\": [";
+    for (size_t i = 0; i < hist.bounds().size(); ++i) {
+      if (i > 0) out += ", ";
+      AppendJsonNumber(&out, hist.bounds()[i]);
+    }
+    out += "], \"buckets\": [";
+    for (size_t i = 0; i < hist.buckets().size(); ++i) {
+      if (i > 0) out += ", ";
+      AppendJsonNumber(&out, static_cast<double>(hist.buckets()[i]));
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace colsgd

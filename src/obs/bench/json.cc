@@ -1,0 +1,315 @@
+#include "obs/bench/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace colsgd {
+
+namespace {
+
+constexpr int kMaxDepth = 32;
+
+struct Parser {
+  const char* begin;
+  const char* p;
+  const char* end;
+
+  void SkipSpace() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::SerializationError(
+        "json parse error: " + what + " at offset " +
+        std::to_string(static_cast<size_t>(p - begin)));
+  }
+
+  Status ParseValue(JsonValue* out, int depth);
+  Status ParseString(std::string* out);
+  Status ParseNumber(JsonValue* out);
+  Status ParseObject(JsonValue* out, int depth);
+  Status ParseArray(JsonValue* out, int depth);
+  bool Consume(char c) {
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeLiteral(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (static_cast<size_t>(end - p) >= n && std::memcmp(p, lit, n) == 0) {
+      p += n;
+      return true;
+    }
+    return false;
+  }
+};
+
+Status Parser::ParseString(std::string* out) {
+  if (!Consume('"')) return Error("expected string");
+  out->clear();
+  while (p < end && *p != '"') {
+    char c = *p++;
+    if (c == '\\') {
+      if (p >= end) return Error("truncated escape");
+      char esc = *p++;
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (end - p < 4) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = *p++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= h - '0';
+            else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+            else return Error("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported —
+          // the bench writer never emits them).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    } else {
+      out->push_back(c);
+    }
+  }
+  if (!Consume('"')) return Error("unterminated string");
+  return Status::OK();
+}
+
+Status Parser::ParseNumber(JsonValue* out) {
+  const char* start = p;
+  if (p < end && (*p == '-' || *p == '+')) ++p;
+  while (p < end &&
+         ((*p >= '0' && *p <= '9') || *p == '.' || *p == 'e' || *p == 'E' ||
+          *p == '+' || *p == '-')) {
+    ++p;
+  }
+  if (p == start) return Error("expected number");
+  std::string token(start, p);
+  char* parsed_end = nullptr;
+  const double v = std::strtod(token.c_str(), &parsed_end);
+  if (parsed_end != token.c_str() + token.size()) {
+    return Error("bad number '" + token + "'");
+  }
+  *out = JsonValue::Number(v);
+  return Status::OK();
+}
+
+Status Parser::ParseObject(JsonValue* out, int depth) {
+  *out = JsonValue::Object();
+  SkipSpace();
+  if (Consume('}')) return Status::OK();
+  while (true) {
+    SkipSpace();
+    std::string key;
+    COLSGD_RETURN_NOT_OK(ParseString(&key));
+    SkipSpace();
+    if (!Consume(':')) return Error("expected ':'");
+    JsonValue value;
+    COLSGD_RETURN_NOT_OK(ParseValue(&value, depth));
+    out->Set(std::move(key), std::move(value));
+    SkipSpace();
+    if (Consume(',')) continue;
+    if (Consume('}')) return Status::OK();
+    return Error("expected ',' or '}'");
+  }
+}
+
+Status Parser::ParseArray(JsonValue* out, int depth) {
+  *out = JsonValue::Array();
+  SkipSpace();
+  if (Consume(']')) return Status::OK();
+  while (true) {
+    JsonValue value;
+    COLSGD_RETURN_NOT_OK(ParseValue(&value, depth));
+    out->Append(std::move(value));
+    SkipSpace();
+    if (Consume(',')) continue;
+    if (Consume(']')) return Status::OK();
+    return Error("expected ',' or ']'");
+  }
+}
+
+Status Parser::ParseValue(JsonValue* out, int depth) {
+  if (depth > kMaxDepth) return Error("nesting too deep");
+  SkipSpace();
+  if (p >= end) return Error("unexpected end of input");
+  switch (*p) {
+    case '{':
+      ++p;
+      return ParseObject(out, depth + 1);
+    case '[':
+      ++p;
+      return ParseArray(out, depth + 1);
+    case '"': {
+      std::string s;
+      COLSGD_RETURN_NOT_OK(ParseString(&s));
+      *out = JsonValue::String(std::move(s));
+      return Status::OK();
+    }
+    case 't':
+      if (ConsumeLiteral("true")) {
+        *out = JsonValue::Bool(true);
+        return Status::OK();
+      }
+      return Error("bad literal");
+    case 'f':
+      if (ConsumeLiteral("false")) {
+        *out = JsonValue::Bool(false);
+        return Status::OK();
+      }
+      return Error("bad literal");
+    case 'n':
+      if (ConsumeLiteral("null")) {
+        *out = JsonValue::Null();
+        return Status::OK();
+      }
+      return Error("bad literal");
+    default:
+      return ParseNumber(out);
+  }
+}
+
+}  // namespace
+
+double JsonValue::number_value() const {
+  if (kind_ == Kind::kNull) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return number_;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void AppendJsonNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    *out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.15g", v);
+  if (std::strtod(buf, nullptr) != v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  *out += buf;
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void JsonValue::SerializeTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      break;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      AppendJsonNumber(out, number_);
+      break;
+    case Kind::kString:
+      AppendJsonString(out, string_);
+      break;
+    case Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& v : array_) {
+        if (!first) out->push_back(',');
+        first = false;
+        v.SerializeTo(out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendJsonString(out, k);
+        out->push_back(':');
+        v.SerializeTo(out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Serialize() const {
+  std::string out;
+  SerializeTo(&out);
+  return out;
+}
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  Parser parser{text.data(), text.data(), text.data() + text.size()};
+  JsonValue value;
+  Status st = parser.ParseValue(&value, 0);
+  if (!st.ok()) return st;
+  parser.SkipSpace();
+  if (parser.p != parser.end) {
+    return Status::SerializationError(
+        "json parse error: trailing garbage after document");
+  }
+  return value;
+}
+
+}  // namespace colsgd

@@ -1,0 +1,117 @@
+// Minimal JSON value model for the benchmark telemetry layer — the same
+// no-external-deps style as obs/export + obs/trace_reader, but generic: the
+// BENCH_*.json schema nests objects/arrays two levels deep, which the flat
+// trace_event reader cannot represent.
+//
+// Serialization is deterministic: object keys are emitted in the order they
+// were inserted (the bench writer inserts them sorted), numbers use the
+// shortest representation that round-trips the double exactly, and NaN /
+// infinity serialize as null (and parse back as NaN). Two BenchSuites with
+// identical contents therefore produce byte-identical files — the
+// writer → reader → writer golden test in tests/obs_bench_test.cc pins this.
+#ifndef COLSGD_OBS_BENCH_JSON_H_
+#define COLSGD_OBS_BENCH_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace colsgd {
+
+/// \brief One parsed JSON value. Objects keep insertion order (a vector of
+/// pairs, not a map) so serialization is order-preserving.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Number(double d) {
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = d;
+    return v;
+  }
+  static JsonValue String(std::string s) {
+    JsonValue v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  /// \brief Number value; a JSON null reads back as NaN (the writer encodes
+  /// NaN as null).
+  double number_value() const;
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  void Append(JsonValue v) { array_.push_back(std::move(v)); }
+  void Set(std::string key, JsonValue v) {
+    members_.emplace_back(std::move(key), std::move(v));
+  }
+
+  /// \brief Looks up an object member; nullptr when absent (or not an
+  /// object).
+  const JsonValue* Find(const std::string& key) const;
+
+  /// \brief Serializes compactly (no whitespace). For the bench files use
+  /// the layout-aware writer in bench_result.cc instead.
+  std::string Serialize() const;
+  void SerializeTo(std::string* out) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// \brief Appends the shortest decimal string that parses back to exactly
+/// `v` ("%.15g", widened to "%.17g" when needed). Non-finite values append
+/// "null".
+void AppendJsonNumber(std::string* out, double v);
+
+/// \brief Appends `s` as a quoted JSON string with ", \, and control
+/// characters escaped.
+void AppendJsonString(std::string* out, const std::string& s);
+
+/// \brief Parses a JSON document (objects, arrays, strings, numbers, bools,
+/// null; nesting depth capped). Trailing garbage after the document is an
+/// error.
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace colsgd
+
+#endif  // COLSGD_OBS_BENCH_JSON_H_

@@ -1,0 +1,207 @@
+#include "obs/bench/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace colsgd {
+
+namespace {
+
+constexpr const char* kInk = " .:-=+*#%@";
+
+std::string FormatValue(double value) {
+  if (!std::isfinite(value)) return "nan";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+void CompareResult(const BenchResult& old_result, const BenchResult* fresh,
+                   const ReportOptions& options, SuiteReport* report) {
+  for (const auto& [metric, old_value] : old_result.metrics) {
+    MetricDelta row;
+    row.result = old_result.name;
+    row.metric = metric;
+    row.old_value = old_value;
+    row.threshold = ThresholdFor(options, metric);
+    if (!std::isfinite(old_value)) {
+      report->notes.push_back("skipped " + old_result.name + "/" + metric +
+                              ": baseline value is not finite");
+      continue;
+    }
+    const double* fresh_value = nullptr;
+    if (fresh != nullptr) {
+      const auto it = fresh->metrics.find(metric);
+      if (it != fresh->metrics.end() && std::isfinite(it->second)) {
+        fresh_value = &it->second;
+      }
+    }
+    if (fresh_value == nullptr) {
+      row.missing = true;
+      row.regression = true;
+      row.new_value = std::numeric_limits<double>::quiet_NaN();
+    } else {
+      row.new_value = *fresh_value;
+      const double delta = row.new_value - row.old_value;
+      row.regression = row.new_value >
+                           row.old_value * (1.0 + row.threshold) &&
+                       delta > options.abs_epsilon;
+    }
+    report->regression |= row.regression;
+    report->rows.push_back(std::move(row));
+  }
+  if (fresh == nullptr) return;
+  for (const auto& [metric, value] : fresh->metrics) {
+    if (old_result.metrics.count(metric) == 0) {
+      report->notes.push_back("new metric " + old_result.name + "/" + metric +
+                              " = " + FormatValue(value) +
+                              " (no baseline, not gated)");
+    }
+  }
+}
+
+}  // namespace
+
+double ThresholdFor(const ReportOptions& options, const std::string& metric) {
+  for (const ThresholdRule& rule : options.rules) {
+    if (metric.find(rule.substring) != std::string::npos) {
+      return rule.threshold;
+    }
+  }
+  return options.threshold;
+}
+
+SuiteReport CompareSuites(const BenchSuite& old_suite,
+                          const BenchSuite& new_suite,
+                          const ReportOptions& options) {
+  SuiteReport report;
+  for (const BenchResult& old_result : old_suite.results) {
+    const BenchResult* fresh = new_suite.FindResult(old_result.name);
+    if (fresh == nullptr) {
+      report.notes.push_back("result " + old_result.name +
+                             " missing from new suite");
+    }
+    CompareResult(old_result, fresh, options, &report);
+  }
+  for (const BenchResult& fresh : new_suite.results) {
+    if (old_suite.FindResult(fresh.name) == nullptr) {
+      report.notes.push_back("new result " + fresh.name +
+                             " (no baseline, not gated)");
+    }
+  }
+  return report;
+}
+
+std::string RenderSparkline(const std::vector<double>& values, size_t width) {
+  if (values.empty() || width == 0) return "";
+  width = std::min(width, values.size());
+
+  // Mean-downsample into `width` columns; a column with no finite value
+  // renders as a blank.
+  std::vector<double> columns(width, 0.0);
+  std::vector<bool> filled(width, false);
+  std::vector<int> counts(width, 0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) continue;
+    const size_t col = i * width / values.size();
+    columns[col] += values[i];
+    ++counts[col];
+    filled[col] = true;
+  }
+  double lo = 0.0, hi = 0.0;
+  bool any = false;
+  for (size_t c = 0; c < width; ++c) {
+    if (!filled[c]) continue;
+    columns[c] /= counts[c];
+    if (!any) {
+      lo = hi = columns[c];
+      any = true;
+    } else {
+      lo = std::min(lo, columns[c]);
+      hi = std::max(hi, columns[c]);
+    }
+  }
+  std::string out;
+  out.reserve(width);
+  const size_t levels = std::char_traits<char>::length(kInk) - 1;
+  for (size_t c = 0; c < width; ++c) {
+    if (!filled[c] || !any) {
+      out += ' ';
+      continue;
+    }
+    size_t level = 1;  // constant series stay at the lowest ink, not blank
+    if (hi > lo) {
+      level = 1 + static_cast<size_t>((columns[c] - lo) / (hi - lo) *
+                                      static_cast<double>(levels - 1));
+      level = std::min(level, levels);
+    }
+    out += kInk[level];
+  }
+  return out;
+}
+
+std::string RenderReport(const SuiteReport& report,
+                         const BenchSuite& new_suite) {
+  std::string out;
+  char line[256];
+
+  // Group rows by result, regressions first within each group.
+  std::vector<const MetricDelta*> rows;
+  rows.reserve(report.rows.size());
+  for (const MetricDelta& row : report.rows) rows.push_back(&row);
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const MetricDelta* a, const MetricDelta* b) {
+                     if (a->result != b->result) return false;
+                     return a->regression && !b->regression;
+                   });
+
+  std::string current;
+  for (const MetricDelta* row : rows) {
+    if (row->result != current) {
+      current = row->result;
+      out += "\n== " + current + " ==\n";
+      std::snprintf(line, sizeof(line), "  %-28s %12s %12s %8s %s\n",
+                    "metric", "old", "new", "delta", "");
+      out += line;
+    }
+    std::string delta = "-";
+    if (!row->missing && row->old_value != 0.0) {
+      std::snprintf(line, sizeof(line), "%+.1f%%",
+                    (row->new_value - row->old_value) / row->old_value * 100);
+      delta = line;
+    }
+    std::snprintf(line, sizeof(line), "  %-28s %12s %12s %8s %s\n",
+                  row->metric.c_str(), FormatValue(row->old_value).c_str(),
+                  row->missing ? "MISSING" : FormatValue(row->new_value).c_str(),
+                  delta.c_str(),
+                  row->regression
+                      ? (row->missing ? "REGRESSION (missing)" : "REGRESSION")
+                      : "");
+    out += line;
+  }
+
+  bool header = false;
+  for (const BenchResult& result : new_suite.results) {
+    const auto it = result.series.find("batch_loss");
+    if (it == result.series.end() || it->second.empty()) continue;
+    if (!header) {
+      out += "\nconvergence (batch_loss):\n";
+      header = true;
+    }
+    std::snprintf(line, sizeof(line), "  %-28s |%s|\n", result.name.c_str(),
+                  RenderSparkline(it->second, 48).c_str());
+    out += line;
+  }
+
+  if (!report.notes.empty()) {
+    out += "\nnotes:\n";
+    for (const std::string& note : report.notes) {
+      out += "  - " + note + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace colsgd

@@ -1,0 +1,83 @@
+// Regression comparison between two BENCH suites (tools/colsgd_report).
+//
+// CompareSuites lines up an old (baseline) and a new suite result-by-result
+// and metric-by-metric. Every metric is lower-is-better by convention
+// (bench_result.h), so a regression is
+//
+//   new > old * (1 + threshold)  &&  new - old > abs_epsilon
+//
+// with the threshold chosen by the first matching substring rule, else the
+// global default. A result or metric present in the baseline but missing
+// from the new suite also counts as a regression — a run that crashed or
+// never reached its target loss must not pass the gate silently. Metrics
+// only present in the new suite are reported as notes, never as failures,
+// so adding telemetry does not invalidate old baselines.
+#ifndef COLSGD_OBS_BENCH_REPORT_H_
+#define COLSGD_OBS_BENCH_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/bench/bench_result.h"
+
+namespace colsgd {
+
+/// \brief Per-metric threshold override; `substring` matches anywhere in the
+/// metric name ("iter_" covers iter_p50/p95/p99). First matching rule wins.
+struct ThresholdRule {
+  std::string substring;
+  double threshold = 0.0;
+};
+
+struct ReportOptions {
+  /// Relative slack before a larger new value counts as a regression.
+  double threshold = 0.10;
+  /// Absolute slack: deltas at or below this never regress (guards metrics
+  /// near zero, where any relative threshold is meaningless).
+  double abs_epsilon = 1e-9;
+  std::vector<ThresholdRule> rules;
+};
+
+/// \brief One compared metric.
+struct MetricDelta {
+  std::string result;  ///< BenchResult name.
+  std::string metric;
+  double old_value = 0.0;
+  double new_value = 0.0;
+  double threshold = 0.0;  ///< Threshold that applied to this metric.
+  bool missing = false;    ///< Metric (or its whole result) absent in new.
+  bool regression = false;
+};
+
+struct SuiteReport {
+  std::vector<MetricDelta> rows;
+  /// Non-failing observations: metrics/results only present in the new
+  /// suite, metrics skipped because the baseline value was NaN.
+  std::vector<std::string> notes;
+  bool regression = false;
+};
+
+/// \brief The threshold ReportOptions assigns to `metric`.
+double ThresholdFor(const ReportOptions& options, const std::string& metric);
+
+/// \brief Compares every baseline metric against the new suite (see header
+/// comment for the semantics). Row order: baseline result order, then metric
+/// name order within a result.
+SuiteReport CompareSuites(const BenchSuite& old_suite,
+                          const BenchSuite& new_suite,
+                          const ReportOptions& options);
+
+/// \brief Downsamples `values` to `width` columns (mean per column) and maps
+/// them onto " .:-=+*#%@" by min-max normalization. Non-finite values render
+/// as spaces; constant series render at the lowest ink.
+std::string RenderSparkline(const std::vector<double>& values, size_t width);
+
+/// \brief Human-readable report: per-metric delta table (worst regressions
+/// first within each result), the notes, and a convergence sparkline per new
+/// result that carries a batch_loss series.
+std::string RenderReport(const SuiteReport& report,
+                         const BenchSuite& new_suite);
+
+}  // namespace colsgd
+
+#endif  // COLSGD_OBS_BENCH_REPORT_H_

@@ -1,0 +1,90 @@
+// Per-iteration time-series capture for benchmark telemetry.
+//
+// A TimeSeriesRecorder is attached to an engine with Engine::set_recorder;
+// Engine::RunIteration then deposits one TimeSeriesSample per iteration —
+// simulated clocks, batch/eval loss, gradient norm, wire traffic (total and
+// per node), the tracer's phase breakdown when one is also attached, and
+// fault-recovery deltas. Like the Tracer (obs/trace.h), recording is
+// strictly passive: every field is *read* from simulation state after the
+// iteration body ran, so attaching a recorder changes no simulated timestamp
+// and no trained bit (tests/obs_trace_test.cc extends the passivity pin to
+// recorded runs).
+//
+// The samples become TrainResult::series and, through bench/bench_runner,
+// the "series" block of BENCH_*.json suites (obs/bench/bench_result.h).
+#ifndef COLSGD_OBS_BENCH_TIMESERIES_H_
+#define COLSGD_OBS_BENCH_TIMESERIES_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace colsgd {
+
+/// \brief One iteration's telemetry. Loss/gradient fields default to NaN
+/// ("not measured"); NaN serializes as null in the bench JSON.
+struct TimeSeriesSample {
+  int64_t iteration = 0;
+  /// Master clock at the end of the iteration (simulated seconds).
+  double sim_time = 0.0;
+  /// Master-clock delta of this iteration.
+  double iter_seconds = 0.0;
+  double batch_loss = std::numeric_limits<double>::quiet_NaN();
+  /// Exact eval loss, when the trainer evaluated on this iteration.
+  double eval_loss = std::numeric_limits<double>::quiet_NaN();
+  /// l2 norm of the averaged mini-batch gradient (incl. regularization)
+  /// applied this iteration; NaN when the engine's update path does not
+  /// report one. For engines with several local updates per iteration
+  /// (MLlib*), this aggregates over all of them.
+  double grad_norm = std::numeric_limits<double>::quiet_NaN();
+
+  /// Wire traffic during the iteration.
+  uint64_t bytes_on_wire = 0;
+  uint64_t messages = 0;
+  /// bytes_sent delta per node (index = NodeId; 0 is the master).
+  std::vector<uint64_t> bytes_sent_per_node;
+
+  /// Master-clock phase breakdown (only when a Tracer was also attached).
+  bool has_phases = false;
+  PhaseBreakdown phases;
+
+  /// Fault-recovery deltas of this iteration.
+  int64_t task_failures = 0;
+  int64_t worker_failures = 0;
+  int64_t checkpoints = 0;
+  /// Detection + repair seconds charged this iteration.
+  double recovery_seconds = 0.0;
+};
+
+/// \brief Collects TimeSeriesSamples. Non-owning users (Engine) hold a raw
+/// pointer; the recorder must outlive them or be detached first.
+class TimeSeriesRecorder {
+ public:
+  void Record(TimeSeriesSample sample) {
+    samples_.push_back(std::move(sample));
+  }
+
+  /// \brief Annotates the sample of `iteration` with an exact eval loss
+  /// (called by RunTraining, which evaluates outside the engine). No-op when
+  /// the iteration was not recorded.
+  void SetEvalLoss(int64_t iteration, double eval_loss) {
+    for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
+      if (it->iteration == iteration) {
+        it->eval_loss = eval_loss;
+        return;
+      }
+    }
+  }
+
+  const std::vector<TimeSeriesSample>& samples() const { return samples_; }
+  void Clear() { samples_.clear(); }
+
+ private:
+  std::vector<TimeSeriesSample> samples_;
+};
+
+}  // namespace colsgd
+
+#endif  // COLSGD_OBS_BENCH_TIMESERIES_H_

@@ -34,6 +34,31 @@ void Histogram::Observe(double value) {
   sum_ += value;
 }
 
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets_[b];
+    if (static_cast<double>(cumulative) < target) continue;
+    // The quantile falls in bucket b. Interpolate within its value range,
+    // clamping the edges to the observed extremes (the first bucket has no
+    // lower bound, the overflow bucket no upper bound).
+    double lo = b == 0 ? min_ : bounds_[b - 1];
+    double hi = b == bounds_.size() ? max_ : bounds_[b];
+    lo = std::max(lo, min_);
+    hi = std::min(hi, max_);
+    if (hi <= lo) return lo;
+    const double frac =
+        (target - before) / static_cast<double>(buckets_[b]);
+    return lo + frac * (hi - lo);
+  }
+  return max_;
+}
+
 std::vector<double> DefaultSecondsBuckets() {
   std::vector<double> bounds;
   for (double b = 1e-6; b <= 1e3; b *= 10.0) bounds.push_back(b);

@@ -44,6 +44,16 @@ class Histogram {
   double min() const { return min_; }
   double max() const { return max_; }
   double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+  /// \brief Estimated quantile `q` in [0, 1], linearly interpolated within
+  /// the fixed buckets (the usual Prometheus-style histogram_quantile). The
+  /// first bucket's lower edge and the overflow bucket's upper edge are
+  /// taken from the observed min/max, so the estimate is always inside
+  /// [min(), max()]. Returns 0 for an empty histogram.
+  double Quantile(double q) const;
+  double p50() const { return Quantile(0.50); }
+  double p95() const { return Quantile(0.95); }
+  double p99() const { return Quantile(0.99); }
   const std::vector<double>& bounds() const { return bounds_; }
   /// \brief Bucket counts; size bounds().size() + 1 (overflow bucket last).
   const std::vector<uint64_t>& buckets() const { return buckets_; }

@@ -1,0 +1,364 @@
+// Tests for the benchmark telemetry layer (obs/bench): the BENCH_*.json
+// writer/reader round trip, derived statistics, Histogram quantiles, the
+// deterministic per-iteration time series, and the colsgd_report regression
+// semantics (CompareSuites).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "datagen/synthetic.h"
+#include "engine/trainer.h"
+#include "obs/bench/bench_result.h"
+#include "obs/bench/json.h"
+#include "obs/bench/report.h"
+#include "obs/bench/timeseries.h"
+#include "obs/metrics.h"
+
+namespace colsgd {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+BenchSuite SampleSuite() {
+  BenchSuite suite;
+  suite.suite = "unit";
+  suite.env["git"] = "deadbeef";
+  suite.env["iterations"] = "40";
+  BenchResult* r = suite.AddResult("tiny/lr/columnsgd");
+  r->env["engine"] = "columnsgd";
+  r->env["model"] = "lr";
+  r->metrics["train_time"] = 1.25;
+  r->metrics["avg_iter_time"] = 0.03125;
+  r->metrics["final_loss"] = 0.31;
+  r->series["iteration"] = {0.0, 1.0, 2.0, 3.0};
+  r->series["batch_loss"] = {0.9, 0.6, 0.45, 0.31};
+  return suite;
+}
+
+// ---- JSON primitives ------------------------------------------------------
+
+TEST(BenchJsonTest, NumbersRoundTripShortest) {
+  std::string out;
+  AppendJsonNumber(&out, 0.1);
+  EXPECT_EQ(out, "0.1");
+  out.clear();
+  AppendJsonNumber(&out, 3.0);
+  EXPECT_EQ(out, "3");
+  out.clear();
+  AppendJsonNumber(&out, kNaN);
+  EXPECT_EQ(out, "null");  // NaN is unrepresentable in JSON
+}
+
+TEST(BenchJsonTest, ParserRejectsTrailingGarbage) {
+  EXPECT_TRUE(ParseJson("{\"a\": 1}").ok());
+  EXPECT_FALSE(ParseJson("{\"a\": 1} x").ok());
+  EXPECT_FALSE(ParseJson("{\"a\": }").ok());
+  EXPECT_FALSE(ParseJson("").ok());
+}
+
+// ---- BENCH round trip -----------------------------------------------------
+
+TEST(BenchResultTest, WriterReaderWriterIsByteIdentical) {
+  const BenchSuite suite = SampleSuite();
+  const std::string first = BenchSuiteJson(suite);
+  Result<BenchSuite> parsed = ParseBenchSuiteJson(first);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const std::string second = BenchSuiteJson(*parsed);
+  EXPECT_EQ(first, second);
+
+  EXPECT_EQ(parsed->suite, "unit");
+  EXPECT_EQ(parsed->env.at("git"), "deadbeef");
+  ASSERT_EQ(parsed->results.size(), 1u);
+  const BenchResult& r = parsed->results[0];
+  EXPECT_EQ(r.name, "tiny/lr/columnsgd");
+  EXPECT_DOUBLE_EQ(r.metrics.at("train_time"), 1.25);
+  ASSERT_EQ(r.series.at("batch_loss").size(), 4u);
+  EXPECT_DOUBLE_EQ(r.series.at("batch_loss")[3], 0.31);
+}
+
+TEST(BenchResultTest, NaNMetricSurvivesRoundTripAsNull) {
+  BenchSuite suite = SampleSuite();
+  suite.results[0].metrics["grad_norm"] = kNaN;
+  const std::string json = BenchSuiteJson(suite);
+  EXPECT_NE(json.find("\"grad_norm\": null"), std::string::npos);
+  Result<BenchSuite> parsed = ParseBenchSuiteJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(std::isnan(parsed->results[0].metrics.at("grad_norm")));
+  EXPECT_EQ(BenchSuiteJson(*parsed), json);
+}
+
+TEST(BenchResultTest, ReaderRejectsWrongSchemaAndUnknownFields) {
+  const std::string good = BenchSuiteJson(SampleSuite());
+  std::string wrong_schema = good;
+  const size_t pos = wrong_schema.find("colsgd.bench/v1");
+  ASSERT_NE(pos, std::string::npos);
+  wrong_schema.replace(pos, 15, "colsgd.bench/v9");
+  EXPECT_FALSE(ParseBenchSuiteJson(wrong_schema).ok());
+
+  EXPECT_FALSE(
+      ParseBenchSuiteJson(
+          "{\"schema\": \"colsgd.bench/v1\", \"suite\": \"x\", "
+          "\"surprise\": 1, \"results\": []}")
+          .ok());
+  EXPECT_FALSE(ParseBenchSuiteJson("{\"suite\": \"x\", \"results\": []}")
+                   .ok());  // no schema tag at all
+}
+
+TEST(BenchResultTest, FileRoundTrip) {
+  const BenchSuite suite = SampleSuite();
+  const std::string path = testing::TempDir() + "/BENCH_unit.json";
+  ASSERT_TRUE(WriteBenchSuite(suite, path).ok());
+  Result<BenchSuite> parsed = ReadBenchSuiteFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(BenchSuiteJson(*parsed), BenchSuiteJson(suite));
+  EXPECT_FALSE(ReadBenchSuiteFile(path + ".does-not-exist").ok());
+}
+
+// ---- derived statistics ---------------------------------------------------
+
+TEST(BenchResultTest, DerivedIterQuantilesAreExactOrderStatistics) {
+  BenchResult r;
+  // 1..100 milliseconds: p50 = 50.5ms, p95 = 95.05ms, p99 = 99.01ms.
+  std::vector<double> iters;
+  for (int i = 1; i <= 100; ++i) iters.push_back(i * 1e-3);
+  r.series["iter_seconds"] = iters;
+  r.series["bytes"] = std::vector<double>(100, 1000.0);
+  ComputeDerivedStats(&r);
+  EXPECT_NEAR(r.metrics.at("iter_p50"), 50.5e-3, 1e-12);
+  EXPECT_NEAR(r.metrics.at("iter_p95"), 95.05e-3, 1e-12);
+  EXPECT_NEAR(r.metrics.at("iter_p99"), 99.01e-3, 1e-12);
+  EXPECT_DOUBLE_EQ(r.metrics.at("bytes_per_iter"), 1000.0);
+}
+
+TEST(BenchResultTest, TimeToTargetLossUsesSmoothedTrajectory) {
+  BenchResult r;
+  std::vector<double> loss, time;
+  for (int i = 0; i < 40; ++i) {
+    loss.push_back(1.0 - 0.02 * i);  // 1.0 -> 0.22, strictly decreasing
+    time.push_back(0.1 * (i + 1));
+  }
+  r.series["batch_loss"] = loss;
+  r.series["sim_time"] = time;
+  r.series["iter_seconds"] = std::vector<double>(40, 0.1);
+  ComputeDerivedStats(&r);
+  ASSERT_TRUE(r.metrics.count("target_loss"));
+  ASSERT_TRUE(r.metrics.count("time_to_target_loss"));
+  ASSERT_TRUE(r.metrics.count("final_loss"));
+  // The target sits 10% above the final smoothed loss, so it is reached
+  // near the end of the run but strictly before it.
+  EXPECT_GT(r.metrics.at("time_to_target_loss"), time.front());
+  EXPECT_LE(r.metrics.at("time_to_target_loss"), time.back());
+
+  // A flat trajectory never improves: first == final means the target
+  // equals both, reached immediately.
+  BenchResult flat;
+  flat.series["batch_loss"] = std::vector<double>(40, 0.5);
+  flat.series["sim_time"] = time;
+  ComputeDerivedStats(&flat);
+  EXPECT_DOUBLE_EQ(flat.metrics.at("time_to_target_loss"), time.front());
+}
+
+// ---- Histogram quantiles --------------------------------------------------
+
+TEST(HistogramQuantileTest, InterpolatesWithinBuckets) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 100; ++i) h.Observe(1.0 + i * 0.01);  // [1.0, 1.99]
+  // All mass in the (1, 2] bucket: the median interpolates halfway.
+  EXPECT_NEAR(h.p50(), 1.5, 0.02);
+  EXPECT_GE(h.p99(), h.p95());
+  EXPECT_GE(h.p95(), h.p50());
+  // Estimates never escape the observed range.
+  EXPECT_GE(h.p50(), h.min());
+  EXPECT_LE(h.p99(), h.max());
+}
+
+TEST(HistogramQuantileTest, EmptyAndSingleton) {
+  Histogram h({1.0, 10.0});
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);  // empty
+  h.Observe(5.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 5.0);  // min == max pins the estimate
+  EXPECT_DOUBLE_EQ(h.p99(), 5.0);
+}
+
+// ---- time-series determinism ---------------------------------------------
+
+std::vector<TimeSeriesSample> RecordRun(const std::string& engine_name) {
+  SyntheticSpec spec = TinySpec();
+  spec.num_rows = 600;
+  spec.num_features = 200;
+  Dataset data = GenerateSynthetic(spec);
+  TrainConfig config;
+  config.model = "lr";
+  config.learning_rate = 0.5;
+  config.batch_size = 64;
+  config.seed = 99;
+  auto engine = MakeEngine(engine_name, ClusterSpec::Cluster1(), config);
+  TimeSeriesRecorder recorder;
+  engine->set_recorder(&recorder);
+  RunOptions options;
+  options.iterations = 8;
+  options.eval_every = 4;
+  TrainResult result = RunTraining(engine.get(), data, options);
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_EQ(result.series.size(), 8u);  // recorder samples ship in the result
+  return result.series;
+}
+
+TEST(TimeSeriesTest, FixedSeedRunsAreBitIdentical) {
+  const std::vector<TimeSeriesSample> a = RecordRun("columnsgd");
+  const std::vector<TimeSeriesSample> b = RecordRun("columnsgd");
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].iteration, b[i].iteration);
+    EXPECT_EQ(a[i].sim_time, b[i].sim_time);  // bit-equal, not near
+    EXPECT_EQ(a[i].iter_seconds, b[i].iter_seconds);
+    EXPECT_EQ(a[i].batch_loss, b[i].batch_loss);
+    EXPECT_EQ(a[i].bytes_on_wire, b[i].bytes_on_wire);
+    EXPECT_EQ(a[i].messages, b[i].messages);
+    EXPECT_EQ(a[i].bytes_sent_per_node, b[i].bytes_sent_per_node);
+  }
+  // Eval loss was merged into the series at the eval_every boundaries.
+  bool saw_eval = false;
+  for (const TimeSeriesSample& s : a) {
+    if (!std::isnan(s.eval_loss)) saw_eval = true;
+  }
+  EXPECT_TRUE(saw_eval);
+  // And identical runs serialize to byte-identical BENCH documents.
+  BenchSuite sa, sb;
+  sa.suite = sb.suite = "det";
+  AppendSampleSeries(a, sa.AddResult("r"));
+  AppendSampleSeries(b, sb.AddResult("r"));
+  ComputeDerivedStats(&sa.results[0]);
+  ComputeDerivedStats(&sb.results[0]);
+  EXPECT_EQ(BenchSuiteJson(sa), BenchSuiteJson(sb));
+}
+
+// ---- regression comparison ------------------------------------------------
+
+TEST(CompareSuitesTest, IdenticalSuitesPass) {
+  const BenchSuite suite = SampleSuite();
+  const SuiteReport report = CompareSuites(suite, suite, ReportOptions());
+  EXPECT_FALSE(report.regression);
+  for (const MetricDelta& row : report.rows) {
+    EXPECT_FALSE(row.regression) << row.result << "/" << row.metric;
+  }
+}
+
+TEST(CompareSuitesTest, TenPercentIterTimeRegressionIsCaught) {
+  const BenchSuite old_suite = SampleSuite();
+  BenchSuite new_suite = old_suite;
+  // Inject a 12% per-iteration-time regression (threshold is 10%).
+  new_suite.results[0].metrics["avg_iter_time"] *= 1.12;
+  const SuiteReport report =
+      CompareSuites(old_suite, new_suite, ReportOptions());
+  EXPECT_TRUE(report.regression);
+  bool flagged = false;
+  for (const MetricDelta& row : report.rows) {
+    if (row.metric == "avg_iter_time") {
+      flagged = true;
+      EXPECT_TRUE(row.regression);
+      EXPECT_FALSE(row.missing);
+    } else {
+      EXPECT_FALSE(row.regression);
+    }
+  }
+  EXPECT_TRUE(flagged);
+  // An improvement of any size never regresses.
+  new_suite.results[0].metrics["avg_iter_time"] =
+      old_suite.results[0].metrics.at("avg_iter_time") * 0.5;
+  EXPECT_FALSE(
+      CompareSuites(old_suite, new_suite, ReportOptions()).regression);
+}
+
+TEST(CompareSuitesTest, WithinThresholdPasses) {
+  const BenchSuite old_suite = SampleSuite();
+  BenchSuite new_suite = old_suite;
+  new_suite.results[0].metrics["avg_iter_time"] *= 1.05;  // inside 10%
+  EXPECT_FALSE(
+      CompareSuites(old_suite, new_suite, ReportOptions()).regression);
+}
+
+TEST(CompareSuitesTest, MissingMetricAndResultRegress) {
+  const BenchSuite old_suite = SampleSuite();
+  BenchSuite no_metric = old_suite;
+  no_metric.results[0].metrics.erase("final_loss");
+  SuiteReport report = CompareSuites(old_suite, no_metric, ReportOptions());
+  EXPECT_TRUE(report.regression);
+
+  BenchSuite no_result = old_suite;
+  no_result.results.clear();
+  report = CompareSuites(old_suite, no_result, ReportOptions());
+  EXPECT_TRUE(report.regression);
+
+  // New-only metrics and results are notes, never failures.
+  BenchSuite extra = old_suite;
+  extra.results[0].metrics["shiny_new_metric"] = 1.0;
+  extra.AddResult("brand/new/config")->metrics["train_time"] = 1.0;
+  report = CompareSuites(old_suite, extra, ReportOptions());
+  EXPECT_FALSE(report.regression);
+  EXPECT_FALSE(report.notes.empty());
+}
+
+TEST(CompareSuitesTest, PerMetricRulesOverrideGlobalThreshold) {
+  ReportOptions options;
+  options.threshold = 0.10;
+  options.rules.push_back({"final_loss", 0.01});
+  EXPECT_DOUBLE_EQ(ThresholdFor(options, "final_loss"), 0.01);
+  EXPECT_DOUBLE_EQ(ThresholdFor(options, "avg_iter_time"), 0.10);
+
+  const BenchSuite old_suite = SampleSuite();
+  BenchSuite new_suite = old_suite;
+  new_suite.results[0].metrics["final_loss"] *= 1.05;  // >1% but <10%
+  EXPECT_TRUE(CompareSuites(old_suite, new_suite, options).regression);
+  EXPECT_FALSE(
+      CompareSuites(old_suite, new_suite, ReportOptions()).regression);
+}
+
+TEST(CompareSuitesTest, AbsEpsilonGuardsNearZeroMetrics) {
+  BenchSuite old_suite;
+  old_suite.suite = "eps";
+  old_suite.AddResult("r")->metrics["recovery_seconds"] = 0.0;
+  BenchSuite new_suite = old_suite;
+  new_suite.results[0].metrics["recovery_seconds"] = 1e-12;  // any rel. jump
+  EXPECT_FALSE(
+      CompareSuites(old_suite, new_suite, ReportOptions()).regression);
+}
+
+TEST(ReportRenderTest, SparklineAndReportText) {
+  const std::string line = RenderSparkline({1.0, 2.0, 3.0, 4.0}, 4);
+  ASSERT_EQ(line.size(), 4u);
+  EXPECT_EQ(line.front(), '.');  // min maps to the lowest (non-blank) ink
+  EXPECT_EQ(line.back(), '@');   // max maps to the highest
+
+  const BenchSuite old_suite = SampleSuite();
+  BenchSuite new_suite = old_suite;
+  new_suite.results[0].metrics["train_time"] *= 2.0;
+  const SuiteReport report =
+      CompareSuites(old_suite, new_suite, ReportOptions());
+  const std::string text = RenderReport(report, new_suite);
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(text.find("train_time"), std::string::npos);
+  EXPECT_NE(text.find("tiny/lr/columnsgd"), std::string::npos);
+}
+
+// ---- metrics registry JSON ------------------------------------------------
+
+TEST(MetricsRegistryJsonTest, DeterministicDump) {
+  MetricsRegistry registry;
+  registry.GetCounter("messages")->Add(42);
+  Histogram* h = registry.GetHistogram("iter_seconds", {0.1, 1.0});
+  h->Observe(0.05);
+  h->Observe(0.5);
+  const std::string json = MetricsRegistryJson(registry);
+  Result<JsonValue> parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_NE(json.find("\"messages\": 42"), std::string::npos);
+  EXPECT_NE(json.find("iter_seconds"), std::string::npos);
+  EXPECT_EQ(MetricsRegistryJson(registry), json);  // stable across calls
+}
+
+}  // namespace
+}  // namespace colsgd

@@ -11,6 +11,7 @@
 
 #include "datagen/synthetic.h"
 #include "engine/trainer.h"
+#include "obs/bench/timeseries.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -207,6 +208,61 @@ TEST_P(TracePassivityTest, TracedRunIsBitIdenticalToUntraced) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllEngines, TracePassivityTest,
+                         testing::Values("columnsgd", "mllib", "mllib_star",
+                                         "petuum", "mxnet"));
+
+class RecorderPassivityTest : public testing::TestWithParam<const char*> {};
+
+// The benchmark time-series recorder holds the same contract as the tracer:
+// attaching it changes no simulated clock and no trained bit.
+TEST_P(RecorderPassivityTest, RecordedRunIsBitIdenticalToPlain) {
+  const char* engine_name = GetParam();
+  Dataset data = TestData();
+
+  auto plain = MakeEngine(engine_name, Cluster(), Config());
+  ASSERT_TRUE(plain->Setup(data).ok());
+  auto recorded = MakeEngine(engine_name, Cluster(), Config());
+  Tracer tracer;
+  TimeSeriesRecorder recorder;
+  recorded->set_tracer(&tracer);  // tracer + recorder together, as BenchRunner
+  recorded->set_recorder(&recorder);
+  ASSERT_TRUE(recorded->Setup(data).ok());
+  const uint64_t setup_bytes =
+      recorded->runtime().net().TotalStats().bytes_sent;
+
+  for (int64_t iter = 0; iter < 3; ++iter) {
+    ASSERT_TRUE(plain->RunIteration(iter).ok());
+    ASSERT_TRUE(recorded->RunIteration(iter).ok());
+  }
+
+  const std::vector<double> w_plain = plain->FullModel();
+  const std::vector<double> w_recorded = recorded->FullModel();
+  ASSERT_EQ(w_plain.size(), w_recorded.size());
+  for (size_t i = 0; i < w_plain.size(); ++i) {
+    ASSERT_EQ(w_plain[i], w_recorded[i]) << "weight " << i << " diverged";
+  }
+  for (int node = 0; node < plain->runtime().net().num_nodes(); ++node) {
+    EXPECT_EQ(plain->runtime().clock(static_cast<NodeId>(node)),
+              recorded->runtime().clock(static_cast<NodeId>(node)))
+        << "clock " << node << " diverged";
+  }
+
+  // The recorder saw every iteration, with monotone sim time and the same
+  // traffic total the network reports.
+  ASSERT_EQ(recorder.samples().size(), 3u);
+  uint64_t recorded_bytes = 0;
+  double last_time = 0.0;
+  for (const TimeSeriesSample& sample : recorder.samples()) {
+    EXPECT_GE(sample.sim_time, last_time);
+    last_time = sample.sim_time;
+    EXPECT_GT(sample.iter_seconds, 0.0);
+    recorded_bytes += sample.bytes_on_wire;
+  }
+  EXPECT_EQ(recorded_bytes,
+            recorded->runtime().net().TotalStats().bytes_sent - setup_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, RecorderPassivityTest,
                          testing::Values("columnsgd", "mllib", "mllib_star",
                                          "petuum", "mxnet"));
 

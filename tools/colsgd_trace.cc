@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "obs/metrics.h"
 #include "obs/trace_reader.h"
 
 namespace colsgd {
@@ -65,7 +66,10 @@ int Run(int argc, char** argv) {
   const double span = (last_us - first_us) * 1e-6;
 
   // Master-timeline phases (tid 1 'X' events; "iteration" wraps them).
+  // Each phase also gets a duration histogram so the summary can show the
+  // spread (p50/p95/p99) across occurrences, not just the total.
   std::map<std::string, double> phase_seconds;
+  MetricsRegistry registry;
   int64_t iterations = 0;
   std::map<uint32_t, NodeUsage> usage;
   for (const ParsedTraceEvent& event : trace.events) {
@@ -74,6 +78,7 @@ int Run(int argc, char** argv) {
         ++iterations;
       } else {
         phase_seconds[event.name] += event.dur_us * 1e-6;
+        registry.GetHistogram(event.name)->Observe(event.dur_us * 1e-6);
       }
       continue;
     }
@@ -105,12 +110,17 @@ int Run(int argc, char** argv) {
   for (const auto& [name, seconds] : phases) phase_total += seconds;
   if (!phases.empty()) {
     std::printf("\ntop phases (master clock):\n");
+    std::printf("  %-14s %12s %8s %12s %12s %12s\n", "phase", "total", "share",
+                "p50", "p95", "p99");
     const size_t n =
         std::min(phases.size(), static_cast<size_t>(std::max<int64_t>(
                                     topk, 0)));
     for (size_t i = 0; i < n; ++i) {
-      std::printf("  %-14s %12.6fs (%5.1f%%)\n", phases[i].first.c_str(),
-                  phases[i].second, 100.0 * phases[i].second / phase_total);
+      const Histogram* h = registry.GetHistogram(phases[i].first);
+      std::printf("  %-14s %11.6fs %7.1f%% %11.6fs %11.6fs %11.6fs\n",
+                  phases[i].first.c_str(), phases[i].second,
+                  100.0 * phases[i].second / phase_total, h->p50(), h->p95(),
+                  h->p99());
     }
   }
 

@@ -12,12 +12,15 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include <fstream>
+
 #include "common/csv.h"
 #include "common/flags.h"
 #include "datagen/synthetic.h"
 #include "engine/columnsgd.h"
 #include "engine/model_io.h"
 #include "engine/trainer.h"
+#include "obs/bench/bench_result.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "storage/libsvm.h"
@@ -107,6 +110,7 @@ int Run(int argc, char** argv) {
   flags.AddString("trace_csv", &trace_csv, "write the loss trace to this CSV");
   std::string trace_out;
   std::string phase_csv;
+  std::string metrics_out;
   std::string fail_worker;
   double worker_mtbf_iters = 0.0;
   int64_t checkpoint_every = 0;
@@ -115,6 +119,8 @@ int Run(int argc, char** argv) {
                   "Perfetto / chrome://tracing)");
   flags.AddString("phase_csv", &phase_csv,
                   "write the per-iteration phase breakdown to this CSV");
+  flags.AddString("metrics_out", &metrics_out,
+                  "dump the aggregated metrics registry as JSON to this file");
   flags.AddString("fail_worker", &fail_worker,
                   "scripted worker failures, 'iter:worker[,iter:worker...]'");
   flags.AddDouble("worker_mtbf_iters", &worker_mtbf_iters,
@@ -181,7 +187,8 @@ int Run(int argc, char** argv) {
   }
 
   Tracer tracer;
-  const bool tracing = !trace_out.empty() || !phase_csv.empty();
+  const bool tracing =
+      !trace_out.empty() || !phase_csv.empty() || !metrics_out.empty();
   if (tracing) engine->set_tracer(&tracer);
 
   RunOptions options;
@@ -255,6 +262,21 @@ int Run(int argc, char** argv) {
         return 1;
       }
       std::printf("phase breakdown written to %s\n", phase_csv.c_str());
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     metrics_out.c_str());
+        return 1;
+      }
+      out << MetricsRegistryJson(tracer.metrics());
+      out.close();
+      if (!out) {
+        std::fprintf(stderr, "error writing %s\n", metrics_out.c_str());
+        return 1;
+      }
+      std::printf("metrics written to %s\n", metrics_out.c_str());
     }
   }
 
