@@ -91,6 +91,23 @@ void BenchRunner::EndRun() {
     result->metrics["iterations_lost"] =
         static_cast<double>(rm.iterations_lost);
   }
+  // Wire/storage-integrity metrics, only when the run saw such faults
+  // (keeps clean and crash-only runs' metric sets unchanged).
+  if (rm.messages_corrupted > 0 || rm.retransmits > 0 ||
+      rm.partition_blocked_sends > 0 || rm.checkpoints_corrupted > 0 ||
+      rm.checkpoint_fallbacks > 0) {
+    result->metrics["messages_dropped"] =
+        static_cast<double>(rm.messages_dropped);
+    result->metrics["messages_corrupted"] =
+        static_cast<double>(rm.messages_corrupted);
+    result->metrics["retransmits"] = static_cast<double>(rm.retransmits);
+    result->metrics["partition_blocked_sends"] =
+        static_cast<double>(rm.partition_blocked_sends);
+    result->metrics["checkpoints_corrupted"] =
+        static_cast<double>(rm.checkpoints_corrupted);
+    result->metrics["checkpoint_fallbacks"] =
+        static_cast<double>(rm.checkpoint_fallbacks);
+  }
   AppendSampleSeries(samples, result);
   ComputeDerivedStats(result);
   recorder_.Clear();

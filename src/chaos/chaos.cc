@@ -1,0 +1,487 @@
+#include "chaos/chaos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+#include "common/crc32c.h"
+#include "common/rng.h"
+#include "datagen/synthetic.h"
+#include "engine/trainer.h"
+#include "obs/bench/json.h"
+#include "obs/bench/timeseries.h"
+
+namespace colsgd {
+namespace chaos {
+
+namespace {
+
+constexpr double kAbsLossSlack = 0.05;
+
+TrainConfig MakeTrainConfig(const ChaosOptions& options) {
+  TrainConfig config;
+  config.model = options.model;
+  config.learning_rate = options.learning_rate;
+  config.batch_size = options.batch_size;
+  config.block_rows = options.block_rows;
+  return config;
+}
+
+ClusterSpec MakeCluster(const ChaosOptions& options) {
+  ClusterSpec spec = ClusterSpec::Cluster1();
+  spec.num_workers = options.workers;
+  return spec;
+}
+
+std::string FormatG(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+void FoldU64(uint32_t* crc, uint64_t v) {
+  *crc = ExtendCrc32c(*crc, &v, sizeof(v));
+}
+
+void FoldI64(uint32_t* crc, int64_t v) {
+  *crc = ExtendCrc32c(*crc, &v, sizeof(v));
+}
+
+void FoldDouble(uint32_t* crc, double v) {
+  *crc = ExtendCrc32c(*crc, &v, sizeof(v));
+}
+
+}  // namespace
+
+Dataset ChaosDataset(const ChaosOptions& options) {
+  SyntheticSpec spec = TinySpec();
+  spec.name = "chaos-sim";
+  spec.num_rows = options.data_rows;
+  spec.num_features = options.data_features;
+  spec.seed = options.data_seed;
+  return GenerateSynthetic(spec);
+}
+
+double RunCleanBaseline(const ChaosOptions& options, const Dataset& dataset) {
+  auto engine = MakeEngine(options.engine, MakeCluster(options),
+                           MakeTrainConfig(options));
+  RunOptions run;
+  run.iterations = options.iterations;
+  TrainResult result = RunTraining(engine.get(), dataset, run);
+  COLSGD_CHECK(result.status.ok())
+      << "fault-free baseline failed: " << result.status.ToString();
+  return EvaluateLoss(engine->model(), engine->FullModel(), dataset,
+                      dataset.num_rows());
+}
+
+ChaosSchedule GenerateSchedule(uint64_t seed, const ChaosOptions& options) {
+  // One private stream per seed; every draw below is a fixed position in it,
+  // so (seed, workers, iterations) fully determines the schedule.
+  Rng rng(SplitMix64(seed ^ 0xC4A05C4A05ULL));
+  ChaosSchedule schedule;
+  FaultPlanConfig& plan = schedule.plan;
+  plan.seed = SplitMix64(seed);
+  plan.num_workers = options.workers;
+
+  const int64_t early = std::max<int64_t>(2, options.iterations / 3);
+  const auto random_worker = [&] {
+    return static_cast<int>(rng.NextBounded(options.workers));
+  };
+
+  // Crashes: up to two scripted worker failures (possibly the same
+  // iteration — the compound case) and a scripted task failure.
+  if (rng.NextBernoulli(0.5)) {
+    plan.scripted.push_back({1 + static_cast<int64_t>(rng.NextBounded(early)),
+                             random_worker(), FaultKind::kWorkerFailure});
+  }
+  if (rng.NextBernoulli(0.3)) {
+    plan.scripted.push_back({1 + static_cast<int64_t>(rng.NextBounded(early)),
+                             random_worker(), FaultKind::kWorkerFailure});
+  }
+  if (rng.NextBernoulli(0.4)) {
+    plan.scripted.push_back({1 + static_cast<int64_t>(rng.NextBounded(early)),
+                             random_worker(), FaultKind::kTaskFailure});
+  }
+
+  // Lossy wire: drops and corruption.
+  if (rng.NextBernoulli(0.45)) {
+    plan.message_drop_prob = rng.NextUniform(0.01, 0.08);
+  }
+  if (rng.NextBernoulli(0.45)) {
+    plan.message_corrupt_prob = rng.NextUniform(0.01, 0.08);
+  }
+
+  // A group-split partition window.
+  if (rng.NextBernoulli(0.4) && options.workers >= 2) {
+    NetworkPartitionSpec window;
+    window.start_iteration = 1 + static_cast<int64_t>(rng.NextBounded(early));
+    window.iterations = 1 + static_cast<int64_t>(rng.NextBounded(3));
+    const int side = 1 + static_cast<int>(rng.NextBounded(options.workers - 1));
+    for (int w = 0; w < options.workers &&
+         static_cast<int>(window.side_a.size()) < side; ++w) {
+      if (rng.NextBernoulli(0.5) || options.workers - w <=
+          side - static_cast<int>(window.side_a.size())) {
+        window.side_a.push_back(w);
+      }
+    }
+    plan.partitions.push_back(std::move(window));
+  }
+
+  // Stragglers.
+  if (rng.NextBernoulli(0.3)) {
+    plan.stragglers.mode = StragglerSpec::Mode::kRotating;
+    plan.stragglers.level = rng.NextUniform(0.5, 2.0);
+    plan.stragglers.level_hi = plan.stragglers.level + rng.NextUniform(0.0, 1.0);
+  }
+
+  // Protection policy + storage damage. Torn/bit-rot probabilities are high
+  // on purpose: a short run takes only a handful of checkpoints, and the
+  // interesting seeds are the ones where damage actually lands.
+  if (rng.NextBernoulli(0.6)) {
+    schedule.checkpoint_every =
+        std::max<int64_t>(2, options.iterations /
+                                 static_cast<int64_t>(2 + rng.NextBounded(4)));
+    if (rng.NextBernoulli(0.4)) {
+      plan.torn_checkpoint_prob = rng.NextUniform(0.3, 0.7);
+    }
+    if (rng.NextBernoulli(0.3)) {
+      plan.checkpoint_bitrot_prob = rng.NextUniform(0.2, 0.5);
+    }
+  }
+
+  // A rare background worker-failure process on top of everything else.
+  if (rng.NextBernoulli(0.15)) {
+    plan.worker_mtbf_iters =
+        static_cast<double>(options.iterations) * rng.NextUniform(2.0, 4.0);
+  }
+  return schedule;
+}
+
+ChaosVerdict RunSchedule(const ChaosOptions& options,
+                         const ChaosSchedule& schedule,
+                         const Dataset& dataset, double clean_loss,
+                         uint64_t seed) {
+  ChaosVerdict verdict;
+  verdict.seed = seed;
+  verdict.clean_loss = clean_loss;
+
+  Result<FaultPlan> plan = FaultPlan::Create(schedule.plan);
+  if (!plan.ok()) {
+    verdict.violations.push_back("generated schedule rejected by Validate: " +
+                                 plan.status().ToString());
+    return verdict;
+  }
+  auto engine = MakeEngine(options.engine, MakeCluster(options),
+                           MakeTrainConfig(options));
+  FaultConfig faults;
+  faults.plan = std::move(*plan);
+  faults.checkpoint.every = schedule.checkpoint_every;
+  const Status installed = engine->set_faults(faults);
+  if (!installed.ok()) {
+    verdict.violations.push_back("set_faults rejected a validated plan: " +
+                                 installed.ToString());
+    return verdict;
+  }
+  TimeSeriesRecorder recorder;
+  engine->set_recorder(&recorder);
+
+  RunOptions run;
+  run.iterations = options.iterations;
+  TrainResult result = RunTraining(engine.get(), dataset, run);
+  engine->set_recorder(nullptr);
+  verdict.recovery = result.recovery;
+
+  uint32_t crc = 0;
+  if (!result.status.ok()) {
+    // Invariant 1: a failed run must carry a diagnosis.
+    verdict.completed = false;
+    verdict.diagnosis = result.status.ToString();
+    if (result.status.message().empty()) {
+      verdict.violations.push_back(
+          "run failed without a diagnosis (empty status message)");
+    }
+    crc = ExtendCrc32c(crc, verdict.diagnosis.data(),
+                       verdict.diagnosis.size());
+    verdict.fingerprint = crc;
+    return verdict;
+  }
+  verdict.completed = true;
+
+  // Invariant 2: byte conservation — the network model's totals balance and
+  // the per-iteration telemetry tiles the measured training traffic.
+  const TrafficStats total = engine->runtime().net().TotalStats();
+  if (total.bytes_sent != total.bytes_received) {
+    verdict.violations.push_back(
+        "byte conservation: bytes_sent " + std::to_string(total.bytes_sent) +
+        " != bytes_received " + std::to_string(total.bytes_received));
+  }
+  if (total.messages_sent != total.messages_received) {
+    verdict.violations.push_back("byte conservation: message totals differ");
+  }
+  uint64_t series_bytes = 0;
+  bool per_node_tiles = true;
+  for (const TimeSeriesSample& s : recorder.samples()) {
+    series_bytes += s.bytes_on_wire;
+    uint64_t node_sum = 0;
+    for (uint64_t b : s.bytes_sent_per_node) node_sum += b;
+    per_node_tiles &= node_sum == s.bytes_on_wire;
+  }
+  if (series_bytes != result.bytes_on_wire) {
+    verdict.violations.push_back(
+        "telemetry does not tile traffic: series bytes " +
+        std::to_string(series_bytes) + " != bytes_on_wire " +
+        std::to_string(result.bytes_on_wire));
+  }
+  if (!per_node_tiles) {
+    verdict.violations.push_back(
+        "telemetry does not tile traffic: per-node bytes != iteration bytes");
+  }
+
+  // Invariant 3: integrity faults are detected and repaired, never absorbed.
+  const RecoveryMetrics& rm = verdict.recovery;
+  if (rm.retransmits < rm.messages_corrupted + rm.messages_dropped) {
+    verdict.violations.push_back(
+        "corruption/drop not retransmitted: retransmits " +
+        std::to_string(rm.retransmits) + " < corrupted " +
+        std::to_string(rm.messages_corrupted) + " + dropped " +
+        std::to_string(rm.messages_dropped));
+  }
+  if (rm.checkpoint_fallbacks > rm.checkpoints_corrupted) {
+    verdict.violations.push_back(
+        "checkpoint fallbacks exceed damaged checkpoints");
+  }
+
+  // Invariant 4: convergence within epsilon of the fault-free run.
+  verdict.fault_loss = EvaluateLoss(engine->model(), engine->FullModel(),
+                                    dataset, dataset.num_rows());
+  if (!std::isfinite(verdict.fault_loss) ||
+      verdict.fault_loss >
+          clean_loss * (1.0 + options.epsilon) + kAbsLossSlack) {
+    verdict.violations.push_back(
+        "did not re-converge: faulty loss " + FormatG(verdict.fault_loss) +
+        " vs fault-free " + FormatG(clean_loss) + " (epsilon " +
+        FormatG(options.epsilon) + ")");
+  }
+
+  // Trace fingerprint: canonical outputs of the run, folded in a fixed
+  // order. Two executions of the same schedule must agree bit-for-bit.
+  const std::vector<double> weights = engine->FullModel();
+  crc = ExtendCrc32c(crc, weights.data(), weights.size() * sizeof(double));
+  FoldDouble(&crc, engine->runtime().MaxClock());
+  FoldU64(&crc, total.bytes_sent);
+  FoldU64(&crc, total.bytes_received);
+  FoldU64(&crc, total.messages_sent);
+  FoldU64(&crc, total.messages_received);
+  FoldI64(&crc, rm.task_failures);
+  FoldI64(&crc, rm.worker_failures);
+  FoldI64(&crc, rm.messages_dropped);
+  FoldI64(&crc, rm.messages_corrupted);
+  FoldI64(&crc, rm.retransmits);
+  FoldI64(&crc, rm.partition_blocked_sends);
+  FoldI64(&crc, rm.checkpoints_taken);
+  FoldI64(&crc, rm.checkpoints_corrupted);
+  FoldI64(&crc, rm.checkpoint_fallbacks);
+  FoldI64(&crc, rm.iterations_lost);
+  FoldU64(&crc, rm.bytes_retransferred);
+  for (const TimeSeriesSample& s : recorder.samples()) {
+    FoldI64(&crc, s.iteration);
+    FoldDouble(&crc, s.sim_time);
+    FoldU64(&crc, s.bytes_on_wire);
+    FoldU64(&crc, s.messages);
+  }
+  verdict.fingerprint = crc;
+  return verdict;
+}
+
+std::vector<std::string> ScheduleComponents(const ChaosSchedule& schedule) {
+  std::vector<std::string> components;
+  const FaultPlanConfig& plan = schedule.plan;
+  for (size_t i = 0; i < plan.scripted.size(); ++i) {
+    components.push_back("scripted:" + std::to_string(i));
+  }
+  for (size_t i = 0; i < plan.partitions.size(); ++i) {
+    components.push_back("partition:" + std::to_string(i));
+  }
+  if (plan.task_mtbf_iters > 0.0) components.push_back("task_mtbf");
+  if (plan.worker_mtbf_iters > 0.0) components.push_back("worker_mtbf");
+  if (plan.message_drop_prob > 0.0) components.push_back("drop");
+  if (plan.message_corrupt_prob > 0.0) components.push_back("corrupt");
+  if (plan.torn_checkpoint_prob > 0.0) components.push_back("torn");
+  if (plan.checkpoint_bitrot_prob > 0.0) components.push_back("bitrot");
+  if (plan.stragglers.mode != StragglerSpec::Mode::kNone) {
+    components.push_back("stragglers");
+  }
+  if (schedule.checkpoint_every > 0) components.push_back("checkpoint");
+  return components;
+}
+
+bool DisableComponent(ChaosSchedule* schedule, const std::string& component) {
+  FaultPlanConfig& plan = schedule->plan;
+  const auto indexed = [&component](const char* prefix, size_t size,
+                                    size_t* index) {
+    const std::string p = std::string(prefix) + ":";
+    if (component.rfind(p, 0) != 0) return false;
+    *index = static_cast<size_t>(std::stoul(component.substr(p.size())));
+    return *index < size;
+  };
+  size_t index = 0;
+  if (indexed("scripted", plan.scripted.size(), &index)) {
+    plan.scripted.erase(plan.scripted.begin() +
+                        static_cast<ptrdiff_t>(index));
+    return true;
+  }
+  if (indexed("partition", plan.partitions.size(), &index)) {
+    plan.partitions.erase(plan.partitions.begin() +
+                          static_cast<ptrdiff_t>(index));
+    return true;
+  }
+  if (component == "task_mtbf") { plan.task_mtbf_iters = 0.0; return true; }
+  if (component == "worker_mtbf") {
+    plan.worker_mtbf_iters = 0.0;
+    return true;
+  }
+  if (component == "drop") { plan.message_drop_prob = 0.0; return true; }
+  if (component == "corrupt") {
+    plan.message_corrupt_prob = 0.0;
+    return true;
+  }
+  if (component == "torn") { plan.torn_checkpoint_prob = 0.0; return true; }
+  if (component == "bitrot") {
+    plan.checkpoint_bitrot_prob = 0.0;
+    return true;
+  }
+  if (component == "stragglers") {
+    plan.stragglers = StragglerSpec{};
+    return true;
+  }
+  if (component == "checkpoint") {
+    schedule->checkpoint_every = 0;
+    plan.torn_checkpoint_prob = 0.0;
+    plan.checkpoint_bitrot_prob = 0.0;
+    return true;
+  }
+  return false;
+}
+
+ChaosSchedule ShrinkSchedule(const ChaosOptions& options,
+                             const ChaosSchedule& schedule,
+                             const Dataset& dataset, double clean_loss,
+                             uint64_t seed, int* extra_runs) {
+  ChaosSchedule current = schedule;
+  int runs = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const std::string& component : ScheduleComponents(current)) {
+      ChaosSchedule candidate = current;
+      if (!DisableComponent(&candidate, component)) continue;
+      ++runs;
+      if (!RunSchedule(options, candidate, dataset, clean_loss, seed).ok()) {
+        // Still failing without this component: it is not needed for the
+        // repro — drop it and rescan.
+        current = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+  }
+  if (extra_runs != nullptr) *extra_runs = runs;
+  return current;
+}
+
+std::string DescribeSchedule(const ChaosSchedule& schedule) {
+  const FaultPlanConfig& plan = schedule.plan;
+  std::string out;
+  for (const FaultEvent& e : plan.scripted) {
+    out += (e.kind == FaultKind::kWorkerFailure ? "crash(w" : "taskfail(w") +
+           std::to_string(e.worker) + "@" + std::to_string(e.iteration) +
+           ") ";
+  }
+  for (const NetworkPartitionSpec& p : plan.partitions) {
+    out += "partition(@" + std::to_string(p.start_iteration) + "+" +
+           std::to_string(p.iterations) + " side_a={";
+    for (size_t i = 0; i < p.side_a.size(); ++i) {
+      out += (i > 0 ? "," : "") + std::to_string(p.side_a[i]);
+    }
+    out += "}) ";
+  }
+  if (plan.worker_mtbf_iters > 0.0) {
+    out += "worker_mtbf(" + FormatG(plan.worker_mtbf_iters) + ") ";
+  }
+  if (plan.task_mtbf_iters > 0.0) {
+    out += "task_mtbf(" + FormatG(plan.task_mtbf_iters) + ") ";
+  }
+  if (plan.message_drop_prob > 0.0) {
+    out += "drop(" + FormatG(plan.message_drop_prob) + ") ";
+  }
+  if (plan.message_corrupt_prob > 0.0) {
+    out += "corrupt(" + FormatG(plan.message_corrupt_prob) + ") ";
+  }
+  if (plan.stragglers.mode != StragglerSpec::Mode::kNone) {
+    out += "stragglers(L" + FormatG(plan.stragglers.level) + ") ";
+  }
+  if (schedule.checkpoint_every > 0) {
+    out += "ckpt(every " + std::to_string(schedule.checkpoint_every);
+    if (plan.torn_checkpoint_prob > 0.0) {
+      out += ", torn " + FormatG(plan.torn_checkpoint_prob);
+    }
+    if (plan.checkpoint_bitrot_prob > 0.0) {
+      out += ", bitrot " + FormatG(plan.checkpoint_bitrot_prob);
+    }
+    out += ") ";
+  }
+  if (out.empty()) return "(fault-free)";
+  out.pop_back();
+  return out;
+}
+
+std::string ReproCommand(const ChaosOptions& options, uint64_t seed) {
+  return "colsgd_chaos --seeds " + std::to_string(seed) + " --engines " +
+         options.engine + " --models " + options.model + " --workers " +
+         std::to_string(options.workers) + " --iterations " +
+         std::to_string(options.iterations) + " --batch_size " +
+         std::to_string(options.batch_size) + " --learning_rate " +
+         FormatG(options.learning_rate) + " --data_rows " +
+         std::to_string(options.data_rows) + " --data_features " +
+         std::to_string(options.data_features) + " --epsilon " +
+         FormatG(options.epsilon);
+}
+
+std::string ReproArtifactJson(const ChaosOptions& options, uint64_t seed,
+                              const ChaosSchedule& schedule,
+                              const ChaosSchedule& shrunk,
+                              const ChaosVerdict& verdict) {
+  std::string out = "{\n  \"seed\": " + std::to_string(seed) +
+                    ",\n  \"engine\": ";
+  AppendJsonString(&out, options.engine);
+  out += ",\n  \"model\": ";
+  AppendJsonString(&out, options.model);
+  out += ",\n  \"schedule\": ";
+  AppendJsonString(&out, DescribeSchedule(schedule));
+  out += ",\n  \"shrunk_schedule\": ";
+  AppendJsonString(&out, DescribeSchedule(shrunk));
+  out += ",\n  \"completed\": ";
+  out += verdict.completed ? "true" : "false";
+  out += ",\n  \"diagnosis\": ";
+  AppendJsonString(&out, verdict.diagnosis);
+  out += ",\n  \"fault_loss\": ";
+  AppendJsonNumber(&out, verdict.fault_loss);
+  out += ",\n  \"clean_loss\": ";
+  AppendJsonNumber(&out, verdict.clean_loss);
+  out += ",\n  \"fingerprint\": " + std::to_string(verdict.fingerprint);
+  out += ",\n  \"violations\": [";
+  for (size_t i = 0; i < verdict.violations.size(); ++i) {
+    out += i > 0 ? ", " : "";
+    AppendJsonString(&out, verdict.violations[i]);
+  }
+  out += "],\n  \"repro\": ";
+  AppendJsonString(&out, ReproCommand(options, seed));
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace chaos
+}  // namespace colsgd

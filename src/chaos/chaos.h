@@ -1,0 +1,134 @@
+// Deterministic chaos harness (DESIGN.md §10): FoundationDB-style
+// simulation testing for the fault subsystem.
+//
+// Given a seed, GenerateSchedule draws a randomized fault schedule — any mix
+// of scripted worker/task crashes, message drops, bit-flip corruption,
+// group-split network partitions, stragglers, and torn/bit-rotted
+// checkpoints. RunSchedule trains an engine under that schedule and checks
+// the harness invariants:
+//
+//   1. complete-or-clean-diagnosis — the run either finishes or fails with
+//      a proper Status (code + message), never dies silently;
+//   2. byte conservation — total wire traffic balances (sent == received,
+//      per the network model) and the per-iteration telemetry tiles the
+//      run's total traffic exactly;
+//   3. detected, never trained on — every injected corruption shows up in
+//      the retransmit accounting (a corrupted payload is NACK'd, not
+//      applied), and checkpoint fallbacks never exceed damaged images;
+//   4. convergence — a completed faulty run's exact final loss lands within
+//      (1 + epsilon) of the fault-free run's.
+//
+// Because the simulator is single-threaded and every draw is a stateless
+// hash of the seed, a schedule replays bit-identically: the driver runs
+// every schedule twice and compares trace fingerprints, and a failing seed
+// is re-run under a greedily shrunk (ddmin-style) schedule and dumped as a
+// one-line repro command.
+#ifndef COLSGD_CHAOS_CHAOS_H_
+#define COLSGD_CHAOS_CHAOS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cluster/fault/fault_plan.h"
+#include "engine/metrics.h"
+#include "storage/dataset.h"
+
+namespace colsgd {
+namespace chaos {
+
+/// \brief One engine x model chaos configuration (the tiny-config defaults
+/// suit CI smoke runs; see tools/colsgd_chaos.cc for the CLI).
+struct ChaosOptions {
+  std::string engine = "columnsgd";
+  std::string model = "lr";
+  int workers = 4;
+  int64_t iterations = 24;
+  size_t batch_size = 128;
+  size_t block_rows = 256;
+  double learning_rate = 0.5;
+  uint64_t data_rows = 2000;
+  uint64_t data_features = 300;
+  uint64_t data_seed = 42;
+  /// Convergence tolerance: fault_loss <= clean_loss * (1 + epsilon) + slack.
+  double epsilon = 0.25;
+};
+
+/// \brief A generated fault schedule. The plan holds every fault process;
+/// checkpoint_every is the paired protection policy (some schedules run
+/// unprotected on purpose).
+struct ChaosSchedule {
+  FaultPlanConfig plan;
+  int64_t checkpoint_every = 0;
+};
+
+/// \brief Verdict of one schedule run.
+struct ChaosVerdict {
+  uint64_t seed = 0;
+  bool completed = false;
+  /// Engine status string when the run did not complete (a clean diagnosis
+  /// satisfies invariant 1; an empty one violates it).
+  std::string diagnosis;
+  /// Invariant violations; empty means the run passed.
+  std::vector<std::string> violations;
+  /// CRC32C over the run's canonical outputs: final weights, final master
+  /// clock, total traffic, recovery counters, and the per-iteration
+  /// telemetry. Two runs of the same schedule must match bit-for-bit.
+  uint32_t fingerprint = 0;
+  double fault_loss = std::numeric_limits<double>::quiet_NaN();
+  double clean_loss = std::numeric_limits<double>::quiet_NaN();
+  RecoveryMetrics recovery;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// \brief The deterministic dataset chaos runs train on.
+Dataset ChaosDataset(const ChaosOptions& options);
+
+/// \brief Exact final loss of the fault-free run (the convergence yardstick,
+/// computed once per engine x model).
+double RunCleanBaseline(const ChaosOptions& options, const Dataset& dataset);
+
+/// \brief Draws a randomized fault schedule from `seed`. Deterministic:
+/// the same (seed, workers, iterations) always yields the same schedule.
+ChaosSchedule GenerateSchedule(uint64_t seed, const ChaosOptions& options);
+
+/// \brief Trains under `schedule` and checks the harness invariants.
+ChaosVerdict RunSchedule(const ChaosOptions& options,
+                         const ChaosSchedule& schedule,
+                         const Dataset& dataset, double clean_loss,
+                         uint64_t seed);
+
+/// \brief Names of the independently disableable components present in
+/// `schedule` (scripted events, each probabilistic process, each partition
+/// window, the checkpoint-damage processes).
+std::vector<std::string> ScheduleComponents(const ChaosSchedule& schedule);
+
+/// \brief Disables one component in place; returns false if absent.
+bool DisableComponent(ChaosSchedule* schedule, const std::string& component);
+
+/// \brief Greedy ddmin-style minimization: repeatedly drop any component
+/// whose removal keeps the run failing. Returns the shrunk schedule;
+/// `extra_runs` (optional) counts the verification runs spent.
+ChaosSchedule ShrinkSchedule(const ChaosOptions& options,
+                             const ChaosSchedule& schedule,
+                             const Dataset& dataset, double clean_loss,
+                             uint64_t seed, int* extra_runs);
+
+/// \brief Human-readable one-line schedule summary.
+std::string DescribeSchedule(const ChaosSchedule& schedule);
+
+/// \brief JSON repro artifact for a failing seed (schedule + verdict).
+std::string ReproArtifactJson(const ChaosOptions& options, uint64_t seed,
+                              const ChaosSchedule& schedule,
+                              const ChaosSchedule& shrunk,
+                              const ChaosVerdict& verdict);
+
+/// \brief The colsgd_chaos command line that replays `seed` exactly.
+std::string ReproCommand(const ChaosOptions& options, uint64_t seed);
+
+}  // namespace chaos
+}  // namespace colsgd
+
+#endif  // COLSGD_CHAOS_CHAOS_H_

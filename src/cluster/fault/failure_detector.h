@@ -24,6 +24,10 @@ struct FailureDetectorConfig {
   double task_retry_max = 5.0;
   /// Sender-side wait before retransmitting a dropped data-plane message.
   double ack_timeout = 0.05;
+  /// Bounded number of backoff rounds a sender burns trying to cross a
+  /// severed link before the copy that finally lands (partition brown-out
+  /// model; see DESIGN.md §10).
+  int partition_retry_limit = 3;
 };
 
 class FailureDetector {
@@ -38,10 +42,26 @@ class FailureDetector {
   }
 
   /// \brief Relaunch delay of the (attempt+1)-th retry of a task on one
-  /// worker within one iteration (exponential backoff, capped).
+  /// worker within one iteration (exponential backoff, capped). The clamp
+  /// lives inside the loop: multiplying first and capping after overflows to
+  /// +inf for large attempt counts (a multiplier of 2 overflows a double
+  /// past attempt ~1024, and greedy chaos schedules do reach big attempts).
   double TaskRetryDelay(int attempt) const {
     double delay = config_.task_retry_base;
-    for (int i = 0; i < attempt; ++i) delay *= config_.task_retry_multiplier;
+    for (int i = 0; i < attempt && delay < config_.task_retry_max; ++i) {
+      delay *= config_.task_retry_multiplier;
+    }
+    return std::min(delay, config_.task_retry_max);
+  }
+
+  /// \brief Backoff before the (attempt+1)-th retransmit of a data-plane
+  /// message (ack_timeout-based exponential backoff, capped like task
+  /// retries).
+  double RetransmitDelay(int attempt) const {
+    double delay = config_.ack_timeout;
+    for (int i = 0; i < attempt && delay < config_.task_retry_max; ++i) {
+      delay *= config_.task_retry_multiplier;
+    }
     return std::min(delay, config_.task_retry_max);
   }
 

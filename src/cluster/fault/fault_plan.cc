@@ -1,5 +1,6 @@
 #include "cluster/fault/fault_plan.h"
 
+#include <string>
 #include <utility>
 
 namespace colsgd {
@@ -17,6 +18,11 @@ enum : uint64_t {
   kTagStragglerHit = 0xF005,
   kTagStragglerLevel = 0xF006,
   kTagCorrelatedIter = 0xF007,
+  kTagMessageCorrupt = 0xF008,
+  kTagCorruptBit = 0xF009,
+  kTagTornCheckpoint = 0xF00A,
+  kTagCheckpointBitrot = 0xF00B,
+  kTagCheckpointDamage = 0xF00C,
 };
 
 /// \brief Uniform [0, 1) keyed by (seed, tag, a, b).
@@ -33,6 +39,26 @@ uint64_t HashBounded(uint64_t seed, uint64_t tag, uint64_t a, uint64_t bound) {
   return h % bound;
 }
 
+uint64_t LinkKey(int from, int to) {
+  return (static_cast<uint64_t>(from) << 20) ^ static_cast<uint64_t>(to);
+}
+
+Status CheckProb(double value, const char* name) {
+  if (value < 0.0 || value > 1.0) {
+    return Status::InvalidArgument(std::string(name) + " must be in [0, 1], got " +
+                                   std::to_string(value));
+  }
+  return Status::OK();
+}
+
+Status CheckNonNegative(double value, const char* name) {
+  if (value < 0.0) {
+    return Status::InvalidArgument(std::string(name) + " must be >= 0, got " +
+                                   std::to_string(value));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 FaultPlan::FaultPlan(FaultPlanConfig config) : config_(std::move(config)) {
@@ -47,8 +73,74 @@ FaultPlan FaultPlan::Scripted(std::vector<FaultEvent> events) {
   return FaultPlan(std::move(config));
 }
 
+Status FaultPlan::Validate(const FaultPlanConfig& config) {
+  COLSGD_RETURN_NOT_OK(CheckProb(config.message_drop_prob,
+                                 "message_drop_prob"));
+  COLSGD_RETURN_NOT_OK(CheckProb(config.message_corrupt_prob,
+                                 "message_corrupt_prob"));
+  COLSGD_RETURN_NOT_OK(CheckProb(config.torn_checkpoint_prob,
+                                 "torn_checkpoint_prob"));
+  COLSGD_RETURN_NOT_OK(CheckProb(config.checkpoint_bitrot_prob,
+                                 "checkpoint_bitrot_prob"));
+  COLSGD_RETURN_NOT_OK(CheckNonNegative(config.task_mtbf_iters,
+                                        "task_mtbf_iters"));
+  COLSGD_RETURN_NOT_OK(CheckNonNegative(config.worker_mtbf_iters,
+                                        "worker_mtbf_iters"));
+  COLSGD_RETURN_NOT_OK(CheckProb(config.stragglers.probability,
+                                 "stragglers.probability"));
+  COLSGD_RETURN_NOT_OK(CheckProb(config.stragglers.fraction,
+                                 "stragglers.fraction"));
+  COLSGD_RETURN_NOT_OK(CheckNonNegative(config.stragglers.level,
+                                        "stragglers.level"));
+  if (config.num_workers < 0) {
+    return Status::InvalidArgument("num_workers must be >= 0");
+  }
+  for (const FaultEvent& e : config.scripted) {
+    if (e.iteration < 0) {
+      return Status::InvalidArgument("scripted fault at negative iteration " +
+                                     std::to_string(e.iteration));
+    }
+    if (e.worker < 0 ||
+        (config.num_workers > 0 && e.worker >= config.num_workers)) {
+      return Status::InvalidArgument("scripted fault names worker " +
+                                     std::to_string(e.worker) +
+                                     " outside the cluster");
+    }
+  }
+  for (const NetworkPartitionSpec& p : config.partitions) {
+    if (p.start_iteration < 0) {
+      return Status::InvalidArgument(
+          "partition window starts at negative iteration " +
+          std::to_string(p.start_iteration));
+    }
+    if (p.iterations < 1) {
+      return Status::InvalidArgument("partition window must last >= 1 "
+                                     "iteration");
+    }
+    if (p.side_a.empty()) {
+      return Status::InvalidArgument("partition side_a must name at least "
+                                     "one worker");
+    }
+    for (int w : p.side_a) {
+      if (w < 0 || (config.num_workers > 0 && w >= config.num_workers)) {
+        return Status::InvalidArgument("partition side_a names worker " +
+                                       std::to_string(w) +
+                                       " outside the cluster");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<FaultPlan> FaultPlan::Create(FaultPlanConfig config) {
+  COLSGD_RETURN_NOT_OK(Validate(config));
+  return FaultPlan(std::move(config));
+}
+
 bool FaultPlan::active() const {
   return has_failures() || config_.message_drop_prob > 0.0 ||
+         wire_integrity() || config_.torn_checkpoint_prob > 0.0 ||
+         config_.checkpoint_bitrot_prob > 0.0 ||
          config_.stragglers.mode != StragglerSpec::Mode::kNone;
 }
 
@@ -83,11 +175,83 @@ std::vector<FaultEvent> FaultPlan::EventsAt(int64_t iteration) const {
 
 bool FaultPlan::DropMessage(int64_t iteration, int from, int to) const {
   if (config_.message_drop_prob <= 0.0) return false;
-  const uint64_t link = (static_cast<uint64_t>(from) << 20) ^
-                        static_cast<uint64_t>(to);
   return HashU01(config_.seed, kTagMessageDrop,
                  static_cast<uint64_t>(iteration),
-                 link) < config_.message_drop_prob;
+                 LinkKey(from, to)) < config_.message_drop_prob;
+}
+
+bool FaultPlan::CorruptMessage(int64_t iteration, int from, int to) const {
+  if (config_.message_corrupt_prob <= 0.0) return false;
+  return HashU01(config_.seed, kTagMessageCorrupt,
+                 static_cast<uint64_t>(iteration),
+                 LinkKey(from, to)) < config_.message_corrupt_prob;
+}
+
+uint64_t FaultPlan::CorruptionBit(int64_t iteration, int from, int to,
+                                  uint64_t num_bits) const {
+  if (num_bits == 0) return 0;
+  return HashBounded(config_.seed ^ LinkKey(from, to), kTagCorruptBit,
+                     static_cast<uint64_t>(iteration), num_bits);
+}
+
+bool FaultPlan::PartitionActiveAt(int64_t iteration) const {
+  for (const NetworkPartitionSpec& p : config_.partitions) {
+    if (iteration >= p.start_iteration &&
+        iteration < p.start_iteration + p.iterations) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::LinkPartitioned(int64_t iteration, int from_node,
+                                int to_node) const {
+  if (config_.partitions.empty() || from_node == to_node) return false;
+  // Node -> worker id under ClusterRuntime's layout; the master (node 0,
+  // worker -1) always sits on the complement side of the split. PS servers
+  // share the fate of their co-located worker.
+  const auto worker_of = [this](int node) {
+    if (node <= 0) return -1;
+    const int w = node - 1;
+    return w < config_.num_workers ? w : w - config_.num_workers;
+  };
+  const int from_worker = worker_of(from_node);
+  const int to_worker = worker_of(to_node);
+  for (const NetworkPartitionSpec& p : config_.partitions) {
+    if (iteration < p.start_iteration ||
+        iteration >= p.start_iteration + p.iterations) {
+      continue;
+    }
+    const auto on_side_a = [&p](int worker) {
+      if (worker < 0) return false;
+      for (int w : p.side_a) {
+        if (w == worker) return true;
+      }
+      return false;
+    };
+    if (on_side_a(from_worker) != on_side_a(to_worker)) return true;
+  }
+  return false;
+}
+
+CheckpointFault FaultPlan::CheckpointFaultAt(int64_t iteration) const {
+  const uint64_t iter = static_cast<uint64_t>(iteration);
+  if (config_.torn_checkpoint_prob > 0.0 &&
+      HashU01(config_.seed, kTagTornCheckpoint, iter, 0) <
+          config_.torn_checkpoint_prob) {
+    return CheckpointFault::kTornWrite;
+  }
+  if (config_.checkpoint_bitrot_prob > 0.0 &&
+      HashU01(config_.seed, kTagCheckpointBitrot, iter, 0) <
+          config_.checkpoint_bitrot_prob) {
+    return CheckpointFault::kBitRot;
+  }
+  return CheckpointFault::kNone;
+}
+
+uint64_t FaultPlan::CheckpointDamageDraw(int64_t iteration) const {
+  return SplitMix64(config_.seed ^ SplitMix64(kTagCheckpointDamage) ^
+                    SplitMix64(static_cast<uint64_t>(iteration)));
 }
 
 double FaultPlan::DrawLevel(int64_t iteration, int worker) const {

@@ -13,6 +13,18 @@
 //    with the same seed replay bit-identically;
 //  * message drops — each data-plane message is lost with a configurable
 //    probability, forcing a timeout + retransmit (see Engine::SendWithFaults);
+//  * message corruption — each data-plane message has its CRC32C-framed
+//    payload bit-flipped in flight with a configurable probability; the
+//    receiver detects the bad trailer, NACKs, and the sender retransmits
+//    (wire-integrity model, DESIGN.md §10);
+//  * network partitions — scripted group splits: for a window of iterations
+//    the workers in `side_a` cannot exchange data-plane messages with the
+//    rest of the cluster (the master always sides with the complement);
+//    senders burn bounded retransmit backoff before the message finally
+//    crosses when connectivity flickers back;
+//  * checkpoint faults — a checkpoint write is torn (truncated mid-write) or
+//    bit-rotted on the stable-storage medium with configurable
+//    probabilities; restores verify checksums and fall back;
 //  * stragglers — per-iteration slowdown levels per worker, in three modes:
 //    rotating (one random worker per iteration, the paper's Section V-C
 //    model), persistent (a fixed set of chronically slow workers), and
@@ -28,7 +40,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/result.h"
 #include "common/rng.h"
+#include "common/status.h"
 
 namespace colsgd {
 
@@ -63,6 +77,27 @@ struct StragglerSpec {
   double fraction = 0.5;      // kCorrelated: expected fraction of slow workers
 };
 
+/// \brief One group-split network partition window: for `iterations`
+/// iterations starting at `start_iteration`, the workers in `side_a` are
+/// unreachable from everyone else (workers not listed, all PS servers
+/// co-located with them, and the master, which is always on the complement
+/// side). Messages attempted across the split burn bounded retransmit
+/// backoff on the sender before a copy finally crosses — a deterministic
+/// connectivity brown-out rather than an unbounded stall, so BSP rounds
+/// degrade instead of livelocking.
+struct NetworkPartitionSpec {
+  int64_t start_iteration = 0;
+  int64_t iterations = 1;
+  std::vector<int> side_a;
+};
+
+/// \brief How a checkpoint write is damaged, if at all.
+enum class CheckpointFault {
+  kNone,
+  kTornWrite,  // the write is cut short; the file/entry holds a prefix
+  kBitRot,     // the write lands whole but one bit decays on the medium
+};
+
 /// \brief Full fault-plan configuration.
 struct FaultPlanConfig {
   uint64_t seed = 0;
@@ -76,6 +111,16 @@ struct FaultPlanConfig {
   double worker_mtbf_iters = 0.0;
   /// Probability that any one data-plane message is dropped in flight.
   double message_drop_prob = 0.0;
+  /// Probability that any one data-plane message arrives with a flipped bit
+  /// (detected by the receiver's CRC32C frame check; see DESIGN.md §10).
+  double message_corrupt_prob = 0.0;
+  /// Scripted group-split partition windows (may overlap).
+  std::vector<NetworkPartitionSpec> partitions;
+  /// Probability that any one checkpoint write is torn (truncated).
+  double torn_checkpoint_prob = 0.0;
+  /// Probability that any one checkpoint suffers bit rot on the medium.
+  /// Drawn only when the write was not already torn.
+  double checkpoint_bitrot_prob = 0.0;
   StragglerSpec stragglers;
 };
 
@@ -87,6 +132,14 @@ class FaultPlan {
   /// \brief Plan with only scripted events (the common test/bench setup).
   static FaultPlan Scripted(std::vector<FaultEvent> events);
 
+  /// \brief Rejects nonsense plans: probabilities outside [0,1], negative
+  /// MTBFs, malformed straggler or partition specs. `Engine::set_faults`
+  /// re-validates after binding num_workers so worker ids are range-checked.
+  static Status Validate(const FaultPlanConfig& config);
+
+  /// \brief Validating constructor: Validate + FaultPlan.
+  static Result<FaultPlan> Create(FaultPlanConfig config);
+
   /// \brief All faults firing at the start of `iteration`: the scripted ones
   /// (in script order) followed by the probabilistic draws (by worker).
   std::vector<FaultEvent> EventsAt(int64_t iteration) const;
@@ -94,6 +147,40 @@ class FaultPlan {
   /// \brief Whether the message sent on `iteration` from node `from` to node
   /// `to` is lost in flight.
   bool DropMessage(int64_t iteration, int from, int to) const;
+
+  /// \brief Whether the message sent on `iteration` from node `from` to node
+  /// `to` arrives with a flipped bit (caught by the frame CRC).
+  bool CorruptMessage(int64_t iteration, int from, int to) const;
+
+  /// \brief Which bit of an `num_bits`-bit buffer the corruption process
+  /// flips for this (iteration, from, to) draw.
+  uint64_t CorruptionBit(int64_t iteration, int from, int to,
+                         uint64_t num_bits) const;
+
+  /// \brief Whether a partition window severs the (from, to) node pair on
+  /// `iteration`. Node ids follow ClusterRuntime's layout: 0 is the master,
+  /// 1..num_workers are workers, higher ids are PS servers co-located with
+  /// worker (node - num_workers - 1).
+  bool LinkPartitioned(int64_t iteration, int from_node, int to_node) const;
+
+  /// \brief Whether any partition window covers `iteration`.
+  bool PartitionActiveAt(int64_t iteration) const;
+
+  /// \brief Damage drawn for the checkpoint taken at the end of
+  /// `iteration` (torn write takes precedence over bit rot).
+  CheckpointFault CheckpointFaultAt(int64_t iteration) const;
+
+  /// \brief Seeded sub-draw for checkpoint damage placement (torn length /
+  /// rotted bit), keyed off the same iteration as CheckpointFaultAt.
+  uint64_t CheckpointDamageDraw(int64_t iteration) const;
+
+  /// \brief Whether data-plane messages must be framed with a CRC32C
+  /// trailer: true when corruption or partitions are configured. Frame
+  /// overhead and receiver verification sweeps are charged only in this
+  /// mode, so fault-free runs keep their exact byte counts (DESIGN.md §10).
+  bool wire_integrity() const {
+    return config_.message_corrupt_prob > 0.0 || !config_.partitions.empty();
+  }
 
   /// \brief Straggler level of `worker` on `iteration` (0 = full speed).
   double StragglerLevel(int64_t iteration, int worker) const;

@@ -1,0 +1,36 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace colsgd {
+
+namespace {
+
+constexpr uint32_t kPolynomial = 0x82F63B78;  // reflected 0x1EDC6F41
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPolynomial : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t ExtendCrc32c(uint32_t crc, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace colsgd

@@ -125,12 +125,19 @@ class Engine {
 
   /// \brief Installs the fault model. Call after construction, before
   /// Setup/RunIteration; replaces any previous fault configuration.
-  void set_faults(FaultConfig faults) {
+  /// Rejects nonsense plans (probabilities outside [0,1], negative MTBFs,
+  /// malformed partition windows) with InvalidArgument instead of silently
+  /// training under them; on error the previous fault configuration is kept.
+  Status set_faults(FaultConfig faults) {
+    FaultPlan plan = faults.plan;
+    plan.set_num_workers(cluster_spec_.num_workers);
+    COLSGD_RETURN_NOT_OK(FaultPlan::Validate(plan.config()));
     faults_ = std::move(faults);
-    faults_.plan.set_num_workers(cluster_spec_.num_workers);
+    faults_.plan = std::move(plan);
     detector_ = FailureDetector(faults_.detector);
     checkpoints_ = CheckpointStore(faults_.checkpoint);
     recovery_ = RecoveryMetrics{};
+    return Status::OK();
   }
   const FaultConfig& faults() const { return faults_; }
   const RecoveryMetrics& recovery_metrics() const { return recovery_; }
@@ -205,10 +212,16 @@ class Engine {
   /// charging gather traffic and the stable-storage write.
   Status MaybeCheckpoint(int64_t iteration);
 
-  /// \brief Point-to-point send subject to the plan's message-drop process:
-  /// a dropped message still burns wire time, then the sender waits out the
-  /// ack timeout and retransmits. Returns the delivery time of the copy that
-  /// arrives.
+  /// \brief Point-to-point send subject to the plan's data-plane fault
+  /// processes, in order: a severed partition link burns bounded retransmit
+  /// backoff before a copy crosses; a dropped message burns wire time, then
+  /// the sender waits out the ack timeout and retransmits; a corrupted
+  /// message arrives, fails the receiver's CRC32C frame check, is NACK'd
+  /// back, and the sender retransmits a clean copy. Under a wire-integrity
+  /// plan every message is framed (kFrameOverheadBytes extra on the wire)
+  /// and the receiver's verification sweep is charged; fault-free plans
+  /// keep the unframed byte counts (DESIGN.md §10). Returns the delivery
+  /// time of the copy that arrives intact.
   SimTime SendWithFaults(NodeId from, NodeId to, uint64_t bytes,
                          int64_t iteration);
 
@@ -217,8 +230,17 @@ class Engine {
     return faults_.plan.StragglerLevel(iteration, worker);
   }
 
-  /// \brief Latest checkpoint, or nullptr when none exists.
-  const SavedModel* LatestCheckpoint() const { return checkpoints_.Latest(); }
+  /// \brief Newest checkpoint that passes its integrity check, or nullptr
+  /// when none is loadable. Damaged images (torn writes, bit rot) are
+  /// detected by their CRC32C trailer and skipped; each skip is counted in
+  /// recovery_.checkpoint_fallbacks so storage-integrity faults are visible
+  /// in RecoveryMetrics.
+  const SavedModel* LatestCheckpoint() {
+    CheckpointRestoreStats stats;
+    const SavedModel* model = checkpoints_.Latest(&stats);
+    recovery_.checkpoint_fallbacks += stats.fallbacks;
+    return model;
+  }
 
   /// \brief Charges a stable-storage read of `bytes` on `node`'s clock
   /// (checkpoint restore).

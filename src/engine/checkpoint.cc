@@ -1,28 +1,82 @@
 #include "engine/checkpoint.h"
 
+#include <utility>
+
+#include "simnet/frame.h"
+#include "storage/atomic_file.h"
+
 namespace colsgd {
 
 uint64_t SerializedModelBytes(const SavedModel& model) {
-  // Mirrors WriteModelFile's layout: magic + version + length-prefixed name
-  // + num_features + two length-prefixed double vectors.
+  // Mirrors SerializeModel's layout: magic + version + length-prefixed name
+  // + num_features + two length-prefixed double vectors + CRC32C trailer.
   return 2 * sizeof(uint32_t) + sizeof(uint32_t) + model.model_name.size() +
          sizeof(uint64_t) +
          sizeof(uint64_t) + model.weights.size() * sizeof(double) +
-         sizeof(uint64_t) + model.shared.size() * sizeof(double);
+         sizeof(uint64_t) + model.shared.size() * sizeof(double) +
+         sizeof(uint32_t);
+}
+
+std::string CheckpointStore::SlotPath(size_t slot) const {
+  return slot == 0 ? config_.path
+                   : config_.path + "." + std::to_string(slot);
+}
+
+Status CheckpointStore::WriteSlots() {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    COLSGD_RETURN_NOT_OK(AtomicWriteFile(SlotPath(i), entries_[i].image));
+  }
+  return Status::OK();
 }
 
 Status CheckpointStore::Save(const SavedModel& model,
-                             int64_t completed_iterations) {
-  bytes_ = SerializedModelBytes(model);
-  if (!config_.path.empty()) {
-    COLSGD_RETURN_NOT_OK(WriteModelFile(model, config_.path));
-    COLSGD_ASSIGN_OR_RETURN(SavedModel reread, ReadModelFile(config_.path));
-    latest_ = std::make_unique<SavedModel>(std::move(reread));
-  } else {
-    latest_ = std::make_unique<SavedModel>(model);
+                             int64_t completed_iterations,
+                             CheckpointFault fault, uint64_t damage_draw) {
+  std::vector<uint8_t> image = SerializeModel(model);
+  // The engine charges the disk write for the intended image size; a torn
+  // write dies partway through the same amount of queued I/O.
+  bytes_ = image.size();
+  switch (fault) {
+    case CheckpointFault::kNone:
+      break;
+    case CheckpointFault::kTornWrite: {
+      // Keep a seeded prefix between 25% and 75% of the image.
+      const uint64_t keep =
+          image.size() / 4 + damage_draw % (image.size() / 2 + 1);
+      image.resize(keep);
+      break;
+    }
+    case CheckpointFault::kBitRot:
+      FlipBit(&image, damage_draw);
+      break;
   }
-  completed_iterations_ = completed_iterations;
+  entries_.push_front(Entry{std::move(image), completed_iterations});
+  while (entries_.size() > static_cast<size_t>(config_.keep)) {
+    entries_.pop_back();
+  }
+  if (!config_.path.empty()) {
+    COLSGD_RETURN_NOT_OK(WriteSlots());
+  }
   return Status::OK();
+}
+
+const SavedModel* CheckpointStore::Latest(CheckpointRestoreStats* stats) {
+  CheckpointRestoreStats local;
+  CheckpointRestoreStats* out = stats != nullptr ? stats : &local;
+  *out = CheckpointRestoreStats{};
+  while (!entries_.empty()) {
+    Result<SavedModel> parsed = ParseModel(entries_.front().image);
+    if (parsed.ok()) {
+      out->found_valid = true;
+      restored_ = std::make_unique<SavedModel>(std::move(*parsed));
+      return restored_.get();
+    }
+    // Damaged image: drop it so completed_iterations() tracks the
+    // checkpoint a restore actually gets, and fall back to the next one.
+    ++out->fallbacks;
+    entries_.pop_front();
+  }
+  return nullptr;
 }
 
 }  // namespace colsgd

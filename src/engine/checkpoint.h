@@ -1,16 +1,23 @@
 // Periodic model checkpointing for fault recovery, built on the model_io
-// binary format. The store keeps the latest checkpoint in memory (the
-// simulated "stable storage" copy) and, when a path is configured, also
-// round-trips it through WriteModelFile/ReadModelFile so restores exercise
-// the real serialization path. Simulated checkpoint cost (gather traffic +
-// disk write) is charged by the engine, not here.
+// binary format (v2: CRC32C-sealed). The store retains the newest `keep`
+// checkpoints as serialized byte images (the simulated "stable storage"
+// media); when a path is configured each image is also written to disk
+// atomically (write temp → rename) with rotation path, path.1, ...  Saves
+// can be damaged on purpose — torn (truncated) or bit-rotted — which is how
+// the fault plan models storage failures; restores verify every image's
+// checksum newest-first and fall back to the newest valid one instead of
+// loading garbage. Simulated checkpoint cost (gather traffic + disk write)
+// is charged by the engine, not here.
 #ifndef COLSGD_ENGINE_CHECKPOINT_H_
 #define COLSGD_ENGINE_CHECKPOINT_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "cluster/fault/fault_plan.h"
 #include "engine/model_io.h"
 
 namespace colsgd {
@@ -18,18 +25,30 @@ namespace colsgd {
 struct CheckpointConfig {
   /// Checkpoint after every `every` iterations; 0 disables checkpointing.
   int64_t every = 0;
-  /// File the checkpoint is written to via model_io; empty keeps the
-  /// checkpoint in memory only (same recovery semantics, no file I/O).
+  /// Base file the newest checkpoint is written to (older generations
+  /// rotate to `path.1`, `path.2`, ...); empty keeps the images in memory
+  /// only (same integrity + recovery semantics, no file I/O).
   std::string path;
   /// Modeled stable-storage write/read bandwidth, bytes/second.
   double disk_bandwidth = 200e6;
+  /// Number of checkpoint generations retained (fallback depth).
+  int keep = 2;
+};
+
+/// \brief What a restore had to do to find a loadable checkpoint.
+struct CheckpointRestoreStats {
+  /// Damaged images skipped before the first valid one (0 = newest loaded).
+  int64_t fallbacks = 0;
+  bool found_valid = false;
 };
 
 class CheckpointStore {
  public:
   CheckpointStore() = default;
   explicit CheckpointStore(CheckpointConfig config)
-      : config_(std::move(config)) {}
+      : config_(std::move(config)) {
+    if (config_.keep < 1) config_.keep = 1;
+  }
 
   const CheckpointConfig& config() const { return config_; }
 
@@ -40,24 +59,50 @@ class CheckpointStore {
   }
 
   /// \brief Saves `model` as the state after `completed_iterations`
-  /// iterations. Writes through model_io when a path is configured.
-  Status Save(const SavedModel& model, int64_t completed_iterations);
+  /// iterations, applying `fault` to the stored image (and file, when a
+  /// path is configured): a torn write keeps only a seeded prefix, bit rot
+  /// flips one seeded bit. `damage_draw` seeds the damage placement.
+  /// Injected damage deliberately bypasses the atomic-rename protection —
+  /// it models the failure modes (power loss mid-rename on a non-atomic
+  /// filesystem, medium decay after a clean write) that the restore-side
+  /// verification exists to catch.
+  Status Save(const SavedModel& model, int64_t completed_iterations,
+              CheckpointFault fault = CheckpointFault::kNone,
+              uint64_t damage_draw = 0);
 
-  /// \brief Latest checkpoint, or nullptr if none was taken yet. When a path
-  /// is configured the returned model was read back via ReadModelFile, so a
-  /// restore observes exactly what a restarted process would.
-  const SavedModel* Latest() const { return latest_.get(); }
+  /// \brief Newest checkpoint that passes its checksum, or nullptr when no
+  /// retained image is loadable. Fills `stats` (optional) with how many
+  /// damaged images were skipped. Damaged images are dropped from the
+  /// retention window, so completed_iterations() reflects the checkpoint
+  /// actually returned.
+  const SavedModel* Latest(CheckpointRestoreStats* stats = nullptr);
 
-  /// \brief Number of iterations whose updates the latest checkpoint covers.
-  int64_t completed_iterations() const { return completed_iterations_; }
+  /// \brief Number of iterations whose updates the newest retained (valid,
+  /// after a restore pruned damaged images) checkpoint covers.
+  int64_t completed_iterations() const {
+    return entries_.empty() ? 0 : entries_.front().completed_iterations;
+  }
 
-  /// \brief Serialized size of the latest checkpoint in bytes.
+  /// \brief Serialized size of the most recent save in bytes (the intended
+  /// image size — what the disk write is charged for — even when the
+  /// injected fault tore the write short).
   uint64_t bytes() const { return bytes_; }
 
+  /// \brief Number of retained checkpoint images.
+  size_t retained() const { return entries_.size(); }
+
  private:
+  struct Entry {
+    std::vector<uint8_t> image;  // serialized model_io bytes (maybe damaged)
+    int64_t completed_iterations = 0;
+  };
+
+  std::string SlotPath(size_t slot) const;
+  Status WriteSlots();
+
   CheckpointConfig config_;
-  std::unique_ptr<SavedModel> latest_;
-  int64_t completed_iterations_ = 0;
+  std::deque<Entry> entries_;  // newest first
+  std::unique_ptr<SavedModel> restored_;
   uint64_t bytes_ = 0;
 };
 

@@ -146,8 +146,10 @@ void ColumnSgdEngine::RecoverWorkerFailure(const FaultEvent& event) {
     }
     COLSGD_CHECK_GE(survivor, 0);
     const uint64_t data_bytes = state.store.MemoryBytes();
-    runtime_->Send(runtime_->worker_node(survivor), failed_node,
-                   data_bytes + model_bytes);
+    // The re-seed rides the faulty data plane too: the recovery transfer
+    // itself can be dropped, corrupted, or cut off by a partition.
+    SendWithFaults(runtime_->worker_node(survivor), failed_node,
+                   data_bytes + model_bytes, event.iteration);
     // Receiver-side materialization of the shipped state.
     runtime_->ChargeMemTouch(failed_node, data_bytes + model_bytes);
     return;  // no iterations lost
@@ -172,7 +174,8 @@ void ColumnSgdEngine::RecoverWorkerFailure(const FaultEvent& event) {
     // The master reads the partition from stable storage and ships it.
     const uint64_t partition_bytes = state.weights.size() * sizeof(double);
     ChargeCheckpointRead(runtime_->master(), partition_bytes);
-    runtime_->Send(runtime_->master(), failed_node, partition_bytes);
+    SendWithFaults(runtime_->master(), failed_node, partition_bytes,
+                   event.iteration);
     recovery_.iterations_lost +=
         event.iteration - checkpoints_.completed_iterations();
   } else {

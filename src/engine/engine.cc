@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "engine/api.h"
+#include "simnet/frame.h"
 
 namespace colsgd {
 
@@ -84,6 +85,11 @@ Status Engine::RunIteration(int64_t iteration) {
     sample.recovery_seconds =
         (recovery_.recovery_seconds - recovery_before.recovery_seconds) +
         (recovery_.detection_seconds - recovery_before.detection_seconds);
+    sample.messages_corrupted =
+        recovery_.messages_corrupted - recovery_before.messages_corrupted;
+    sample.retransmits = recovery_.retransmits - recovery_before.retransmits;
+    sample.partition_blocked_sends = recovery_.partition_blocked_sends -
+                                     recovery_before.partition_blocked_sends;
     recorder_->Record(std::move(sample));
   }
   return status;
@@ -164,7 +170,19 @@ Status Engine::MaybeCheckpoint(int64_t iteration) {
   model.num_features = model.weights.size() / static_cast<uint64_t>(wpf);
 
   ChargeCheckpointGather();
-  COLSGD_RETURN_NOT_OK(checkpoints_.Save(model, iteration + 1));
+  const CheckpointFault fault = faults_.plan.CheckpointFaultAt(iteration);
+  COLSGD_RETURN_NOT_OK(checkpoints_.Save(
+      model, iteration + 1, fault,
+      faults_.plan.CheckpointDamageDraw(iteration)));
+  if (fault != CheckpointFault::kNone) {
+    ++recovery_.checkpoints_corrupted;
+    if (tracer_ != nullptr) {
+      tracer_->RecordInstant(
+          fault == CheckpointFault::kTornWrite ? "fault.ckpt_torn"
+                                               : "fault.ckpt_bitrot",
+          runtime_->master(), runtime_->clock(runtime_->master()), iteration);
+    }
+  }
   runtime_->AdvanceClock(runtime_->master(),
                          static_cast<double>(checkpoints_.bytes()) /
                              faults_.checkpoint.disk_bandwidth);
@@ -183,20 +201,67 @@ Status Engine::MaybeCheckpoint(int64_t iteration) {
 
 SimTime Engine::SendWithFaults(NodeId from, NodeId to, uint64_t bytes,
                                int64_t iteration) {
-  if (faults_.plan.DropMessage(iteration, static_cast<int>(from),
-                               static_cast<int>(to))) {
+  // Under a wire-integrity plan every data-plane message carries the frame
+  // header + CRC32C trailer and the receiver pays an O(bytes) verification
+  // sweep; fault-free plans keep the unframed protocol bit-for-bit (the
+  // charging rule that keeps clean baselines and the golden trace stable).
+  const bool framed = faults_.plan.wire_integrity();
+  const uint64_t wire_bytes = framed ? bytes + kFrameOverheadBytes : bytes;
+  const int ifrom = static_cast<int>(from);
+  const int ito = static_cast<int>(to);
+
+  if (faults_.plan.LinkPartitioned(iteration, ifrom, ito)) {
+    // Severed link: every copy attempted during the outage is lost on the
+    // wire while the sender backs off exponentially; the copy sent after
+    // the last backoff crosses when connectivity flickers back (bounded
+    // brown-out, not a livelock — see DESIGN.md §10).
+    const int attempts = detector_.config().partition_retry_limit;
+    for (int a = 0; a < attempts; ++a) {
+      if (tracer_ != nullptr) {
+        tracer_->RecordInstant("fault.partition", from, runtime_->clock(from),
+                               iteration);
+      }
+      runtime_->net().Send(from, to, wire_bytes, runtime_->clock(from));
+      runtime_->AdvanceClock(from, detector_.RetransmitDelay(a));
+      ++recovery_.retransmits;
+      recovery_.bytes_retransferred += wire_bytes;
+    }
+    ++recovery_.partition_blocked_sends;
+  }
+  if (faults_.plan.DropMessage(iteration, ifrom, ito)) {
     // The lost copy occupies the sender's NIC and the wire but never syncs
     // the receiver; the sender retransmits after the ack timeout.
     if (tracer_ != nullptr) {
       tracer_->RecordInstant("fault.drop", from, runtime_->clock(from),
                              iteration);
     }
-    runtime_->net().Send(from, to, bytes, runtime_->clock(from));
+    runtime_->net().Send(from, to, wire_bytes, runtime_->clock(from));
     runtime_->AdvanceClock(from, detector_.ack_timeout());
     ++recovery_.messages_dropped;
-    recovery_.bytes_retransferred += bytes;
+    ++recovery_.retransmits;
+    recovery_.bytes_retransferred += wire_bytes;
   }
-  return runtime_->Send(from, to, bytes);
+  if (framed && faults_.plan.CorruptMessage(iteration, ifrom, ito)) {
+    // The corrupted copy arrives in full, fails the receiver's CRC sweep,
+    // and is NACK'd back; the sender then retransmits a clean copy. The
+    // flipped payload is never handed to the engine — detection is what the
+    // trailer guarantees (tests/simnet_test.cc pins it on real frames).
+    if (tracer_ != nullptr) {
+      tracer_->RecordInstant("fault.corrupt", to, runtime_->clock(to),
+                             iteration);
+    }
+    runtime_->Send(from, to, wire_bytes);
+    runtime_->ChargeMemTouch(to, wire_bytes);  // CRC sweep finds the damage
+    runtime_->Send(to, from, kNackBytes);      // control-sized NACK
+    ++recovery_.messages_corrupted;
+    ++recovery_.retransmits;
+    recovery_.bytes_retransferred += wire_bytes;
+  }
+  const SimTime arrival = runtime_->Send(from, to, wire_bytes);
+  if (framed) {
+    runtime_->ChargeMemTouch(to, wire_bytes);  // CRC sweep passes
+  }
+  return arrival;
 }
 
 }  // namespace colsgd

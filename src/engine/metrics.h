@@ -34,6 +34,21 @@ struct RecoveryMetrics {
   /// Master-clock time spent gathering + writing checkpoints.
   double checkpoint_seconds = 0.0;
   int64_t messages_dropped = 0;
+  /// Messages that arrived with a flipped bit, caught by the receiver's
+  /// CRC32C frame check and NACK'd back to the sender (never trained on).
+  int64_t messages_corrupted = 0;
+  /// Total extra copies pushed onto the wire: one per drop, one per
+  /// detected corruption, and the backoff copies burned against partitions.
+  int64_t retransmits = 0;
+  /// Data-plane sends that hit a severed partition link and had to burn
+  /// bounded backoff before crossing.
+  int64_t partition_blocked_sends = 0;
+  /// Checkpoints whose stable-storage image was damaged on write (torn) or
+  /// on the medium (bit rot) by the fault plan.
+  int64_t checkpoints_corrupted = 0;
+  /// Damaged checkpoint images a restore had to skip before finding a valid
+  /// (older) one — each skip is one generation of updates lost to storage.
+  int64_t checkpoint_fallbacks = 0;
 };
 
 struct BinaryMetrics {

@@ -93,8 +93,11 @@ void MllibStarEngine::RecoverWorkerFailure(const FaultEvent& event) {
   // state restarts cold, and a fresh averaging round re-establishes the
   // all-replicas-equal invariant.
   const int neighbor = (w + 1) % K;
-  runtime_->Send(runtime_->worker_node(neighbor), node,
-                 replicas_[neighbor].size() * sizeof(double));
+  // The repair shipment crosses the same faulty data plane as training
+  // traffic (drop / corruption / partition all apply).
+  SendWithFaults(runtime_->worker_node(neighbor), node,
+                 replicas_[neighbor].size() * sizeof(double),
+                 event.iteration);
   replicas_[w] = replicas_[neighbor];
   std::fill(opt_states_[w].begin(), opt_states_[w].end(), 0.0);
   RingAllReduceAverage(event.iteration);

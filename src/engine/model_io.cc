@@ -1,19 +1,21 @@
 #include "engine/model_io.h"
 
-#include <cstdio>
-#include <fstream>
+#include <cstring>
 
 #include "common/bytes.h"
+#include "common/crc32c.h"
 #include "model/factory.h"
+#include "storage/atomic_file.h"
 
 namespace colsgd {
 
 namespace {
 constexpr uint32_t kMagic = 0xC01D56D1;  // "ColSGD" model file
-constexpr uint32_t kVersion = 1;
+// v1 had no integrity trailer; v2 seals the payload with CRC32C.
+constexpr uint32_t kVersion = 2;
 }  // namespace
 
-Status WriteModelFile(const SavedModel& model, const std::string& path) {
+std::vector<uint8_t> SerializeModel(const SavedModel& model) {
   BufferWriter writer;
   writer.PutU32(kMagic);
   writer.PutU32(kVersion);
@@ -21,29 +23,30 @@ Status WriteModelFile(const SavedModel& model, const std::string& path) {
   writer.PutU64(model.num_features);
   writer.PutDoubleVector(model.weights);
   writer.PutDoubleVector(model.shared);
-
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) {
-    return Status::IOError("cannot open model file for writing: " + path);
-  }
-  out.write(reinterpret_cast<const char*>(writer.buffer().data()),
-            static_cast<std::streamsize>(writer.size()));
-  if (!out.good()) return Status::IOError("model write failed: " + path);
-  return Status::OK();
+  writer.PutU32(Crc32c(writer.buffer().data(), writer.size()));
+  return writer.Release();
 }
 
-Result<SavedModel> ReadModelFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) {
-    return Status::IOError("cannot open model file: " + path);
+Result<SavedModel> ParseModel(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 3 * sizeof(uint32_t)) {
+    return Status::SerializationError("model bytes shorter than the header");
   }
-  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
-                             std::istreambuf_iterator<char>());
-  BufferReader reader(bytes);
-  COLSGD_ASSIGN_OR_RETURN(uint32_t magic, reader.GetU32());
+  uint32_t magic;
+  std::memcpy(&magic, bytes.data(), sizeof(magic));
   if (magic != kMagic) {
-    return Status::SerializationError("not a ColumnSGD model file: " + path);
+    return Status::SerializationError("not a ColumnSGD model");
   }
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - sizeof(stored_crc),
+              sizeof(stored_crc));
+  const uint32_t computed =
+      Crc32c(bytes.data(), bytes.size() - sizeof(stored_crc));
+  if (stored_crc != computed) {
+    return Status::SerializationError(
+        "model checksum mismatch (torn write or bit rot)");
+  }
+  BufferReader reader(bytes.data(), bytes.size() - sizeof(stored_crc));
+  COLSGD_RETURN_NOT_OK(reader.GetU32().status());  // magic, checked above
   COLSGD_ASSIGN_OR_RETURN(uint32_t version, reader.GetU32());
   if (version != kVersion) {
     return Status::SerializationError("unsupported model file version " +
@@ -60,15 +63,24 @@ Result<SavedModel> ReadModelFile(const std::string& path) {
       model.num_features * spec->weights_per_feature();
   if (model.weights.size() != expected_weights) {
     return Status::SerializationError(
-        "model file weight count " + std::to_string(model.weights.size()) +
+        "model weight count " + std::to_string(model.weights.size()) +
         " does not match " + model.model_name + " over " +
         std::to_string(model.num_features) + " features");
   }
   if (model.shared.size() != spec->num_shared_params()) {
-    return Status::SerializationError("model file shared-parameter count "
+    return Status::SerializationError("model shared-parameter count "
                                       "mismatch");
   }
   return model;
+}
+
+Status WriteModelFile(const SavedModel& model, const std::string& path) {
+  return AtomicWriteFile(path, SerializeModel(model));
+}
+
+Result<SavedModel> ReadModelFile(const std::string& path) {
+  COLSGD_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
+  return ParseModel(bytes);
 }
 
 }  // namespace colsgd

@@ -1,9 +1,12 @@
 // Trained-model serialization: a small binary format holding the model
 // name, dimension, the full (global-layout) weight vector, and any shared
-// parameters. Lets the CLI tools round-trip train -> save -> predict.
+// parameters, sealed with a CRC32C trailer so torn writes and bit rot are
+// detected at read time instead of silently loading garbage. Lets the CLI
+// tools round-trip train -> save -> predict, and backs checkpoint storage.
 #ifndef COLSGD_ENGINE_MODEL_IO_H_
 #define COLSGD_ENGINE_MODEL_IO_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -19,11 +22,21 @@ struct SavedModel {
   std::vector<double> shared;   // replicated parameters (may be empty)
 };
 
-/// \brief Writes a model to `path` (binary, versioned, magic-tagged).
+/// \brief Serializes a model to the versioned on-disk byte layout:
+/// magic, version, name, num_features, weights, shared, CRC32C trailer
+/// over everything before it.
+std::vector<uint8_t> SerializeModel(const SavedModel& model);
+
+/// \brief Parses and validates bytes produced by SerializeModel: magic,
+/// CRC32C trailer (catches truncation and bit flips), version, and the
+/// weight-count consistency against the model name.
+Result<SavedModel> ParseModel(const std::vector<uint8_t>& bytes);
+
+/// \brief Writes a model to `path` atomically (write temp → rename), so a
+/// crash mid-save leaves the previous file intact rather than a torn one.
 Status WriteModelFile(const SavedModel& model, const std::string& path);
 
-/// \brief Reads a model written by WriteModelFile, validating magic,
-/// version, and the weight-count consistency against the model name.
+/// \brief Reads a model written by WriteModelFile (ParseModel on the file).
 Result<SavedModel> ReadModelFile(const std::string& path);
 
 }  // namespace colsgd

@@ -131,7 +131,9 @@ void PsEngine::RecoverWorkerFailure(const FaultEvent& event) {
       runtime_->SyncClockTo(worker_node,
                             runtime_->clock(runtime_->extra_node(srv)));
     } else {
-      runtime_->Send(runtime_->extra_node(srv), worker_node, pull_bytes);
+      // Recovery pulls ride the faulty data plane like any other pull.
+      SendWithFaults(runtime_->extra_node(srv), worker_node, pull_bytes,
+                     event.iteration);
     }
   }
 
@@ -156,7 +158,8 @@ void PsEngine::RecoverWorkerFailure(const FaultEvent& event) {
   if (checkpoint != nullptr) {
     // The master reads the shard from stable storage and ships it.
     ChargeCheckpointRead(runtime_->master(), shard_bytes);
-    runtime_->Send(runtime_->master(), server_node, shard_bytes);
+    SendWithFaults(runtime_->master(), server_node, shard_bytes,
+                   event.iteration);
     recovery_.iterations_lost +=
         event.iteration - checkpoints_.completed_iterations();
   } else {

@@ -98,7 +98,10 @@ void MllibEngine::RecoverWorkerFailure(const FaultEvent& event) {
                                    cost.disk_bandwidth +
                                b.text_bytes * cost.mllib_ingest_per_byte);
   }
-  runtime_->Send(runtime_->master(), node, weights_.size() * sizeof(double));
+  // The model re-pull is ordinary data-plane traffic — the fault plan can
+  // drop, corrupt, or partition it like any training message.
+  SendWithFaults(runtime_->master(), node, weights_.size() * sizeof(double),
+                 event.iteration);
 }
 
 Status MllibEngine::DoRunIteration(int64_t iteration) {

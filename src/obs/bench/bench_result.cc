@@ -332,6 +332,24 @@ void AppendSampleSeries(const std::vector<TimeSeriesSample>& samples,
       rec.push_back(s.recovery_seconds);
     }
   }
+
+  // Wire-integrity columns appear only when the run saw integrity traffic,
+  // so fault runs without corruption/partitions keep their column set.
+  bool has_integrity = false;
+  for (const TimeSeriesSample& s : samples) {
+    has_integrity |= s.messages_corrupted > 0 || s.retransmits > 0 ||
+                     s.partition_blocked_sends > 0;
+  }
+  if (has_integrity) {
+    std::vector<double>& corrupted = column("messages_corrupted");
+    std::vector<double>& retrans = column("retransmits");
+    std::vector<double>& blocked = column("partition_blocked_sends");
+    for (const TimeSeriesSample& s : samples) {
+      corrupted.push_back(static_cast<double>(s.messages_corrupted));
+      retrans.push_back(static_cast<double>(s.retransmits));
+      blocked.push_back(static_cast<double>(s.partition_blocked_sends));
+    }
+  }
 }
 
 void ComputeDerivedStats(BenchResult* result) {

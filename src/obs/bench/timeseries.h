@@ -56,6 +56,10 @@ struct TimeSeriesSample {
   int64_t checkpoints = 0;
   /// Detection + repair seconds charged this iteration.
   double recovery_seconds = 0.0;
+  /// Wire-integrity deltas of this iteration (chaos harness; DESIGN.md §10).
+  int64_t messages_corrupted = 0;
+  int64_t retransmits = 0;
+  int64_t partition_blocked_sends = 0;
 };
 
 /// \brief Collects TimeSeriesSamples. Non-owning users (Engine) hold a raw

@@ -1,0 +1,90 @@
+// Data-plane message framing: every payload that crosses the simulated wire
+// under an integrity-fault plan is conceptually wrapped in
+//
+//   [magic u32][payload_len u32][payload bytes][crc32c u32]
+//
+// where the trailer is CRC32C over magic + length + payload. The simulator
+// ships byte *counts*, not payloads, so engines charge kFrameOverheadBytes
+// per framed message and model the receiver's verification sweep; this
+// header is the executable definition of that format, and FrameMessage /
+// VerifyFrame are used by the real serialization paths (checkpoint files)
+// and the integrity tests to prove the trailer catches any single-bit flip.
+//
+// Charging rule: frame overhead and the receiver-side CRC sweep are charged
+// only when the fault plan has wire-integrity faults enabled
+// (FaultPlan::wire_integrity()); a fault-free run keeps the exact byte
+// counts and timings of the unframed protocol, so clean baselines and the
+// golden trace are unaffected. See DESIGN.md §10.
+#ifndef COLSGD_SIMNET_FRAME_H_
+#define COLSGD_SIMNET_FRAME_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/crc32c.h"
+#include "common/result.h"
+
+namespace colsgd {
+
+constexpr uint32_t kFrameMagic = 0xC01DF7A3;
+/// Per-message framing cost: magic + payload length + CRC32C trailer.
+constexpr uint64_t kFrameOverheadBytes = 3 * sizeof(uint32_t);
+/// Size of the NACK control message a receiver sends back when a frame
+/// fails its CRC check (fits well under kControlMessageBytes).
+constexpr uint64_t kNackBytes = 32;
+
+/// \brief Wraps `payload` in a wire frame with a CRC32C trailer.
+inline std::vector<uint8_t> FrameMessage(const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> frame;
+  frame.reserve(payload.size() + kFrameOverheadBytes);
+  const uint32_t magic = kFrameMagic;
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const auto* mp = reinterpret_cast<const uint8_t*>(&magic);
+  const auto* lp = reinterpret_cast<const uint8_t*>(&len);
+  frame.insert(frame.end(), mp, mp + sizeof(magic));
+  frame.insert(frame.end(), lp, lp + sizeof(len));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  const uint32_t crc = Crc32c(frame.data(), frame.size());
+  const auto* cp = reinterpret_cast<const uint8_t*>(&crc);
+  frame.insert(frame.end(), cp, cp + sizeof(crc));
+  return frame;
+}
+
+/// \brief Verifies a frame's magic, length, and CRC32C trailer; returns the
+/// payload on success, SerializationError on any corruption.
+inline Result<std::vector<uint8_t>> VerifyFrame(
+    const std::vector<uint8_t>& frame) {
+  if (frame.size() < kFrameOverheadBytes) {
+    return Status::SerializationError("frame shorter than its framing");
+  }
+  uint32_t magic, len, crc;
+  std::memcpy(&magic, frame.data(), sizeof(magic));
+  std::memcpy(&len, frame.data() + sizeof(magic), sizeof(len));
+  std::memcpy(&crc, frame.data() + frame.size() - sizeof(crc), sizeof(crc));
+  const uint32_t computed =
+      Crc32c(frame.data(), frame.size() - sizeof(crc));
+  if (computed != crc) {
+    return Status::SerializationError("frame CRC32C mismatch");
+  }
+  if (magic != kFrameMagic) {
+    return Status::SerializationError("bad frame magic");
+  }
+  if (len != frame.size() - kFrameOverheadBytes) {
+    return Status::SerializationError("frame length mismatch");
+  }
+  return std::vector<uint8_t>(frame.begin() + 2 * sizeof(uint32_t),
+                              frame.end() - sizeof(uint32_t));
+}
+
+/// \brief Flips bit `bit` (0-based over the whole buffer) in place — the
+/// corruption primitive chaos injection uses.
+inline void FlipBit(std::vector<uint8_t>* bytes, uint64_t bit) {
+  if (bytes->empty()) return;
+  bit %= bytes->size() * 8;
+  (*bytes)[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+}
+
+}  // namespace colsgd
+
+#endif  // COLSGD_SIMNET_FRAME_H_

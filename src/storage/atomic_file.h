@@ -1,0 +1,25 @@
+// Atomic file replacement for durable state (checkpoints, saved models):
+// write to a temp file in the same directory, flush, then rename over the
+// target. A crash mid-write leaves either the old file or the new file —
+// never a torn mix — because rename(2) is atomic within a filesystem.
+#ifndef COLSGD_STORAGE_ATOMIC_FILE_H_
+#define COLSGD_STORAGE_ATOMIC_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace colsgd {
+
+/// \brief Atomically replaces `path` with `bytes` (write temp → rename).
+Status AtomicWriteFile(const std::string& path,
+                       const std::vector<uint8_t>& bytes);
+
+/// \brief Reads a whole file. IOError when it cannot be opened.
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
+
+}  // namespace colsgd
+
+#endif  // COLSGD_STORAGE_ATOMIC_FILE_H_

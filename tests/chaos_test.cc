@@ -1,0 +1,184 @@
+// Tests for the deterministic chaos harness (src/chaos): schedule
+// generation, invariant checking, bit-identical replay, and the greedy
+// schedule shrinker.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chaos/chaos.h"
+
+namespace colsgd {
+namespace chaos {
+namespace {
+
+ChaosOptions FastOptions() {
+  ChaosOptions options;
+  options.iterations = 12;
+  options.data_rows = 800;
+  options.data_features = 150;
+  return options;
+}
+
+TEST(ChaosScheduleTest, GenerationIsDeterministicAndDiverse) {
+  const ChaosOptions options = FastOptions();
+  std::set<std::string> shapes;
+  bool saw_corruption = false, saw_partition = false, saw_crash = false,
+       saw_checkpoint_damage = false;
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    const ChaosSchedule a = GenerateSchedule(seed, options);
+    const ChaosSchedule b = GenerateSchedule(seed, options);
+    EXPECT_EQ(DescribeSchedule(a), DescribeSchedule(b)) << "seed " << seed;
+    EXPECT_TRUE(FaultPlan::Validate(a.plan).ok())
+        << "seed " << seed << ": " << DescribeSchedule(a);
+    shapes.insert(DescribeSchedule(a));
+    saw_corruption |= a.plan.message_corrupt_prob > 0.0;
+    saw_partition |= !a.plan.partitions.empty();
+    saw_crash |= !a.plan.scripted.empty();
+    saw_checkpoint_damage |= a.plan.torn_checkpoint_prob > 0.0 ||
+                             a.plan.checkpoint_bitrot_prob > 0.0;
+  }
+  // The generator explores the fault space rather than repeating one mix.
+  EXPECT_GT(shapes.size(), 24u);
+  EXPECT_TRUE(saw_corruption);
+  EXPECT_TRUE(saw_partition);
+  EXPECT_TRUE(saw_crash);
+  EXPECT_TRUE(saw_checkpoint_damage);
+}
+
+TEST(ChaosRunTest, SeedsPassInvariantsAndReplayBitIdentically) {
+  const ChaosOptions options = FastOptions();
+  const Dataset dataset = ChaosDataset(options);
+  const double clean_loss = RunCleanBaseline(options, dataset);
+  ASSERT_GT(clean_loss, 0.0);
+
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    const ChaosSchedule schedule = GenerateSchedule(seed, options);
+    const ChaosVerdict first =
+        RunSchedule(options, schedule, dataset, clean_loss, seed);
+    EXPECT_TRUE(first.ok()) << "seed " << seed << " violations: "
+                            << (first.violations.empty()
+                                    ? ""
+                                    : first.violations.front());
+    EXPECT_TRUE(first.completed);
+    const ChaosVerdict replay =
+        RunSchedule(options, schedule, dataset, clean_loss, seed);
+    EXPECT_EQ(first.fingerprint, replay.fingerprint) << "seed " << seed;
+    EXPECT_EQ(first.recovery.retransmits, replay.recovery.retransmits);
+  }
+}
+
+TEST(ChaosRunTest, CorruptionShowsUpInTheVerdictCounters) {
+  const ChaosOptions options = FastOptions();
+  const Dataset dataset = ChaosDataset(options);
+  const double clean_loss = RunCleanBaseline(options, dataset);
+
+  ChaosSchedule schedule;
+  schedule.plan.seed = 9;
+  schedule.plan.message_corrupt_prob = 0.1;
+  const ChaosVerdict verdict =
+      RunSchedule(options, schedule, dataset, clean_loss, 9);
+  EXPECT_TRUE(verdict.ok()) << (verdict.violations.empty()
+                                    ? ""
+                                    : verdict.violations.front());
+  EXPECT_GT(verdict.recovery.messages_corrupted, 0);
+  EXPECT_GE(verdict.recovery.retransmits,
+            verdict.recovery.messages_corrupted);
+}
+
+TEST(ChaosRunTest, ImpossibleEpsilonProducesACleanViolation) {
+  ChaosOptions options = FastOptions();
+  const Dataset dataset = ChaosDataset(options);
+  const double clean_loss = RunCleanBaseline(options, dataset);
+  options.epsilon = -10.0;  // nothing can converge to a negative bound
+
+  const ChaosSchedule schedule = GenerateSchedule(1, options);
+  const ChaosVerdict verdict =
+      RunSchedule(options, schedule, dataset, clean_loss, 1);
+  EXPECT_FALSE(verdict.ok());
+  ASSERT_FALSE(verdict.violations.empty());
+  EXPECT_NE(verdict.violations.front().find("did not re-converge"),
+            std::string::npos);
+}
+
+TEST(ChaosShrinkTest, ComponentsCoverThePlanAndDisableWorks) {
+  ChaosSchedule schedule;
+  schedule.plan.scripted = {{3, 1, FaultKind::kWorkerFailure},
+                            {5, 0, FaultKind::kTaskFailure}};
+  schedule.plan.message_drop_prob = 0.02;
+  schedule.plan.message_corrupt_prob = 0.03;
+  schedule.plan.partitions.push_back({4, 2, {0}});
+  schedule.plan.torn_checkpoint_prob = 0.5;
+  schedule.plan.stragglers.mode = StragglerSpec::Mode::kRotating;
+  schedule.plan.stragglers.level = 1.0;
+  schedule.checkpoint_every = 4;
+
+  const std::vector<std::string> components = ScheduleComponents(schedule);
+  EXPECT_EQ(components.size(), 8u);
+  for (const std::string& component : components) {
+    ChaosSchedule copy = schedule;
+    EXPECT_TRUE(DisableComponent(&copy, component)) << component;
+    EXPECT_LT(ScheduleComponents(copy).size(), components.size())
+        << component;
+  }
+  ChaosSchedule copy = schedule;
+  EXPECT_FALSE(DisableComponent(&copy, "no_such_component"));
+  EXPECT_FALSE(DisableComponent(&copy, "scripted:9"));
+}
+
+TEST(ChaosShrinkTest, ShrinkKeepsOnlyTheFailingComponent) {
+  // Pin the shrinker's contract on a criterion only the crashes can
+  // violate: benign wire noise (drops, stragglers) leaves the trained model
+  // bit-identical, while an unprotected end-of-run crash re-initializes a
+  // partition. The epsilon is tuned between the two outcomes (the
+  // simulation is deterministic, so the thin margin is exact, not flaky).
+  ChaosOptions options = FastOptions();
+  options.iterations = 40;
+  options.epsilon = -0.07;
+  const Dataset dataset = ChaosDataset(options);
+  const double clean_loss = RunCleanBaseline(options, dataset);
+
+  ChaosSchedule schedule;
+  schedule.plan.seed = 2;
+  schedule.plan.scripted = {{39, 1, FaultKind::kWorkerFailure},
+                            {39, 2, FaultKind::kWorkerFailure}};
+  schedule.plan.message_drop_prob = 0.02;  // benign: lossless retransmit
+  schedule.plan.stragglers.mode = StragglerSpec::Mode::kRotating;
+  schedule.plan.stragglers.level = 1.0;    // benign: time only
+
+  const ChaosVerdict verdict =
+      RunSchedule(options, schedule, dataset, clean_loss, 2);
+  ASSERT_FALSE(verdict.ok())
+      << "late unprotected crashes must violate the tuned epsilon";
+
+  int extra_runs = 0;
+  const ChaosSchedule shrunk = ShrinkSchedule(options, schedule, dataset,
+                                              clean_loss, 2, &extra_runs);
+  EXPECT_GT(extra_runs, 0);
+  // The benign components were shrunk away; a crash remains (even a single
+  // one still violates the bound, so the greedy pass drops the other too).
+  EXPECT_EQ(shrunk.plan.scripted.size(), 1u);
+  EXPECT_EQ(shrunk.plan.message_drop_prob, 0.0);
+  EXPECT_EQ(shrunk.plan.stragglers.mode, StragglerSpec::Mode::kNone);
+  // And the shrunk schedule still reproduces the failure.
+  EXPECT_FALSE(RunSchedule(options, shrunk, dataset, clean_loss, 2).ok());
+}
+
+TEST(ChaosReproTest, ArtifactCarriesTheReplayCommand) {
+  const ChaosOptions options = FastOptions();
+  const ChaosSchedule schedule = GenerateSchedule(4, options);
+  ChaosVerdict verdict;
+  verdict.seed = 4;
+  verdict.violations = {"synthetic violation"};
+  const std::string json =
+      ReproArtifactJson(options, 4, schedule, schedule, verdict);
+  EXPECT_NE(json.find("\"seed\": 4"), std::string::npos);
+  EXPECT_NE(json.find("synthetic violation"), std::string::npos);
+  EXPECT_NE(json.find("colsgd_chaos --seeds 4"), std::string::npos);
+  const std::string command = ReproCommand(options, 4);
+  EXPECT_NE(command.find("--engines columnsgd"), std::string::npos);
+  EXPECT_NE(command.find("--iterations 12"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chaos
+}  // namespace colsgd

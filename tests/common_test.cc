@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/bytes.h"
+#include "common/crc32c.h"
 #include "common/csv.h"
 #include "common/flags.h"
 #include "common/result.h"
@@ -306,6 +307,35 @@ TEST(FormatDoubleTest, CompactRepresentation) {
   EXPECT_EQ(FormatDouble(1.0), "1");
   EXPECT_EQ(FormatDouble(0.125), "0.125");
   EXPECT_EQ(FormatDouble(1e9), "1e+09");
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 / canonical CRC32C test vector.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  const std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, ExtendComposesIncrementally) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  uint32_t split = ExtendCrc32c(0, data.data(), 9);
+  split = ExtendCrc32c(split, data.data() + 9, data.size() - 9);
+  EXPECT_EQ(split, whole);
+}
+
+TEST(Crc32cTest, EverySingleBitFlipChangesTheChecksum) {
+  std::vector<uint8_t> data(64);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 37 + 1);
+  }
+  const uint32_t clean = Crc32c(data);
+  for (size_t bit = 0; bit < data.size() * 8; ++bit) {
+    data[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    EXPECT_NE(Crc32c(data), clean) << "bit " << bit;
+    data[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  }
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // detector's timing policy, and checkpoint save/restore via model_io.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <set>
 
@@ -187,6 +188,146 @@ TEST(FaultPlanTest, MessageDropRateMatchesProbability) {
   EXPECT_NEAR(static_cast<double>(drops), 1000.0, 150.0);
 }
 
+TEST(FaultPlanTest, ValidateRejectsNonsensePlans) {
+  FaultPlanConfig bad_prob;
+  bad_prob.message_drop_prob = 1.5;
+  EXPECT_EQ(FaultPlan::Validate(bad_prob).code(),
+            StatusCode::kInvalidArgument);
+
+  FaultPlanConfig neg_prob;
+  neg_prob.message_corrupt_prob = -0.1;
+  EXPECT_FALSE(FaultPlan::Validate(neg_prob).ok());
+
+  FaultPlanConfig neg_mtbf;
+  neg_mtbf.worker_mtbf_iters = -5.0;
+  EXPECT_FALSE(FaultPlan::Validate(neg_mtbf).ok());
+
+  FaultPlanConfig bad_torn;
+  bad_torn.torn_checkpoint_prob = 2.0;
+  EXPECT_FALSE(FaultPlan::Validate(bad_torn).ok());
+
+  FaultPlanConfig bad_straggler;
+  bad_straggler.stragglers.mode = StragglerSpec::Mode::kCorrelated;
+  bad_straggler.stragglers.probability = 1.2;
+  EXPECT_FALSE(FaultPlan::Validate(bad_straggler).ok());
+
+  FaultPlanConfig bad_event;
+  bad_event.num_workers = 4;
+  bad_event.scripted = {{-1, 0, FaultKind::kTaskFailure}};
+  EXPECT_FALSE(FaultPlan::Validate(bad_event).ok());
+
+  FaultPlanConfig out_of_range;
+  out_of_range.num_workers = 4;
+  out_of_range.scripted = {{3, 7, FaultKind::kWorkerFailure}};
+  EXPECT_FALSE(FaultPlan::Validate(out_of_range).ok());
+
+  FaultPlanConfig empty_side;
+  empty_side.num_workers = 4;
+  empty_side.partitions.push_back({2, 1, {}});
+  EXPECT_FALSE(FaultPlan::Validate(empty_side).ok());
+
+  FaultPlanConfig zero_window;
+  zero_window.num_workers = 4;
+  zero_window.partitions.push_back({2, 0, {1}});
+  EXPECT_FALSE(FaultPlan::Validate(zero_window).ok());
+
+  // Create is the validating constructor.
+  EXPECT_FALSE(FaultPlan::Create(bad_prob).ok());
+  FaultPlanConfig good;
+  good.num_workers = 4;
+  good.message_drop_prob = 0.05;
+  good.partitions.push_back({2, 3, {0, 1}});
+  ASSERT_TRUE(FaultPlan::Create(good).ok());
+  EXPECT_TRUE(FaultPlan::Validate(good).ok());
+}
+
+TEST(FaultPlanTest, CorruptMessageRateAndDeterminism) {
+  FaultPlanConfig config;
+  config.seed = 17;
+  config.num_workers = 4;
+  config.message_corrupt_prob = 0.1;
+  FaultPlan plan(config);
+  EXPECT_TRUE(plan.active());
+  EXPECT_TRUE(plan.wire_integrity());
+  int corrupt = 0;
+  const int64_t iters = 10000;
+  for (int64_t i = 0; i < iters; ++i) {
+    if (plan.CorruptMessage(i, 1, 0)) ++corrupt;
+    EXPECT_EQ(plan.CorruptMessage(i, 1, 0), plan.CorruptMessage(i, 1, 0));
+  }
+  EXPECT_NEAR(static_cast<double>(corrupt), 1000.0, 150.0);
+  // Corruption and drop are independent draws of the same seed: with both
+  // probabilities at 0.5 the two decision sequences must diverge.
+  FaultPlanConfig both = config;
+  both.message_drop_prob = 0.5;
+  both.message_corrupt_prob = 0.5;
+  FaultPlan coupled(both);
+  int differs = 0;
+  for (int64_t i = 0; i < 200; ++i) {
+    differs += coupled.DropMessage(i, 1, 0) != coupled.CorruptMessage(i, 1, 0);
+  }
+  EXPECT_GT(differs, 50);  // ~100 expected if independent, 0 if coupled
+  // The flipped bit is in range and deterministic.
+  for (int64_t i = 0; i < 50; ++i) {
+    const uint64_t bit = plan.CorruptionBit(i, 1, 0, 4096);
+    EXPECT_LT(bit, 4096u);
+    EXPECT_EQ(bit, plan.CorruptionBit(i, 1, 0, 4096));
+  }
+}
+
+TEST(FaultPlanTest, PartitionSeversExactlyTheSplitLinks) {
+  // 4 workers; window [5, 7): side A = {0, 1}. Node ids: 0 master,
+  // 1..4 workers, 5..8 PS servers co-located with worker (node - 5).
+  FaultPlanConfig config;
+  config.num_workers = 4;
+  config.partitions.push_back({5, 2, {0, 1}});
+  FaultPlan plan(config);
+  EXPECT_TRUE(plan.active());
+  EXPECT_TRUE(plan.wire_integrity());
+  EXPECT_FALSE(plan.PartitionActiveAt(4));
+  EXPECT_TRUE(plan.PartitionActiveAt(5));
+  EXPECT_TRUE(plan.PartitionActiveAt(6));
+  EXPECT_FALSE(plan.PartitionActiveAt(7));
+
+  // Outside the window nothing is severed.
+  EXPECT_FALSE(plan.LinkPartitioned(4, 1, 3));
+  EXPECT_FALSE(plan.LinkPartitioned(7, 1, 3));
+  // Within: cross-split worker links are severed, same-side links are not.
+  EXPECT_TRUE(plan.LinkPartitioned(5, 1, 3));   // w0 -> w2 crosses
+  EXPECT_TRUE(plan.LinkPartitioned(6, 4, 2));   // w3 -> w1 crosses
+  EXPECT_FALSE(plan.LinkPartitioned(5, 1, 2));  // w0 -> w1 same side
+  EXPECT_FALSE(plan.LinkPartitioned(5, 3, 4));  // w2 -> w3 same side
+  // The master (node 0) sides with the complement.
+  EXPECT_TRUE(plan.LinkPartitioned(5, 0, 1));
+  EXPECT_TRUE(plan.LinkPartitioned(5, 2, 0));
+  EXPECT_FALSE(plan.LinkPartitioned(5, 0, 3));
+  // PS servers side with their co-located worker.
+  EXPECT_FALSE(plan.LinkPartitioned(5, 1, 5));  // w0 -> ps0 same side
+  EXPECT_TRUE(plan.LinkPartitioned(5, 1, 7));   // w0 -> ps2 crosses
+  EXPECT_TRUE(plan.LinkPartitioned(5, 8, 2));   // ps3 -> w1 crosses
+}
+
+TEST(FaultPlanTest, CheckpointFaultDrawsAreSeededAndRateMatched) {
+  FaultPlanConfig config;
+  config.seed = 23;
+  config.torn_checkpoint_prob = 0.2;
+  config.checkpoint_bitrot_prob = 0.25;
+  FaultPlan plan(config), replay(config);
+  EXPECT_TRUE(plan.active());
+  int torn = 0, rot = 0;
+  const int64_t iters = 10000;
+  for (int64_t i = 0; i < iters; ++i) {
+    const CheckpointFault fault = plan.CheckpointFaultAt(i);
+    EXPECT_EQ(fault, replay.CheckpointFaultAt(i));
+    EXPECT_EQ(plan.CheckpointDamageDraw(i), replay.CheckpointDamageDraw(i));
+    torn += fault == CheckpointFault::kTornWrite;
+    rot += fault == CheckpointFault::kBitRot;
+  }
+  EXPECT_NEAR(static_cast<double>(torn), 2000.0, 250.0);
+  // Bit rot is drawn only when the write was not torn: 0.8 * 0.25 = 0.2.
+  EXPECT_NEAR(static_cast<double>(rot), 2000.0, 250.0);
+}
+
 TEST(FailureDetectorTest, DetectionAndBackoffPolicy) {
   FailureDetector detector{FailureDetectorConfig{}};
   // Defaults: 0.1 heartbeat interval + 0.5 timeout.
@@ -196,6 +337,25 @@ TEST(FailureDetectorTest, DetectionAndBackoffPolicy) {
   EXPECT_DOUBLE_EQ(detector.TaskRetryDelay(1), 0.4);
   EXPECT_DOUBLE_EQ(detector.TaskRetryDelay(2), 0.8);
   EXPECT_DOUBLE_EQ(detector.TaskRetryDelay(10), 5.0);
+}
+
+TEST(FailureDetectorTest, HugeAttemptCountsStayClamped) {
+  // Multiply-then-cap overflows a double (2^1024 = inf); the clamp must
+  // live inside the loop so huge attempt counts return the cap, finite.
+  FailureDetector detector{FailureDetectorConfig{}};
+  for (int attempt : {64, 1024, 100000}) {
+    const double delay = detector.TaskRetryDelay(attempt);
+    EXPECT_TRUE(std::isfinite(delay)) << "attempt " << attempt;
+    EXPECT_DOUBLE_EQ(delay, 5.0) << "attempt " << attempt;
+  }
+  EXPECT_DOUBLE_EQ(detector.RetransmitDelay(100000), 5.0);
+}
+
+TEST(FailureDetectorTest, RetransmitBackoffStartsAtAckTimeout) {
+  FailureDetector detector{FailureDetectorConfig{}};
+  EXPECT_DOUBLE_EQ(detector.RetransmitDelay(0), 0.05);
+  EXPECT_DOUBLE_EQ(detector.RetransmitDelay(1), 0.1);
+  EXPECT_DOUBLE_EQ(detector.RetransmitDelay(2), 0.2);
 }
 
 TEST(CheckpointStoreTest, ScheduleFollowsEvery) {
@@ -248,6 +408,89 @@ TEST(CheckpointStoreTest, FileBackedSaveRoundTripsThroughModelIo) {
   ASSERT_TRUE(reread.ok());
   EXPECT_EQ(reread.ValueOrDie().weights, model.weights);
   std::remove(config.path.c_str());
+}
+
+TEST(CheckpointStoreTest, TornWriteFallsBackToPreviousCheckpoint) {
+  CheckpointStore store(CheckpointConfig{});
+  SavedModel old_model = TestModel();
+  SavedModel new_model = TestModel();
+  new_model.weights = {9.0, 9.0, 9.0, 9.0};
+  ASSERT_TRUE(store.Save(old_model, 10).ok());
+  ASSERT_TRUE(
+      store.Save(new_model, 20, CheckpointFault::kTornWrite, 12345).ok());
+  EXPECT_EQ(store.retained(), 2u);
+  // The intended write is still charged at full size.
+  EXPECT_EQ(store.bytes(), SerializedModelBytes(new_model));
+
+  CheckpointRestoreStats stats;
+  const SavedModel* restored = store.Latest(&stats);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->weights, old_model.weights);  // fell back
+  EXPECT_EQ(stats.fallbacks, 1);
+  EXPECT_TRUE(stats.found_valid);
+  // The damaged image was pruned; the store now reports the restored state.
+  EXPECT_EQ(store.completed_iterations(), 10);
+  EXPECT_EQ(store.retained(), 1u);
+}
+
+TEST(CheckpointStoreTest, BitRotIsDetectedNotLoaded) {
+  CheckpointStore store(CheckpointConfig{});
+  ASSERT_TRUE(store.Save(TestModel(), 10).ok());
+  ASSERT_TRUE(
+      store.Save(TestModel(), 20, CheckpointFault::kBitRot, 0xDEADBEEF).ok());
+  CheckpointRestoreStats stats;
+  const SavedModel* restored = store.Latest(&stats);
+  ASSERT_NE(restored, nullptr);
+  // A single flipped bit anywhere in the image fails the CRC32C trailer;
+  // the restore never silently returns rotted weights.
+  EXPECT_EQ(restored->weights, TestModel().weights);
+  EXPECT_EQ(stats.fallbacks, 1);
+}
+
+TEST(CheckpointStoreTest, AllDamagedMeansNoCheckpoint) {
+  CheckpointStore store(CheckpointConfig{});
+  ASSERT_TRUE(
+      store.Save(TestModel(), 10, CheckpointFault::kTornWrite, 7).ok());
+  ASSERT_TRUE(
+      store.Save(TestModel(), 20, CheckpointFault::kBitRot, 8).ok());
+  CheckpointRestoreStats stats;
+  EXPECT_EQ(store.Latest(&stats), nullptr);
+  EXPECT_EQ(stats.fallbacks, 2);
+  EXPECT_FALSE(stats.found_valid);
+  EXPECT_EQ(store.retained(), 0u);
+}
+
+TEST(CheckpointStoreTest, RetainsOnlyKeepGenerations) {
+  CheckpointConfig config;
+  config.keep = 3;
+  CheckpointStore store(config);
+  for (int64_t i = 1; i <= 5; ++i) {
+    SavedModel m = TestModel();
+    m.weights[0] = static_cast<double>(i);
+    ASSERT_TRUE(store.Save(m, i * 10).ok());
+  }
+  EXPECT_EQ(store.retained(), 3u);
+  EXPECT_EQ(store.completed_iterations(), 50);
+  ASSERT_NE(store.Latest(), nullptr);
+  EXPECT_DOUBLE_EQ(store.Latest()->weights[0], 5.0);
+}
+
+TEST(CheckpointStoreTest, FileBackedTornWriteRecoversFromRotatedSlot) {
+  CheckpointConfig config;
+  config.path = ::testing::TempDir() + "/colsgd_chaos_ckpt_test.bin";
+  CheckpointStore store(config);
+  ASSERT_TRUE(store.Save(TestModel(), 10).ok());
+  ASSERT_TRUE(
+      store.Save(TestModel(), 20, CheckpointFault::kTornWrite, 99).ok());
+  // The newest on-disk slot is torn and must not parse; the rotated slot
+  // (path.1) still holds the previous valid image.
+  EXPECT_FALSE(ReadModelFile(config.path).ok());
+  EXPECT_TRUE(ReadModelFile(config.path + ".1").ok());
+  CheckpointRestoreStats stats;
+  ASSERT_NE(store.Latest(&stats), nullptr);
+  EXPECT_EQ(stats.fallbacks, 1);
+  std::remove(config.path.c_str());
+  std::remove((config.path + ".1").c_str());
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include "cluster/cluster.h"
 #include "simnet/compute_model.h"
+#include "simnet/frame.h"
 #include "simnet/network.h"
 
 namespace colsgd {
@@ -245,6 +246,47 @@ TEST(NetworkConfigTest, ClusterPresetsMatchPaper) {
   EXPECT_EQ(ClusterSpec::Cluster1().num_workers, 8);
   EXPECT_EQ(ClusterSpec::Cluster2().num_workers, 40);
   EXPECT_EQ(ClusterSpec::Cluster2(20).num_workers, 20);
+}
+
+TEST(FrameTest, RoundTripsAndMeasuresOverhead) {
+  const std::vector<uint8_t> payload = {1, 2, 3, 250, 0, 42};
+  const std::vector<uint8_t> frame = FrameMessage(payload);
+  EXPECT_EQ(frame.size(), payload.size() + kFrameOverheadBytes);
+  const Result<std::vector<uint8_t>> back = VerifyFrame(frame);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.ValueOrDie(), payload);
+  // The empty payload frames and verifies too.
+  ASSERT_TRUE(VerifyFrame(FrameMessage({})).ok());
+}
+
+TEST(FrameTest, DetectsEverySingleBitFlip) {
+  std::vector<uint8_t> payload(48);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 13);
+  }
+  const std::vector<uint8_t> clean = FrameMessage(payload);
+  // Flip every bit of the whole frame — header, payload, and trailer — and
+  // require the verifier to reject each damaged copy.
+  for (size_t bit = 0; bit < clean.size() * 8; ++bit) {
+    std::vector<uint8_t> damaged = clean;
+    FlipBit(&damaged, bit);
+    EXPECT_FALSE(VerifyFrame(damaged).ok()) << "bit " << bit;
+  }
+}
+
+TEST(FrameTest, RejectsTruncationAndBadMagic) {
+  const std::vector<uint8_t> frame = FrameMessage({7, 7, 7});
+  std::vector<uint8_t> truncated(frame.begin(), frame.end() - 1);
+  EXPECT_FALSE(VerifyFrame(truncated).ok());
+  EXPECT_FALSE(VerifyFrame({}).ok());
+  EXPECT_FALSE(VerifyFrame({1, 2, 3}).ok());  // shorter than the overhead
+}
+
+TEST(FrameTest, FlipBitWrapsOutOfRangeIndex) {
+  std::vector<uint8_t> data = {0, 0};
+  FlipBit(&data, 16);  // == bit 0 after wrap
+  EXPECT_EQ(data[0], 1);
+  EXPECT_EQ(data[1], 0);
 }
 
 }  // namespace

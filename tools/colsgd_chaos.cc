@@ -1,0 +1,184 @@
+// Deterministic chaos driver (DESIGN.md §10).
+//
+// For every seed in --seeds and every engine in --engines, draws a
+// randomized fault schedule (crashes, drops, corruption, partitions,
+// stragglers, torn/bit-rotted checkpoints), trains a tiny model under it
+// TWICE, and checks:
+//
+//   * the two executions produce bit-identical trace fingerprints
+//     (determinism — the whole point of a simulation-testing harness);
+//   * the chaos invariants hold (complete-or-clean-diagnosis, byte
+//     conservation, corruption detected + retransmitted, convergence
+//     within epsilon of the fault-free baseline).
+//
+// The first failing seed is re-run under a greedily shrunk schedule and
+// dumped as a JSON repro artifact (--artifact) whose "repro" field is the
+// exact command line that replays it. Exit status 1 when any seed fails.
+//
+//   colsgd_chaos --seeds 0..31 --engines all
+//   colsgd_chaos --seeds 17 --engines petuum --verbose true
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos.h"
+#include "common/check.h"
+#include "common/flags.h"
+
+namespace colsgd {
+namespace {
+
+using chaos::ChaosOptions;
+using chaos::ChaosSchedule;
+using chaos::ChaosVerdict;
+
+std::vector<std::string> SplitList(const std::string& text) {
+  std::vector<std::string> out;
+  std::string item;
+  for (char c : text) {
+    if (c == ',') {
+      if (!item.empty()) out.push_back(item);
+      item.clear();
+    } else {
+      item += c;
+    }
+  }
+  if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+// "0..31" (inclusive range), "7", or "3,9,12".
+std::vector<uint64_t> ParseSeeds(const std::string& spec) {
+  std::vector<uint64_t> seeds;
+  const size_t dots = spec.find("..");
+  if (dots != std::string::npos) {
+    const uint64_t lo = std::strtoull(spec.substr(0, dots).c_str(), nullptr, 10);
+    const uint64_t hi =
+        std::strtoull(spec.substr(dots + 2).c_str(), nullptr, 10);
+    COLSGD_CHECK(hi >= lo) << "bad --seeds range: " << spec;
+    for (uint64_t s = lo; s <= hi; ++s) seeds.push_back(s);
+    return seeds;
+  }
+  for (const std::string& item : SplitList(spec)) {
+    seeds.push_back(std::strtoull(item.c_str(), nullptr, 10));
+  }
+  COLSGD_CHECK(!seeds.empty()) << "empty --seeds: " << spec;
+  return seeds;
+}
+
+int RunDriver(int argc, char** argv) {
+  std::string seeds_spec = "0..31";
+  std::string engines = "all";
+  std::string models = "lr";
+  std::string artifact = "chaos_repro.json";
+  ChaosOptions base;
+  int64_t workers = base.workers;
+  int64_t batch_size = static_cast<int64_t>(base.batch_size);
+  int64_t block_rows = static_cast<int64_t>(base.block_rows);
+  int64_t data_rows = static_cast<int64_t>(base.data_rows);
+  int64_t data_features = static_cast<int64_t>(base.data_features);
+  bool verbose = false;
+
+  FlagParser flags;
+  flags.AddString("seeds", &seeds_spec, "seed range 'a..b' or list 'a,b,c'");
+  flags.AddString("engines", &engines,
+                  "comma list of engines, or 'all' "
+                  "(columnsgd,mllib,mllib_star,petuum,mxnet)");
+  flags.AddString("models", &models, "comma list of models (lr, svm, ...)");
+  flags.AddInt64("workers", &workers, "cluster size");
+  flags.AddInt64("iterations", &base.iterations, "SGD iterations per run");
+  flags.AddInt64("batch_size", &batch_size, "mini-batch size");
+  flags.AddInt64("block_rows", &block_rows, "rows per storage block");
+  flags.AddDouble("learning_rate", &base.learning_rate, "SGD step size");
+  flags.AddInt64("data_rows", &data_rows, "synthetic dataset rows");
+  flags.AddInt64("data_features", &data_features, "synthetic dataset dim");
+  flags.AddDouble("epsilon", &base.epsilon,
+                  "convergence tolerance vs the fault-free run");
+  flags.AddString("artifact", &artifact,
+                  "path for the failing-seed repro JSON ('' disables)");
+  flags.AddBool("verbose", &verbose, "print one line per seed");
+  COLSGD_CHECK_OK(flags.Parse(argc, argv));
+
+  base.workers = static_cast<int>(workers);
+  base.batch_size = static_cast<size_t>(batch_size);
+  base.block_rows = static_cast<size_t>(block_rows);
+  base.data_rows = static_cast<uint64_t>(data_rows);
+  base.data_features = static_cast<uint64_t>(data_features);
+
+  if (engines == "all") {
+    engines = "columnsgd,mllib,mllib_star,petuum,mxnet";
+  }
+  const std::vector<uint64_t> seeds = ParseSeeds(seeds_spec);
+  const Dataset dataset = chaos::ChaosDataset(base);
+
+  int64_t runs = 0;
+  int64_t failures = 0;
+  bool artifact_written = false;
+  for (const std::string& model : SplitList(models)) {
+    for (const std::string& engine : SplitList(engines)) {
+      ChaosOptions options = base;
+      options.engine = engine;
+      options.model = model;
+      const double clean_loss = chaos::RunCleanBaseline(options, dataset);
+      if (verbose) {
+        std::printf("[%s x %s] fault-free loss %.6f\n", engine.c_str(),
+                    model.c_str(), clean_loss);
+      }
+      for (uint64_t seed : seeds) {
+        const ChaosSchedule schedule = chaos::GenerateSchedule(seed, options);
+        ChaosVerdict verdict =
+            chaos::RunSchedule(options, schedule, dataset, clean_loss, seed);
+        const ChaosVerdict replay =
+            chaos::RunSchedule(options, schedule, dataset, clean_loss, seed);
+        ++runs;
+        if (replay.fingerprint != verdict.fingerprint) {
+          verdict.violations.push_back(
+              "nondeterministic: replay fingerprint " +
+              std::to_string(replay.fingerprint) + " != " +
+              std::to_string(verdict.fingerprint));
+        }
+        if (verbose) {
+          std::printf("[%s x %s] seed %llu %s fp=%08x  %s\n", engine.c_str(),
+                      model.c_str(), static_cast<unsigned long long>(seed),
+                      verdict.ok() ? "ok  " : "FAIL",
+                      verdict.fingerprint,
+                      chaos::DescribeSchedule(schedule).c_str());
+        }
+        if (verdict.ok()) continue;
+        ++failures;
+        std::printf("[%s x %s] seed %llu FAILED:\n", engine.c_str(),
+                    model.c_str(), static_cast<unsigned long long>(seed));
+        for (const std::string& v : verdict.violations) {
+          std::printf("  - %s\n", v.c_str());
+        }
+        int extra_runs = 0;
+        const ChaosSchedule shrunk = chaos::ShrinkSchedule(
+            options, schedule, dataset, clean_loss, seed, &extra_runs);
+        std::printf("  shrunk (%d extra runs): %s\n", extra_runs,
+                    chaos::DescribeSchedule(shrunk).c_str());
+        std::printf("  repro: %s\n",
+                    chaos::ReproCommand(options, seed).c_str());
+        if (!artifact.empty() && !artifact_written) {
+          const std::string json = chaos::ReproArtifactJson(
+              options, seed, schedule, shrunk, verdict);
+          std::FILE* f = std::fopen(artifact.c_str(), "w");
+          if (f != nullptr) {
+            std::fwrite(json.data(), 1, json.size(), f);
+            std::fclose(f);
+            std::printf("  artifact: %s\n", artifact.c_str());
+            artifact_written = true;
+          }
+        }
+      }
+    }
+  }
+  std::printf("chaos: %lld schedule(s), %lld failure(s)\n",
+              static_cast<long long>(runs), static_cast<long long>(failures));
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace colsgd
+
+int main(int argc, char** argv) { return colsgd::RunDriver(argc, argv); }

@@ -51,6 +51,46 @@ Result<std::vector<FaultEvent>> ParseFailWorker(const std::string& spec) {
   return events;
 }
 
+/// Parses "start:len:w0+w1[,start:len:w2...]" into partition windows: for
+/// `len` iterations starting at `start`, the '+'-joined workers are severed
+/// from everyone else.
+Result<std::vector<NetworkPartitionSpec>> ParsePartitionSpec(
+    const std::string& spec) {
+  std::vector<NetworkPartitionSpec> partitions;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    const size_t first = item.find(':');
+    const size_t second =
+        first == std::string::npos ? std::string::npos
+                                   : item.find(':', first + 1);
+    if (second == std::string::npos) {
+      return Status::InvalidArgument(
+          "--partition_spec wants start:len:w0+w1[,...], got '" + item + "'");
+    }
+    NetworkPartitionSpec partition;
+    partition.start_iteration = std::atoll(item.substr(0, first).c_str());
+    partition.iterations =
+        std::atoll(item.substr(first + 1, second - first - 1).c_str());
+    size_t wpos = second + 1;
+    while (wpos <= item.size()) {
+      size_t plus = item.find('+', wpos);
+      if (plus == std::string::npos) plus = item.size();
+      if (plus == wpos) {
+        return Status::InvalidArgument(
+            "--partition_spec has an empty worker id in '" + item + "'");
+      }
+      partition.side_a.push_back(std::atoi(item.substr(wpos, plus - wpos).c_str()));
+      wpos = plus + 1;
+    }
+    partitions.push_back(std::move(partition));
+    pos = comma + 1;
+  }
+  return partitions;
+}
+
 Result<Dataset> LoadData(const std::string& data_path,
                          const std::string& synthetic, bool zero_based) {
   if (!data_path.empty()) {
@@ -114,6 +154,10 @@ int Run(int argc, char** argv) {
   std::string fail_worker;
   double worker_mtbf_iters = 0.0;
   int64_t checkpoint_every = 0;
+  double drop_prob = 0.0;
+  double corrupt_prob = 0.0;
+  std::string partition_spec;
+  int64_t chaos_seed = -1;
   flags.AddString("trace_out", &trace_out,
                   "write a Chrome trace-event JSON of the run (open in "
                   "Perfetto / chrome://tracing)");
@@ -127,6 +171,17 @@ int Run(int argc, char** argv) {
                   "mean iterations between worker failures (0: none)");
   flags.AddInt64("checkpoint_every", &checkpoint_every,
                  "checkpoint period in iterations (0: never)");
+  flags.AddDouble("drop_prob", &drop_prob,
+                  "per-message data-plane drop probability (0: none)");
+  flags.AddDouble("corrupt_prob", &corrupt_prob,
+                  "per-message bit-flip probability; corrupted frames are "
+                  "caught by the CRC32C check and retransmitted (0: none)");
+  flags.AddString("partition_spec", &partition_spec,
+                  "network partition windows, "
+                  "'start:len:w0+w1[,start:len:w2...]'");
+  flags.AddInt64("chaos_seed", &chaos_seed,
+                 "fault-plan seed for drop/corrupt/partition draws "
+                 "(-1: reuse --seed)");
   std::string save_model;
   flags.AddString("save_model", &save_model,
                   "write the trained model to this file (colsgd_predict "
@@ -166,24 +221,47 @@ int Run(int argc, char** argv) {
 
   auto engine = MakeEngine(engine_name, cluster, config);
 
-  if (!fail_worker.empty() || worker_mtbf_iters > 0.0 ||
-      checkpoint_every > 0) {
-    FaultConfig faults;
+  const bool faults_requested =
+      !fail_worker.empty() || worker_mtbf_iters > 0.0 ||
+      checkpoint_every > 0 || drop_prob > 0.0 || corrupt_prob > 0.0 ||
+      !partition_spec.empty();
+  if (faults_requested) {
+    FaultPlanConfig plan;
+    plan.seed = chaos_seed >= 0 ? static_cast<uint64_t>(chaos_seed)
+                                : static_cast<uint64_t>(seed);
+    plan.worker_mtbf_iters = worker_mtbf_iters;
+    plan.message_drop_prob = drop_prob;
+    plan.message_corrupt_prob = corrupt_prob;
     if (!fail_worker.empty()) {
       Result<std::vector<FaultEvent>> events = ParseFailWorker(fail_worker);
       if (!events.ok()) {
         std::fprintf(stderr, "%s\n", events.status().ToString().c_str());
         return 2;
       }
-      faults.plan = FaultPlan::Scripted(*std::move(events));
-    } else if (worker_mtbf_iters > 0.0) {
-      FaultPlanConfig plan;
-      plan.seed = static_cast<uint64_t>(seed);
-      plan.worker_mtbf_iters = worker_mtbf_iters;
-      faults.plan = FaultPlan(plan);
+      plan.scripted = *std::move(events);
     }
+    if (!partition_spec.empty()) {
+      Result<std::vector<NetworkPartitionSpec>> partitions =
+          ParsePartitionSpec(partition_spec);
+      if (!partitions.ok()) {
+        std::fprintf(stderr, "%s\n", partitions.status().ToString().c_str());
+        return 2;
+      }
+      plan.partitions = *std::move(partitions);
+    }
+    Result<FaultPlan> fault_plan = FaultPlan::Create(plan);
+    if (!fault_plan.ok()) {
+      std::fprintf(stderr, "%s\n", fault_plan.status().ToString().c_str());
+      return 2;
+    }
+    FaultConfig faults;
+    faults.plan = *std::move(fault_plan);
     faults.checkpoint.every = checkpoint_every;
-    engine->set_faults(std::move(faults));
+    Status fault_st = engine->set_faults(std::move(faults));
+    if (!fault_st.ok()) {
+      std::fprintf(stderr, "%s\n", fault_st.ToString().c_str());
+      return 2;
+    }
   }
 
   Tracer tracer;
@@ -219,6 +297,27 @@ int Run(int argc, char** argv) {
       result.train_time, 1e3 * result.avg_iter_time,
       static_cast<double>(result.bytes_on_wire) / 1e6,
       static_cast<unsigned long long>(result.messages));
+
+  if (faults_requested) {
+    const RecoveryMetrics& recovery = engine->recovery_metrics();
+    std::printf(
+        "faults: %lld task + %lld worker failures, %lld iterations lost, "
+        "%.2f MB retransferred\n"
+        "wire:   %lld dropped, %lld corrupted (CRC-caught), %lld "
+        "retransmits, %lld partition-blocked sends\n"
+        "disk:   %lld checkpoints (%lld corrupted, %lld restore fallbacks)\n",
+        static_cast<long long>(recovery.task_failures),
+        static_cast<long long>(recovery.worker_failures),
+        static_cast<long long>(recovery.iterations_lost),
+        static_cast<double>(recovery.bytes_retransferred) / 1e6,
+        static_cast<long long>(recovery.messages_dropped),
+        static_cast<long long>(recovery.messages_corrupted),
+        static_cast<long long>(recovery.retransmits),
+        static_cast<long long>(recovery.partition_blocked_sends),
+        static_cast<long long>(recovery.checkpoints_taken),
+        static_cast<long long>(recovery.checkpoints_corrupted),
+        static_cast<long long>(recovery.checkpoint_fallbacks));
+  }
 
   if (!save_model.empty()) {
     SavedModel saved;
