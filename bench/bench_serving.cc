@@ -1,0 +1,186 @@
+// Serving-plane benchmark (DESIGN.md §13): latency, throughput, wire cost,
+// and SLO accounting of the column-sharded online-inference frontend.
+//
+// Four measured configurations on a planted LR/FM model over a synthetic
+// query log:
+//
+//   lr/poisson    steady Poisson load at --rate on 4 shards;
+//   lr/burst      the same base rate with 8x flash-crowd bursts — queueing
+//                 delay appears in p95/p99 while p50 barely moves;
+//   fm8/poisson   a factorization machine (9 stats/point vs the GLM's 1):
+//                 bigger gathers, more shard compute;
+//   lr/swap       steady load with two hot model swaps mid-run — zero
+//                 requests dropped; swap_stall measures the frontend time
+//                 spent orchestrating installs;
+//   lr/failover   a shard killed mid-run: the affected batch times out,
+//                 the replacement is re-shipped the active partition, and
+//                 the SLO-violation fraction bounds the blast radius.
+//
+// All metrics are lower-is-better (us_per_request instead of throughput).
+// Per-request series (latency and its queue/scatter/compute/gather tiling)
+// are emitted for the steady-state configuration.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_runner.h"
+#include "common/rng.h"
+#include "datagen/synthetic.h"
+#include "model/factory.h"
+#include "serve/frontend.h"
+
+namespace colsgd {
+namespace {
+
+struct ServingCase {
+  std::string name;
+  std::string model = "lr";
+  std::string arrivals = "poisson";
+  int64_t swaps = 0;
+  double fail_at = 0.0;  // 0 = no shard failure
+};
+
+SavedModel PlantedModel(const std::string& model_name, uint64_t num_features,
+                        uint64_t seed) {
+  std::unique_ptr<ModelSpec> spec = MakeModel(model_name);
+  const int wpf = spec->weights_per_feature();
+  SavedModel model;
+  model.model_name = model_name;
+  model.num_features = num_features;
+  model.weights.resize(num_features * static_cast<uint64_t>(wpf));
+  for (uint64_t slot = 0; slot < model.weights.size(); ++slot) {
+    model.weights[slot] = 0.05 * GaussianFromHash(slot + 1, seed);
+  }
+  model.shared.resize(spec->num_shared_params());
+  for (size_t i = 0; i < model.shared.size(); ++i) {
+    model.shared[i] = 0.01 * GaussianFromHash(0x51a3edULL + i, seed);
+  }
+  return model;
+}
+
+void RunCase(const ServingCase& bench_case, const Dataset& queries,
+             int64_t shards, int64_t requests, double rate, uint64_t seed,
+             bool emit_series, bench::BenchRunner* runner) {
+  ServeConfig serve;
+  serve.num_shards = static_cast<int>(shards);
+  WorkloadConfig workload;
+  workload.arrivals = bench_case.arrivals;
+  workload.rate = rate;
+  workload.num_requests = requests;
+  workload.seed = seed;
+
+  ServeFrontend frontend(ClusterSpec::Cluster1(), serve, &queries);
+  COLSGD_CHECK_OK(frontend.Install(
+      PlantedModel(bench_case.model, queries.num_features, seed + 1)));
+  const double horizon = static_cast<double>(requests) / rate;
+  for (int64_t s = 0; s < bench_case.swaps; ++s) {
+    frontend.ScheduleSwap(
+        horizon * static_cast<double>(s + 1) /
+            static_cast<double>(bench_case.swaps + 1),
+        PlantedModel(bench_case.model, queries.num_features, seed + 2 + s),
+        /*trained_iterations=*/(s + 1) * 10);
+  }
+  if (bench_case.fail_at > 0.0) {
+    frontend.ScheduleShardFailure(bench_case.fail_at * horizon, /*shard=*/1);
+  }
+  COLSGD_CHECK_OK(
+      frontend.Run(GenerateArrivals(workload, queries.num_rows())));
+  const ServeSummary s = frontend.Summarize();
+
+  BenchResult* result = runner->AddResult(bench_case.name);
+  result->env["model"] = bench_case.model;
+  result->env["arrivals"] = bench_case.arrivals;
+  result->env["shards"] = std::to_string(shards);
+  result->env["requests"] = std::to_string(requests);
+  result->env["rate"] = std::to_string(rate);
+  result->env["seed"] = std::to_string(seed);
+  result->metrics["us_per_request"] =
+      s.throughput > 0.0 ? 1e6 / s.throughput : 0.0;
+  result->metrics["latency_mean"] = s.latency_mean;
+  result->metrics["latency_p50"] = s.latency_p50;
+  result->metrics["latency_p95"] = s.latency_p95;
+  result->metrics["latency_p99"] = s.latency_p99;
+  result->metrics["bytes_per_request"] = s.bytes_per_request;
+  result->metrics["reject_fraction"] =
+      s.offered > 0 ? static_cast<double>(s.rejected) /
+                          static_cast<double>(s.offered)
+                    : 0.0;
+  result->metrics["timeout_fraction"] =
+      s.offered > 0 ? static_cast<double>(s.timed_out) /
+                          static_cast<double>(s.offered)
+                    : 0.0;
+  result->metrics["slo_violation_fraction"] = s.slo_violation_fraction;
+  result->metrics["swap_stall_seconds"] = s.swap_stall_seconds;
+  result->metrics["failover_seconds"] = s.failover_seconds;
+  if (emit_series) {
+    auto& series = result->series;
+    for (const RequestRecord& rec : frontend.records()) {
+      if (rec.status != RequestStatus::kCompleted) continue;
+      series["arrival"].push_back(rec.arrival);
+      series["latency"].push_back(rec.completion - rec.arrival);
+      series["queue_s"].push_back(rec.queue_s);
+      series["scatter_s"].push_back(rec.scatter_s);
+      series["compute_s"].push_back(rec.compute_s);
+      series["gather_s"].push_back(rec.gather_s);
+    }
+  }
+  std::printf(
+      "%-14s completed %lld/%lld  p50 %.3f ms  p99 %.3f ms  %.1f B/req  "
+      "slo_viol %.4f\n",
+      bench_case.name.c_str(), static_cast<long long>(s.completed),
+      static_cast<long long>(s.offered), s.latency_p50 * 1e3,
+      s.latency_p99 * 1e3, s.bytes_per_request, s.slo_violation_fraction);
+}
+
+int Main(int argc, char** argv) {
+  int64_t requests = 2000;
+  double rate = 4000.0;
+  int64_t shards = 4;
+  int64_t query_rows = 1000;
+  int64_t query_features = 1000;
+  int64_t seed = 1;
+  std::string bench_out;
+
+  FlagParser flags;
+  flags.AddInt64("requests", &requests, "requests per configuration");
+  flags.AddDouble("rate", &rate, "base arrival rate, req/s");
+  flags.AddInt64("shards", &shards, "shard servers");
+  flags.AddInt64("query_rows", &query_rows, "query log rows");
+  flags.AddInt64("query_features", &query_features, "query log dimension");
+  flags.AddInt64("seed", &seed, "workload / planted-model seed");
+  bench::AddBenchOutFlag(&flags, &bench_out);
+  COLSGD_CHECK_OK(flags.Parse(argc, argv));
+
+  SyntheticSpec spec;
+  spec.name = "queries";
+  spec.num_rows = static_cast<uint64_t>(query_rows);
+  spec.num_features = static_cast<uint64_t>(query_features);
+  spec.avg_nnz_per_row = 15.0;
+  spec.seed = 99;
+  const Dataset queries = GenerateSynthetic(spec);
+
+  bench::BenchRunner runner("serving", bench_out);
+  runner.suite().env["requests"] = std::to_string(requests);
+  runner.suite().env["rate"] = std::to_string(rate);
+  runner.suite().env["shards"] = std::to_string(shards);
+
+  const std::vector<ServingCase> cases = {
+      {"lr/poisson", "lr", "poisson", 0, 0.0},
+      {"lr/burst", "lr", "burst", 0, 0.0},
+      {"fm8/poisson", "fm8", "poisson", 0, 0.0},
+      {"lr/swap", "lr", "poisson", 2, 0.0},
+      {"lr/failover", "lr", "poisson", 0, 0.4},
+  };
+  for (const ServingCase& bench_case : cases) {
+    RunCase(bench_case, queries, shards, requests, rate,
+            static_cast<uint64_t>(seed),
+            /*emit_series=*/bench_case.name == "lr/poisson", &runner);
+  }
+  COLSGD_CHECK_OK(runner.Finish());
+  return 0;
+}
+
+}  // namespace
+}  // namespace colsgd
+
+int main(int argc, char** argv) { return colsgd::Main(argc, argv); }

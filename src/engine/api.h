@@ -142,6 +142,12 @@ class Engine {
   const FaultConfig& faults() const { return faults_; }
   const RecoveryMetrics& recovery_metrics() const { return recovery_; }
 
+  /// \brief The engine's checkpoint store. Lets a serving plane (src/serve)
+  /// watch for newly completed model generations mid-run — the
+  /// train-and-serve mode of tools/colsgd_serve. Non-const because Latest()
+  /// prunes damaged images as it verifies.
+  CheckpointStore& checkpoint_store() { return checkpoints_; }
+
   /// \brief Materializes the full model in global layout
   /// (slot = feature * weights_per_feature + j). For tests and evaluation;
   /// not part of the simulated execution.

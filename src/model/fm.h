@@ -66,9 +66,11 @@ class FactorizationMachine : public ModelSpec {
   double RowScore(const SparseVectorView& row,
                   const std::vector<double>& model) const override;
 
+  /// \brief y(x) = stat_0 + 1/2 sum_c stat_c^2 from one point's aggregated
+  /// statistics.
+  double ScoreFromStats(const double* stats) const override;
+
  private:
-  /// \brief y(x) from one point's aggregated statistics.
-  double ScoreFromStats(const double* stats) const;
   /// \brief Logistic loss/coefficient on the FM score.
   static double PointLoss(double y, double score);
   static double PointCoeff(double y, double score);

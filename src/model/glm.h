@@ -47,6 +47,11 @@ class BinaryGlm : public ModelSpec {
     return row.Dot(model);
   }
 
+  /// \brief The margin is exactly the (single) aggregated statistic.
+  double ScoreFromStats(const double* stats) const override {
+    return stats[0];
+  }
+
  protected:
   /// \brief Loss of one point given label y in {-1,+1} and margin score s.
   virtual double PointLoss(double y, double s) const = 0;

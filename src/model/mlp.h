@@ -66,6 +66,9 @@ class MlpModel : public ModelSpec {
                                      FlopCounter* flops) const override;
 
   bool SupportsRowPath() const override { return false; }
+  /// \brief Scoring needs the replicated output layer, not just the
+  /// aggregated hidden statistics; the serving plane rejects the MLP.
+  bool SupportsStatScore() const override { return false; }
 
   // Shared-free overloads are meaningless for the MLP.
   double BatchLossFromStats(const std::vector<double>&,

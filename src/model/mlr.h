@@ -47,6 +47,17 @@ class MultinomialLogisticRegression : public ModelSpec {
                  const std::vector<double>& model,
                  FlopCounter* flops) const override;
 
+  /// \brief The predicted class: argmax over the C aggregated dot products
+  /// (the softmax is monotone, so no exponentials are needed). Ties break
+  /// toward the smaller class id.
+  double ScoreFromStats(const double* stats) const override {
+    int best = 0;
+    for (int c = 1; c < num_classes_; ++c) {
+      if (stats[c] > stats[best]) best = c;
+    }
+    return static_cast<double>(best);
+  }
+
  private:
   /// \brief Softmax probabilities from the C scores of one point.
   void Softmax(const double* scores, std::vector<double>* probs) const;

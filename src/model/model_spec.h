@@ -123,6 +123,25 @@ class ModelSpec {
   virtual double BatchLossFromStats(const std::vector<double>& agg_stats,
                                     const std::vector<float>& labels) const = 0;
 
+  /// \brief Decision value of one data point from its aggregated statistics
+  /// (stats_per_point() doubles): the margin for binary models, y(x) for
+  /// FMs, the argmax class id for MLR. This is the reduce step of the
+  /// column-sharded inference path (src/serve): partial statistics from the
+  /// feature shards sum to exactly the statistics of the full row, so the
+  /// score computed here equals the row path's RowScore up to float
+  /// reassociation. Models that cannot score from statistics alone (the MLP
+  /// needs its shared output layer) die.
+  virtual double ScoreFromStats(const double* stats) const {
+    (void)stats;
+    COLSGD_CHECK(false) << name() << " cannot score from statistics alone";
+    return 0.0;
+  }
+
+  /// \brief Whether ScoreFromStats is implemented — i.e. whether the model
+  /// can be served on the column-sharded inference plane. Callers (the
+  /// serving frontend, colsgd_predict) check this instead of crashing.
+  virtual bool SupportsStatScore() const { return true; }
+
   // ---- Shared (replicated) parameters ------------------------------------
   //
   // Some models carry a small parameter block that cannot be partitioned by

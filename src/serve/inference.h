@@ -1,0 +1,99 @@
+// The shared column-sharded inference kernel.
+//
+// Scoring a request is the read-path half of Algorithm 3: the frontend
+// splits the feature vector by the column partitioner, each shard computes
+// partial statistics against its local model partition (the exact
+// ComputePartialStats used in training), the partials reduce element-wise,
+// and ModelSpec::ScoreFromStats turns the aggregated statistics into the
+// decision value. Because the split/score math lives here — and nowhere
+// else — the online serving plane (serve/frontend.h) and the offline
+// colsgd_predict tool cannot drift: both call ScoreShardedBatch.
+//
+// Exactness: partial statistics are additive across column partitions, so a
+// single-shard round_robin split reproduces the row path bit-for-bit for
+// GLMs; multi-shard splits differ only by floating-point reassociation of
+// the same sums (tests/serve_test.cc pins both properties).
+#ifndef COLSGD_SERVE_INFERENCE_H_
+#define COLSGD_SERVE_INFERENCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/model_io.h"
+#include "linalg/sparse.h"
+#include "model/model_spec.h"
+#include "storage/dataset.h"
+#include "storage/partitioner.h"
+
+namespace colsgd {
+
+/// \brief A model generation split for serving: per-shard local-layout
+/// weight partitions (slot = LocalIndex(f) * weights_per_feature + j) plus
+/// the replicated shared block. Produced by ShardSavedModel, installed on
+/// the shard servers by the frontend.
+struct ShardedModelImage {
+  std::string model_name;
+  uint64_t num_features = 0;
+  std::vector<std::vector<double>> partitions;  // [shard][local layout]
+  std::vector<double> shared;
+
+  int num_shards() const { return static_cast<int>(partitions.size()); }
+  /// \brief Serialized image bytes (what a full install moves, before the
+  /// per-shard framing).
+  uint64_t WeightBytes() const;
+};
+
+/// \brief Splits a global-layout SavedModel by `partitioner` (which must
+/// cover model.num_features). Deterministic; pure data movement.
+ShardedModelImage ShardSavedModel(const SavedModel& model,
+                                  const ModelSpec& spec,
+                                  const ColumnPartitioner& partitioner);
+
+/// \brief Splits a batch of full rows into per-shard slices in each shard's
+/// local index space. Rows with no features on a shard become empty rows, so
+/// every shard's slice has exactly `rows.size()` rows (row i everywhere is
+/// request i — the gather needs no row-id remapping).
+std::vector<CsrBatch> SplitBatchByShard(
+    const std::vector<SparseVectorView>& rows,
+    const ColumnPartitioner& partitioner);
+
+/// \brief What one batch of requests cost and produced.
+struct ShardScoreResult {
+  std::vector<double> agg_stats;      // rows * stats_per_point, reduced
+  std::vector<double> scores;         // one decision value per row
+  std::vector<uint64_t> shard_flops;  // computeStat work per shard
+  uint64_t reduce_flops = 0;          // frontend-side reduce + score work
+};
+
+/// \brief Scores one batch: per-shard ComputePartialStats against the
+/// installed partitions, element-wise reduce, ScoreFromStats per row.
+/// `shard_slices` must come from SplitBatchByShard under the partitioner the
+/// image was sharded with. Pure function of (spec, image, slices) — the
+/// simulated clocks are charged by the caller from the returned flops.
+ShardScoreResult ScoreShardedBatch(const ModelSpec& spec,
+                                   const ShardedModelImage& image,
+                                   const std::vector<CsrBatch>& shard_slices);
+
+/// \brief Offline dataset scoring through the same kernel (the refactored
+/// colsgd_predict path).
+struct DatasetScores {
+  std::vector<double> scores;  // decision values, dataset row order
+  double avg_loss = 0.0;       // average per-point data loss
+  size_t rows = 0;
+};
+
+/// \brief Scores the first `max_rows` rows of `dataset` against `model`,
+/// split `num_shards` ways by `partitioner_name`. Rejects models that cannot
+/// score from statistics (the MLP) and feature-count mismatches.
+Result<DatasetScores> ScoreDatasetSharded(const SavedModel& model,
+                                          const std::string& partitioner_name,
+                                          int num_shards,
+                                          const Dataset& dataset,
+                                          size_t max_rows);
+
+}  // namespace colsgd
+
+#endif  // COLSGD_SERVE_INFERENCE_H_

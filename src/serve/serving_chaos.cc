@@ -1,0 +1,366 @@
+#include "serve/serving_chaos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "datagen/synthetic.h"
+#include "engine/model_io.h"
+#include "model/factory.h"
+
+namespace colsgd {
+namespace chaos {
+
+namespace {
+
+ServeConfig MakeServeConfig(const ServingChaosOptions& options) {
+  ServeConfig config;
+  config.num_shards = options.num_shards;
+  config.partitioner = options.partitioner;
+  config.max_batch = options.max_batch;
+  config.max_delay = options.max_delay;
+  config.queue_capacity = options.queue_capacity;
+  config.reply_timeout = options.reply_timeout;
+  config.slo_latency = options.slo_latency;
+  return config;
+}
+
+WorkloadConfig MakeWorkload(const ServingChaosOptions& options) {
+  WorkloadConfig workload;
+  workload.arrivals = "poisson";
+  workload.rate = options.rate;
+  workload.num_requests = options.num_requests;
+  workload.seed = options.workload_seed;
+  return workload;
+}
+
+/// \brief Expected span of the arrival process, the window fault times are
+/// drawn from.
+double Horizon(const ServingChaosOptions& options) {
+  return static_cast<double>(options.num_requests) / options.rate;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+Dataset ServingQueryDataset(const ServingChaosOptions& options) {
+  SyntheticSpec spec;
+  spec.name = "serving_chaos_queries";
+  spec.num_rows = options.data_rows;
+  spec.num_features = options.data_features;
+  spec.avg_nnz_per_row = 12.0;
+  spec.seed = options.data_seed;
+  return GenerateSynthetic(spec);
+}
+
+SavedModel PlantedServingModel(const ServingChaosOptions& options,
+                               uint64_t model_seed) {
+  std::unique_ptr<ModelSpec> spec = MakeModel(options.model);
+  COLSGD_CHECK(spec->SupportsStatScore())
+      << options.model << " is not servable";
+  const int wpf = spec->weights_per_feature();
+  SavedModel model;
+  model.model_name = options.model;
+  model.num_features = options.data_features;
+  model.weights.resize(model.num_features * static_cast<uint64_t>(wpf));
+  for (uint64_t slot = 0; slot < model.weights.size(); ++slot) {
+    model.weights[slot] = 0.05 * GaussianFromHash(slot + 1, model_seed);
+  }
+  model.shared.resize(spec->num_shared_params());
+  for (size_t i = 0; i < model.shared.size(); ++i) {
+    model.shared[i] = 0.01 * GaussianFromHash(0x51a3edULL + i, model_seed);
+  }
+  return model;
+}
+
+double CleanSloViolationFraction(const ServingChaosOptions& options,
+                                 const Dataset& queries) {
+  ServeFrontend frontend(ClusterSpec::Cluster1(), MakeServeConfig(options),
+                         &queries);
+  COLSGD_CHECK_OK(
+      frontend.Install(PlantedServingModel(options, options.data_seed)));
+  COLSGD_CHECK_OK(
+      frontend.Run(GenerateArrivals(MakeWorkload(options),
+                                    queries.num_rows())));
+  return frontend.Summarize().slo_violation_fraction;
+}
+
+ServingSchedule GenerateServingSchedule(uint64_t seed,
+                                        const ServingChaosOptions& options) {
+  Rng rng = Rng(seed).Split(0x5e71e);
+  const double horizon = Horizon(options);
+
+  ServingSchedule schedule;
+  const uint64_t num_failures = rng.NextBounded(3);  // 0..2
+  for (uint64_t i = 0; i < num_failures; ++i) {
+    ServingSchedule::ShardFailure failure;
+    failure.time = rng.NextUniform(0.15 * horizon, 0.85 * horizon);
+    failure.shard = static_cast<int>(
+        rng.NextBounded(static_cast<uint64_t>(options.num_shards)));
+    schedule.failures.push_back(failure);
+  }
+  std::sort(schedule.failures.begin(), schedule.failures.end(),
+            [](const ServingSchedule::ShardFailure& a,
+               const ServingSchedule::ShardFailure& b) {
+              return a.time < b.time;
+            });
+
+  const uint64_t num_swaps = rng.NextBounded(3);  // 0..2
+  for (uint64_t i = 0; i < num_swaps; ++i) {
+    ServingSchedule::Swap swap;
+    swap.time = rng.NextUniform(0.10 * horizon, 0.70 * horizon);
+    swap.model_seed = rng.NextU64();
+    swap.corrupt = rng.NextDouble() < 0.25;
+    schedule.swaps.push_back(swap);
+  }
+  std::sort(schedule.swaps.begin(), schedule.swaps.end(),
+            [](const ServingSchedule::Swap& a,
+               const ServingSchedule::Swap& b) { return a.time < b.time; });
+  return schedule;
+}
+
+ServingVerdict RunServingSchedule(const ServingChaosOptions& options,
+                                  const ServingSchedule& schedule,
+                                  const Dataset& queries,
+                                  double clean_violation_fraction,
+                                  uint64_t seed) {
+  ServingVerdict verdict;
+  verdict.seed = seed;
+
+  ServeFrontend frontend(ClusterSpec::Cluster1(), MakeServeConfig(options),
+                         &queries);
+  const SavedModel initial = PlantedServingModel(options, options.data_seed);
+  const Status install = frontend.Install(initial);
+  if (!install.ok()) {
+    verdict.diagnosis = install.ToString();
+    verdict.violations.push_back("initial install failed: " +
+                                 verdict.diagnosis);
+    return verdict;
+  }
+
+  // Schedule the faults. Swap models are regenerated from their seeds when
+  // the invariants are checked, so only the schedule needs to be kept.
+  for (const ServingSchedule::Swap& swap : schedule.swaps) {
+    const SavedModel model = PlantedServingModel(options, swap.model_seed);
+    std::vector<uint8_t> image = SerializeModel(model);
+    if (swap.corrupt) {
+      // Deterministic single-bit rot: CRC32C detects every 1-bit error, so
+      // the install must be rejected.
+      image[swap.model_seed % image.size()] ^= 0x40;
+    }
+    frontend.ScheduleSwapImage(swap.time, std::move(image),
+                               /*trained_iterations=*/0);
+  }
+  for (const ServingSchedule::ShardFailure& failure : schedule.failures) {
+    frontend.ScheduleShardFailure(failure.time, failure.shard);
+  }
+
+  const std::vector<ServeRequest> arrivals =
+      GenerateArrivals(MakeWorkload(options), queries.num_rows());
+  const Status run = frontend.Run(arrivals);
+  verdict.completed = run.ok();
+  if (!run.ok()) {
+    verdict.diagnosis = run.ToString();
+    verdict.violations.push_back("run did not complete: " + verdict.diagnosis);
+    return verdict;
+  }
+  verdict.fingerprint = frontend.Fingerprint();
+  verdict.summary = frontend.Summarize();
+  const ServeSummary& summary = verdict.summary;
+
+  // Invariant 2: conservation — every offered request reached exactly one
+  // terminal status.
+  if (summary.offered != options.num_requests) {
+    verdict.violations.push_back(
+        "offered " + std::to_string(summary.offered) + " != scheduled " +
+        std::to_string(options.num_requests));
+  }
+  if (summary.completed + summary.rejected + summary.timed_out !=
+      summary.offered) {
+    verdict.violations.push_back(
+        "conservation: completed " + std::to_string(summary.completed) +
+        " + rejected " + std::to_string(summary.rejected) + " + timed_out " +
+        std::to_string(summary.timed_out) + " != offered " +
+        std::to_string(summary.offered));
+  }
+
+  // Map generation id -> the swap that produced it. Events fire in time
+  // order, so the installs in the registry history after the bring-up are a
+  // prefix of the (time-sorted) swap schedule; swaps later than the last
+  // batch never fire.
+  const std::vector<GenerationInfo>& history = frontend.generations();
+  std::map<int64_t, uint64_t> generation_seed;
+  generation_seed[0] = options.data_seed;
+  size_t fired = history.size() > 0 ? history.size() - 1 : 0;
+  if (fired > schedule.swaps.size()) {
+    verdict.violations.push_back(
+        "registry has more installs than scheduled swaps");
+    fired = schedule.swaps.size();
+  }
+  int64_t corrupt_fired = 0;
+  for (size_t i = 0; i < fired; ++i) {
+    const ServingSchedule::Swap& swap = schedule.swaps[i];
+    const GenerationInfo& info = history[i + 1];
+    if (swap.corrupt) {
+      ++corrupt_fired;
+      if (info.ok) {
+        verdict.violations.push_back(
+            "corrupted swap image at t=" + FormatDouble(swap.time) +
+            " was installed as generation " +
+            std::to_string(info.generation));
+      }
+    } else {
+      if (!info.ok) {
+        verdict.violations.push_back(
+            "valid swap image at t=" + FormatDouble(swap.time) +
+            " failed validation");
+      } else {
+        generation_seed[info.generation] = swap.model_seed;
+      }
+    }
+  }
+  if (summary.swaps_failed != corrupt_fired) {
+    verdict.violations.push_back(
+        "swaps_failed " + std::to_string(summary.swaps_failed) +
+        " != corrupted images fired " + std::to_string(corrupt_fired));
+  }
+
+  // Invariant 3: no wrong answers. Every completed response is bitwise
+  // equal to the offline kernel's score for its row under the generation
+  // the response was pinned to.
+  std::map<int64_t, std::vector<double>> offline;
+  int64_t mismatches = 0;
+  for (const RequestRecord& rec : frontend.records()) {
+    if (rec.status != RequestStatus::kCompleted) continue;
+    auto seed_it = generation_seed.find(rec.generation);
+    if (seed_it == generation_seed.end()) {
+      verdict.violations.push_back(
+          "request " + std::to_string(rec.id) +
+          " completed against unknown generation " +
+          std::to_string(rec.generation));
+      continue;
+    }
+    auto offline_it = offline.find(rec.generation);
+    if (offline_it == offline.end()) {
+      ServingChaosOptions opts = options;
+      Result<DatasetScores> scored = ScoreDatasetSharded(
+          PlantedServingModel(opts, seed_it->second), options.partitioner,
+          options.num_shards, queries, queries.num_rows());
+      COLSGD_CHECK_OK(scored.status());
+      offline_it =
+          offline.emplace(rec.generation, scored.ValueOrDie().scores).first;
+    }
+    const double expected = offline_it->second[rec.row];
+    if (std::memcmp(&expected, &rec.score, sizeof(double)) != 0 &&
+        ++mismatches <= 3) {
+      verdict.violations.push_back(
+          "wrong answer: request " + std::to_string(rec.id) + " row " +
+          std::to_string(rec.row) + " generation " +
+          std::to_string(rec.generation) + " scored " +
+          FormatDouble(rec.score) + ", offline kernel says " +
+          FormatDouble(expected));
+    }
+  }
+  if (mismatches > 3) {
+    verdict.violations.push_back("... " + std::to_string(mismatches - 3) +
+                                 " more wrong answers");
+  }
+
+  // Invariant 4: bounded degradation.
+  if (schedule.failures.empty()) {
+    if (summary.timed_out != 0) {
+      verdict.violations.push_back(
+          "timed out " + std::to_string(summary.timed_out) +
+          " request(s) with no shard failure scheduled");
+    }
+    if (summary.failovers != 0) {
+      verdict.violations.push_back("failover with no shard failure");
+    }
+  } else {
+    const int64_t bound =
+        static_cast<int64_t>(schedule.failures.size()) * options.max_batch;
+    if (summary.timed_out > bound) {
+      verdict.violations.push_back(
+          "timed_out " + std::to_string(summary.timed_out) +
+          " exceeds failures * max_batch = " + std::to_string(bound));
+    }
+  }
+  const double allowed =
+      clean_violation_fraction +
+      static_cast<double>(schedule.failures.size()) *
+          options.degradation_budget +
+      1e-12;
+  if (summary.slo_violation_fraction > allowed) {
+    verdict.violations.push_back(
+        "SLO violation fraction " +
+        FormatDouble(summary.slo_violation_fraction) + " exceeds clean " +
+        FormatDouble(clean_violation_fraction) + " + budget (allowed " +
+        FormatDouble(allowed) + ")");
+  }
+  return verdict;
+}
+
+std::string DescribeServingSchedule(const ServingSchedule& schedule) {
+  std::string out = "failures[";
+  for (size_t i = 0; i < schedule.failures.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "shard " + std::to_string(schedule.failures[i].shard) + " @" +
+           FormatDouble(schedule.failures[i].time) + "s";
+  }
+  out += "] swaps[";
+  for (size_t i = 0; i < schedule.swaps.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "@" + FormatDouble(schedule.swaps[i].time) + "s seed " +
+           std::to_string(schedule.swaps[i].model_seed);
+    if (schedule.swaps[i].corrupt) out += " (corrupt)";
+  }
+  out += "]";
+  return out;
+}
+
+std::string ServingReproCommand(const ServingChaosOptions& options,
+                                uint64_t seed) {
+  return "colsgd_chaos --scenario serving --seeds " + std::to_string(seed) +
+         " --models " + options.model + " --shards " +
+         std::to_string(options.num_shards) + " --requests " +
+         std::to_string(options.num_requests) + " --rate " +
+         FormatDouble(options.rate) + " --data_rows " +
+         std::to_string(options.data_rows) + " --data_features " +
+         std::to_string(options.data_features);
+}
+
+std::string ServingArtifactJson(const ServingChaosOptions& options,
+                                uint64_t seed,
+                                const ServingSchedule& schedule,
+                                const ServingVerdict& verdict) {
+  std::string json = "{\n";
+  json += "  \"scenario\": \"serving\",\n";
+  json += "  \"seed\": " + std::to_string(seed) + ",\n";
+  json += "  \"model\": \"" + options.model + "\",\n";
+  json += "  \"num_shards\": " + std::to_string(options.num_shards) + ",\n";
+  json += "  \"schedule\": \"" + DescribeServingSchedule(schedule) + "\",\n";
+  json += "  \"completed\": " + std::string(verdict.completed ? "true"
+                                                             : "false") +
+          ",\n";
+  json += "  \"fingerprint\": " + std::to_string(verdict.fingerprint) + ",\n";
+  json += "  \"violations\": [\n";
+  for (size_t i = 0; i < verdict.violations.size(); ++i) {
+    json += "    \"" + verdict.violations[i] + "\"";
+    json += i + 1 < verdict.violations.size() ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  json += "  \"repro\": \"" + ServingReproCommand(options, seed) + "\"\n";
+  json += "}\n";
+  return json;
+}
+
+}  // namespace chaos
+}  // namespace colsgd

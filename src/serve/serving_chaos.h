@@ -1,0 +1,124 @@
+// Chaos scenario for the serving plane (DESIGN.md §10, §13).
+//
+// Given a seed, GenerateServingSchedule draws a randomized serving fault
+// schedule — up to two shard-server failures under sustained load, plus up
+// to two hot swaps whose images may be deliberately bit-rotted. The
+// schedule replays through ServeFrontend and the harness checks:
+//
+//   1. clean completion — the run finishes with Status::OK (the frontend
+//      must survive every schedule this generator can draw);
+//   2. conservation — completed + rejected + timed_out == offered, and
+//      every offered request has a terminal status;
+//   3. no wrong answers — every completed response's score is bitwise
+//      equal to the offline kernel's score for that row under the exact
+//      model generation the response was pinned to, and damaged swap
+//      images never become a serving generation (they are counted in
+//      swaps_failed and nothing else changes);
+//   4. bounded degradation — requests lost to an outage are bounded by
+//      failures * max_batch, the SLO-violation fraction stays within
+//      `degradation_budget` of the fault-free run on the same arrivals,
+//      and a schedule with no failures times nothing out.
+//
+// The driver (tools/colsgd_chaos --scenario serving) runs every schedule
+// twice and compares response fingerprints, like the training scenario.
+#ifndef COLSGD_SERVE_SERVING_CHAOS_H_
+#define COLSGD_SERVE_SERVING_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/frontend.h"
+
+namespace colsgd {
+namespace chaos {
+
+/// \brief One serving chaos configuration (defaults are CI-smoke sized).
+struct ServingChaosOptions {
+  std::string model = "lr";
+  int num_shards = 4;
+  std::string partitioner = "round_robin";
+  int64_t num_requests = 600;
+  double rate = 4000.0;  // requests/second, Poisson
+  int64_t max_batch = 8;
+  double max_delay = 2e-3;
+  int64_t queue_capacity = 64;
+  double reply_timeout = 0.020;
+  double slo_latency = 0.010;
+  uint64_t data_rows = 512;
+  uint64_t data_features = 200;
+  uint64_t data_seed = 42;
+  uint64_t workload_seed = 1;
+  /// Allowed SLO-violation-fraction increase over the fault-free run.
+  double degradation_budget = 0.30;
+};
+
+/// \brief A generated serving fault schedule.
+struct ServingSchedule {
+  struct ShardFailure {
+    double time = 0.0;
+    int shard = -1;
+  };
+  struct Swap {
+    double time = 0.0;
+    uint64_t model_seed = 0;  // planted-weight seed of the new generation
+    bool corrupt = false;     // bit-rot the image; install must be rejected
+  };
+  std::vector<ShardFailure> failures;
+  std::vector<Swap> swaps;  // sorted by time
+};
+
+/// \brief Verdict of one serving schedule run.
+struct ServingVerdict {
+  uint64_t seed = 0;
+  bool completed = false;
+  std::string diagnosis;  // frontend status when the run did not complete
+  std::vector<std::string> violations;
+  /// ServeFrontend::Fingerprint() — every response hashed in arrival order.
+  uint64_t fingerprint = 0;
+  ServeSummary summary;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// \brief The deterministic query log serving chaos runs score.
+Dataset ServingQueryDataset(const ServingChaosOptions& options);
+
+/// \brief A servable model with planted Gaussian weights drawn from
+/// `model_seed` (generation images for the initial install and hot swaps).
+SavedModel PlantedServingModel(const ServingChaosOptions& options,
+                               uint64_t model_seed);
+
+/// \brief The fault-free run's SLO-violation fraction on the same arrivals
+/// (the degradation yardstick, computed once per configuration).
+double CleanSloViolationFraction(const ServingChaosOptions& options,
+                                 const Dataset& queries);
+
+/// \brief Draws a randomized serving schedule from `seed`. Deterministic.
+ServingSchedule GenerateServingSchedule(uint64_t seed,
+                                        const ServingChaosOptions& options);
+
+/// \brief Serves the workload under `schedule` and checks the invariants.
+ServingVerdict RunServingSchedule(const ServingChaosOptions& options,
+                                  const ServingSchedule& schedule,
+                                  const Dataset& queries,
+                                  double clean_violation_fraction,
+                                  uint64_t seed);
+
+/// \brief Human-readable one-line schedule summary.
+std::string DescribeServingSchedule(const ServingSchedule& schedule);
+
+/// \brief The colsgd_chaos command line that replays `seed` exactly.
+std::string ServingReproCommand(const ServingChaosOptions& options,
+                                uint64_t seed);
+
+/// \brief JSON repro artifact for a failing seed (schedule + verdict).
+std::string ServingArtifactJson(const ServingChaosOptions& options,
+                                uint64_t seed,
+                                const ServingSchedule& schedule,
+                                const ServingVerdict& verdict);
+
+}  // namespace chaos
+}  // namespace colsgd
+
+#endif  // COLSGD_SERVE_SERVING_CHAOS_H_

@@ -1,0 +1,69 @@
+// Byte-accurate wire accounting for the serving plane (DESIGN.md §13).
+//
+// Serving reuses the training cluster's network model, so every scatter,
+// gather, and model-install message is charged for exactly the bytes its
+// serialized form would occupy. The layouts mirror the training plane's
+// conventions: uint32 local feature indices + float values for sparse
+// slices (linalg/sparse.h), doubles for statistics, and small fixed
+// headers for framing/version/ids.
+#ifndef COLSGD_SERVE_WIRE_H_
+#define COLSGD_SERVE_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace colsgd {
+
+// ---- Scatter: frontend -> shard server ------------------------------------
+// Header: magic/version (8), batch id (8), generation id (8),
+// row count (4), reserved (4).
+constexpr uint64_t kScatterHeaderBytes = 32;
+// Per row: request id low bits (4) + nnz in this shard's slice (4).
+constexpr uint64_t kScatterRowHeaderBytes = 8;
+// Per non-zero: uint32 local index + float value.
+constexpr uint64_t kScatterEntryBytes = 8;
+
+// ---- Gather: shard server -> frontend --------------------------------------
+// Header: magic/version (8), batch id (8), shard id (4), row count (4).
+constexpr uint64_t kGatherHeaderBytes = 24;
+// Per statistic: one double.
+constexpr uint64_t kStatBytes = 8;
+
+// ---- Model install: frontend -> shard server -------------------------------
+// Header: magic/version (8), generation id (8), shard id (4), slot count
+// (4), CRC32C of the partition payload (4), reserved (4).
+constexpr uint64_t kInstallHeaderBytes = 32;
+// Per weight slot / shared parameter: one double.
+constexpr uint64_t kWeightBytes = 8;
+
+// ---- Frontend dispatch compute ---------------------------------------------
+// Counted work of admitting + batching + framing, charged on the master
+// clock through ChargeCompute so it shows up in traces like any other
+// compute block. Calibrated to O(1 us) per batch on a Cluster-1 core.
+constexpr uint64_t kDispatchFlopsPerBatch = 2000;
+constexpr uint64_t kDispatchFlopsPerRequest = 500;
+
+/// \brief Bytes of one scatter message carrying `rows` feature slices with
+/// `slice_nnz` total non-zeros in this shard's local index space.
+inline uint64_t ScatterMessageBytes(uint64_t rows, uint64_t slice_nnz) {
+  return kScatterHeaderBytes + rows * kScatterRowHeaderBytes +
+         slice_nnz * kScatterEntryBytes;
+}
+
+/// \brief Bytes of one gather message carrying `rows * stats_per_point`
+/// partial statistics.
+inline uint64_t GatherMessageBytes(uint64_t rows, int stats_per_point) {
+  return kGatherHeaderBytes +
+         rows * static_cast<uint64_t>(stats_per_point) * kStatBytes;
+}
+
+/// \brief Bytes of one model-install message carrying `weight_slots` local
+/// weights plus `shared_params` replicated parameters.
+inline uint64_t InstallMessageBytes(uint64_t weight_slots,
+                                    uint64_t shared_params) {
+  return kInstallHeaderBytes + (weight_slots + shared_params) * kWeightBytes;
+}
+
+}  // namespace colsgd
+
+#endif  // COLSGD_SERVE_WIRE_H_

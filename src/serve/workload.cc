@@ -1,0 +1,74 @@
+#include "serve/workload.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace colsgd {
+
+Status WorkloadConfig::Validate(const WorkloadConfig& config) {
+  if (config.arrivals != "poisson" && config.arrivals != "burst") {
+    return Status::InvalidArgument("unknown arrival process: " +
+                                   config.arrivals);
+  }
+  if (!(config.rate > 0.0)) {
+    return Status::InvalidArgument("rate must be positive");
+  }
+  if (config.num_requests < 0) {
+    return Status::InvalidArgument("num_requests must be >= 0");
+  }
+  if (config.arrivals == "burst") {
+    if (!(config.burst_period > 0.0) || !(config.burst_duration > 0.0) ||
+        config.burst_duration > config.burst_period) {
+      return Status::InvalidArgument(
+          "burst needs 0 < burst_duration <= burst_period");
+    }
+    if (!(config.burst_factor >= 1.0)) {
+      return Status::InvalidArgument("burst_factor must be >= 1");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// \brief Instantaneous rate of the square-wave burst process at time t.
+double RateAt(const WorkloadConfig& config, double t) {
+  if (config.arrivals != "burst") return config.rate;
+  const double phase = std::fmod(t, config.burst_period);
+  return phase < config.burst_duration ? config.rate * config.burst_factor
+                                       : config.rate;
+}
+
+}  // namespace
+
+std::vector<ServeRequest> GenerateArrivals(const WorkloadConfig& config,
+                                           size_t num_query_rows) {
+  COLSGD_CHECK_OK(WorkloadConfig::Validate(config));
+  COLSGD_CHECK_GT(num_query_rows, 0u);
+
+  Rng gap_rng = Rng(config.seed).Split(1);
+  Rng row_rng = Rng(config.seed).Split(2);
+
+  std::vector<ServeRequest> requests;
+  requests.reserve(static_cast<size_t>(config.num_requests));
+  double t = 0.0;
+  for (int64_t i = 0; i < config.num_requests; ++i) {
+    // Exponential gap at the instantaneous rate. For the square-wave this
+    // is an inhomogeneous-process approximation (the gap is drawn at the
+    // rate in effect when it starts), which keeps generation O(1) per
+    // request and exactly reproducible.
+    double u = gap_rng.NextDouble();
+    if (u < 1e-300) u = 1e-300;
+    t += -std::log(u) / RateAt(config, t);
+    ServeRequest req;
+    req.id = static_cast<uint64_t>(i);
+    req.arrival = t;
+    req.row = static_cast<uint32_t>(row_rng.NextBounded(num_query_rows));
+    requests.push_back(req);
+  }
+  return requests;
+}
+
+}  // namespace colsgd

@@ -1,0 +1,55 @@
+// Open-loop workload generation for the serving plane.
+//
+// Arrivals are generated ahead of time from a seed — the load does not
+// react to the system (open loop), which is what makes queueing delay
+// visible when the frontend falls behind. Two processes:
+//
+//  * "poisson": homogeneous Poisson arrivals at `rate` requests/second
+//    (exponential inter-arrival gaps);
+//  * "burst": a piecewise-constant-rate Poisson process that alternates
+//    between the base rate and rate * burst_factor for burst_duration
+//    seconds out of every burst_period — a square-wave flash-crowd.
+//
+// Each request references one row of a query dataset (drawn uniformly from
+// an independent RNG stream), so online scores are directly comparable with
+// the offline kernel over the same rows.
+#ifndef COLSGD_SERVE_WORKLOAD_H_
+#define COLSGD_SERVE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace colsgd {
+
+/// \brief One inference request: a query-dataset row arriving at a
+/// simulated time.
+struct ServeRequest {
+  uint64_t id = 0;
+  double arrival = 0.0;  // simulated seconds
+  uint32_t row = 0;      // index into the query dataset
+};
+
+struct WorkloadConfig {
+  std::string arrivals = "poisson";  // "poisson" | "burst"
+  double rate = 2000.0;              // base arrival rate, requests/second
+  int64_t num_requests = 1000;
+  uint64_t seed = 1;
+  // Burst shape (arrivals == "burst").
+  double burst_period = 0.050;    // seconds from burst start to burst start
+  double burst_duration = 0.010;  // seconds of elevated rate per period
+  double burst_factor = 8.0;      // rate multiplier inside a burst
+
+  static Status Validate(const WorkloadConfig& config);
+};
+
+/// \brief Generates `config.num_requests` arrivals, sorted by time, with
+/// rows drawn uniformly from [0, num_query_rows). Deterministic in the seed.
+std::vector<ServeRequest> GenerateArrivals(const WorkloadConfig& config,
+                                           size_t num_query_rows);
+
+}  // namespace colsgd
+
+#endif  // COLSGD_SERVE_WORKLOAD_H_

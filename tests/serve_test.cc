@@ -1,0 +1,527 @@
+// Tests for the serving plane (src/serve): the column-sharded inference
+// kernel, the workload generator, and the frontend's batching, latency
+// accounting, hot model swap, and shard failover.
+//
+// The acceptance pins live here:
+//  * single-shard kernel == ModelSpec::RowScore bit-for-bit (GLMs);
+//  * K-shard kernel == row path to 1e-9 (reassociated sums);
+//  * online scores == offline kernel scores bit-for-bit (the
+//    colsgd_predict golden-compare);
+//  * queue + scatter + compute + gather tiles end-to-end latency to 1e-9;
+//  * attaching a tracer changes no simulated timestamp and no response;
+//  * a hot swap under sustained load drops nothing and every response is
+//    scored against exactly one model generation;
+//  * a shard failure times out only its batch — never a wrong answer —
+//    and the replacement resumes the active generation.
+#include <cmath>
+#include <cstring>
+#include <set>
+
+#include "common/rng.h"
+#include "datagen/synthetic.h"
+#include "gtest/gtest.h"
+#include "model/factory.h"
+#include "serve/frontend.h"
+#include "serve/registry.h"
+#include "serve/serving_chaos.h"
+
+namespace colsgd {
+namespace {
+
+Dataset TestQueries(uint64_t features = 120, uint64_t rows = 150) {
+  SyntheticSpec spec;
+  spec.name = "serve_test_queries";
+  spec.num_rows = rows;
+  spec.num_features = features;
+  spec.avg_nnz_per_row = 10.0;
+  spec.seed = 77;
+  return GenerateSynthetic(spec);
+}
+
+SavedModel Planted(const std::string& model_name, uint64_t num_features,
+                   uint64_t seed) {
+  std::unique_ptr<ModelSpec> spec = MakeModel(model_name);
+  const int wpf = spec->weights_per_feature();
+  SavedModel model;
+  model.model_name = model_name;
+  model.num_features = num_features;
+  model.weights.resize(num_features * static_cast<uint64_t>(wpf));
+  for (uint64_t slot = 0; slot < model.weights.size(); ++slot) {
+    model.weights[slot] = 0.05 * GaussianFromHash(slot + 1, seed);
+  }
+  model.shared.resize(spec->num_shared_params());
+  for (size_t i = 0; i < model.shared.size(); ++i) {
+    model.shared[i] = 0.01 * GaussianFromHash(0x51a3edULL + i, seed);
+  }
+  return model;
+}
+
+bool BitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+// ---- Inference kernel ----------------------------------------------------
+
+TEST(InferenceKernelTest, SingleShardMatchesRowScoreBitwise) {
+  const Dataset queries = TestQueries();
+  for (const char* name : {"lr", "svm"}) {
+    const SavedModel model = Planted(name, queries.num_features, 5);
+    Result<DatasetScores> scored = ScoreDatasetSharded(
+        model, "round_robin", 1, queries, queries.num_rows());
+    ASSERT_TRUE(scored.ok()) << scored.status().ToString();
+    std::unique_ptr<ModelSpec> spec = MakeModel(name);
+    for (size_t i = 0; i < queries.num_rows(); ++i) {
+      const double row_score =
+          spec->RowScore(queries.rows.Row(i), model.weights);
+      EXPECT_TRUE(BitEqual(scored->scores[i], row_score))
+          << name << " row " << i << ": " << scored->scores[i]
+          << " != " << row_score;
+    }
+  }
+}
+
+TEST(InferenceKernelTest, MultiShardMatchesRowPathClosely) {
+  const Dataset queries = TestQueries();
+  for (const char* name : {"lr", "fm4"}) {
+    const SavedModel model = Planted(name, queries.num_features, 5);
+    std::unique_ptr<ModelSpec> spec = MakeModel(name);
+    for (const char* partitioner : {"round_robin", "range"}) {
+      Result<DatasetScores> scored = ScoreDatasetSharded(
+          model, partitioner, 4, queries, queries.num_rows());
+      ASSERT_TRUE(scored.ok()) << scored.status().ToString();
+      for (size_t i = 0; i < queries.num_rows(); ++i) {
+        const double row_score =
+            spec->RowScore(queries.rows.Row(i), model.weights);
+        EXPECT_NEAR(scored->scores[i], row_score, 1e-9)
+            << name << "/" << partitioner << " row " << i;
+      }
+    }
+  }
+}
+
+TEST(InferenceKernelTest, MlrShardedArgmaxMatchesSingleShard) {
+  const Dataset queries = TestQueries();
+  const SavedModel model = Planted("mlr4", queries.num_features, 9);
+  Result<DatasetScores> one = ScoreDatasetSharded(model, "round_robin", 1,
+                                                  queries,
+                                                  queries.num_rows());
+  Result<DatasetScores> four = ScoreDatasetSharded(model, "round_robin", 4,
+                                                   queries,
+                                                   queries.num_rows());
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(four.ok());
+  for (size_t i = 0; i < queries.num_rows(); ++i) {
+    // The score is the argmax class id; with random planted weights the
+    // class margins are far from exact ties, so reassociation cannot flip
+    // the argmax.
+    EXPECT_EQ(one->scores[i], four->scores[i]) << "row " << i;
+    EXPECT_GE(one->scores[i], 0.0);
+    EXPECT_LT(one->scores[i], 4.0);
+  }
+}
+
+TEST(InferenceKernelTest, RejectsUnservableAndMismatchedModels) {
+  const Dataset queries = TestQueries();
+  // The MLP needs its activations, not just additive statistics.
+  SavedModel mlp = Planted("mlp8", queries.num_features, 3);
+  EXPECT_FALSE(ScoreDatasetSharded(mlp, "round_robin", 2, queries,
+                                   queries.num_rows())
+                   .ok());
+  // Truncated weight vector.
+  SavedModel broken = Planted("lr", queries.num_features, 3);
+  broken.weights.pop_back();
+  EXPECT_FALSE(ScoreDatasetSharded(broken, "round_robin", 2, queries,
+                                   queries.num_rows())
+                   .ok());
+  // Dataset wider than the model.
+  SavedModel narrow = Planted("lr", queries.num_features - 10, 3);
+  EXPECT_FALSE(ScoreDatasetSharded(narrow, "round_robin", 2, queries,
+                                   queries.num_rows())
+                   .ok());
+}
+
+// ---- Workload generator --------------------------------------------------
+
+TEST(WorkloadTest, ArrivalsAreDeterministicSortedAndInRange) {
+  WorkloadConfig config;
+  config.arrivals = "burst";
+  config.rate = 3000.0;
+  config.num_requests = 500;
+  config.seed = 11;
+  const std::vector<ServeRequest> a = GenerateArrivals(config, 200);
+  const std::vector<ServeRequest> b = GenerateArrivals(config, 200);
+  ASSERT_EQ(a.size(), 500u);
+  ASSERT_EQ(b.size(), 500u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, i);
+    EXPECT_TRUE(BitEqual(a[i].arrival, b[i].arrival));
+    EXPECT_EQ(a[i].row, b[i].row);
+    EXPECT_LT(a[i].row, 200u);
+    if (i > 0) EXPECT_GE(a[i].arrival, a[i - 1].arrival);
+  }
+  config.seed = 12;
+  const std::vector<ServeRequest> c = GenerateArrivals(config, 200);
+  bool differs = false;
+  for (size_t i = 0; i < c.size(); ++i) {
+    differs |= !BitEqual(a[i].arrival, c[i].arrival);
+  }
+  EXPECT_TRUE(differs) << "seed must drive the arrival process";
+}
+
+TEST(WorkloadTest, ValidatesConfigs) {
+  WorkloadConfig config;
+  config.arrivals = "adversarial";
+  EXPECT_FALSE(WorkloadConfig::Validate(config).ok());
+  config.arrivals = "poisson";
+  config.rate = 0.0;
+  EXPECT_FALSE(WorkloadConfig::Validate(config).ok());
+  config.rate = 100.0;
+  config.arrivals = "burst";
+  config.burst_duration = 2.0 * config.burst_period;
+  EXPECT_FALSE(WorkloadConfig::Validate(config).ok());
+}
+
+// ---- Frontend ------------------------------------------------------------
+
+struct ServedRun {
+  std::unique_ptr<ServeFrontend> frontend;
+  std::vector<ServeRequest> arrivals;
+};
+
+ServedRun ServeSteady(const Dataset& queries, Tracer* tracer = nullptr,
+                      int64_t num_requests = 400, double rate = 3000.0) {
+  ServeConfig config;
+  config.num_shards = 4;
+  ServedRun run;
+  run.frontend = std::make_unique<ServeFrontend>(ClusterSpec::Cluster1(),
+                                                 config, &queries);
+  if (tracer != nullptr) run.frontend->set_tracer(tracer);
+  EXPECT_TRUE(
+      run.frontend->Install(Planted("lr", queries.num_features, 5)).ok());
+  WorkloadConfig workload;
+  workload.rate = rate;
+  workload.num_requests = num_requests;
+  workload.seed = 21;
+  run.arrivals = GenerateArrivals(workload, queries.num_rows());
+  EXPECT_TRUE(run.frontend->Run(run.arrivals).ok());
+  return run;
+}
+
+TEST(ServeFrontendTest, LatencyDecompositionTilesExactly) {
+  const Dataset queries = TestQueries();
+  const ServedRun run = ServeSteady(queries);
+  int64_t completed = 0;
+  for (const RequestRecord& rec : run.frontend->records()) {
+    ASSERT_EQ(rec.status, RequestStatus::kCompleted);
+    ++completed;
+    EXPECT_GE(rec.queue_s, 0.0);
+    EXPECT_GE(rec.scatter_s, 0.0);
+    EXPECT_GE(rec.compute_s, 0.0);
+    EXPECT_GE(rec.gather_s, 0.0);
+    const double tiled =
+        rec.queue_s + rec.scatter_s + rec.compute_s + rec.gather_s;
+    EXPECT_NEAR(tiled, rec.completion - rec.arrival, 1e-9)
+        << "request " << rec.id;
+    EXPECT_GE(rec.dispatch, rec.arrival);
+    EXPECT_GT(rec.completion, rec.dispatch);
+  }
+  EXPECT_EQ(completed, 400);
+  const ServeSummary summary = run.frontend->Summarize();
+  EXPECT_EQ(summary.offered, 400);
+  EXPECT_EQ(summary.completed, 400);
+  EXPECT_GT(summary.latency_p50, 0.0);
+  EXPECT_LE(summary.latency_p50, summary.latency_p95);
+  EXPECT_LE(summary.latency_p95, summary.latency_p99);
+  EXPECT_LE(summary.latency_p99, summary.latency_max);
+  EXPECT_GT(summary.wire_bytes, 0u);
+}
+
+TEST(ServeFrontendTest, OnlineScoresMatchOfflineKernelBitwise) {
+  // The colsgd_predict golden-compare: the batched online path and the
+  // offline dataset path run the same kernel, so scores agree bit-for-bit
+  // even though batch compositions differ.
+  const Dataset queries = TestQueries();
+  const ServedRun run = ServeSteady(queries);
+  Result<DatasetScores> offline =
+      ScoreDatasetSharded(Planted("lr", queries.num_features, 5),
+                          "round_robin", 4, queries, queries.num_rows());
+  ASSERT_TRUE(offline.ok());
+  for (const RequestRecord& rec : run.frontend->records()) {
+    ASSERT_EQ(rec.status, RequestStatus::kCompleted);
+    EXPECT_TRUE(BitEqual(rec.score, offline->scores[rec.row]))
+        << "request " << rec.id << " row " << rec.row;
+  }
+}
+
+TEST(ServeFrontendTest, TracerIsPassive) {
+  const Dataset queries = TestQueries();
+  const ServedRun plain = ServeSteady(queries);
+  Tracer tracer;
+  const ServedRun traced = ServeSteady(queries, &tracer);
+  ASSERT_EQ(plain.frontend->records().size(),
+            traced.frontend->records().size());
+  for (size_t i = 0; i < plain.frontend->records().size(); ++i) {
+    const RequestRecord& a = plain.frontend->records()[i];
+    const RequestRecord& b = traced.frontend->records()[i];
+    EXPECT_TRUE(BitEqual(a.dispatch, b.dispatch));
+    EXPECT_TRUE(BitEqual(a.completion, b.completion));
+    EXPECT_TRUE(BitEqual(a.score, b.score));
+    EXPECT_EQ(a.generation, b.generation);
+  }
+  EXPECT_EQ(plain.frontend->Fingerprint(), traced.frontend->Fingerprint());
+  EXPECT_FALSE(tracer.events().empty());
+}
+
+TEST(ServeFrontendTest, FingerprintIsDeterministicAndSeedSensitive) {
+  const Dataset queries = TestQueries();
+  const ServedRun a = ServeSteady(queries);
+  const ServedRun b = ServeSteady(queries);
+  EXPECT_EQ(a.frontend->Fingerprint(), b.frontend->Fingerprint());
+  const ServedRun c = ServeSteady(queries, nullptr, 400, 2500.0);
+  EXPECT_NE(a.frontend->Fingerprint(), c.frontend->Fingerprint());
+}
+
+TEST(ServeFrontendTest, HotSwapDropsNothingAndNeverMixesGenerations) {
+  // The zero-drop / no-stale-mix acceptance test: two swaps land under
+  // sustained load; every offered request completes, every response is
+  // scored against exactly one model generation (bitwise vs the offline
+  // kernel under that generation), and generations only move forward.
+  const Dataset queries = TestQueries();
+  ServeConfig config;
+  config.num_shards = 4;
+  ServeFrontend frontend(ClusterSpec::Cluster1(), config, &queries);
+  const SavedModel gen0 = Planted("lr", queries.num_features, 5);
+  const SavedModel gen1 = Planted("lr", queries.num_features, 6);
+  const SavedModel gen2 = Planted("lr", queries.num_features, 7);
+  ASSERT_TRUE(frontend.Install(gen0).ok());
+  WorkloadConfig workload;
+  workload.rate = 3000.0;
+  workload.num_requests = 600;
+  workload.seed = 21;
+  const double horizon = 0.2;  // 600 / 3000
+  frontend.ScheduleSwap(horizon / 3.0, gen1, 10);
+  frontend.ScheduleSwap(2.0 * horizon / 3.0, gen2, 20);
+  ASSERT_TRUE(
+      frontend.Run(GenerateArrivals(workload, queries.num_rows())).ok());
+
+  const ServeSummary summary = frontend.Summarize();
+  EXPECT_EQ(summary.offered, 600);
+  EXPECT_EQ(summary.completed, 600) << "hot swap dropped requests";
+  EXPECT_EQ(summary.rejected, 0);
+  EXPECT_EQ(summary.timed_out, 0);
+  EXPECT_EQ(summary.swaps_completed, 2);
+  EXPECT_EQ(summary.swaps_failed, 0);
+
+  std::map<int64_t, std::vector<double>> offline;
+  for (const auto& [generation, model] :
+       std::map<int64_t, const SavedModel*>{
+           {0, &gen0}, {1, &gen1}, {2, &gen2}}) {
+    Result<DatasetScores> scored = ScoreDatasetSharded(
+        *model, "round_robin", 4, queries, queries.num_rows());
+    ASSERT_TRUE(scored.ok());
+    offline[generation] = scored->scores;
+  }
+  std::set<int64_t> generations_seen;
+  int64_t last_generation = 0;
+  double last_dispatch = -1.0;
+  for (const RequestRecord& rec : frontend.records()) {
+    ASSERT_EQ(rec.status, RequestStatus::kCompleted);
+    ASSERT_GE(rec.generation, 0);
+    ASSERT_LE(rec.generation, 2);
+    generations_seen.insert(rec.generation);
+    // Scored against exactly that generation — a response blending shards
+    // of two generations would match neither offline vector.
+    EXPECT_TRUE(
+        BitEqual(rec.score, offline[rec.generation][rec.row]))
+        << "request " << rec.id << " generation " << rec.generation;
+    // Records are in arrival order; dispatches are non-decreasing and the
+    // active generation never moves backwards.
+    EXPECT_GE(rec.dispatch, last_dispatch);
+    if (rec.dispatch > last_dispatch) {
+      EXPECT_GE(rec.generation, last_generation);
+      last_generation = rec.generation;
+      last_dispatch = rec.dispatch;
+    } else {
+      EXPECT_EQ(rec.generation, last_generation)
+          << "one batch served two generations";
+    }
+  }
+  EXPECT_EQ(generations_seen.size(), 3u)
+      << "load did not span all three generations";
+}
+
+TEST(ServeFrontendTest, DamagedSwapImageIsRejectedAndServingContinues) {
+  const Dataset queries = TestQueries();
+  ServeConfig config;
+  config.num_shards = 2;
+  ServeFrontend frontend(ClusterSpec::Cluster1(), config, &queries);
+  const SavedModel gen0 = Planted("lr", queries.num_features, 5);
+  ASSERT_TRUE(frontend.Install(gen0).ok());
+  std::vector<uint8_t> image =
+      SerializeModel(Planted("lr", queries.num_features, 6));
+  image[image.size() / 2] ^= 0x10;  // bit rot
+  frontend.ScheduleSwapImage(0.05, std::move(image), 10);
+  WorkloadConfig workload;
+  workload.rate = 2000.0;
+  workload.num_requests = 300;
+  workload.seed = 4;
+  ASSERT_TRUE(
+      frontend.Run(GenerateArrivals(workload, queries.num_rows())).ok());
+  const ServeSummary summary = frontend.Summarize();
+  EXPECT_EQ(summary.completed, 300);
+  EXPECT_EQ(summary.swaps_completed, 0);
+  EXPECT_EQ(summary.swaps_failed, 1);
+  Result<DatasetScores> offline = ScoreDatasetSharded(
+      gen0, "round_robin", 2, queries, queries.num_rows());
+  ASSERT_TRUE(offline.ok());
+  for (const RequestRecord& rec : frontend.records()) {
+    EXPECT_EQ(rec.generation, 0) << "a damaged image must never serve";
+    EXPECT_TRUE(BitEqual(rec.score, offline->scores[rec.row]));
+  }
+  ASSERT_EQ(frontend.generations().size(), 2u);
+  EXPECT_FALSE(frontend.generations()[1].ok);
+}
+
+TEST(ServeFrontendTest, ShardFailureTimesOutOneBatchThenFailsOver) {
+  const Dataset queries = TestQueries();
+  ServeConfig config;
+  config.num_shards = 4;
+  ServeFrontend frontend(ClusterSpec::Cluster1(), config, &queries);
+  const SavedModel gen0 = Planted("lr", queries.num_features, 5);
+  ASSERT_TRUE(frontend.Install(gen0).ok());
+  frontend.ScheduleShardFailure(0.05, 2);
+  WorkloadConfig workload;
+  workload.rate = 2000.0;
+  workload.num_requests = 400;
+  workload.seed = 8;
+  ASSERT_TRUE(
+      frontend.Run(GenerateArrivals(workload, queries.num_rows())).ok());
+
+  const ServeSummary summary = frontend.Summarize();
+  EXPECT_EQ(summary.offered, 400);
+  EXPECT_EQ(summary.completed + summary.rejected + summary.timed_out, 400);
+  EXPECT_GT(summary.timed_out, 0);
+  EXPECT_LE(summary.timed_out, config.max_batch);
+  EXPECT_EQ(summary.failovers, 1);
+  ASSERT_EQ(frontend.failovers().size(), 1u);
+  const FailoverRecord& failover = frontend.failovers()[0];
+  EXPECT_EQ(failover.shard, 2);
+  EXPECT_GE(failover.detected_at, failover.failed_at);
+  EXPECT_GT(failover.recovered_at, failover.detected_at);
+  EXPECT_GT(failover.reinstall_bytes, 0u);
+  EXPECT_EQ(failover.requests_timed_out, summary.timed_out);
+
+  // Never a wrong answer: completed responses — before and after the
+  // outage — still match the offline kernel bit-for-bit, and requests
+  // dispatched after recovery complete again.
+  Result<DatasetScores> offline = ScoreDatasetSharded(
+      gen0, "round_robin", 4, queries, queries.num_rows());
+  ASSERT_TRUE(offline.ok());
+  bool completed_after_recovery = false;
+  for (const RequestRecord& rec : frontend.records()) {
+    if (rec.status != RequestStatus::kCompleted) continue;
+    EXPECT_TRUE(BitEqual(rec.score, offline->scores[rec.row]));
+    completed_after_recovery |= rec.dispatch > failover.recovered_at;
+  }
+  EXPECT_TRUE(completed_after_recovery);
+}
+
+TEST(ServeFrontendTest, BoundedQueueRejectsOverload) {
+  const Dataset queries = TestQueries();
+  ServeConfig config;
+  config.num_shards = 2;
+  config.max_batch = 4;
+  config.queue_capacity = 8;
+  ServeFrontend frontend(ClusterSpec::Cluster1(), config, &queries);
+  ASSERT_TRUE(
+      frontend.Install(Planted("lr", queries.num_features, 5)).ok());
+  WorkloadConfig workload;
+  workload.rate = 50000.0;  // far beyond the service rate
+  workload.num_requests = 400;
+  workload.seed = 2;
+  ASSERT_TRUE(
+      frontend.Run(GenerateArrivals(workload, queries.num_rows())).ok());
+  const ServeSummary summary = frontend.Summarize();
+  EXPECT_GT(summary.rejected, 0);
+  EXPECT_EQ(summary.completed + summary.rejected + summary.timed_out, 400);
+  EXPECT_GT(summary.slo_violation_fraction, 0.0);
+}
+
+TEST(ServeFrontendTest, InstallValidatesModels) {
+  const Dataset queries = TestQueries();
+  ServeConfig config;
+  {
+    ServeFrontend frontend(ClusterSpec::Cluster1(), config, &queries);
+    EXPECT_FALSE(
+        frontend.Install(Planted("mlp8", queries.num_features, 3)).ok());
+  }
+  {
+    ServeFrontend frontend(ClusterSpec::Cluster1(), config, &queries);
+    EXPECT_FALSE(
+        frontend.Install(Planted("lr", queries.num_features - 30, 3)).ok())
+        << "queries wider than the model must be rejected";
+  }
+  {
+    ServeFrontend frontend(ClusterSpec::Cluster1(), config, &queries);
+    SavedModel truncated = Planted("lr", queries.num_features, 3);
+    truncated.weights.pop_back();
+    EXPECT_FALSE(frontend.Install(truncated).ok());
+  }
+}
+
+TEST(GenerationRegistryTest, FlipsAtInstallCompletion) {
+  GenerationRegistry registry;
+  ShardedModelImage image;
+  image.model_name = "lr";
+  GenerationInfo info;
+  info.generation = 0;
+  info.install_start = 0.0;
+  info.install_done = 1.0;
+  info.ok = true;
+  EXPECT_EQ(registry.Install(image, info), 0);
+  EXPECT_EQ(registry.ActiveAt(1.0), 0);
+
+  info.generation = 1;
+  info.install_start = 4.0;
+  info.install_done = 5.0;
+  EXPECT_EQ(registry.Install(image, info), 1);
+  EXPECT_TRUE(registry.install_pending());
+  EXPECT_EQ(registry.ActiveAt(4.999), 0) << "flip before install completion";
+  EXPECT_EQ(registry.ActiveAt(5.0), 1);
+  EXPECT_FALSE(registry.install_pending());
+  EXPECT_EQ(registry.ActiveAt(4.0), 1)
+      << "once flipped, the registry never goes back";
+}
+
+// ---- Serving chaos harness ----------------------------------------------
+
+TEST(ServingChaosTest, SchedulesAreDeterministicAndCleanSeedsPass) {
+  // Default options — the same configuration `colsgd_chaos --scenario
+  // serving` runs in CI; a smaller request count would inflate the
+  // per-failure SLO fraction past the degradation budget.
+  const chaos::ServingChaosOptions options;
+  const Dataset queries = chaos::ServingQueryDataset(options);
+  const double clean = chaos::CleanSloViolationFraction(options, queries);
+  for (uint64_t seed : {0u, 1u, 2u}) {
+    const chaos::ServingSchedule schedule =
+        chaos::GenerateServingSchedule(seed, options);
+    const chaos::ServingSchedule replay =
+        chaos::GenerateServingSchedule(seed, options);
+    ASSERT_EQ(schedule.failures.size(), replay.failures.size());
+    ASSERT_EQ(schedule.swaps.size(), replay.swaps.size());
+    for (size_t i = 0; i < schedule.swaps.size(); ++i) {
+      EXPECT_EQ(schedule.swaps[i].model_seed, replay.swaps[i].model_seed);
+    }
+    const chaos::ServingVerdict verdict =
+        chaos::RunServingSchedule(options, schedule, queries, clean, seed);
+    EXPECT_TRUE(verdict.ok()) << (verdict.violations.empty()
+                                      ? ""
+                                      : verdict.violations[0]);
+    const chaos::ServingVerdict again =
+        chaos::RunServingSchedule(options, schedule, queries, clean, seed);
+    EXPECT_EQ(verdict.fingerprint, again.fingerprint);
+  }
+}
+
+}  // namespace
+}  // namespace colsgd

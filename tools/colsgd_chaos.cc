@@ -15,8 +15,14 @@
 // dumped as a JSON repro artifact (--artifact) whose "repro" field is the
 // exact command line that replays it. Exit status 1 when any seed fails.
 //
+// --scenario serving targets the serving plane instead: shard-server
+// failures and (possibly bit-rotted) hot-swap images under sustained load,
+// with the serving invariants — no wrong answers, conservation, bounded SLO
+// degradation — checked per seed (serve/serving_chaos.h).
+//
 //   colsgd_chaos --seeds 0..31 --engines all
 //   colsgd_chaos --seeds 17 --engines petuum --verbose true
+//   colsgd_chaos --scenario serving --seeds 0..15 --models lr
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -25,6 +31,7 @@
 #include "chaos/chaos.h"
 #include "common/check.h"
 #include "common/flags.h"
+#include "serve/serving_chaos.h"
 
 namespace colsgd {
 namespace {
@@ -67,7 +74,75 @@ std::vector<uint64_t> ParseSeeds(const std::string& spec) {
   return seeds;
 }
 
+/// \brief The --scenario serving loop: same structure as the training one
+/// (two runs per seed, fingerprint compare, repro artifact on the first
+/// failure), with the serving invariants instead of the training ones.
+int RunServingSeeds(const chaos::ServingChaosOptions& base,
+                    const std::vector<std::string>& models,
+                    const std::vector<uint64_t>& seeds,
+                    const std::string& artifact, bool verbose) {
+  int64_t runs = 0;
+  int64_t failures = 0;
+  bool artifact_written = false;
+  for (const std::string& model : models) {
+    chaos::ServingChaosOptions options = base;
+    options.model = model;
+    const Dataset queries = chaos::ServingQueryDataset(options);
+    const double clean = chaos::CleanSloViolationFraction(options, queries);
+    if (verbose) {
+      std::printf("[serving x %s] fault-free SLO violation fraction %.4f\n",
+                  model.c_str(), clean);
+    }
+    for (uint64_t seed : seeds) {
+      const chaos::ServingSchedule schedule =
+          chaos::GenerateServingSchedule(seed, options);
+      chaos::ServingVerdict verdict =
+          chaos::RunServingSchedule(options, schedule, queries, clean, seed);
+      const chaos::ServingVerdict replay =
+          chaos::RunServingSchedule(options, schedule, queries, clean, seed);
+      ++runs;
+      if (replay.fingerprint != verdict.fingerprint) {
+        verdict.violations.push_back(
+            "nondeterministic: replay fingerprint " +
+            std::to_string(replay.fingerprint) + " != " +
+            std::to_string(verdict.fingerprint));
+      }
+      if (verbose) {
+        std::printf("[serving x %s] seed %llu %s fp=%016llx  %s\n",
+                    model.c_str(), static_cast<unsigned long long>(seed),
+                    verdict.ok() ? "ok  " : "FAIL",
+                    static_cast<unsigned long long>(verdict.fingerprint),
+                    chaos::DescribeServingSchedule(schedule).c_str());
+      }
+      if (verdict.ok()) continue;
+      ++failures;
+      std::printf("[serving x %s] seed %llu FAILED:\n", model.c_str(),
+                  static_cast<unsigned long long>(seed));
+      for (const std::string& v : verdict.violations) {
+        std::printf("  - %s\n", v.c_str());
+      }
+      std::printf("  repro: %s\n",
+                  chaos::ServingReproCommand(options, seed).c_str());
+      if (!artifact.empty() && !artifact_written) {
+        const std::string json =
+            chaos::ServingArtifactJson(options, seed, schedule, verdict);
+        std::FILE* f = std::fopen(artifact.c_str(), "w");
+        if (f != nullptr) {
+          std::fwrite(json.data(), 1, json.size(), f);
+          std::fclose(f);
+          std::printf("  artifact: %s\n", artifact.c_str());
+          artifact_written = true;
+        }
+      }
+    }
+  }
+  std::printf("chaos(serving): %lld schedule(s), %lld failure(s)\n",
+              static_cast<long long>(runs), static_cast<long long>(failures));
+  return failures == 0 ? 0 : 1;
+}
+
 int RunDriver(int argc, char** argv) {
+  std::string scenario = "train";
   std::string seeds_spec = "0..31";
   std::string engines = "all";
   std::string models = "lr";
@@ -80,7 +155,13 @@ int RunDriver(int argc, char** argv) {
   int64_t data_features = static_cast<int64_t>(base.data_features);
   bool verbose = false;
 
+  chaos::ServingChaosOptions serving;
+  int64_t shards = serving.num_shards;
+
   FlagParser flags;
+  flags.AddString("scenario", &scenario,
+                  "'train' (fault schedules against the training engines) "
+                  "or 'serving' (shard failures + hot swaps under load)");
   flags.AddString("seeds", &seeds_spec, "seed range 'a..b' or list 'a,b,c'");
   flags.AddString("engines", &engines,
                   "comma list of engines, or 'all' "
@@ -98,7 +179,23 @@ int RunDriver(int argc, char** argv) {
   flags.AddString("artifact", &artifact,
                   "path for the failing-seed repro JSON ('' disables)");
   flags.AddBool("verbose", &verbose, "print one line per seed");
+  flags.AddInt64("shards", &shards, "serving: number of shard servers");
+  flags.AddInt64("requests", &serving.num_requests,
+                 "serving: requests per schedule");
+  flags.AddDouble("rate", &serving.rate, "serving: arrival rate, req/s");
+  flags.AddDouble("degradation_budget", &serving.degradation_budget,
+                  "serving: allowed SLO-violation increase per failure");
   COLSGD_CHECK_OK(flags.Parse(argc, argv));
+
+  if (scenario == "serving") {
+    serving.num_shards = static_cast<int>(shards);
+    serving.data_rows = static_cast<uint64_t>(data_rows);
+    serving.data_features = static_cast<uint64_t>(data_features);
+    serving.data_seed = base.data_seed;
+    return RunServingSeeds(serving, SplitList(models), ParseSeeds(seeds_spec),
+                           artifact, verbose);
+  }
+  COLSGD_CHECK(scenario == "train") << "unknown --scenario: " << scenario;
 
   base.workers = static_cast<int>(workers);
   base.batch_size = static_cast<size_t>(batch_size);

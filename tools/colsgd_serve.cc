@@ -1,0 +1,296 @@
+// Online-serving driver (DESIGN.md §13): load-tests the column-sharded
+// serving plane on the simulated cluster and prints the SLO accounting.
+//
+// Two modes:
+//
+//  * load test (default): installs a model — planted weights, or a v2
+//    CRC-sealed image from --model_file — and serves an open-loop Poisson
+//    or burst workload against a synthetic query log:
+//
+//      colsgd_serve --model lr --shards 4 --rate 4000 --requests 2000
+//      colsgd_serve --arrivals burst --burst_factor 8 --slo_latency 0.005
+//      colsgd_serve --fail_at 0.2 --fail_shard 1   # failover drill
+//
+//  * train-and-serve (--train_iters > 0): trains an engine with periodic
+//    checkpointing, then replays the checkpoint stream into the serving
+//    plane — the first checkpoint is the bring-up install and every later
+//    one arrives as a hot swap at its training-time offset, so responses
+//    span model generations without a single request being dropped:
+//
+//      colsgd_serve --train_iters 30 --checkpoint_every 5 --rate 2000
+//
+// Per-request latency decompositions (queue/scatter/compute/gather) can be
+// dumped with --records_csv for offline analysis.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "datagen/synthetic.h"
+#include "engine/trainer.h"
+#include "model/factory.h"
+#include "serve/frontend.h"
+
+namespace colsgd {
+namespace {
+
+SavedModel PlantedModel(const std::string& model_name, uint64_t num_features,
+                        uint64_t seed) {
+  std::unique_ptr<ModelSpec> spec = MakeModel(model_name);
+  const int wpf = spec->weights_per_feature();
+  SavedModel model;
+  model.model_name = model_name;
+  model.num_features = num_features;
+  model.weights.resize(num_features * static_cast<uint64_t>(wpf));
+  for (uint64_t slot = 0; slot < model.weights.size(); ++slot) {
+    model.weights[slot] = 0.05 * GaussianFromHash(slot + 1, seed);
+  }
+  model.shared.resize(spec->num_shared_params());
+  for (size_t i = 0; i < model.shared.size(); ++i) {
+    model.shared[i] = 0.01 * GaussianFromHash(0x51a3edULL + i, seed);
+  }
+  return model;
+}
+
+const char* StatusName(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kCompleted: return "completed";
+    case RequestStatus::kRejected: return "rejected";
+    case RequestStatus::kTimedOut: return "timed_out";
+  }
+  return "?";
+}
+
+void DumpRecordsCsv(const std::string& path, const ServeFrontend& frontend) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  COLSGD_CHECK(f != nullptr) << "cannot open " << path;
+  std::fprintf(f,
+               "id,row,arrival,status,generation,batch,dispatch,completion,"
+               "queue_s,scatter_s,compute_s,gather_s,score\n");
+  for (const RequestRecord& rec : frontend.records()) {
+    std::fprintf(f,
+                 "%llu,%u,%.9f,%s,%lld,%lld,%.9f,%.9f,%.9f,%.9f,%.9f,%.9f,"
+                 "%.17g\n",
+                 static_cast<unsigned long long>(rec.id), rec.row, rec.arrival,
+                 StatusName(rec.status),
+                 static_cast<long long>(rec.generation),
+                 static_cast<long long>(rec.batch), rec.dispatch,
+                 rec.completion, rec.queue_s, rec.scatter_s, rec.compute_s,
+                 rec.gather_s, rec.score);
+  }
+  std::fclose(f);
+  std::printf("records: %s\n", path.c_str());
+}
+
+void PrintSummary(const ServeFrontend& frontend) {
+  const ServeSummary s = frontend.Summarize();
+  std::printf("offered %lld  completed %lld  rejected %lld  timed_out %lld  "
+              "batches %lld\n",
+              static_cast<long long>(s.offered),
+              static_cast<long long>(s.completed),
+              static_cast<long long>(s.rejected),
+              static_cast<long long>(s.timed_out),
+              static_cast<long long>(s.batches));
+  std::printf("makespan %.6f s  throughput %.1f req/s\n", s.makespan,
+              s.throughput);
+  std::printf("latency mean %.3f ms  p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  "
+              "max %.3f ms\n",
+              s.latency_mean * 1e3, s.latency_p50 * 1e3, s.latency_p95 * 1e3,
+              s.latency_p99 * 1e3, s.latency_max * 1e3);
+  std::printf("wire %llu bytes in %llu messages  (%.1f bytes/request)\n",
+              static_cast<unsigned long long>(s.wire_bytes),
+              static_cast<unsigned long long>(s.wire_messages),
+              s.bytes_per_request);
+  std::printf("swaps %lld completed, %lld failed, stall %.6f s\n",
+              static_cast<long long>(s.swaps_completed),
+              static_cast<long long>(s.swaps_failed), s.swap_stall_seconds);
+  std::printf("failovers %lld (%.6f s)  slo_violation_fraction %.4f\n",
+              static_cast<long long>(s.failovers), s.failover_seconds,
+              s.slo_violation_fraction);
+
+  std::map<int64_t, int64_t> per_generation;
+  for (const RequestRecord& rec : frontend.records()) {
+    if (rec.status == RequestStatus::kCompleted) ++per_generation[rec.generation];
+  }
+  std::printf("generations served:");
+  for (const auto& [generation, count] : per_generation) {
+    std::printf("  g%lld: %lld", static_cast<long long>(generation),
+                static_cast<long long>(count));
+  }
+  std::printf("\n");
+  for (const GenerationInfo& info : frontend.generations()) {
+    std::printf("  install %s gen %lld (iter %lld) %.6f -> %.6f s\n",
+                info.ok ? "ok  " : "FAIL",
+                static_cast<long long>(info.generation),
+                static_cast<long long>(info.trained_iterations),
+                info.install_start, info.install_done);
+  }
+}
+
+int RunDriver(int argc, char** argv) {
+  std::string model = "lr";
+  std::string model_file;
+  std::string records_csv;
+  ServeConfig serve;
+  WorkloadConfig workload;
+  int64_t shards = serve.num_shards;
+  int64_t workload_seed = static_cast<int64_t>(workload.seed);
+  int64_t query_rows = 2000;
+  int64_t query_features = 1000;
+  int64_t query_seed = 99;
+  int64_t model_seed = 7;
+  double fail_at = 0.0;
+  int64_t fail_shard = 0;
+  // Train-and-serve.
+  std::string engine_name = "columnsgd";
+  int64_t train_iters = 0;
+  int64_t checkpoint_every = 5;
+  int64_t train_rows = 4000;
+  double learning_rate = 0.5;
+  int64_t batch_size = 256;
+
+  FlagParser flags;
+  flags.AddString("model", &model, "model family (lr, svm, fm<F>, mlr<C>)");
+  flags.AddString("model_file", &model_file,
+                  "serve a v2 model image instead of planted weights");
+  flags.AddInt64("shards", &shards, "number of shard servers");
+  flags.AddString("partitioner", &serve.partitioner, "column partitioner");
+  flags.AddInt64("max_batch", &serve.max_batch, "requests per batch");
+  flags.AddDouble("max_delay", &serve.max_delay,
+                  "max seconds the oldest request waits for a batch");
+  flags.AddInt64("queue_capacity", &serve.queue_capacity,
+                 "admission queue bound");
+  flags.AddDouble("reply_timeout", &serve.reply_timeout,
+                  "gather timeout when a shard is dead");
+  flags.AddDouble("slo_latency", &serve.slo_latency,
+                  "per-request latency objective, seconds");
+  flags.AddString("arrivals", &workload.arrivals, "poisson | burst");
+  flags.AddDouble("rate", &workload.rate, "base arrival rate, req/s");
+  flags.AddInt64("requests", &workload.num_requests, "number of requests");
+  flags.AddInt64("workload_seed", &workload_seed, "arrival process seed");
+  flags.AddDouble("burst_period", &workload.burst_period, "seconds");
+  flags.AddDouble("burst_duration", &workload.burst_duration, "seconds");
+  flags.AddDouble("burst_factor", &workload.burst_factor, "rate multiplier");
+  flags.AddInt64("query_rows", &query_rows, "query log rows");
+  flags.AddInt64("query_features", &query_features, "query log dimension");
+  flags.AddInt64("query_seed", &query_seed, "query log seed");
+  flags.AddInt64("model_seed", &model_seed, "planted-weight seed");
+  flags.AddDouble("fail_at", &fail_at,
+                  "kill a shard at this simulated time (0 disables)");
+  flags.AddInt64("fail_shard", &fail_shard, "which shard --fail_at kills");
+  flags.AddString("engine", &engine_name, "training engine (train-and-serve)");
+  flags.AddInt64("train_iters", &train_iters,
+                 "train this many iterations first, then serve the "
+                 "checkpoint stream (0 = plain load test)");
+  flags.AddInt64("checkpoint_every", &checkpoint_every,
+                 "checkpoint cadence while training");
+  flags.AddInt64("train_rows", &train_rows, "training dataset rows");
+  flags.AddDouble("learning_rate", &learning_rate, "SGD step size");
+  flags.AddInt64("batch_size", &batch_size, "training mini-batch size");
+  flags.AddString("records_csv", &records_csv,
+                  "dump per-request latency decompositions here");
+  COLSGD_CHECK_OK(flags.Parse(argc, argv));
+  serve.num_shards = static_cast<int>(shards);
+  workload.seed = static_cast<uint64_t>(workload_seed);
+
+  // The query log the requests reference.
+  SyntheticSpec query_spec;
+  query_spec.name = "queries";
+  query_spec.num_rows = static_cast<uint64_t>(query_rows);
+  query_spec.num_features = static_cast<uint64_t>(query_features);
+  query_spec.avg_nnz_per_row = 15.0;
+  query_spec.seed = static_cast<uint64_t>(query_seed);
+
+  // The checkpoint stream to serve: (serving-time offset, model, provenance).
+  struct Generation {
+    double at = 0.0;
+    SavedModel model;
+    int64_t iterations = 0;
+  };
+  std::vector<Generation> stream;
+
+  if (train_iters > 0) {
+    SyntheticSpec train_spec = query_spec;
+    train_spec.name = "train";
+    train_spec.num_rows = static_cast<uint64_t>(train_rows);
+    train_spec.seed = static_cast<uint64_t>(query_seed) + 1;
+    const Dataset train_data = GenerateSynthetic(train_spec);
+
+    ClusterSpec cluster = ClusterSpec::Cluster1();
+    cluster.num_workers = serve.num_shards;
+    TrainConfig config;
+    config.model = model;
+    config.learning_rate = learning_rate;
+    config.batch_size = static_cast<size_t>(batch_size);
+    config.partitioner = serve.partitioner;
+    std::unique_ptr<Engine> engine =
+        MakeEngine(engine_name, cluster, config);
+    FaultConfig faults;
+    faults.checkpoint.every = checkpoint_every;
+    faults.checkpoint.keep = 2;
+    COLSGD_CHECK_OK(engine->set_faults(std::move(faults)));
+    COLSGD_CHECK_OK(engine->Setup(train_data));
+
+    // Poll the checkpoint store as training advances; every newly completed
+    // generation joins the serving stream at its training-clock offset.
+    int64_t seen = 0;
+    double first_at = -1.0;
+    for (int64_t iter = 0; iter < train_iters; ++iter) {
+      COLSGD_CHECK_OK(engine->RunIteration(iter));
+      CheckpointStore& store = engine->checkpoint_store();
+      if (store.completed_iterations() > seen) {
+        const SavedModel* latest = store.Latest();
+        COLSGD_CHECK(latest != nullptr);
+        seen = store.completed_iterations();
+        const double now = engine->runtime().MaxClock();
+        if (first_at < 0.0) first_at = now;
+        stream.push_back(Generation{now - first_at, *latest, seen});
+      }
+    }
+    COLSGD_CHECK(!stream.empty())
+        << "no checkpoint completed; lower --checkpoint_every";
+    std::printf("trained %lld iterations (%s), %zu checkpoint generation(s)\n",
+                static_cast<long long>(train_iters), engine_name.c_str(),
+                stream.size());
+  } else if (!model_file.empty()) {
+    Result<SavedModel> loaded = ReadModelFile(model_file);
+    COLSGD_CHECK_OK(loaded.status());
+    stream.push_back(Generation{0.0, loaded.ValueOrDie(), 0});
+    // Serve the image's own dimension.
+    query_spec.num_features = stream[0].model.num_features;
+  } else {
+    stream.push_back(Generation{
+        0.0,
+        PlantedModel(model, query_spec.num_features,
+                     static_cast<uint64_t>(model_seed)),
+        0});
+  }
+
+  const Dataset queries = GenerateSynthetic(query_spec);
+  ServeFrontend frontend(ClusterSpec::Cluster1(), serve, &queries);
+  COLSGD_CHECK_OK(frontend.Install(stream[0].model, stream[0].iterations));
+  for (size_t i = 1; i < stream.size(); ++i) {
+    frontend.ScheduleSwap(stream[i].at, stream[i].model,
+                          stream[i].iterations);
+  }
+  if (fail_at > 0.0) {
+    frontend.ScheduleShardFailure(fail_at, static_cast<int>(fail_shard));
+  }
+
+  const std::vector<ServeRequest> arrivals =
+      GenerateArrivals(workload, queries.num_rows());
+  COLSGD_CHECK_OK(frontend.Run(arrivals));
+  PrintSummary(frontend);
+  std::printf("fingerprint %016llx\n",
+              static_cast<unsigned long long>(frontend.Fingerprint()));
+  if (!records_csv.empty()) DumpRecordsCsv(records_csv, frontend);
+  return 0;
+}
+
+}  // namespace
+}  // namespace colsgd
+
+int main(int argc, char** argv) { return colsgd::RunDriver(argc, argv); }
