@@ -17,6 +17,13 @@
 //  (f)     a mid-run network partition window in all four engines: sends
 //          across the split burn bounded retransmit backoff, degrading the
 //          affected BSP rounds without livelocking or losing updates.
+//  (g)     elastic recovery vs replication level r in {0,1,2,3}: a crash at
+//          r = 0 descends the ladder to the last checkpoint; any r >= 1
+//          promotes an in-memory peer replica (zero storage reads, zero
+//          lost iterations).
+//  (h)     shrink/grow handoff latency vs model size (LR vs FM factor
+//          widths on the avazu analog): handoff bytes track the model
+//          slice, protocol overhead stays fixed.
 #include "bench/bench_runner.h"
 #include "bench/bench_util.h"
 #include "engine/columnsgd.h"
@@ -245,6 +252,132 @@ void RunPartitionComparison(const Dataset& d, int64_t start, int64_t window,
       "still lands, so the loss curves rejoin after the brown-out)\n");
 }
 
+// (g) Elastic recovery ladder: one scripted crash at replication r in
+// {0, 1, 2, 3}. r = 0 keeps a single copy and descends to the last
+// checkpoint; any r >= 1 promotes an in-memory peer replica — zero
+// checkpoint-storage reads and zero lost iterations.
+void RunReplicationSweep(const Dataset& d, int64_t fail_at,
+                         int64_t iterations, const std::string& out_dir,
+                         bench::BenchRunner* runner) {
+  CsvWriter csv;
+  COLSGD_CHECK_OK(csv.Open(
+      out_dir + "/fig13g_replication_sweep.csv",
+      {"replication", "recovery_s", "peer_fetches", "peer_fetch_mb",
+       "checkpoint_restore_reads", "reseeds", "iterations_lost",
+       "final_loss"}));
+  bench::PrintHeader(
+      "Fig 13g: crash recovery vs replication r (elastic, ckpt every 20)");
+  bench::PrintRow({"r", "recover_s", "fetches", "fetch_MB", "ckpt_reads",
+                   "reseeds", "iters_lost", "final_loss"});
+  for (int r : {0, 1, 2, 3}) {
+    TrainConfig config;
+    config.model = "lr";
+    config.batch_size = 1000;
+    config.learning_rate = 512.0;
+    config.elastic.enabled = true;
+    config.elastic.replication = r;
+    ColumnSgdEngine engine(ClusterSpec::Cluster1(), config);
+    FaultConfig faults;
+    faults.plan =
+        FaultPlan::Scripted({{fail_at, 2, FaultKind::kWorkerFailure}});
+    faults.checkpoint.every = 20;
+    COLSGD_CHECK_OK(engine.set_faults(faults));
+
+    RunOptions options;
+    options.iterations = iterations;
+    TrainResult result = runner->RunMeasured(
+        "replication_" + std::to_string(r), &engine, d, options);
+    COLSGD_CHECK_OK(result.status);
+    const RecoveryMetrics& rm = result.recovery;
+    const double fetch_mb = static_cast<double>(rm.peer_fetch_bytes) / 1e6;
+    const double final_loss = result.trace.back().batch_loss;
+    csv.WriteNumericRow({static_cast<double>(r), rm.recovery_seconds,
+                         static_cast<double>(rm.peer_replica_fetches),
+                         fetch_mb,
+                         static_cast<double>(rm.checkpoint_restore_reads),
+                         static_cast<double>(rm.reseeds),
+                         static_cast<double>(rm.iterations_lost), final_loss});
+    bench::PrintRow({std::to_string(r),
+                     bench::FormatSeconds(rm.recovery_seconds),
+                     std::to_string(rm.peer_replica_fetches),
+                     bench::FormatSeconds(fetch_mb),
+                     std::to_string(rm.checkpoint_restore_reads),
+                     std::to_string(rm.reseeds),
+                     std::to_string(rm.iterations_lost),
+                     bench::FormatSeconds(final_loss)});
+  }
+  std::printf(
+      "(r = 0 re-reads the last checkpoint and loses the iterations since; "
+      "any r >= 1 fetches the partition from a live peer instead)\n");
+}
+
+// (h) Shrink/grow handoff latency vs model size: the bytes a membership
+// change must move scale with the model slice (and its optimizer state), so
+// the handoff time grows with the factor width while the protocol overhead
+// stays fixed.
+void RunMembershipLatencySweep(const std::string& out_dir,
+                               bench::BenchRunner* runner) {
+  const Dataset& d = bench::GetDataset("avazu-sim");
+  CsvWriter csv;
+  COLSGD_CHECK_OK(csv.Open(
+      out_dir + "/fig13h_membership_latency.csv",
+      {"model", "event", "membership_s", "moved_mb", "final_loss"}));
+  bench::PrintHeader(
+      "Fig 13h: shrink/grow handoff latency vs model size (avazu-sim)");
+  bench::PrintRow({"model", "event", "handoff_s", "moved_MB", "final_loss"});
+  const int64_t iterations = 30;
+  for (const char* model : {"lr", "fm2", "fm4", "fm8"}) {
+    for (const bool grow : {false, true}) {
+      TrainConfig config;
+      config.model = model;
+      config.batch_size = 1000;
+      config.learning_rate = model[0] == 'f' ? 0.05 : 512.0;
+      config.elastic.enabled = true;
+      config.elastic.replication = 1;
+      ClusterSpec cluster = ClusterSpec::Cluster1();
+      cluster.max_workers = cluster.num_workers + 2;
+      ColumnSgdEngine engine(cluster, config);
+      FaultConfig faults;
+      FaultPlanConfig plan;
+      if (grow) {
+        // A crash first (peer-replica recovery, not a membership event)
+        // leaves a survivor owning two partitions, so the grow has real
+        // rebalancing to do; membership_seconds/bytes measure the grow
+        // handoff alone.
+        plan.scripted.push_back({8, 2, FaultKind::kWorkerFailure});
+        plan.membership.push_back({16, MembershipChange::Kind::kGrow, -1});
+      } else {
+        plan.membership.push_back(
+            {10, MembershipChange::Kind::kShrink, -1});
+      }
+      faults.plan = FaultPlan(plan);
+      COLSGD_CHECK_OK(engine.set_faults(faults));
+
+      RunOptions options;
+      options.iterations = iterations;
+      const char* event = grow ? "grow" : "shrink";
+      TrainResult result = runner->RunMeasured(
+          std::string("membership_") + event + "/" + model, &engine, d,
+          options);
+      COLSGD_CHECK_OK(result.status);
+      const RecoveryMetrics& rm = result.recovery;
+      const double moved_mb =
+          static_cast<double>(rm.membership_bytes_moved) / 1e6;
+      const double final_loss = result.trace.back().batch_loss;
+      csv.WriteRow({model, event, FormatDouble(rm.membership_seconds),
+                    FormatDouble(moved_mb), FormatDouble(final_loss)});
+      bench::PrintRow({model, event,
+                       bench::FormatSeconds(rm.membership_seconds),
+                       bench::FormatSeconds(moved_mb),
+                       bench::FormatSeconds(final_loss)});
+    }
+  }
+  std::printf(
+      "(handoff bytes track the model slice: a shrink ships the departing "
+      "rank's partitions, a grow rebalances one partition onto the new "
+      "rank)\n");
+}
+
 }  // namespace
 }  // namespace colsgd
 
@@ -279,6 +412,8 @@ int main(int argc, char** argv) {
   RunMtbfSweep(d, iterations, out_dir, &runner);
   RunCorruptionSweep(d, iterations, out_dir, &runner);
   RunPartitionComparison(d, fail_at, 3, iterations, out_dir, &runner);
+  RunReplicationSweep(d, fail_at, iterations, out_dir, &runner);
+  RunMembershipLatencySweep(out_dir, &runner);
   COLSGD_CHECK_OK(runner.Finish());
   return 0;
 }

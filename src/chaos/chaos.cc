@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdio>
+#include <set>
 #include <utility>
 
 #include "common/check.h"
@@ -52,6 +53,85 @@ void FoldI64(uint32_t* crc, int64_t v) {
 
 void FoldDouble(uint32_t* crc, double v) {
   *crc = ExtendCrc32c(*crc, &v, sizeof(v));
+}
+
+/// \brief Invariant 2 of both scenarios: the network model's totals balance
+/// and the per-iteration telemetry tiles the measured training traffic.
+void AppendConservationViolations(Engine& engine,
+                                  const TimeSeriesRecorder& recorder,
+                                  uint64_t bytes_on_wire,
+                                  std::vector<std::string>* violations) {
+  const TrafficStats total = engine.runtime().net().TotalStats();
+  if (total.bytes_sent != total.bytes_received) {
+    violations->push_back(
+        "byte conservation: bytes_sent " + std::to_string(total.bytes_sent) +
+        " != bytes_received " + std::to_string(total.bytes_received));
+  }
+  if (total.messages_sent != total.messages_received) {
+    violations->push_back("byte conservation: message totals differ");
+  }
+  uint64_t series_bytes = 0;
+  bool per_node_tiles = true;
+  for (const TimeSeriesSample& s : recorder.samples()) {
+    series_bytes += s.bytes_on_wire;
+    uint64_t node_sum = 0;
+    for (uint64_t b : s.bytes_sent_per_node) node_sum += b;
+    per_node_tiles &= node_sum == s.bytes_on_wire;
+  }
+  if (series_bytes != bytes_on_wire) {
+    violations->push_back("telemetry does not tile traffic: series bytes " +
+                          std::to_string(series_bytes) + " != bytes_on_wire " +
+                          std::to_string(bytes_on_wire));
+  }
+  if (!per_node_tiles) {
+    violations->push_back(
+        "telemetry does not tile traffic: per-node bytes != iteration bytes");
+  }
+}
+
+/// \brief Trace fingerprint: canonical outputs of a completed run, folded in
+/// a fixed order. Two executions of the same schedule must agree
+/// bit-for-bit.
+uint32_t FoldRunFingerprint(Engine& engine, const RecoveryMetrics& rm,
+                            const TimeSeriesRecorder& recorder) {
+  uint32_t crc = 0;
+  const std::vector<double> weights = engine.FullModel();
+  crc = ExtendCrc32c(crc, weights.data(), weights.size() * sizeof(double));
+  FoldDouble(&crc, engine.runtime().MaxClock());
+  const TrafficStats total = engine.runtime().net().TotalStats();
+  FoldU64(&crc, total.bytes_sent);
+  FoldU64(&crc, total.bytes_received);
+  FoldU64(&crc, total.messages_sent);
+  FoldU64(&crc, total.messages_received);
+  FoldI64(&crc, rm.task_failures);
+  FoldI64(&crc, rm.worker_failures);
+  FoldI64(&crc, rm.messages_dropped);
+  FoldI64(&crc, rm.messages_corrupted);
+  FoldI64(&crc, rm.retransmits);
+  FoldI64(&crc, rm.partition_blocked_sends);
+  FoldI64(&crc, rm.checkpoints_taken);
+  FoldI64(&crc, rm.checkpoints_corrupted);
+  FoldI64(&crc, rm.checkpoint_fallbacks);
+  FoldI64(&crc, rm.iterations_lost);
+  FoldU64(&crc, rm.bytes_retransferred);
+  FoldI64(&crc, rm.peer_replica_fetches);
+  FoldU64(&crc, rm.peer_fetch_bytes);
+  FoldI64(&crc, rm.replica_crc_rejections);
+  FoldI64(&crc, rm.checkpoint_restore_reads);
+  FoldI64(&crc, rm.reseeds);
+  FoldI64(&crc, rm.planned_departures);
+  FoldI64(&crc, rm.grows);
+  FoldI64(&crc, rm.crash_removals);
+  FoldI64(&crc, rm.faults_on_departed_workers);
+  FoldDouble(&crc, rm.membership_seconds);
+  FoldU64(&crc, rm.membership_bytes_moved);
+  for (const TimeSeriesSample& s : recorder.samples()) {
+    FoldI64(&crc, s.iteration);
+    FoldDouble(&crc, s.sim_time);
+    FoldU64(&crc, s.bytes_on_wire);
+    FoldU64(&crc, s.messages);
+  }
+  return crc;
 }
 
 }  // namespace
@@ -210,35 +290,9 @@ ChaosVerdict RunSchedule(const ChaosOptions& options,
   }
   verdict.completed = true;
 
-  // Invariant 2: byte conservation — the network model's totals balance and
-  // the per-iteration telemetry tiles the measured training traffic.
-  const TrafficStats total = engine->runtime().net().TotalStats();
-  if (total.bytes_sent != total.bytes_received) {
-    verdict.violations.push_back(
-        "byte conservation: bytes_sent " + std::to_string(total.bytes_sent) +
-        " != bytes_received " + std::to_string(total.bytes_received));
-  }
-  if (total.messages_sent != total.messages_received) {
-    verdict.violations.push_back("byte conservation: message totals differ");
-  }
-  uint64_t series_bytes = 0;
-  bool per_node_tiles = true;
-  for (const TimeSeriesSample& s : recorder.samples()) {
-    series_bytes += s.bytes_on_wire;
-    uint64_t node_sum = 0;
-    for (uint64_t b : s.bytes_sent_per_node) node_sum += b;
-    per_node_tiles &= node_sum == s.bytes_on_wire;
-  }
-  if (series_bytes != result.bytes_on_wire) {
-    verdict.violations.push_back(
-        "telemetry does not tile traffic: series bytes " +
-        std::to_string(series_bytes) + " != bytes_on_wire " +
-        std::to_string(result.bytes_on_wire));
-  }
-  if (!per_node_tiles) {
-    verdict.violations.push_back(
-        "telemetry does not tile traffic: per-node bytes != iteration bytes");
-  }
+  // Invariant 2: byte conservation + telemetry tiling.
+  AppendConservationViolations(*engine, recorder, result.bytes_on_wire,
+                               &verdict.violations);
 
   // Invariant 3: integrity faults are detected and repaired, never absorbed.
   const RecoveryMetrics& rm = verdict.recovery;
@@ -266,33 +320,7 @@ ChaosVerdict RunSchedule(const ChaosOptions& options,
         FormatG(options.epsilon) + ")");
   }
 
-  // Trace fingerprint: canonical outputs of the run, folded in a fixed
-  // order. Two executions of the same schedule must agree bit-for-bit.
-  const std::vector<double> weights = engine->FullModel();
-  crc = ExtendCrc32c(crc, weights.data(), weights.size() * sizeof(double));
-  FoldDouble(&crc, engine->runtime().MaxClock());
-  FoldU64(&crc, total.bytes_sent);
-  FoldU64(&crc, total.bytes_received);
-  FoldU64(&crc, total.messages_sent);
-  FoldU64(&crc, total.messages_received);
-  FoldI64(&crc, rm.task_failures);
-  FoldI64(&crc, rm.worker_failures);
-  FoldI64(&crc, rm.messages_dropped);
-  FoldI64(&crc, rm.messages_corrupted);
-  FoldI64(&crc, rm.retransmits);
-  FoldI64(&crc, rm.partition_blocked_sends);
-  FoldI64(&crc, rm.checkpoints_taken);
-  FoldI64(&crc, rm.checkpoints_corrupted);
-  FoldI64(&crc, rm.checkpoint_fallbacks);
-  FoldI64(&crc, rm.iterations_lost);
-  FoldU64(&crc, rm.bytes_retransferred);
-  for (const TimeSeriesSample& s : recorder.samples()) {
-    FoldI64(&crc, s.iteration);
-    FoldDouble(&crc, s.sim_time);
-    FoldU64(&crc, s.bytes_on_wire);
-    FoldU64(&crc, s.messages);
-  }
-  verdict.fingerprint = crc;
+  verdict.fingerprint = FoldRunFingerprint(*engine, rm, recorder);
   return verdict;
 }
 
@@ -479,6 +507,334 @@ std::string ReproArtifactJson(const ChaosOptions& options, uint64_t seed,
   }
   out += "],\n  \"repro\": ";
   AppendJsonString(&out, ReproCommand(options, seed));
+  out += "\n}\n";
+  return out;
+}
+
+// --- Elastic-membership scenario (DESIGN.md §14) --------------------------
+
+MembershipBaseline MembershipCleanBaseline(const ChaosOptions& options,
+                                           const Dataset& dataset) {
+  auto engine = MakeEngine(options.engine, MakeCluster(options),
+                           MakeTrainConfig(options));
+  RunOptions run;
+  run.iterations = options.iterations;
+  TrainResult result = RunTraining(engine.get(), dataset, run);
+  COLSGD_CHECK(result.status.ok())
+      << "fault-free baseline failed: " << result.status.ToString();
+  MembershipBaseline baseline;
+  const std::vector<double> weights = engine->FullModel();
+  baseline.weights_crc =
+      ExtendCrc32c(0, weights.data(), weights.size() * sizeof(double));
+  baseline.clean_loss =
+      EvaluateLoss(engine->model(), weights, dataset, dataset.num_rows());
+  return baseline;
+}
+
+MembershipSchedule GenerateMembershipSchedule(
+    uint64_t seed, const MembershipChaosOptions& options) {
+  const ChaosOptions& base = options.base;
+  // One private stream per seed, tagged differently from GenerateSchedule so
+  // the two scenarios draw unrelated schedules for the same seed.
+  Rng rng(SplitMix64(seed ^ 0x3E3A571C05EEDULL));
+  MembershipSchedule out;
+  out.replication =
+      options.replication >= 0
+          ? options.replication
+          : 1 + static_cast<int>(rng.NextBounded(static_cast<uint64_t>(
+                    std::min(3, base.workers - 1))));
+  FaultPlanConfig& plan = out.schedule.plan;
+  plan.seed = SplitMix64(seed);
+  // Spare ranks count toward the plan's worker universe so scripted events
+  // may name grown ranks.
+  const int max_ranks = base.workers + options.spare_workers;
+  plan.num_workers = max_ranks;
+
+  // Mirror the engines' auto-pick rules (shrink: highest active, grow:
+  // lowest inactive rank) so every drawn event is valid when it fires; at
+  // most one event per iteration keeps same-iteration ordering trivial.
+  std::set<int> active;
+  std::set<int> departed_once;
+  for (int w = 0; w < base.workers; ++w) active.insert(w);
+  int64_t crashes = 0;
+  for (int64_t iter = 2; iter + 1 < base.iterations; ++iter) {
+    if (!rng.NextBernoulli(0.18)) continue;
+    // Initial ranks that never left own their seed partition for the whole
+    // run (rebalance never drains an owner below one partition), so a crash
+    // aimed at one must exercise a peer-replica fetch. Spares and rejoined
+    // ranks may legitimately hold nothing and are never crash targets.
+    std::vector<int> crashable;
+    for (int w : active) {
+      if (w < base.workers && departed_once.count(w) == 0) {
+        crashable.push_back(w);
+      }
+    }
+    std::vector<int> kinds;  // 0 = crash, 1 = shrink, 2 = grow
+    const bool can_remove = active.size() >= 3;
+    if (can_remove && !crashable.empty()) kinds.push_back(0);
+    if (can_remove) kinds.push_back(1);
+    if (static_cast<int>(active.size()) < max_ranks) kinds.push_back(2);
+    if (kinds.empty()) continue;
+    const int kind = kinds[rng.NextBounded(kinds.size())];
+    if (kind == 0) {
+      const int w = crashable[rng.NextBounded(crashable.size())];
+      plan.scripted.push_back({iter, w, FaultKind::kWorkerFailure});
+      active.erase(w);
+      departed_once.insert(w);
+      ++crashes;
+    } else if (kind == 1) {
+      plan.membership.push_back({iter, MembershipChange::Kind::kShrink, -1});
+      departed_once.insert(*std::prev(active.end()));
+      active.erase(std::prev(active.end()));
+    } else {
+      plan.membership.push_back({iter, MembershipChange::Kind::kGrow, -1});
+      for (int r = 0; r < max_ranks; ++r) {
+        if (active.insert(r).second) break;
+      }
+    }
+  }
+  // A schedule with no events tests nothing: force one clean decommission
+  // (and a grow when a spare exists) mid-run.
+  if (plan.membership.empty() && crashes == 0) {
+    if (base.workers >= 3) {
+      plan.membership.push_back({std::max<int64_t>(2, base.iterations / 3),
+                                 MembershipChange::Kind::kShrink, -1});
+    }
+    if (options.spare_workers > 0) {
+      plan.membership.push_back(
+          {std::max<int64_t>(3, (2 * base.iterations) / 3),
+           MembershipChange::Kind::kGrow, -1});
+    }
+  }
+
+  // A lossy wire and stragglers ride along. No partition windows (the
+  // group-split node mapping assumes a fixed worker set) and no MTBF
+  // processes (unscripted crashes cannot be mirrored by this generator).
+  if (rng.NextBernoulli(0.35)) {
+    plan.message_drop_prob = rng.NextUniform(0.01, 0.05);
+  }
+  if (rng.NextBernoulli(0.35)) {
+    plan.message_corrupt_prob = rng.NextUniform(0.01, 0.05);
+  }
+  if (rng.NextBernoulli(0.25)) {
+    plan.stragglers.mode = StragglerSpec::Mode::kRotating;
+    plan.stragglers.level = rng.NextUniform(0.5, 1.5);
+    plan.stragglers.level_hi =
+        plan.stragglers.level + rng.NextUniform(0.0, 1.0);
+  }
+  // Checkpoints may be taken — the invariants prove they are never read.
+  if (rng.NextBernoulli(0.5)) {
+    out.schedule.checkpoint_every = std::max<int64_t>(
+        2, base.iterations / static_cast<int64_t>(2 + rng.NextBounded(4)));
+  }
+  return out;
+}
+
+ChaosVerdict RunMembershipSchedule(const MembershipChaosOptions& options,
+                                   const MembershipSchedule& membership,
+                                   const Dataset& dataset,
+                                   const MembershipBaseline& baseline,
+                                   uint64_t seed) {
+  ChaosVerdict verdict;
+  verdict.seed = seed;
+  verdict.clean_loss = baseline.clean_loss;
+  const ChaosOptions& base = options.base;
+  const ChaosSchedule& schedule = membership.schedule;
+
+  Result<FaultPlan> plan = FaultPlan::Create(schedule.plan);
+  if (!plan.ok()) {
+    verdict.violations.push_back("generated schedule rejected by Validate: " +
+                                 plan.status().ToString());
+    return verdict;
+  }
+  ClusterSpec cluster = MakeCluster(base);
+  cluster.max_workers = base.workers + options.spare_workers;
+  TrainConfig config = MakeTrainConfig(base);
+  config.elastic.enabled = true;
+  config.elastic.replication = membership.replication;
+  auto engine = MakeEngine(base.engine, cluster, config);
+  FaultConfig faults;
+  faults.plan = std::move(*plan);
+  faults.checkpoint.every = schedule.checkpoint_every;
+  const Status installed = engine->set_faults(faults);
+  if (!installed.ok()) {
+    verdict.violations.push_back("set_faults rejected a validated plan: " +
+                                 installed.ToString());
+    return verdict;
+  }
+  TimeSeriesRecorder recorder;
+  engine->set_recorder(&recorder);
+
+  RunOptions run;
+  run.iterations = base.iterations;
+  TrainResult result = RunTraining(engine.get(), dataset, run);
+  engine->set_recorder(nullptr);
+  verdict.recovery = result.recovery;
+
+  if (!result.status.ok()) {
+    // Stronger than the training harness's invariant 1: an elastic run must
+    // COMPLETE — losing or removing a rank is never a reason to die.
+    verdict.completed = false;
+    verdict.diagnosis = result.status.ToString();
+    verdict.violations.push_back("membership run did not complete: " +
+                                 verdict.diagnosis);
+    verdict.fingerprint = ExtendCrc32c(0, verdict.diagnosis.data(),
+                                       verdict.diagnosis.size());
+    return verdict;
+  }
+  verdict.completed = true;
+
+  AppendConservationViolations(*engine, recorder, result.bytes_on_wire,
+                               &verdict.violations);
+
+  const RecoveryMetrics& rm = verdict.recovery;
+  if (rm.retransmits < rm.messages_corrupted + rm.messages_dropped) {
+    verdict.violations.push_back(
+        "corruption/drop not retransmitted: retransmits " +
+        std::to_string(rm.retransmits) + " < corrupted " +
+        std::to_string(rm.messages_corrupted) + " + dropped " +
+        std::to_string(rm.messages_dropped));
+  }
+
+  // Every scripted event is accounted for exactly once — no lost events, no
+  // double-applied events, no spurious recoveries on departed ranks.
+  int64_t shrinks = 0;
+  int64_t grows = 0;
+  for (const MembershipChange& m : schedule.plan.membership) {
+    (m.kind == MembershipChange::Kind::kShrink ? shrinks : grows) += 1;
+  }
+  int64_t crashes = 0;
+  for (const FaultEvent& e : schedule.plan.scripted) {
+    if (e.kind == FaultKind::kWorkerFailure) ++crashes;
+  }
+  const auto expect = [&verdict](const char* what, int64_t got,
+                                 int64_t want) {
+    if (got != want) {
+      verdict.violations.push_back(std::string(what) + ": " +
+                                   std::to_string(got) + " != scripted " +
+                                   std::to_string(want));
+    }
+  };
+  expect("planned_departures", rm.planned_departures, shrinks);
+  expect("grows", rm.grows, grows);
+  expect("worker_failures", rm.worker_failures, crashes);
+  expect("crash_removals", rm.crash_removals, crashes);
+  expect("faults_on_departed_workers", rm.faults_on_departed_workers, 0);
+
+  // The recovery ladder must stop at its top rung: every crash recovers
+  // through an in-memory peer fetch (the generator only crashes
+  // block-holding ranks and always runs with r >= 1), with zero
+  // checkpoint-storage reads and zero re-seeds.
+  if (crashes > 0 && rm.peer_replica_fetches < crashes) {
+    verdict.violations.push_back(
+        "crash did not recover via peer replicas: peer_replica_fetches " +
+        std::to_string(rm.peer_replica_fetches) + " < crashes " +
+        std::to_string(crashes));
+  }
+  if (rm.checkpoint_restore_reads != 0) {
+    verdict.violations.push_back(
+        "recovery read checkpoint storage despite full replica coverage: " +
+        std::to_string(rm.checkpoint_restore_reads) + " read(s)");
+  }
+  if (rm.reseeds != 0) {
+    verdict.violations.push_back(
+        "partition re-seeded from initial weights despite full replica "
+        "coverage: " +
+        std::to_string(rm.reseeds) + " reseed(s)");
+  }
+
+  // The §14 headline: with full replica coverage the elastic run reproduces
+  // the plain fixed-membership run's weights bit-for-bit.
+  const std::vector<double> weights = engine->FullModel();
+  const uint32_t weights_crc =
+      ExtendCrc32c(0, weights.data(), weights.size() * sizeof(double));
+  if (weights_crc != baseline.weights_crc) {
+    verdict.violations.push_back(
+        "final weights diverged from the fixed-membership run: crc " +
+        std::to_string(weights_crc) + " != " +
+        std::to_string(baseline.weights_crc));
+  }
+
+  // Convergence, belt and braces on top of bitwise equality.
+  verdict.fault_loss = EvaluateLoss(engine->model(), weights, dataset,
+                                    dataset.num_rows());
+  if (!std::isfinite(verdict.fault_loss) ||
+      verdict.fault_loss >
+          baseline.clean_loss * (1.0 + base.epsilon) + kAbsLossSlack) {
+    verdict.violations.push_back(
+        "did not re-converge: faulty loss " + FormatG(verdict.fault_loss) +
+        " vs fault-free " + FormatG(baseline.clean_loss) + " (epsilon " +
+        FormatG(base.epsilon) + ")");
+  }
+
+  verdict.fingerprint = FoldRunFingerprint(*engine, rm, recorder);
+  return verdict;
+}
+
+std::string DescribeMembershipSchedule(const MembershipSchedule& schedule) {
+  std::string out = "r=" + std::to_string(schedule.replication) + " ";
+  for (const MembershipChange& m : schedule.schedule.plan.membership) {
+    out += (m.kind == MembershipChange::Kind::kShrink ? "shrink(@"
+                                                      : "grow(@") +
+           std::to_string(m.iteration) + ") ";
+  }
+  const std::string base = DescribeSchedule(schedule.schedule);
+  if (base != "(fault-free)") return out + base;
+  out.pop_back();
+  return out;
+}
+
+std::string MembershipReproCommand(const MembershipChaosOptions& options,
+                                   uint64_t seed) {
+  const ChaosOptions& base = options.base;
+  return "colsgd_chaos --scenario membership --seeds " +
+         std::to_string(seed) + " --engines " + base.engine + " --models " +
+         base.model + " --workers " + std::to_string(base.workers) +
+         " --iterations " + std::to_string(base.iterations) +
+         " --replication " + std::to_string(options.replication) +
+         " --spares " + std::to_string(options.spare_workers) +
+         " --batch_size " + std::to_string(base.batch_size) +
+         " --learning_rate " + FormatG(base.learning_rate) + " --data_rows " +
+         std::to_string(base.data_rows) + " --data_features " +
+         std::to_string(base.data_features) + " --epsilon " +
+         FormatG(base.epsilon);
+}
+
+std::string MembershipArtifactJson(const MembershipChaosOptions& options,
+                                   uint64_t seed,
+                                   const MembershipSchedule& schedule,
+                                   const ChaosVerdict& verdict) {
+  std::string out = "{\n  \"seed\": " + std::to_string(seed) +
+                    ",\n  \"engine\": ";
+  AppendJsonString(&out, options.base.engine);
+  out += ",\n  \"model\": ";
+  AppendJsonString(&out, options.base.model);
+  out += ",\n  \"replication\": " + std::to_string(schedule.replication);
+  out += ",\n  \"spare_workers\": " + std::to_string(options.spare_workers);
+  out += ",\n  \"schedule\": ";
+  AppendJsonString(&out, DescribeMembershipSchedule(schedule));
+  out += ",\n  \"completed\": ";
+  out += verdict.completed ? "true" : "false";
+  out += ",\n  \"diagnosis\": ";
+  AppendJsonString(&out, verdict.diagnosis);
+  out += ",\n  \"fault_loss\": ";
+  AppendJsonNumber(&out, verdict.fault_loss);
+  out += ",\n  \"clean_loss\": ";
+  AppendJsonNumber(&out, verdict.clean_loss);
+  out += ",\n  \"fingerprint\": " + std::to_string(verdict.fingerprint);
+  const RecoveryMetrics& rm = verdict.recovery;
+  out += ",\n  \"peer_replica_fetches\": " +
+         std::to_string(rm.peer_replica_fetches);
+  out += ",\n  \"checkpoint_restore_reads\": " +
+         std::to_string(rm.checkpoint_restore_reads);
+  out += ",\n  \"reseeds\": " + std::to_string(rm.reseeds);
+  out += ",\n  \"violations\": [";
+  for (size_t i = 0; i < verdict.violations.size(); ++i) {
+    out += i > 0 ? ", " : "";
+    AppendJsonString(&out, verdict.violations[i]);
+  }
+  out += "],\n  \"repro\": ";
+  AppendJsonString(&out, MembershipReproCommand(options, seed));
   out += "\n}\n";
   return out;
 }

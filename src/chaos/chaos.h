@@ -128,6 +128,76 @@ std::string ReproArtifactJson(const ChaosOptions& options, uint64_t seed,
 /// \brief The colsgd_chaos command line that replays `seed` exactly.
 std::string ReproCommand(const ChaosOptions& options, uint64_t seed);
 
+// --- Elastic-membership scenario (DESIGN.md §14) --------------------------
+//
+// --scenario membership targets the block-replication + elastic-membership
+// layer: scripted grow/shrink events mixed with worker crashes against a
+// cluster whose partitions keep r+1 in-memory copies. On top of the training
+// invariants, a membership run must COMPLETE (removing a rank is never an
+// excuse to fail), every scripted event must be accounted for exactly once
+// in the recovery counters, every crash must recover through a peer-replica
+// fetch with zero checkpoint-storage reads and zero re-seeds, and — the §14
+// headline — the final weights must be bit-identical to the plain
+// fixed-membership run's (full replica coverage preserves the math).
+
+/// \brief Configuration of one engine x model membership-chaos run.
+struct MembershipChaosOptions {
+  ChaosOptions base;
+  /// Extra in-memory copies per block (r); -1 draws r in
+  /// [1, min(3, workers - 1)] per seed, so every schedule carries at least
+  /// one replica and the peer-recovery invariant always applies.
+  int replication = -1;
+  /// Spare ranks a grow can activate: cluster max_workers = workers + spares.
+  int spare_workers = 2;
+};
+
+/// \brief A generated membership schedule: the fault plan (crashes, wire
+/// faults, scripted grow/shrink) plus the replication level it runs under.
+struct MembershipSchedule {
+  ChaosSchedule schedule;
+  int replication = 1;
+};
+
+/// \brief Fault-free yardstick for membership runs: the final loss plus the
+/// CRC32C of the final weight bytes of the PLAIN (fixed-membership) run.
+struct MembershipBaseline {
+  double clean_loss = std::numeric_limits<double>::quiet_NaN();
+  uint32_t weights_crc = 0;
+};
+
+/// \brief Runs the plain engine once and records loss + weight CRC.
+MembershipBaseline MembershipCleanBaseline(const ChaosOptions& options,
+                                           const Dataset& dataset);
+
+/// \brief Draws a randomized membership schedule from `seed`: at most one
+/// event per iteration, mirroring the engines' auto-pick rules so every
+/// event is valid when it fires. No partition windows (spare ranks break
+/// the group-split worker mapping) and no MTBF processes (unscripted
+/// crashes cannot be mirrored by the generator).
+MembershipSchedule GenerateMembershipSchedule(
+    uint64_t seed, const MembershipChaosOptions& options);
+
+/// \brief Trains an elastic engine under `schedule` and checks the
+/// membership invariants.
+ChaosVerdict RunMembershipSchedule(const MembershipChaosOptions& options,
+                                   const MembershipSchedule& schedule,
+                                   const Dataset& dataset,
+                                   const MembershipBaseline& baseline,
+                                   uint64_t seed);
+
+/// \brief Human-readable one-line membership-schedule summary.
+std::string DescribeMembershipSchedule(const MembershipSchedule& schedule);
+
+/// \brief The colsgd_chaos command line that replays membership `seed`.
+std::string MembershipReproCommand(const MembershipChaosOptions& options,
+                                   uint64_t seed);
+
+/// \brief JSON repro artifact for a failing membership seed.
+std::string MembershipArtifactJson(const MembershipChaosOptions& options,
+                                   uint64_t seed,
+                                   const MembershipSchedule& schedule,
+                                   const ChaosVerdict& verdict);
+
 }  // namespace chaos
 }  // namespace colsgd
 

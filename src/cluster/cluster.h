@@ -27,6 +27,12 @@ struct ClusterSpec {
   /// Per-node memory budget in bytes; engines that materialize more than
   /// this fail with OutOfMemory (reproduces Table V's MXNet OOM).
   uint64_t node_memory_budget = 4ull << 30;
+  /// Elastic membership (DESIGN.md §14): ranks beyond num_workers up to
+  /// max_workers exist as pre-provisioned spares — they get clocks and NICs
+  /// so a mid-run grow can activate them, but engines address only active
+  /// workers. 0 (the default) means a fixed cluster of num_workers and
+  /// changes nothing.
+  int max_workers = 0;
 
   /// \brief The paper's Cluster 1: 8 machines, 2 CPUs, 32 GB, 1 Gbps.
   static ClusterSpec Cluster1() {
@@ -61,8 +67,9 @@ class ClusterRuntime {
   /// (they get their own clock and NIC; see DESIGN.md calibration notes).
   explicit ClusterRuntime(const ClusterSpec& spec, int extra_nodes = 0)
       : spec_(spec),
-        net_(spec.num_workers + 1 + extra_nodes, spec.net),
-        clocks_(spec.num_workers + 1 + extra_nodes, 0.0) {}
+        total_workers_(std::max(spec.num_workers, spec.max_workers)),
+        net_(total_workers_ + 1 + extra_nodes, spec.net),
+        clocks_(total_workers_ + 1 + extra_nodes, 0.0) {}
 
   const ClusterSpec& spec() const { return spec_; }
   SimNetwork& net() { return net_; }
@@ -83,16 +90,20 @@ class ClusterRuntime {
   NodeId master() const { return 0; }
   NodeId worker_node(int k) const {
     COLSGD_CHECK_GE(k, 0);
-    COLSGD_CHECK_LT(k, spec_.num_workers);
+    COLSGD_CHECK_LT(k, total_workers_);
     return static_cast<NodeId>(k + 1);
   }
+  /// \brief Worker slots with simulated endpoints, active or spare
+  /// (== num_workers unless the spec provisions elastic spares).
+  int total_workers() const { return total_workers_; }
   /// \brief The i-th extra endpoint (requires extra_nodes > i at
-  /// construction).
+  /// construction). Extra endpoints sit after ALL worker slots, spares
+  /// included, so node ids never shift when membership changes.
   NodeId extra_node(int i) const {
     COLSGD_CHECK_GE(i, 0);
-    COLSGD_CHECK_LT(static_cast<size_t>(spec_.num_workers + 1 + i),
+    COLSGD_CHECK_LT(static_cast<size_t>(total_workers_ + 1 + i),
                     clocks_.size());
-    return static_cast<NodeId>(spec_.num_workers + 1 + i);
+    return static_cast<NodeId>(total_workers_ + 1 + i);
   }
 
   SimTime clock(NodeId node) const { return clocks_[node]; }
@@ -169,6 +180,7 @@ class ClusterRuntime {
 
  private:
   ClusterSpec spec_;
+  int total_workers_;
   SimNetwork net_;
   std::vector<SimTime> clocks_;
   Tracer* tracer_ = nullptr;

@@ -7,6 +7,7 @@
 #define COLSGD_CLUSTER_FAULT_FAILURE_DETECTOR_H_
 
 #include <algorithm>
+#include <set>
 
 namespace colsgd {
 
@@ -28,6 +29,12 @@ struct FailureDetectorConfig {
   /// severed link before the copy that finally lands (partition brown-out
   /// model; see DESIGN.md §10).
   int partition_retry_limit = 3;
+  /// Master-side coordination cost of a PLANNED departure (decommission):
+  /// the departing worker announces itself and hands off synchronously, so
+  /// no heartbeat window elapses — only this small control exchange. Kept
+  /// far below heartbeat_interval + heartbeat_timeout on purpose; clean
+  /// departures must not pay the crash-detection path (DESIGN.md §14).
+  double planned_handoff_delay = 0.02;
 };
 
 class FailureDetector {
@@ -65,11 +72,27 @@ class FailureDetector {
     return std::min(delay, config_.task_retry_max);
   }
 
+  /// \brief Master-clock delay of a planned decommission (no heartbeat
+  /// window; the departing worker is alive and coordinates its own exit).
+  double PlannedHandoffDelay() const { return config_.planned_handoff_delay; }
+
+  /// \brief Marks `worker` as departed (crashed and removed, or cleanly
+  /// decommissioned). Fault events targeting departed workers are skipped —
+  /// a rank that left the cluster cannot crash again, and charging
+  /// detection or retry backoff for it would be a spurious recovery path.
+  void MarkDeparted(int worker) { departed_.insert(worker); }
+
+  /// \brief Clears the departed mark when a rank rejoins on a grow.
+  void MarkRejoined(int worker) { departed_.erase(worker); }
+
+  bool departed(int worker) const { return departed_.count(worker) > 0; }
+
   double ack_timeout() const { return config_.ack_timeout; }
   const FailureDetectorConfig& config() const { return config_; }
 
  private:
   FailureDetectorConfig config_;
+  std::set<int> departed_;
 };
 
 }  // namespace colsgd

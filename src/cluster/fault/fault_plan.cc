@@ -65,6 +65,9 @@ FaultPlan::FaultPlan(FaultPlanConfig config) : config_(std::move(config)) {
   for (const FaultEvent& e : config_.scripted) {
     scripted_by_iter_[e.iteration].push_back(e);
   }
+  for (const MembershipChange& m : config_.membership) {
+    membership_by_iter_[m.iteration].push_back(m);
+  }
 }
 
 FaultPlan FaultPlan::Scripted(std::vector<FaultEvent> events) {
@@ -105,6 +108,18 @@ Status FaultPlan::Validate(const FaultPlanConfig& config) {
       return Status::InvalidArgument("scripted fault names worker " +
                                      std::to_string(e.worker) +
                                      " outside the cluster");
+    }
+  }
+  for (const MembershipChange& m : config.membership) {
+    if (m.iteration < 0) {
+      return Status::InvalidArgument(
+          "membership change at negative iteration " +
+          std::to_string(m.iteration));
+    }
+    if (m.worker < -1) {
+      return Status::InvalidArgument("membership change names worker " +
+                                     std::to_string(m.worker) +
+                                     "; use -1 for auto-pick");
     }
   }
   for (const NetworkPartitionSpec& p : config.partitions) {
@@ -171,6 +186,13 @@ std::vector<FaultEvent> FaultPlan::EventsAt(int64_t iteration) const {
     }
   }
   return events;
+}
+
+std::vector<MembershipChange> FaultPlan::MembershipAt(
+    int64_t iteration) const {
+  const auto it = membership_by_iter_.find(iteration);
+  return it == membership_by_iter_.end() ? std::vector<MembershipChange>{}
+                                         : it->second;
 }
 
 bool FaultPlan::DropMessage(int64_t iteration, int from, int to) const {

@@ -91,6 +91,19 @@ struct NetworkPartitionSpec {
   std::vector<int> side_a;
 };
 
+/// \brief Scripted elastic-membership events (DESIGN.md §14). `kShrink`
+/// decommissions a worker cleanly (planned departure: state is handed off
+/// before the rank leaves, no heartbeat detection); `kGrow` activates a
+/// spare rank and rebalances partitions onto it. `worker` = -1 lets the
+/// engine auto-pick (shrink: the highest-id active worker; grow: the
+/// lowest-id inactive rank).
+struct MembershipChange {
+  enum class Kind { kShrink, kGrow };
+  int64_t iteration = 0;  // fires at the start of this iteration
+  Kind kind = Kind::kShrink;
+  int worker = -1;
+};
+
 /// \brief How a checkpoint write is damaged, if at all.
 enum class CheckpointFault {
   kNone,
@@ -122,6 +135,10 @@ struct FaultPlanConfig {
   /// Drawn only when the write was not already torn.
   double checkpoint_bitrot_prob = 0.0;
   StragglerSpec stragglers;
+  /// Scripted grow/shrink membership events; only engines that report
+  /// SupportsMembership accept plans with any (Engine::set_faults rejects
+  /// the rest).
+  std::vector<MembershipChange> membership;
 };
 
 class FaultPlan {
@@ -143,6 +160,13 @@ class FaultPlan {
   /// \brief All faults firing at the start of `iteration`: the scripted ones
   /// (in script order) followed by the probabilistic draws (by worker).
   std::vector<FaultEvent> EventsAt(int64_t iteration) const;
+
+  /// \brief Scripted membership changes firing at the start of `iteration`
+  /// (script order). Processed before the iteration's fault events.
+  std::vector<MembershipChange> MembershipAt(int64_t iteration) const;
+
+  /// \brief Whether the plan scripts any grow/shrink event.
+  bool has_membership() const { return !config_.membership.empty(); }
 
   /// \brief Whether the message sent on `iteration` from node `from` to node
   /// `to` is lost in flight.
@@ -199,6 +223,8 @@ class FaultPlan {
 
   FaultPlanConfig config_;
   std::unordered_map<int64_t, std::vector<FaultEvent>> scripted_by_iter_;
+  std::unordered_map<int64_t, std::vector<MembershipChange>>
+      membership_by_iter_;
 };
 
 }  // namespace colsgd

@@ -1,0 +1,66 @@
+#include "cluster/membership.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+
+namespace colsgd {
+
+MembershipView::MembershipView(int initial_workers, int max_workers)
+    : max_workers_(std::max(initial_workers, max_workers)) {
+  COLSGD_CHECK_GT(initial_workers, 0);
+  active_.reserve(initial_workers);
+  for (int w = 0; w < initial_workers; ++w) active_.push_back(w);
+}
+
+bool MembershipView::is_active(int rank) const {
+  return std::binary_search(active_.begin(), active_.end(), rank);
+}
+
+Status MembershipView::Remove(int rank) {
+  const auto it = std::lower_bound(active_.begin(), active_.end(), rank);
+  if (it == active_.end() || *it != rank) {
+    return Status::FailedPrecondition("rank " + std::to_string(rank) +
+                                      " is not active");
+  }
+  if (active_.size() == 1) {
+    return Status::FailedPrecondition(
+        "cannot remove the last active worker");
+  }
+  active_.erase(it);
+  ++generation_;
+  return Status::OK();
+}
+
+Status MembershipView::Add(int rank) {
+  if (rank < 0 || rank >= max_workers_) {
+    return Status::InvalidArgument("rank " + std::to_string(rank) +
+                                   " is outside the provisioned cluster of " +
+                                   std::to_string(max_workers_));
+  }
+  const auto it = std::lower_bound(active_.begin(), active_.end(), rank);
+  if (it != active_.end() && *it == rank) {
+    return Status::FailedPrecondition("rank " + std::to_string(rank) +
+                                      " is already active");
+  }
+  active_.insert(it, rank);
+  ++generation_;
+  return Status::OK();
+}
+
+int MembershipView::PickShrink() const {
+  return active_.size() > 1 ? active_.back() : -1;
+}
+
+int MembershipView::PickGrow() const {
+  // Lowest-id inactive rank: walk the sorted active list for the first gap.
+  int expected = 0;
+  for (int rank : active_) {
+    if (rank != expected) return expected;
+    ++expected;
+  }
+  return expected < max_workers_ ? expected : -1;
+}
+
+}  // namespace colsgd

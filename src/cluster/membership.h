@@ -1,0 +1,59 @@
+// Elastic cluster membership (DESIGN.md §14): the master's view of which
+// worker ranks are active, and how that set changes mid-run.
+//
+// The runtime pre-provisions max_workers rank slots (clocks + NICs); the
+// MembershipView tracks which of them currently participate in BSP rounds.
+// Shrink removes a rank (planned decommission or crash removal), grow
+// activates a spare. Auto-pick is deterministic — shrink takes the
+// highest-id active rank, grow the lowest-id inactive one — so a scripted
+// `grow@iter` with no explicit rank replays identically everywhere,
+// including inside the chaos harness's schedule generator.
+#ifndef COLSGD_CLUSTER_MEMBERSHIP_H_
+#define COLSGD_CLUSTER_MEMBERSHIP_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace colsgd {
+
+class MembershipView {
+ public:
+  MembershipView() = default;
+  /// \brief Ranks [0, initial_workers) start active; ranks
+  /// [initial_workers, max_workers) are provisioned spares.
+  MembershipView(int initial_workers, int max_workers);
+
+  /// \brief Active ranks, ascending. BSP rounds iterate exactly this set.
+  const std::vector<int>& active() const { return active_; }
+  int num_active() const { return static_cast<int>(active_.size()); }
+  int max_workers() const { return max_workers_; }
+  bool is_active(int rank) const;
+
+  /// \brief Reconfiguration epoch: bumps on every successful Add/Remove.
+  int64_t generation() const { return generation_; }
+
+  /// \brief Deactivates a rank (decommission or crash removal). Refuses to
+  /// remove the last active rank or one that is not active.
+  Status Remove(int rank);
+
+  /// \brief Activates a provisioned spare rank.
+  Status Add(int rank);
+
+  /// \brief Auto-pick for `shrink@iter` with no explicit rank: the
+  /// highest-id active rank, or -1 when only one rank remains.
+  int PickShrink() const;
+
+  /// \brief Auto-pick for `grow@iter`: the lowest-id inactive rank, or -1
+  /// when every provisioned rank is already active.
+  int PickGrow() const;
+
+ private:
+  std::vector<int> active_;
+  int max_workers_ = 0;
+  int64_t generation_ = 0;
+};
+
+}  // namespace colsgd
+
+#endif  // COLSGD_CLUSTER_MEMBERSHIP_H_

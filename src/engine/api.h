@@ -36,6 +36,24 @@ struct FaultConfig {
   CheckpointConfig checkpoint;
 };
 
+/// \brief Elastic-membership settings (DESIGN.md §14). Replication r keeps
+/// r+1 in-memory copies of every partition's model slice and data shard via
+/// the block store, so crashes and shrinks recover peer-to-peer instead of
+/// from checkpoint storage. Spare ranks a grow can activate are provisioned
+/// by ClusterSpec::max_workers. Engines enter elastic mode when `enabled` is
+/// set or the fault plan scripts membership events.
+struct ElasticConfig {
+  bool enabled = false;
+  /// Extra in-memory copies per block (r). 0 keeps a single copy: crashes
+  /// fall back to the checkpoint/re-seed ladder exactly like the
+  /// fixed-membership path.
+  int replication = 1;
+  /// Seed of the permuted block->rank placement.
+  uint64_t placement_seed = 0x9E157E;
+  /// ReStore-style permutation range width (BlockStoreConfig).
+  int blocks_per_permutation_range = 64;
+};
+
 /// \brief Hyperparameters and run settings shared by every engine.
 struct TrainConfig {
   std::string model = "lr";          // "lr" | "svm" | "mlr<C>" | "fm<F>"
@@ -51,6 +69,7 @@ struct TrainConfig {
   /// DESIGN.md calibration).
   double sched_overhead = -1.0;
   TransformCostConfig transform_cost;
+  ElasticConfig elastic;
 };
 
 /// \brief One point of a training trace.
@@ -132,6 +151,10 @@ class Engine {
     FaultPlan plan = faults.plan;
     plan.set_num_workers(cluster_spec_.num_workers);
     COLSGD_RETURN_NOT_OK(FaultPlan::Validate(plan.config()));
+    if (plan.has_membership() && !SupportsMembership()) {
+      return Status::InvalidArgument(
+          name() + " does not support scripted membership events");
+    }
     faults_ = std::move(faults);
     faults_.plan = std::move(plan);
     detector_ = FailureDetector(faults_.detector);
@@ -175,6 +198,20 @@ class Engine {
   /// nothing and pays nothing (a stateless worker).
   virtual void RecoverWorkerFailure(const FaultEvent& event) { (void)event; }
 
+  /// \brief Whether the engine implements ApplyMembershipChange; set_faults
+  /// rejects plans with scripted grow/shrink events on engines that don't.
+  virtual bool SupportsMembership() const { return false; }
+
+  /// \brief Applies one scripted grow/shrink event to the engine's state
+  /// (ownership reassignment, state handoff, re-replication) and charges the
+  /// simulated cost. The caller (ProcessMembership) measures the time and
+  /// bytes around it.
+  virtual Status ApplyMembershipChange(const MembershipChange& change) {
+    (void)change;
+    return Status::InvalidArgument(name() +
+                                   " cannot change cluster membership");
+  }
+
   /// \brief Charges the traffic of gathering the model to the master for a
   /// checkpoint. Engines whose current model already lives at the master (or
   /// a master-equivalent) charge nothing.
@@ -211,8 +248,22 @@ class Engine {
   /// \brief Fires this iteration's fault events: task failures charge
   /// exponential-backoff retries on the failed worker; worker failures
   /// charge heartbeat detection on the master, invoke the engine's recovery
-  /// path, and measure recovery time + retransferred bytes.
+  /// path, and measure recovery time + retransferred bytes. Events that
+  /// target already-departed workers are skipped (no spurious recovery).
   void ProcessFaults(int64_t iteration);
+
+  /// \brief Fires this iteration's scripted membership changes (before the
+  /// fault events): charges the planned-handoff control exchange on the
+  /// master, invokes ApplyMembershipChange, and measures the time and bytes
+  /// the change moved.
+  Status ProcessMembership(int64_t iteration);
+
+  /// \brief Whether this run should use the elastic (block-store-backed)
+  /// path: explicitly enabled, or the fault plan scripts membership events.
+  /// Engines read this in Setup (set_faults precedes Setup in every driver).
+  bool ElasticRequested() const {
+    return config_.elastic.enabled || faults_.plan.has_membership();
+  }
 
   /// \brief Takes a periodic checkpoint of the full model via model_io,
   /// charging gather traffic and the stable-storage write.
@@ -249,8 +300,10 @@ class Engine {
   }
 
   /// \brief Charges a stable-storage read of `bytes` on `node`'s clock
-  /// (checkpoint restore).
+  /// (checkpoint restore). Counted in checkpoint_restore_reads — the
+  /// peer-recovery invariant is that replicated crashes keep this at zero.
   void ChargeCheckpointRead(NodeId node, uint64_t bytes) {
+    ++recovery_.checkpoint_restore_reads;
     runtime_->AdvanceClock(
         node, static_cast<double>(bytes) / faults_.checkpoint.disk_bandwidth);
   }

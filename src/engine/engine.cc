@@ -41,8 +41,11 @@ Status Engine::RunIteration(int64_t iteration) {
     tracer_->BeginIteration(iteration,
                             runtime_->clock(runtime_->master()));
   }
-  ProcessFaults(iteration);
-  Status status = DoRunIteration(iteration);
+  Status status = ProcessMembership(iteration);
+  if (status.ok()) {
+    ProcessFaults(iteration);
+    status = DoRunIteration(iteration);
+  }
   if (status.ok()) {
     TracePhase(Phase::kCheckpoint);
     status = MaybeCheckpoint(iteration);
@@ -102,9 +105,17 @@ void Engine::ProcessFaults(int64_t iteration) {
 
   // Multiple task failures of the same worker in one iteration back off
   // exponentially (attempt counter resets every iteration).
-  std::vector<int> attempts(cluster_spec_.num_workers, 0);
+  std::vector<int> attempts(runtime_->total_workers(), 0);
   for (const FaultEvent& event : events) {
-    if (event.worker < 0 || event.worker >= cluster_spec_.num_workers) {
+    if (event.worker < 0 || event.worker >= runtime_->total_workers()) {
+      continue;
+    }
+    if (detector_.departed(event.worker)) {
+      // The rank already left the cluster (crash removal or clean
+      // decommission): nothing to detect, nothing to retry. Charging the
+      // heartbeat window or backoff here would be the spurious recovery
+      // path the detector satellite exists to prevent.
+      ++recovery_.faults_on_departed_workers;
       continue;
     }
     if (event.kind == FaultKind::kTaskFailure) {
@@ -156,6 +167,38 @@ void Engine::ProcessFaults(int64_t iteration) {
                           after.bytes_sent - before.bytes_sent, iteration);
     }
   }
+}
+
+Status Engine::ProcessMembership(int64_t iteration) {
+  if (!faults_.plan.has_membership()) return Status::OK();
+  const std::vector<MembershipChange> changes =
+      faults_.plan.MembershipAt(iteration);
+  for (const MembershipChange& change : changes) {
+    // Membership changes are master-coordinated barriers: everyone reaches
+    // the reconfiguration point, the master runs the (cheap, planned)
+    // control exchange, the engine moves state, and the cluster resumes
+    // from a common clock.
+    runtime_->Barrier();
+    const TrafficStats before = runtime_->net().TotalStats();
+    const SimTime start = runtime_->clock(runtime_->master());
+    runtime_->AdvanceClock(runtime_->master(),
+                           detector_.PlannedHandoffDelay());
+    COLSGD_RETURN_NOT_OK(ApplyMembershipChange(change));
+    runtime_->Barrier();
+    const TrafficStats after = runtime_->net().TotalStats();
+    recovery_.membership_seconds +=
+        runtime_->clock(runtime_->master()) - start;
+    recovery_.membership_bytes_moved += after.bytes_sent - before.bytes_sent;
+    if (tracer_ != nullptr) {
+      tracer_->RecordSpan(
+          change.kind == MembershipChange::Kind::kGrow ? "membership.grow"
+                                                       : "membership.shrink",
+          runtime_->master(), start,
+          runtime_->clock(runtime_->master()) - start,
+          after.bytes_sent - before.bytes_sent, iteration);
+    }
+  }
+  return Status::OK();
 }
 
 Status Engine::MaybeCheckpoint(int64_t iteration) {

@@ -49,6 +49,37 @@ struct RecoveryMetrics {
   /// Damaged checkpoint images a restore had to skip before finding a valid
   /// (older) one — each skip is one generation of updates lost to storage.
   int64_t checkpoint_fallbacks = 0;
+
+  // --- Elastic membership + block replication (DESIGN.md §14) ------------
+
+  /// Blocks recovered from an in-memory peer replica (the top rung of the
+  /// recovery ladder: peer fetch -> checkpoint -> re-seed).
+  int64_t peer_replica_fetches = 0;
+  /// Wire bytes of those peer-replica transfers (sealed block images).
+  uint64_t peer_fetch_bytes = 0;
+  /// Replica copies rejected by their CRC32C trailer during a fetch (the
+  /// fetch fell through to the next holder).
+  int64_t replica_crc_rejections = 0;
+  /// Stable-storage checkpoint reads during recovery. The headline elastic
+  /// invariant: a crash with enough replication recovers with this at 0.
+  int64_t checkpoint_restore_reads = 0;
+  /// Partitions whose state had no live copy anywhere and restarted from
+  /// initial weights (the bottom rung).
+  int64_t reseeds = 0;
+  /// Clean decommissions (scripted shrink events).
+  int64_t planned_departures = 0;
+  /// Grow events that activated a spare rank.
+  int64_t grows = 0;
+  /// Crashed workers removed from the active set (as opposed to the fixed
+  /// -membership path that repairs a worker in place).
+  int64_t crash_removals = 0;
+  /// Fault events targeting already-departed workers, skipped instead of
+  /// charging a spurious recovery path (satellite: FailureDetector).
+  int64_t faults_on_departed_workers = 0;
+  /// Master-clock seconds spent applying membership changes (handoff,
+  /// rebalance, re-replication) and the bytes those transfers moved.
+  double membership_seconds = 0.0;
+  uint64_t membership_bytes_moved = 0;
 };
 
 struct BinaryMetrics {

@@ -9,13 +9,21 @@
 //    weight/gradient buffers per iteration (the kvstore arrays), which is
 //    what makes its per-iteration time grow with the model size (Table IV)
 //    and what runs out of memory for the billion-parameter FM (Table V).
+// Elastic membership (DESIGN.md §14): logical data partitions and server
+// shards stay pinned at the initial worker count; a block store keeps r+1
+// copies of every shard slice, kept current by mirroring pushes to replica
+// servers, so a crashed shard promotes a replica instead of reading a
+// checkpoint. Row data always re-reads from (simulated) stable storage —
+// that is the row-oriented baselines' natural recovery path.
 #ifndef COLSGD_ENGINE_PS_H_
 #define COLSGD_ENGINE_PS_H_
 
 #include <memory>
 #include <vector>
 
+#include "cluster/membership.h"
 #include "engine/api.h"
+#include "storage/block_store.h"
 #include "storage/partitioner.h"
 
 namespace colsgd {
@@ -40,17 +48,53 @@ class PsEngine : public Engine {
   uint64_t ServerMemoryBytes(int server) const;
   uint64_t WorkerMemoryBytes(int worker) const;
 
+  bool elastic() const { return elastic_; }
+  const MembershipView& membership() const { return membership_; }
+  const BlockStore& block_store() const { return block_store_; }
+  BlockStore* mutable_block_store() { return &block_store_; }
+
  protected:
   Status DoRunIteration(int64_t iteration) override;
   /// \brief Node death takes worker w AND its co-located server shard w:
   /// the worker re-reads its row partition; the shard restores from the last
-  /// checkpoint (or re-initializes, losing its slice's updates).
+  /// checkpoint (or re-initializes, losing its slice's updates). Elastic
+  /// runs remove the rank instead and promote a mirrored shard replica.
   void RecoverWorkerFailure(const FaultEvent& event) override;
   /// \brief Every server ships its shard to the master.
   void ChargeCheckpointGather() override;
+  bool SupportsMembership() const override { return true; }
+  Status ApplyMembershipChange(const MembershipChange& change) override;
 
  private:
   size_t WorkerBatchSize(int worker) const;
+
+  // --- Elastic membership (DESIGN.md §14) -------------------------------
+  // One logical index p <- [0, K0) names both data partition p and server
+  // shard p; the front holder of shard block p owns both. Shard replicas
+  // receive mirrored pushes (charged r-fold), so promotion moves no state.
+  int PartitionOwner(int p) const;
+  /// \brief Re-seals shard p's slice image (weights + optimizer state in
+  /// shard-local layout) on all current holders.
+  void RefreshShardBlock(int p);
+  std::vector<uint8_t> SerializeShardSlice(int p) const;
+  /// \brief Least-loaded (fewest shards held) active rank not holding shard
+  /// p and != exclude; -1 when none qualifies.
+  int LeastLoadedTarget(int p, int exclude) const;
+  /// \brief Ships shard p's sealed image between server endpoints and
+  /// installs the copy; returns the wire bytes.
+  uint64_t ReplicateShard(int p, int from, int to, bool as_primary,
+                          int64_t iteration);
+  uint64_t RestoreReplication(int p, int64_t iteration);
+  /// \brief Worker `rank` re-reads data partition p from stable storage and
+  /// re-materializes its dense kvstore arrays (ownership moved to it).
+  void ChargeDataPartitionRead(int p, int rank);
+  /// \brief Ladder bottom for shard p: checkpoint restore or re-initialize
+  /// onto a fresh owner, then re-establish replication.
+  void RebuildShard(int p, int64_t iteration);
+  void RecoverElasticCrash(const FaultEvent& event);
+  Status ElasticShrink(int worker, int64_t iteration);
+  Status ElasticGrow(int rank, int64_t iteration);
+  Status DoRunIterationElastic(int64_t iteration);
 
   PsOptions options_;
   uint64_t num_features_ = 0;
@@ -63,6 +107,10 @@ class PsEngine : public Engine {
   std::unique_ptr<ColumnPartitioner> shard_map_;  // feature -> server
   std::vector<std::vector<RowBlock>> partitions_;
   std::vector<uint64_t> partition_rows_;
+
+  bool elastic_ = false;
+  MembershipView membership_;
+  BlockStore block_store_;
 };
 
 }  // namespace colsgd

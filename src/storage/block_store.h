@@ -1,0 +1,181 @@
+// In-memory replicated block store (DESIGN.md §14): the substrate of
+// elastic cluster membership.
+//
+// Every unit of recoverable state — a partition's model slice, one workset
+// of its column-sharded data — is sealed into a block image (header +
+// payload + CRC32C trailer, the same trailer discipline as data-plane
+// frames and checkpoint files) and held on r+1 ranks. Placement follows
+// ReStore's scheme: block ids are grouped into permutation ranges of
+// `blocks_per_permutation_range` ids, each range hashes to a seeded start
+// rank, and the copies of a block land on consecutive ranks from there, so
+// load spreads evenly and any r simultaneous rank losses leave at least one
+// copy alive. A failed rank's blocks are then re-fetched peer-to-peer from
+// surviving holders instead of stable storage; a corrupted copy fails its
+// trailer check and the fetch falls through to the next holder.
+#ifndef COLSGD_STORAGE_BLOCK_STORE_H_
+#define COLSGD_STORAGE_BLOCK_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace colsgd {
+
+/// \brief Static placement parameters. `replication` is r: each block has
+/// r+1 copies (r = 0 keeps a single copy and recovery degrades to the
+/// checkpoint/re-seed ladder).
+struct BlockStoreConfig {
+  int num_ranks = 0;
+  int replication = 1;
+  uint64_t seed = 0;
+  /// Consecutive block ids sharing one permuted start rank (ReStore's
+  /// blocksPerPermutationRange); keeps placement cache-friendly without
+  /// letting one rank own a long run of blocks.
+  int blocks_per_permutation_range = 64;
+};
+
+/// \brief Seeded permuted block -> rank placement. Pure function of the
+/// config — master and every worker compute identical holder sets with no
+/// coordination.
+class BlockPlacement {
+ public:
+  BlockPlacement() = default;
+  explicit BlockPlacement(const BlockStoreConfig& config);
+
+  /// \brief The r+1 distinct holder ranks of `block_id`, primary first.
+  /// Requires replication < num_ranks.
+  std::vector<int> Holders(uint64_t block_id) const;
+
+  /// \brief Holder set with a caller-chosen primary (engines pin a
+  /// partition's primary to its natural owner); the r replicas are drawn
+  /// from the seeded permuted stream, skipping the primary. All returned
+  /// ranks are distinct.
+  std::vector<int> HoldersWithPrimary(uint64_t block_id, int primary) const;
+
+  const BlockStoreConfig& config() const { return config_; }
+
+ private:
+  BlockStoreConfig config_;
+};
+
+/// \brief Sealing/unsealing of block images: a fixed header (magic, block
+/// id, payload length), the payload, and a CRC32C trailer over everything
+/// before it. Unseal verifies the trailer and rejects damaged images with
+/// SerializationError.
+struct BlockImage {
+  uint64_t block_id = 0;
+  std::vector<uint8_t> payload;
+
+  static std::vector<uint8_t> Seal(uint64_t block_id,
+                                   const std::vector<uint8_t>& payload);
+  static Result<BlockImage> Unseal(const std::vector<uint8_t>& image);
+  /// \brief Sealed size of a payload (header + payload + trailer); what the
+  /// network model charges for shipping one copy.
+  static uint64_t SealedSize(uint64_t payload_size);
+};
+
+/// \brief One partition's model slice as a serializable block payload:
+/// local weights plus optimizer state.
+struct ModelSliceBlock {
+  int64_t partition = 0;
+  std::vector<double> weights;
+  std::vector<double> opt_state;
+
+  std::vector<uint8_t> Serialize() const;
+  static Result<ModelSliceBlock> Deserialize(const std::vector<uint8_t>& data);
+};
+
+/// \brief Result of fetching one block: the first copy whose trailer
+/// verified, where it came from, and which holders had to be skipped.
+struct BlockFetch {
+  std::vector<uint8_t> payload;
+  int rank = -1;
+  /// Holders whose copy failed the CRC check before `rank` served a good
+  /// one (each is one replica_crc_rejection in RecoveryMetrics).
+  std::vector<int> rejected_ranks;
+  /// Sealed bytes of the served copy (what crossing the wire would cost).
+  uint64_t wire_bytes = 0;
+};
+
+/// \brief The replicated store itself: per block, an ordered holder list
+/// (front = primary/owner) and one sealed image per holder. Single
+/// materialized object in the simulation; per-rank residency is tracked so
+/// byte accounting and corruption are per-copy.
+class BlockStore {
+ public:
+  BlockStore() = default;
+  explicit BlockStore(const BlockStoreConfig& config)
+      : config_(config), placement_(config) {}
+
+  const BlockStoreConfig& config() const { return config_; }
+  const BlockPlacement& placement() const { return placement_; }
+
+  /// \brief Seals `payload` and installs one copy on every rank in
+  /// `holders` (ordered, primary first). Replaces any previous block with
+  /// the same id.
+  void Put(uint64_t block_id, const std::vector<uint8_t>& payload,
+           std::vector<int> holders);
+
+  /// \brief Re-seals a block's payload on all current holders (model slices
+  /// advance every iteration; data blocks never need this).
+  void Refresh(uint64_t block_id, const std::vector<uint8_t>& payload);
+
+  /// \brief Fetches the block, trying holders in order and skipping copies
+  /// whose trailer fails; NotFound when the block is unknown,
+  /// SerializationError when every copy is damaged.
+  Result<BlockFetch> Fetch(uint64_t block_id) const;
+
+  /// \brief Flips one bit of the sealed copy held by `rank` (fault
+  /// injection; the next Fetch rejects that copy).
+  void FlipBit(uint64_t block_id, int rank, uint64_t bit);
+
+  /// \brief Ordered holders of a block (empty when unknown).
+  const std::vector<int>& Holders(uint64_t block_id) const;
+
+  /// \brief Adds `rank` as a holder, copying the image from a surviving
+  /// copy; as_primary moves it to the front of the holder order.
+  void AddHolder(uint64_t block_id, int rank, bool as_primary = false);
+
+  /// \brief Removes `rank` from one block's holder set, dropping its copy.
+  void RemoveHolder(uint64_t block_id, int rank);
+
+  /// \brief Moves `rank` to the front of the block's holder order (owner
+  /// promotion after the previous primary departed).
+  void MakePrimary(uint64_t block_id, int rank);
+
+  /// \brief Drops every copy held by `rank` (rank crashed or was
+  /// decommissioned). Blocks whose last copy vanishes keep an empty holder
+  /// list — Fetch then reports NotFound and the caller falls down the
+  /// recovery ladder.
+  void DropRank(int rank);
+
+  /// \brief Sealed size of the block's primary image (0 when unknown) —
+  /// what shipping one copy costs on the wire.
+  uint64_t ImageSize(uint64_t block_id) const;
+
+  /// \brief Block ids `rank` holds a copy of, ascending.
+  std::vector<uint64_t> BlocksHeldBy(int rank) const;
+
+  /// \brief Total sealed bytes resident on `rank`.
+  uint64_t BytesHeldBy(int rank) const;
+
+  size_t num_blocks() const { return blocks_.size(); }
+
+ private:
+  struct Entry {
+    std::vector<int> holders;
+    /// rank -> sealed image. Copies start bit-identical; FlipBit diverges
+    /// one of them.
+    std::map<int, std::vector<uint8_t>> images;
+  };
+
+  BlockStoreConfig config_;
+  BlockPlacement placement_;
+  std::map<uint64_t, Entry> blocks_;
+};
+
+}  // namespace colsgd
+
+#endif  // COLSGD_STORAGE_BLOCK_STORE_H_

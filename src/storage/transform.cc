@@ -286,10 +286,29 @@ WorksetStore ReloadWorkerShards(const std::vector<RowBlock>& blocks,
                                 const ColumnPartitioner& partitioner,
                                 int failed_worker, ClusterRuntime* runtime,
                                 const TransformCostConfig& cost) {
+  std::vector<int> readers(runtime->num_workers());
+  for (int k = 0; k < runtime->num_workers(); ++k) readers[k] = k;
+  return ReloadPartitionShards(blocks, partitioner, failed_worker,
+                               failed_worker, readers, runtime, cost);
+}
+
+WorksetStore ReloadPartitionShards(const std::vector<RowBlock>& blocks,
+                                   const ColumnPartitioner& partitioner,
+                                   int partition, int dest_worker,
+                                   const std::vector<int>& readers,
+                                   ClusterRuntime* runtime,
+                                   const TransformCostConfig& cost) {
+  COLSGD_CHECK(!readers.empty());
   WorksetStore store;
-  ReceiverTracker tracker(runtime->num_workers());
+  ReceiverTracker tracker(runtime->total_workers());
   for (const RowBlock& block : blocks) {
-    const int reader = NextIdleWorker(*runtime);
+    int reader = readers.front();
+    for (int k : readers) {
+      if (runtime->clock(runtime->worker_node(k)) <
+          runtime->clock(runtime->worker_node(reader))) {
+        reader = k;
+      }
+    }
     const NodeId reader_node = runtime->worker_node(reader);
     runtime->Send(runtime->master(), reader_node, kAssignmentMsgBytes);
     ChargeBlockRead(block, reader_node, cost.csr_ingest_per_byte, runtime,
@@ -297,16 +316,16 @@ WorksetStore ReloadWorkerShards(const std::vector<RowBlock>& blocks,
     runtime->AdvanceClock(
         reader_node, static_cast<double>(block.rows.nnz()) * cost.split_per_nnz);
     std::vector<Workset> worksets = SplitBlock(block, partitioner);
-    Workset& shard = worksets[failed_worker];
+    Workset& shard = worksets[partition];
     const double receive_cpu = cost.serialize_per_msg +
                                static_cast<double>(shard.shard.nnz()) *
                                    cost.insert_per_nnz;
-    if (reader != failed_worker) {
+    if (reader != dest_worker) {
       runtime->AdvanceClock(reader_node, cost.serialize_per_msg);
-      tracker.Transfer(runtime, reader_node, failed_worker,
+      tracker.Transfer(runtime, reader_node, dest_worker,
                        shard.SerializedSize(), receive_cpu);
     } else {
-      tracker.Local(failed_worker, receive_cpu);
+      tracker.Local(dest_worker, receive_cpu);
     }
     store.Put(std::move(shard));
   }

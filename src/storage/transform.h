@@ -104,6 +104,17 @@ WorksetStore ReloadWorkerShards(const std::vector<RowBlock>& blocks,
                                 int failed_worker, ClusterRuntime* runtime,
                                 const TransformCostConfig& cost);
 
+/// \brief Elastic-membership generalization of ReloadWorkerShards: rebuilds
+/// logical `partition`'s worksets onto `dest_worker` (which need not equal
+/// the partition index once ownership has moved), drawing block readers from
+/// `readers` — the currently active ranks — so departed ranks never parse.
+WorksetStore ReloadPartitionShards(const std::vector<RowBlock>& blocks,
+                                   const ColumnPartitioner& partitioner,
+                                   int partition, int dest_worker,
+                                   const std::vector<int>& readers,
+                                   ClusterRuntime* runtime,
+                                   const TransformCostConfig& cost);
+
 }  // namespace colsgd
 
 #endif  // COLSGD_STORAGE_TRANSFORM_H_

@@ -15,13 +15,21 @@
 // dumped as a JSON repro artifact (--artifact) whose "repro" field is the
 // exact command line that replays it. Exit status 1 when any seed fails.
 //
-// --scenario serving targets the serving plane instead: shard-server
-// failures and (possibly bit-rotted) hot-swap images under sustained load,
-// with the serving invariants — no wrong answers, conservation, bounded SLO
+// --scenario membership targets the elastic-membership layer instead:
+// scripted grow/shrink events mixed with crashes against a block-replicated
+// cluster, with the membership invariants — must complete, exact event
+// accounting, peer-replica recovery with zero checkpoint-storage reads,
+// bit-identical final weights vs the fixed-membership run — checked per
+// seed (chaos/chaos.h).
+//
+// --scenario serving targets the serving plane: shard-server failures and
+// (possibly bit-rotted) hot-swap images under sustained load, with the
+// serving invariants — no wrong answers, conservation, bounded SLO
 // degradation — checked per seed (serve/serving_chaos.h).
 //
 //   colsgd_chaos --seeds 0..31 --engines all
 //   colsgd_chaos --seeds 17 --engines petuum --verbose true
+//   colsgd_chaos --scenario membership --seeds 0..15 --engines all
 //   colsgd_chaos --scenario serving --seeds 0..15 --models lr
 #include <cstdio>
 #include <cstdlib>
@@ -72,6 +80,85 @@ std::vector<uint64_t> ParseSeeds(const std::string& spec) {
   }
   COLSGD_CHECK(!seeds.empty()) << "empty --seeds: " << spec;
   return seeds;
+}
+
+/// \brief The --scenario membership loop: scripted grow/shrink + crash
+/// schedules against the elastic engines (block replication, DESIGN.md §14).
+/// Same structure as the training loop — two runs per seed, fingerprint
+/// compare, repro artifact on the first failure — with the membership
+/// invariants (must complete, event accounting, peer-replica recovery with
+/// zero checkpoint reads, bit-identical final weights) instead.
+int RunMembershipSeeds(const chaos::MembershipChaosOptions& base,
+                       const std::vector<std::string>& engines,
+                       const std::vector<std::string>& models,
+                       const std::vector<uint64_t>& seeds,
+                       const std::string& artifact, bool verbose) {
+  int64_t runs = 0;
+  int64_t failures = 0;
+  bool artifact_written = false;
+  const Dataset dataset = chaos::ChaosDataset(base.base);
+  for (const std::string& model : models) {
+    for (const std::string& engine : engines) {
+      chaos::MembershipChaosOptions options = base;
+      options.base.engine = engine;
+      options.base.model = model;
+      const chaos::MembershipBaseline baseline =
+          chaos::MembershipCleanBaseline(options.base, dataset);
+      if (verbose) {
+        std::printf("[membership %s x %s] fault-free loss %.6f weights crc "
+                    "%08x\n",
+                    engine.c_str(), model.c_str(), baseline.clean_loss,
+                    baseline.weights_crc);
+      }
+      for (uint64_t seed : seeds) {
+        const chaos::MembershipSchedule schedule =
+            chaos::GenerateMembershipSchedule(seed, options);
+        chaos::ChaosVerdict verdict = chaos::RunMembershipSchedule(
+            options, schedule, dataset, baseline, seed);
+        const chaos::ChaosVerdict replay = chaos::RunMembershipSchedule(
+            options, schedule, dataset, baseline, seed);
+        ++runs;
+        if (replay.fingerprint != verdict.fingerprint) {
+          verdict.violations.push_back(
+              "nondeterministic: replay fingerprint " +
+              std::to_string(replay.fingerprint) + " != " +
+              std::to_string(verdict.fingerprint));
+        }
+        if (verbose) {
+          std::printf("[membership %s x %s] seed %llu %s fp=%08x  %s\n",
+                      engine.c_str(), model.c_str(),
+                      static_cast<unsigned long long>(seed),
+                      verdict.ok() ? "ok  " : "FAIL", verdict.fingerprint,
+                      chaos::DescribeMembershipSchedule(schedule).c_str());
+        }
+        if (verdict.ok()) continue;
+        ++failures;
+        std::printf("[membership %s x %s] seed %llu FAILED (%s):\n",
+                    engine.c_str(), model.c_str(),
+                    static_cast<unsigned long long>(seed),
+                    chaos::DescribeMembershipSchedule(schedule).c_str());
+        for (const std::string& v : verdict.violations) {
+          std::printf("  - %s\n", v.c_str());
+        }
+        std::printf("  repro: %s\n",
+                    chaos::MembershipReproCommand(options, seed).c_str());
+        if (!artifact.empty() && !artifact_written) {
+          const std::string json =
+              chaos::MembershipArtifactJson(options, seed, schedule, verdict);
+          std::FILE* f = std::fopen(artifact.c_str(), "w");
+          if (f != nullptr) {
+            std::fwrite(json.data(), 1, json.size(), f);
+            std::fclose(f);
+            std::printf("  artifact: %s\n", artifact.c_str());
+            artifact_written = true;
+          }
+        }
+      }
+    }
+  }
+  std::printf("chaos(membership): %lld schedule(s), %lld failure(s)\n",
+              static_cast<long long>(runs), static_cast<long long>(failures));
+  return failures == 0 ? 0 : 1;
 }
 
 /// \brief The --scenario serving loop: same structure as the training one
@@ -158,10 +245,16 @@ int RunDriver(int argc, char** argv) {
   chaos::ServingChaosOptions serving;
   int64_t shards = serving.num_shards;
 
+  chaos::MembershipChaosOptions membership;
+  int64_t replication = membership.replication;
+  int64_t spares = membership.spare_workers;
+
   FlagParser flags;
   flags.AddString("scenario", &scenario,
-                  "'train' (fault schedules against the training engines) "
-                  "or 'serving' (shard failures + hot swaps under load)");
+                  "'train' (fault schedules against the training engines), "
+                  "'membership' (elastic grow/shrink/crash with block "
+                  "replication), or 'serving' (shard failures + hot swaps "
+                  "under load)");
   flags.AddString("seeds", &seeds_spec, "seed range 'a..b' or list 'a,b,c'");
   flags.AddString("engines", &engines,
                   "comma list of engines, or 'all' "
@@ -179,6 +272,10 @@ int RunDriver(int argc, char** argv) {
   flags.AddString("artifact", &artifact,
                   "path for the failing-seed repro JSON ('' disables)");
   flags.AddBool("verbose", &verbose, "print one line per seed");
+  flags.AddInt64("replication", &replication,
+                 "membership: extra block copies r (-1 draws 1..3 per seed)");
+  flags.AddInt64("spares", &spares,
+                 "membership: spare ranks a grow can activate");
   flags.AddInt64("shards", &shards, "serving: number of shard servers");
   flags.AddInt64("requests", &serving.num_requests,
                  "serving: requests per schedule");
@@ -187,6 +284,21 @@ int RunDriver(int argc, char** argv) {
                   "serving: allowed SLO-violation increase per failure");
   COLSGD_CHECK_OK(flags.Parse(argc, argv));
 
+  if (scenario == "membership") {
+    membership.base = base;
+    membership.base.workers = static_cast<int>(workers);
+    membership.base.batch_size = static_cast<size_t>(batch_size);
+    membership.base.block_rows = static_cast<size_t>(block_rows);
+    membership.base.data_rows = static_cast<uint64_t>(data_rows);
+    membership.base.data_features = static_cast<uint64_t>(data_features);
+    membership.replication = static_cast<int>(replication);
+    membership.spare_workers = static_cast<int>(spares);
+    // Only the engines that report SupportsMembership.
+    if (engines == "all") engines = "columnsgd,petuum";
+    return RunMembershipSeeds(membership, SplitList(engines),
+                              SplitList(models), ParseSeeds(seeds_spec),
+                              artifact, verbose);
+  }
   if (scenario == "serving") {
     serving.num_shards = static_cast<int>(shards);
     serving.data_rows = static_cast<uint64_t>(data_rows);

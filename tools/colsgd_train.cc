@@ -91,6 +91,45 @@ Result<std::vector<NetworkPartitionSpec>> ParsePartitionSpec(
   return partitions;
 }
 
+/// Parses "grow@iter[:rank][,shrink@iter[:worker]...]" into scripted
+/// membership changes; the optional ':rank' pins the target, otherwise the
+/// engine auto-picks (shrink: highest active, grow: lowest inactive).
+Result<std::vector<MembershipChange>> ParseMembershipSpec(
+    const std::string& spec) {
+  std::vector<MembershipChange> changes;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    const size_t at = item.find('@');
+    if (at == std::string::npos) {
+      return Status::InvalidArgument(
+          "--membership_spec wants kind@iter[:worker], got '" + item + "'");
+    }
+    MembershipChange change;
+    const std::string kind = item.substr(0, at);
+    if (kind == "grow") {
+      change.kind = MembershipChange::Kind::kGrow;
+    } else if (kind == "shrink") {
+      change.kind = MembershipChange::Kind::kShrink;
+    } else {
+      return Status::InvalidArgument(
+          "--membership_spec kind must be grow|shrink, got '" + kind + "'");
+    }
+    const size_t colon = item.find(':', at + 1);
+    const size_t iter_end = colon == std::string::npos ? item.size() : colon;
+    change.iteration =
+        std::atoll(item.substr(at + 1, iter_end - at - 1).c_str());
+    if (colon != std::string::npos) {
+      change.worker = std::atoi(item.substr(colon + 1).c_str());
+    }
+    changes.push_back(change);
+    pos = comma + 1;
+  }
+  return changes;
+}
+
 Result<Dataset> LoadData(const std::string& data_path,
                          const std::string& synthetic, bool zero_based) {
   if (!data_path.empty()) {
@@ -158,6 +197,9 @@ int Run(int argc, char** argv) {
   double corrupt_prob = 0.0;
   std::string partition_spec;
   int64_t chaos_seed = -1;
+  int64_t replication = -1;
+  int64_t max_workers = 0;
+  std::string membership_spec;
   flags.AddString("trace_out", &trace_out,
                   "write a Chrome trace-event JSON of the run (open in "
                   "Perfetto / chrome://tracing)");
@@ -182,6 +224,16 @@ int Run(int argc, char** argv) {
   flags.AddInt64("chaos_seed", &chaos_seed,
                  "fault-plan seed for drop/corrupt/partition draws "
                  "(-1: reuse --seed)");
+  flags.AddInt64("replication", &replication,
+                 "elastic membership: extra in-memory copies per block (r); "
+                 ">= 0 enables the block-replicated elastic path (-1: off "
+                 "unless --membership_spec is given, then r defaults to 1)");
+  flags.AddInt64("max_workers", &max_workers,
+                 "elastic membership: pre-provisioned spare ranks a grow "
+                 "can activate (0: no spares beyond --workers)");
+  flags.AddString("membership_spec", &membership_spec,
+                  "scripted grow/shrink events, "
+                  "'grow@iter[:rank][,shrink@iter[:worker]...]'");
   std::string save_model;
   flags.AddString("save_model", &save_model,
                   "write the trained model to this file (colsgd_predict "
@@ -208,6 +260,7 @@ int Run(int argc, char** argv) {
                             ? ClusterSpec::Cluster2(static_cast<int>(workers))
                             : ClusterSpec::Cluster1();
   cluster.num_workers = static_cast<int>(workers);
+  if (max_workers > 0) cluster.max_workers = static_cast<int>(max_workers);
 
   TrainConfig config;
   config.model = model;
@@ -218,13 +271,19 @@ int Run(int argc, char** argv) {
   config.block_rows = static_cast<size_t>(block_rows);
   config.partitioner = partitioner;
   config.seed = static_cast<uint64_t>(seed);
+  if (replication >= 0 || !membership_spec.empty()) {
+    config.elastic.enabled = true;
+    if (replication >= 0) {
+      config.elastic.replication = static_cast<int>(replication);
+    }
+  }
 
   auto engine = MakeEngine(engine_name, cluster, config);
 
   const bool faults_requested =
       !fail_worker.empty() || worker_mtbf_iters > 0.0 ||
       checkpoint_every > 0 || drop_prob > 0.0 || corrupt_prob > 0.0 ||
-      !partition_spec.empty();
+      !partition_spec.empty() || !membership_spec.empty();
   if (faults_requested) {
     FaultPlanConfig plan;
     plan.seed = chaos_seed >= 0 ? static_cast<uint64_t>(chaos_seed)
@@ -248,6 +307,15 @@ int Run(int argc, char** argv) {
         return 2;
       }
       plan.partitions = *std::move(partitions);
+    }
+    if (!membership_spec.empty()) {
+      Result<std::vector<MembershipChange>> changes =
+          ParseMembershipSpec(membership_spec);
+      if (!changes.ok()) {
+        std::fprintf(stderr, "%s\n", changes.status().ToString().c_str());
+        return 2;
+      }
+      plan.membership = *std::move(changes);
     }
     Result<FaultPlan> fault_plan = FaultPlan::Create(plan);
     if (!fault_plan.ok()) {
@@ -317,6 +385,23 @@ int Run(int argc, char** argv) {
         static_cast<long long>(recovery.checkpoints_taken),
         static_cast<long long>(recovery.checkpoints_corrupted),
         static_cast<long long>(recovery.checkpoint_fallbacks));
+    if (config.elastic.enabled) {
+      std::printf(
+          "elastic: %lld grow(s), %lld planned departure(s), %lld crash "
+          "removal(s) in %.3fs (%.2f MB moved)\n"
+          "ladder:  %lld peer fetch(es) (%.2f MB, %lld CRC-rejected copies), "
+          "%lld checkpoint restore read(s), %lld reseed(s)\n",
+          static_cast<long long>(recovery.grows),
+          static_cast<long long>(recovery.planned_departures),
+          static_cast<long long>(recovery.crash_removals),
+          recovery.membership_seconds,
+          static_cast<double>(recovery.membership_bytes_moved) / 1e6,
+          static_cast<long long>(recovery.peer_replica_fetches),
+          static_cast<double>(recovery.peer_fetch_bytes) / 1e6,
+          static_cast<long long>(recovery.replica_crc_rejections),
+          static_cast<long long>(recovery.checkpoint_restore_reads),
+          static_cast<long long>(recovery.reseeds));
+    }
   }
 
   if (!save_model.empty()) {
