@@ -839,5 +839,284 @@ std::string MembershipArtifactJson(const MembershipChaosOptions& options,
   return out;
 }
 
+// --- Bounded-staleness scenario (DESIGN.md §15) ----------------------------
+
+SspSchedule GenerateSspSchedule(uint64_t seed,
+                                const SspChaosOptions& options) {
+  const ChaosOptions& base = options.base;
+  // One private stream per seed, tagged differently from the other
+  // generators so the scenarios draw unrelated schedules for the same seed.
+  Rng rng(SplitMix64(seed ^ 0x55A1E55EED5ACULL));
+  SspSchedule out;
+  static constexpr int kSlackGrid[] = {0, 1, 2, 4};
+  const int drawn = kSlackGrid[rng.NextBounded(4)];
+  out.slack = options.slack >= 0 ? options.slack : drawn;
+  if (rng.NextBernoulli(0.6)) {
+    out.compute_jitter = rng.NextUniform(0.2, 1.0);
+  }
+
+  FaultPlanConfig& plan = out.schedule.plan;
+  plan.seed = SplitMix64(seed);
+  plan.num_workers = base.workers;
+  const int64_t early = std::max<int64_t>(2, base.iterations / 3);
+
+  // Stragglers are this scenario's raison d'etre: usually on, at the Fig. 9
+  // straggle factors, so the gate actually binds at small slack.
+  if (rng.NextBernoulli(0.75)) {
+    plan.stragglers.mode = StragglerSpec::Mode::kRotating;
+    plan.stragglers.level = rng.NextUniform(1.0, 5.0);
+    plan.stragglers.level_hi =
+        plan.stragglers.level + rng.NextUniform(0.0, 1.0);
+  }
+  // Crashes and task failures fence the pipeline (drain-before-event):
+  // exercise that path together with checkpoint restores.
+  if (rng.NextBernoulli(0.4)) {
+    plan.scripted.push_back({1 + static_cast<int64_t>(rng.NextBounded(early)),
+                             static_cast<int>(rng.NextBounded(base.workers)),
+                             FaultKind::kWorkerFailure});
+  }
+  if (rng.NextBernoulli(0.25)) {
+    plan.scripted.push_back({1 + static_cast<int64_t>(rng.NextBounded(early)),
+                             static_cast<int>(rng.NextBounded(base.workers)),
+                             FaultKind::kTaskFailure});
+  }
+  // A lossy wire delays gated deliveries but must never lose an update.
+  if (rng.NextBernoulli(0.35)) {
+    plan.message_drop_prob = rng.NextUniform(0.01, 0.05);
+  }
+  if (rng.NextBernoulli(0.35)) {
+    plan.message_corrupt_prob = rng.NextUniform(0.01, 0.05);
+  }
+  // Checkpoints fence the pipeline too (drain-before-checkpoint).
+  if (rng.NextBernoulli(0.5)) {
+    out.schedule.checkpoint_every = std::max<int64_t>(
+        2, base.iterations / static_cast<int64_t>(2 + rng.NextBounded(4)));
+  }
+  return out;
+}
+
+ChaosVerdict RunSspSchedule(const SspChaosOptions& options,
+                            const SspSchedule& ssp, const Dataset& dataset,
+                            double clean_loss, uint64_t seed) {
+  ChaosVerdict verdict;
+  verdict.seed = seed;
+  verdict.clean_loss = clean_loss;
+  const ChaosOptions& base = options.base;
+  const ChaosSchedule& schedule = ssp.schedule;
+
+  Result<FaultPlan> plan = FaultPlan::Create(schedule.plan);
+  if (!plan.ok()) {
+    verdict.violations.push_back("generated schedule rejected by Validate: " +
+                                 plan.status().ToString());
+    return verdict;
+  }
+  TrainConfig config = MakeTrainConfig(base);
+  config.ssp.enabled = true;
+  config.ssp.slack = ssp.slack;
+  config.ssp.compute_jitter = ssp.compute_jitter;
+  auto engine = MakeEngine(base.engine, MakeCluster(base), config);
+  FaultConfig faults;
+  faults.plan = std::move(*plan);
+  faults.checkpoint.every = schedule.checkpoint_every;
+  const Status installed = engine->set_faults(faults);
+  if (!installed.ok()) {
+    verdict.violations.push_back("set_faults rejected a validated plan: " +
+                                 installed.ToString());
+    return verdict;
+  }
+  TimeSeriesRecorder recorder;
+  engine->set_recorder(&recorder);
+
+  RunOptions run;
+  run.iterations = base.iterations;
+  TrainResult result = RunTraining(engine.get(), dataset, run);
+  engine->set_recorder(nullptr);
+  verdict.recovery = result.recovery;
+
+  if (!result.status.ok()) {
+    // Stronger than the training harness's invariant 1: a valid SSP
+    // schedule must COMPLETE — staleness is never a reason to die.
+    verdict.completed = false;
+    verdict.diagnosis = result.status.ToString();
+    verdict.violations.push_back("ssp run did not complete: " +
+                                 verdict.diagnosis);
+    verdict.fingerprint = ExtendCrc32c(0, verdict.diagnosis.data(),
+                                       verdict.diagnosis.size());
+    return verdict;
+  }
+  verdict.completed = true;
+
+  AppendConservationViolations(*engine, recorder, result.bytes_on_wire,
+                               &verdict.violations);
+
+  const RecoveryMetrics& rm = verdict.recovery;
+  if (rm.retransmits < rm.messages_corrupted + rm.messages_dropped) {
+    verdict.violations.push_back(
+        "corruption/drop not retransmitted: retransmits " +
+        std::to_string(rm.retransmits) + " < corrupted " +
+        std::to_string(rm.messages_corrupted) + " + dropped " +
+        std::to_string(rm.messages_dropped));
+  }
+
+  // Exactly-once accounting: whatever the interleaving, every consumer saw
+  // exactly one send and one apply per logical clock tick.
+  const SspAccounting& acc = engine->ssp_accounting();
+  if (acc.updates_sent != acc.updates_applied) {
+    verdict.violations.push_back(
+        "updates lost or duplicated: sent " +
+        std::to_string(acc.updates_sent) + " != applied " +
+        std::to_string(acc.updates_applied));
+  }
+  if (acc.sent.empty() || acc.sent.size() != acc.applied.size()) {
+    verdict.violations.push_back("ssp accounting matrices missing");
+  }
+  int64_t bad_cells = 0;
+  for (size_t c = 0; c < acc.sent.size(); ++c) {
+    if (acc.sent[c].size() != static_cast<size_t>(base.iterations) ||
+        acc.applied[c].size() != static_cast<size_t>(base.iterations)) {
+      verdict.violations.push_back(
+          "ssp accounting for consumer " + std::to_string(c) +
+          " does not cover every clock tick");
+      continue;
+    }
+    for (int64_t t = 0; t < base.iterations; ++t) {
+      bad_cells += acc.sent[c][t] != 1 || acc.applied[c][t] != 1;
+    }
+  }
+  if (bad_cells > 0) {
+    verdict.violations.push_back(
+        "exactly-once violated in " + std::to_string(bad_cells) +
+        " (consumer, tick) cell(s)");
+  }
+
+  // The staleness bound: no read ever exceeds the slack.
+  if (acc.max_staleness_observed > ssp.slack) {
+    verdict.violations.push_back(
+        "staleness bound violated: observed " +
+        std::to_string(acc.max_staleness_observed) + " > slack " +
+        std::to_string(ssp.slack));
+  }
+  if (ssp.slack == 0 && acc.stale_reads != 0) {
+    verdict.violations.push_back("slack-0 run reported " +
+                                 std::to_string(acc.stale_reads) +
+                                 " stale read(s)");
+  }
+
+  // The §15 headline: slack 0 reproduces plain BSP under the identical
+  // fault schedule bit-for-bit.
+  if (ssp.slack == 0) {
+    Result<FaultPlan> twin_plan = FaultPlan::Create(schedule.plan);
+    COLSGD_CHECK(twin_plan.ok());
+    TrainConfig bsp_config = MakeTrainConfig(base);
+    auto bsp = MakeEngine(base.engine, MakeCluster(base), bsp_config);
+    FaultConfig bsp_faults;
+    bsp_faults.plan = std::move(*twin_plan);
+    bsp_faults.checkpoint.every = schedule.checkpoint_every;
+    COLSGD_CHECK_OK(bsp->set_faults(bsp_faults));
+    TrainResult bsp_result = RunTraining(bsp.get(), dataset, run);
+    if (!bsp_result.status.ok()) {
+      verdict.violations.push_back("BSP twin failed: " +
+                                   bsp_result.status.ToString());
+    } else {
+      const std::vector<double> ssp_w = engine->FullModel();
+      const std::vector<double> bsp_w = bsp->FullModel();
+      const uint32_t ssp_crc =
+          ExtendCrc32c(0, ssp_w.data(), ssp_w.size() * sizeof(double));
+      const uint32_t bsp_crc =
+          ExtendCrc32c(0, bsp_w.data(), bsp_w.size() * sizeof(double));
+      if (ssp_crc != bsp_crc) {
+        verdict.violations.push_back(
+            "slack-0 weights diverged from the BSP run: crc " +
+            std::to_string(ssp_crc) + " != " + std::to_string(bsp_crc));
+      }
+    }
+  }
+
+  // Convergence within epsilon of the fault-free BSP run.
+  verdict.fault_loss = EvaluateLoss(engine->model(), engine->FullModel(),
+                                    dataset, dataset.num_rows());
+  if (!std::isfinite(verdict.fault_loss) ||
+      verdict.fault_loss >
+          clean_loss * (1.0 + base.epsilon) + kAbsLossSlack) {
+    verdict.violations.push_back(
+        "did not re-converge: faulty loss " + FormatG(verdict.fault_loss) +
+        " vs fault-free " + FormatG(clean_loss) + " (epsilon " +
+        FormatG(base.epsilon) + ")");
+  }
+
+  uint32_t crc = FoldRunFingerprint(*engine, rm, recorder);
+  FoldI64(&crc, acc.updates_sent);
+  FoldI64(&crc, acc.updates_applied);
+  FoldI64(&crc, acc.max_staleness_observed);
+  FoldI64(&crc, acc.stale_reads);
+  FoldI64(&crc, acc.drains);
+  for (const std::vector<int32_t>& row : acc.sent) {
+    crc = ExtendCrc32c(crc, row.data(), row.size() * sizeof(int32_t));
+  }
+  for (const std::vector<int32_t>& row : acc.applied) {
+    crc = ExtendCrc32c(crc, row.data(), row.size() * sizeof(int32_t));
+  }
+  verdict.fingerprint = crc;
+  return verdict;
+}
+
+std::string DescribeSspSchedule(const SspSchedule& schedule) {
+  std::string out = "slack=" + std::to_string(schedule.slack) + " ";
+  if (schedule.compute_jitter > 0.0) {
+    out += "jitter(" + FormatG(schedule.compute_jitter) + ") ";
+  }
+  const std::string base = DescribeSchedule(schedule.schedule);
+  if (base != "(fault-free)") return out + base;
+  out.pop_back();
+  return out;
+}
+
+std::string SspReproCommand(const SspChaosOptions& options, uint64_t seed) {
+  const ChaosOptions& base = options.base;
+  return "colsgd_chaos --scenario ssp --seeds " + std::to_string(seed) +
+         " --engines " + base.engine + " --models " + base.model +
+         " --workers " + std::to_string(base.workers) + " --iterations " +
+         std::to_string(base.iterations) + " --slack " +
+         std::to_string(options.slack) + " --batch_size " +
+         std::to_string(base.batch_size) + " --learning_rate " +
+         FormatG(base.learning_rate) + " --data_rows " +
+         std::to_string(base.data_rows) + " --data_features " +
+         std::to_string(base.data_features) + " --epsilon " +
+         FormatG(base.epsilon);
+}
+
+std::string SspArtifactJson(const SspChaosOptions& options, uint64_t seed,
+                            const SspSchedule& schedule,
+                            const ChaosVerdict& verdict) {
+  std::string out = "{\n  \"seed\": " + std::to_string(seed) +
+                    ",\n  \"engine\": ";
+  AppendJsonString(&out, options.base.engine);
+  out += ",\n  \"model\": ";
+  AppendJsonString(&out, options.base.model);
+  out += ",\n  \"slack\": " + std::to_string(schedule.slack);
+  out += ",\n  \"compute_jitter\": ";
+  AppendJsonNumber(&out, schedule.compute_jitter);
+  out += ",\n  \"schedule\": ";
+  AppendJsonString(&out, DescribeSspSchedule(schedule));
+  out += ",\n  \"completed\": ";
+  out += verdict.completed ? "true" : "false";
+  out += ",\n  \"diagnosis\": ";
+  AppendJsonString(&out, verdict.diagnosis);
+  out += ",\n  \"fault_loss\": ";
+  AppendJsonNumber(&out, verdict.fault_loss);
+  out += ",\n  \"clean_loss\": ";
+  AppendJsonNumber(&out, verdict.clean_loss);
+  out += ",\n  \"fingerprint\": " + std::to_string(verdict.fingerprint);
+  out += ",\n  \"violations\": [";
+  for (size_t i = 0; i < verdict.violations.size(); ++i) {
+    out += i > 0 ? ", " : "";
+    AppendJsonString(&out, verdict.violations[i]);
+  }
+  out += "],\n  \"repro\": ";
+  AppendJsonString(&out, SspReproCommand(options, seed));
+  out += "\n}\n";
+  return out;
+}
+
 }  // namespace chaos
 }  // namespace colsgd

@@ -198,6 +198,55 @@ std::string MembershipArtifactJson(const MembershipChaosOptions& options,
                                    const MembershipSchedule& schedule,
                                    const ChaosVerdict& verdict);
 
+// --- Bounded-staleness scenario (DESIGN.md §15) ----------------------------
+//
+// --scenario ssp targets the bounded-staleness execution mode: randomized
+// slack / straggler / jitter / crash / lossy-wire schedules against the
+// SSP-capable engines (columnsgd, petuum, mxnet). On top of the training
+// invariants (conservation, retransmit accounting, convergence), an SSP run
+// must COMPLETE, every update must be applied exactly once per consumer per
+// logical clock tick, no read may ever exceed the slack bound, and — the
+// §15 headline — a slack-0 schedule must reproduce the plain BSP run under
+// the identical fault schedule bit-for-bit.
+
+/// \brief Configuration of one engine x model SSP-chaos run.
+struct SspChaosOptions {
+  ChaosOptions base;
+  /// Staleness bound; -1 draws slack in {0, 1, 2, 4} per seed.
+  int slack = -1;
+};
+
+/// \brief A generated SSP schedule: the fault plan plus the staleness bound
+/// and deterministic per-(iteration, worker) compute jitter it runs under.
+struct SspSchedule {
+  ChaosSchedule schedule;
+  int slack = 0;
+  double compute_jitter = 0.0;
+};
+
+/// \brief Draws a randomized SSP schedule from `seed`: slack, jitter, heavy
+/// rotating stragglers (the Fig. 9 levels), scripted crashes, lossy wire,
+/// and checkpoint protection. Deterministic per (seed, options).
+SspSchedule GenerateSspSchedule(uint64_t seed, const SspChaosOptions& options);
+
+/// \brief Trains under `schedule` in SSP mode and checks the staleness
+/// invariants; `clean_loss` is the fault-free BSP yardstick.
+ChaosVerdict RunSspSchedule(const SspChaosOptions& options,
+                            const SspSchedule& schedule,
+                            const Dataset& dataset, double clean_loss,
+                            uint64_t seed);
+
+/// \brief Human-readable one-line SSP-schedule summary.
+std::string DescribeSspSchedule(const SspSchedule& schedule);
+
+/// \brief The colsgd_chaos command line that replays SSP `seed`.
+std::string SspReproCommand(const SspChaosOptions& options, uint64_t seed);
+
+/// \brief JSON repro artifact for a failing SSP seed.
+std::string SspArtifactJson(const SspChaosOptions& options, uint64_t seed,
+                            const SspSchedule& schedule,
+                            const ChaosVerdict& verdict);
+
 }  // namespace chaos
 }  // namespace colsgd
 

@@ -54,6 +54,50 @@ struct ElasticConfig {
   int blocks_per_permutation_range = 64;
 };
 
+/// \brief Bounded-staleness (SSP) execution settings (DESIGN.md §15). With
+/// slack s, a worker at logical clock t may compute on model state that
+/// reflects every update through clock t-1-s and nothing older: progress is
+/// gated on min_clock >= my_clock - s instead of a per-iteration barrier.
+/// s = 0 reproduces the BSP path bitwise (same trained bits; timing differs
+/// only through the gated delivery path). Supported by the ColumnSGD engine
+/// (requires backup == 0; composes with elastic membership) and the PS
+/// engines (fixed membership only).
+struct SspConfig {
+  bool enabled = false;
+  /// Staleness bound s >= 0 in logical clock ticks (iterations).
+  int slack = 0;
+  /// Deterministic per-(worker, iteration) extra compute, as a fraction of
+  /// the worker's task time, drawn from a stateless hash of (seed, worker,
+  /// iteration). Diversifies interleavings for the SSP property tests
+  /// without a fault plan; 0 keeps the clean cost model.
+  double compute_jitter = 0.0;
+};
+
+/// \brief Exactly-once accounting of the SSP update pipeline, maintained by
+/// the engines' SSP paths. Every broadcast (ColumnSGD) or committed version
+/// (PS) is counted when it enters the pipeline and when each consumer
+/// applies it; after a drain, sends == applies per consumer per clock tick
+/// (tests/ssp_accounting_test.cc pins this across crashes and membership
+/// events).
+struct SspAccounting {
+  /// Update messages entered into the pipeline (per consumer).
+  int64_t updates_sent = 0;
+  /// Update messages applied by consumers.
+  int64_t updates_applied = 0;
+  /// Largest staleness (own clock - freshest applied update's clock - 1)
+  /// any consumer ever computed with. Bounded by the slack.
+  int64_t max_staleness_observed = 0;
+  /// Reads of model state at least one tick behind the reader's clock.
+  int64_t stale_reads = 0;
+  /// Pipeline drains (fault/membership/checkpoint fences + final drain).
+  int64_t drains = 0;
+  /// Per-consumer per-clock-tick send/apply counts: sent[c][t] is how many
+  /// pipeline entries for clock t were addressed to consumer c, applied[c][t]
+  /// how many it applied. After a drain the two matrices must be equal.
+  std::vector<std::vector<int32_t>> sent;
+  std::vector<std::vector<int32_t>> applied;
+};
+
 /// \brief Hyperparameters and run settings shared by every engine.
 struct TrainConfig {
   std::string model = "lr";          // "lr" | "svm" | "mlr<C>" | "fm<F>"
@@ -70,6 +114,7 @@ struct TrainConfig {
   double sched_overhead = -1.0;
   TransformCostConfig transform_cost;
   ElasticConfig elastic;
+  SspConfig ssp;
 };
 
 /// \brief One point of a training trace.
@@ -186,9 +231,30 @@ class Engine {
   double last_batch_loss() const { return last_batch_loss_; }
   double load_time() const { return load_time_; }
 
+  /// \brief Finishes a training run: under SSP, drains the update pipeline
+  /// (applies every in-flight update) and synchronizes the clocks, so the
+  /// final model reflects every sent update exactly once. A no-op for BSP
+  /// engines. RunTraining calls this after the last iteration; drivers that
+  /// call RunIteration directly must call it themselves before reading
+  /// final weights of an SSP run.
+  virtual Status FinishTraining() { return Status::OK(); }
+
+  /// \brief SSP update-pipeline accounting (empty for BSP runs).
+  const SspAccounting& ssp_accounting() const { return ssp_; }
+
  protected:
   /// \brief The engine's BSP iteration body (compute + communication).
   virtual Status DoRunIteration(int64_t iteration) = 0;
+
+  /// \brief Applies every in-flight SSP update and synchronizes the cluster
+  /// (a pipeline fence). RunIteration calls this before fault events,
+  /// membership changes, and checkpoints so those paths always see a fully
+  /// synchronized model — exactly-once update accounting stays structural
+  /// across crashes and grows/shrinks. Default: nothing in flight.
+  virtual Status DrainSsp(int64_t iteration) {
+    (void)iteration;
+    return Status::OK();
+  }
 
   /// \brief Repairs the engine's state after `event.worker` died: reload or
   /// re-seed its data, restore or re-initialize its model partition, and
@@ -282,6 +348,23 @@ class Engine {
   SimTime SendWithFaults(NodeId from, NodeId to, uint64_t bytes,
                          int64_t iteration);
 
+  /// \brief SendWithFaults minus the receiver-clock synchronization:
+  /// clock-gated delivery for the SSP pipeline. ClusterRuntime::Send jumps
+  /// the receiver's clock to the arrival time — correct when the receiver
+  /// genuinely blocks on the message, but an SSP broadcast must NOT stall
+  /// its consumers (they pick the message up when their own clock passes the
+  /// arrival). Same fault processes and recovery accounting; the receiver's
+  /// CRC sweep under wire integrity is folded into the returned availability
+  /// time instead of the receiver's clock (DESIGN.md §15 charging rules).
+  /// Returns the time the intact copy becomes available at the receiver.
+  SimTime GatedSendWithFaults(NodeId from, NodeId to, uint64_t bytes,
+                              int64_t iteration);
+
+  /// \brief Deterministic SSP compute jitter for (worker, iteration): a
+  /// stateless-hash draw in [0, config_.ssp.compute_jitter], multiplied
+  /// into the worker's task seconds like a fractional straggler level.
+  double SspJitterLevel(int64_t iteration, int worker) const;
+
   /// \brief Straggler level of `worker` on `iteration` under the plan.
   double StragglerLevelFor(int64_t iteration, int worker) const {
     return faults_.plan.StragglerLevel(iteration, worker);
@@ -318,6 +401,7 @@ class Engine {
   RecoveryMetrics recovery_;
   Tracer* tracer_ = nullptr;
   TimeSeriesRecorder* recorder_ = nullptr;
+  SspAccounting ssp_;
   double last_batch_loss_ = std::numeric_limits<double>::quiet_NaN();
   double last_grad_sq_ = std::numeric_limits<double>::quiet_NaN();
   double load_time_ = 0.0;

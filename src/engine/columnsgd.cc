@@ -44,6 +44,22 @@ void ColumnSgdEngine::InitGroupModel(int group, GroupState* state) {
 }
 
 Status ColumnSgdEngine::Setup(const Dataset& dataset) {
+  if (config_.ssp.enabled) {
+    if (options_.backup != 0) {
+      return Status::InvalidArgument(
+          "SSP requires backup == 0: backup groups race within a barriered "
+          "round, and bounded staleness removes that round entirely");
+    }
+    if (config_.ssp.slack < 0) {
+      return Status::InvalidArgument("ssp.slack must be >= 0");
+    }
+    ssp_pipeline_.clear();
+    ssp_applied_through_.assign(num_groups_, -1);
+    ssp_clocks_.Reset(num_groups_);
+    ssp_arrivals_.Reset(num_groups_);
+    ssp_.sent.assign(num_groups_, {});
+    ssp_.applied.assign(num_groups_, {});
+  }
   num_features_ = dataset.num_features;
   blocks_ = MakeRowBlocks(dataset, config_.block_rows);
   partitioner_ =
@@ -553,6 +569,7 @@ Status ColumnSgdEngine::ElasticGrow(int rank_in, int64_t iteration) {
 }
 
 Status ColumnSgdEngine::DoRunIteration(int64_t iteration) {
+  if (config_.ssp.enabled) return DoRunIterationSsp(iteration);
   const std::vector<int> active = ActiveWorkers();
   const size_t B = config_.batch_size;
   const int spp = model_->stats_per_point();
@@ -708,6 +725,224 @@ Status ColumnSgdEngine::DoRunIteration(int64_t iteration) {
     }
   }
   return Status::OK();
+}
+
+void ColumnSgdEngine::ApplySspRecord(int g, const SspRecord& record) {
+  GroupState& state = groups_[g];
+  const size_t B = record.batch.size();
+  const BatchView view = MakeBatchView(state, record.batch);
+  // Bitwise the BSP step-5 update: same gradient recipe, same flop charges,
+  // evaluated against the shared parameters frozen in the record.
+  FlopCounter flops;
+  std::vector<double> group_shared_grad(record.shared_before.size(), 0.0);
+  model_->AccumulateGradFromStatsShared(view, record.agg_stats, state.weights,
+                                        record.shared_before, state.grad.get(),
+                                        &group_shared_grad, &flops);
+  flops.Add(B);  // local loss bookkeeping
+  ApplySparseUpdate(state.grad.get(), B, config_.reg, state.optimizer.get(),
+                    &state.weights, &state.opt_state, &flops,
+                    grad_sq_accum());
+  flops.Add(8 * shared_.size());
+  for (int w : GroupUpdateMembers(g)) {
+    runtime_->ChargeCompute(runtime_->worker_node(w), flops.flops());
+  }
+  ssp_applied_through_[g] = record.iteration;
+  ssp_.applied[g][static_cast<size_t>(record.iteration)] += 1;
+  ++ssp_.updates_applied;
+}
+
+Status ColumnSgdEngine::DoRunIterationSsp(int64_t iteration) {
+  const std::vector<int> active = ActiveWorkers();
+  const size_t B = config_.batch_size;
+  const int spp = model_->stats_per_point();
+  const size_t stat_width =
+      options_.fp32_statistics ? sizeof(float) : sizeof(double);
+  const uint64_t stats_bytes = 16 + B * spp * stat_width;
+  const int slack = config_.ssp.slack;
+  const NodeId master = runtime_->master();
+
+  // Dispatch bookkeeping only: SSP workers are self-clocked (the shared-seed
+  // batch is a pure function of the iteration index), so no per-iteration
+  // command messages go out and no barrier closes the round.
+  TracePhase(Phase::kSerialization);
+  runtime_->AdvanceClock(master, SchedOverhead(kDefaultSchedOverhead));
+  const SimTime dispatch_end = runtime_->clock(master);
+  TracePhase(Phase::kSspWait);  // master now waits on slack-gated workers
+
+  const std::vector<RowRef> batch = sampler_->Sample(iteration, B);
+
+  // Worker pass: gate on the staleness bound, catch up on every broadcast
+  // visible at the resulting start time, then computeStat on whatever model
+  // the group has (at most `slack` iterations behind).
+  std::vector<std::vector<double>> group_stats(num_groups_);
+  BatchView group0_view;
+  SimTime last_compute_start = dispatch_end;
+  for (int g = 0; g < num_groups_; ++g) {
+    const int w = GroupComputeMembers(g).front();
+    const NodeId node = runtime_->worker_node(w);
+    COLSGD_CHECK(ssp_clocks_.MayStart(g, iteration, slack));
+    // The slack gate: iteration t may not start before broadcast
+    // t - 1 - slack has arrived (which bounds the staleness checked below).
+    const SimTime gate = ssp_arrivals_.ArrivalOf(g, iteration - 1 - slack);
+    runtime_->set_clock(node, std::max(runtime_->clock(node), gate));
+    // Apply arrived broadcasts oldest-first; applying one advances the clock
+    // and can make the next visible. Arrivals are monotone per consumer, so
+    // the first not-yet-arrived record ends the scan.
+    for (const SspRecord& record : ssp_pipeline_) {
+      if (record.iteration <= ssp_applied_through_[g]) continue;
+      if (ssp_arrivals_.ArrivalOf(g, record.iteration) >
+          runtime_->clock(node)) {
+        break;
+      }
+      ApplySspRecord(g, record);
+    }
+    const int64_t staleness = (iteration - 1) - ssp_applied_through_[g];
+    COLSGD_CHECK_LE(staleness, static_cast<int64_t>(slack))
+        << "SSP staleness bound violated for group " << g << " at iteration "
+        << iteration;
+    ssp_.max_staleness_observed =
+        std::max(ssp_.max_staleness_observed, staleness);
+    if (staleness > 0) ++ssp_.stale_reads;
+
+    BatchView view = MakeBatchView(groups_[g], batch);
+    group_stats[g].assign(B * spp, 0.0);
+    FlopCounter flops;
+    flops.Add(B * kSampleFlops);
+    model_->ComputePartialStats(view, groups_[g].weights, &group_stats[g],
+                                &flops);
+    if (options_.fp32_statistics) {
+      for (double& v : group_stats[g]) v = static_cast<float>(v);
+    }
+    const double compute_seconds =
+        cluster_spec_.compute.SecondsFor(flops.flops());
+    const double task_seconds =
+        compute_seconds + SchedOverhead(kDefaultSchedOverhead);
+    const SimTime compute_start = runtime_->clock(node);
+    last_compute_start = std::max(last_compute_start, compute_start);
+    const SimTime finish =
+        compute_start + compute_seconds +
+        (StragglerLevelFor(iteration, w) + SspJitterLevel(iteration, w)) *
+            task_seconds;
+    if (tracer_ != nullptr) {
+      tracer_->RecordCompute(node, compute_start, finish - compute_start,
+                             flops.flops());
+    }
+    runtime_->set_clock(node, finish);
+    SendWithFaults(node, master, stats_bytes, iteration);  // syncs the master
+    if (g == 0) group0_view = std::move(view);
+    ssp_clocks_.SetClock(g, iteration + 1);
+  }
+
+  // The master's wait splits at the moment the last group started computing:
+  // up to there it was stalled behind the slack gate (ssp.wait), after it on
+  // genuine compute + wire.
+  const SimTime gather = runtime_->clock(master);
+  if (tracer_ != nullptr) {
+    tracer_->SetPhase(
+        Phase::kWire,
+        std::min(std::max(dispatch_end, last_compute_start), gather));
+  }
+  TracePhase(Phase::kCompute);  // reduceStat + loss on the master
+
+  // reduceStat + loss: identical math to the BSP path.
+  std::vector<double> agg_stats(B * spp, 0.0);
+  for (int g = 0; g < num_groups_; ++g) AddInto(group_stats[g], &agg_stats);
+  if (options_.fp32_statistics) {
+    for (double& v : agg_stats) v = static_cast<float>(v);
+  }
+  runtime_->ChargeCompute(master,
+                          static_cast<uint64_t>(num_groups_) * B * spp);
+  last_batch_loss_ =
+      model_->BatchLossFromStatsShared(agg_stats, group0_view.labels,
+                                       shared_) /
+      static_cast<double>(B);
+
+  // Freeze the broadcast record *before* the master's shared update:
+  // consumers must apply against exactly the shared values these statistics
+  // were computed with.
+  SspRecord record;
+  record.iteration = iteration;
+  record.batch = batch;
+  record.shared_before = shared_;
+
+  // The shared block's gradient is a function of the broadcast statistics
+  // alone (identical on every group), so the master evaluates it once with a
+  // scratch accumulator; workers pay the flops when they apply the record.
+  if (!shared_.empty()) {
+    GradAccumulator scratch(groups_[0].weights.size());
+    FlopCounter scratch_flops;
+    shared_grad_.assign(shared_.size(), 0.0);
+    model_->AccumulateGradFromStatsShared(group0_view, agg_stats,
+                                          groups_[0].weights, shared_,
+                                          &scratch, &shared_grad_,
+                                          &scratch_flops);
+    shared_optimizer_->BeginStep();
+    const int sps = shared_optimizer_->state_per_slot();
+    double* grad_sq = grad_sq_accum();
+    for (size_t i = 0; i < shared_.size(); ++i) {
+      const double g = shared_grad_[i] / static_cast<double>(B) +
+                       config_.reg.Grad(shared_[i]);
+      *grad_sq += g * g;
+      double* state = sps > 0 ? shared_opt_state_.data() + i * sps : nullptr;
+      shared_optimizer_->ApplyUpdate(&shared_[i], g, state);
+    }
+  }
+  record.agg_stats = std::move(agg_stats);
+
+  // Gated broadcast: lands in each consumer's mailbox without stalling it
+  // (no receiver clock sync). A group's visibility gate is the arrival at
+  // its owner.
+  std::vector<SimTime> worker_avail(runtime_->total_workers(), 0.0);
+  for (int w : active) {
+    worker_avail[w] = GatedSendWithFaults(master, runtime_->worker_node(w),
+                                          stats_bytes, iteration);
+  }
+  for (int g = 0; g < num_groups_; ++g) {
+    const int w = GroupComputeMembers(g).front();
+    ssp_arrivals_.Record(g, iteration, worker_avail[w]);
+    ssp_.sent[g].push_back(1);
+    ssp_.applied[g].push_back(0);
+    ++ssp_.updates_sent;
+  }
+  ssp_pipeline_.push_back(std::move(record));
+
+  // Prune records every group has applied.
+  while (!ssp_pipeline_.empty()) {
+    const int64_t done = ssp_pipeline_.front().iteration;
+    bool all_applied = true;
+    for (int g = 0; g < num_groups_; ++g) {
+      all_applied &= ssp_applied_through_[g] >= done;
+    }
+    if (!all_applied) break;
+    ssp_pipeline_.pop_front();
+  }
+  return Status::OK();
+}
+
+Status ColumnSgdEngine::DrainSsp(int64_t iteration) {
+  (void)iteration;
+  if (!config_.ssp.enabled) return Status::OK();
+  for (int g = 0; g < num_groups_; ++g) {
+    const int w = GroupComputeMembers(g).front();
+    const NodeId node = runtime_->worker_node(w);
+    for (const SspRecord& record : ssp_pipeline_) {
+      if (record.iteration <= ssp_applied_through_[g]) continue;
+      // Catching up blocks the consumer until the broadcast's arrival.
+      runtime_->set_clock(
+          node, std::max(runtime_->clock(node),
+                         ssp_arrivals_.ArrivalOf(g, record.iteration)));
+      ApplySspRecord(g, record);
+    }
+  }
+  ssp_pipeline_.clear();
+  ++ssp_.drains;
+  runtime_->Barrier();
+  return Status::OK();
+}
+
+Status ColumnSgdEngine::FinishTraining() {
+  if (!config_.ssp.enabled || groups_.empty()) return Status::OK();
+  return DrainSsp(-1);
 }
 
 std::vector<double> ColumnSgdEngine::FullModel() const {

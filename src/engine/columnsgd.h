@@ -18,11 +18,13 @@
 #ifndef COLSGD_ENGINE_COLUMNSGD_H_
 #define COLSGD_ENGINE_COLUMNSGD_H_
 
+#include <deque>
 #include <memory>
 #include <vector>
 
 #include "cluster/membership.h"
 #include "engine/api.h"
+#include "simnet/ssp_gate.h"
 #include "storage/block_store.h"
 #include "storage/partitioner.h"
 #include "storage/sampler.h"
@@ -57,6 +59,9 @@ class ColumnSgdEngine : public Engine {
   /// state + scratch): the worker column of Table I.
   uint64_t WorkerMemoryBytes(int worker) const;
 
+  /// \brief SSP final drain: applies every in-flight broadcast and barriers.
+  Status FinishTraining() override;
+
   /// \brief Whether this run uses the elastic (block-store-backed) path.
   bool elastic() const { return elastic_; }
   const MembershipView& membership() const { return membership_; }
@@ -67,6 +72,11 @@ class ColumnSgdEngine : public Engine {
 
  protected:
   Status DoRunIteration(int64_t iteration) override;
+  /// \brief Pipeline fence (DESIGN.md §15): every pending broadcast is
+  /// applied on its group (clock advanced to the broadcast's arrival first),
+  /// then the cluster barriers. Called by RunIteration before fault events,
+  /// membership changes, and checkpoints, and by FinishTraining.
+  Status DrainSsp(int64_t iteration) override;
   /// \brief Appendix X recovery. With backup groups the surviving replica
   /// re-seeds the lost partition over the network (no reload, no lost
   /// state); without backup the shards are rebuilt from the row blocks and
@@ -104,6 +114,36 @@ class ColumnSgdEngine : public Engine {
   /// group's store.
   BatchView MakeBatchView(const GroupState& state,
                           const std::vector<RowRef>& batch) const;
+
+  // --- Bounded staleness (DESIGN.md §15) --------------------------------
+  // One in-flight aggregated broadcast. Everything a group needs to apply
+  // the update later is frozen here: the batch (row refs stay valid — the
+  // pipeline drains before any store rebuild), the reduced statistics, and
+  // the shared-parameter values the statistics were computed against
+  // (shared params through iteration - 1, i.e. before the master's shared
+  // update for this record).
+  struct SspRecord {
+    int64_t iteration = 0;
+    std::vector<RowRef> batch;
+    std::vector<double> agg_stats;
+    std::vector<double> shared_before;
+  };
+
+  /// \brief The self-clocked SSP iteration (no per-iteration commands, no
+  /// barrier): each group gates on the arrival of broadcast
+  /// iteration - 1 - slack, catches up on every broadcast visible at its
+  /// start time, computes this iteration's statistics on whatever model it
+  /// has, and replies; the master reduces, records the broadcast, and ships
+  /// it with GatedSendWithFaults (mailbox delivery — no receiver stall).
+  Status DoRunIterationSsp(int64_t iteration);
+  /// \brief Applies one pending broadcast on group g (bitwise the BSP
+  /// step-5 update) and charges every update member's clock.
+  void ApplySspRecord(int g, const SspRecord& record);
+
+  std::deque<SspRecord> ssp_pipeline_;
+  std::vector<int64_t> ssp_applied_through_;  // per group; -1 = nothing yet
+  SspClockTable ssp_clocks_;    // per-group logical clocks
+  SspArrivalLog ssp_arrivals_;  // broadcast arrival at each group's owner
 
   // --- Elastic membership (DESIGN.md §14) -------------------------------
   // Each logical partition g owns two blocks in the store: its (static)

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/rng.h"
 #include "engine/api.h"
 #include "simnet/frame.h"
 
@@ -41,10 +42,28 @@ Status Engine::RunIteration(int64_t iteration) {
     tracer_->BeginIteration(iteration,
                             runtime_->clock(runtime_->master()));
   }
-  Status status = ProcessMembership(iteration);
+  Status status = Status::OK();
+  if (config_.ssp.enabled &&
+      (!faults_.plan.MembershipAt(iteration).empty() ||
+       !faults_.plan.EventsAt(iteration).empty())) {
+    // A fault or membership event fires this iteration: fence the SSP
+    // pipeline first so recovery and reconfiguration always see a fully
+    // synchronized model (every sent update applied exactly once). The
+    // drain's master-clock time is tiled to ssp.wait.
+    TracePhase(Phase::kSspWait);
+    status = DrainSsp(iteration);
+  }
+  if (status.ok()) status = ProcessMembership(iteration);
   if (status.ok()) {
     ProcessFaults(iteration);
     status = DoRunIteration(iteration);
+  }
+  if (status.ok() && config_.ssp.enabled &&
+      checkpoints_.ShouldCheckpoint(iteration)) {
+    // Same fence before a checkpoint: FullModel must not capture a
+    // mixed-staleness snapshot.
+    TracePhase(Phase::kSspWait);
+    status = DrainSsp(iteration);
   }
   if (status.ok()) {
     TracePhase(Phase::kCheckpoint);
@@ -305,6 +324,83 @@ SimTime Engine::SendWithFaults(NodeId from, NodeId to, uint64_t bytes,
     runtime_->ChargeMemTouch(to, wire_bytes);  // CRC sweep passes
   }
   return arrival;
+}
+
+SimTime Engine::GatedSendWithFaults(NodeId from, NodeId to, uint64_t bytes,
+                                    int64_t iteration) {
+  // The SSP delivery path: identical fault processes and byte counts to
+  // SendWithFaults, but the receiver's clock is never synchronized — the
+  // message lands in a mailbox and the consumer picks it up when its own
+  // clock passes the returned availability time. Receiver-side CRC sweeps
+  // under wire integrity are folded into that availability instead of the
+  // receiver's clock (the consumer pays them implicitly by not seeing the
+  // update earlier); the sender still blocks on NACKs, which are genuine
+  // round trips.
+  const bool framed = faults_.plan.wire_integrity();
+  const uint64_t wire_bytes = framed ? bytes + kFrameOverheadBytes : bytes;
+  const double sweep_seconds =
+      framed ? static_cast<double>(wire_bytes) / cluster_spec_.mem_bandwidth
+             : 0.0;
+  const int ifrom = static_cast<int>(from);
+  const int ito = static_cast<int>(to);
+
+  if (faults_.plan.LinkPartitioned(iteration, ifrom, ito)) {
+    const int attempts = detector_.config().partition_retry_limit;
+    for (int a = 0; a < attempts; ++a) {
+      if (tracer_ != nullptr) {
+        tracer_->RecordInstant("fault.partition", from, runtime_->clock(from),
+                               iteration);
+      }
+      runtime_->net().Send(from, to, wire_bytes, runtime_->clock(from));
+      runtime_->AdvanceClock(from, detector_.RetransmitDelay(a));
+      ++recovery_.retransmits;
+      recovery_.bytes_retransferred += wire_bytes;
+    }
+    ++recovery_.partition_blocked_sends;
+  }
+  if (faults_.plan.DropMessage(iteration, ifrom, ito)) {
+    if (tracer_ != nullptr) {
+      tracer_->RecordInstant("fault.drop", from, runtime_->clock(from),
+                             iteration);
+    }
+    runtime_->net().Send(from, to, wire_bytes, runtime_->clock(from));
+    runtime_->AdvanceClock(from, detector_.ack_timeout());
+    ++recovery_.messages_dropped;
+    ++recovery_.retransmits;
+    recovery_.bytes_retransferred += wire_bytes;
+  }
+  if (framed && faults_.plan.CorruptMessage(iteration, ifrom, ito)) {
+    // The corrupted copy arrives, fails the receiver's CRC sweep, and is
+    // NACK'd back at arrival + sweep; the sender blocks on the NACK (it
+    // cannot know to retransmit earlier) and then sends a clean copy.
+    if (tracer_ != nullptr) {
+      tracer_->RecordInstant("fault.corrupt", to, runtime_->clock(to),
+                             iteration);
+    }
+    const SimTime bad_arrival =
+        runtime_->net().Send(from, to, wire_bytes, runtime_->clock(from));
+    const SimTime nack_arrival =
+        runtime_->net().Send(to, from, kNackBytes, bad_arrival + sweep_seconds);
+    runtime_->SyncClockTo(from, nack_arrival);
+    ++recovery_.messages_corrupted;
+    ++recovery_.retransmits;
+    recovery_.bytes_retransferred += wire_bytes;
+  }
+  const SimTime arrival =
+      runtime_->net().Send(from, to, wire_bytes, runtime_->clock(from));
+  return arrival + sweep_seconds;
+}
+
+double Engine::SspJitterLevel(int64_t iteration, int worker) const {
+  const double jitter = config_.ssp.compute_jitter;
+  if (jitter <= 0.0) return 0.0;
+  // Stateless hash draw, keyed exactly like the fault plan's probabilistic
+  // processes so double runs replay bit-identically.
+  const uint64_t h = SplitMix64(
+      SplitMix64(config_.seed ^ 0x55AA55AA11EEULL) ^
+      SplitMix64(static_cast<uint64_t>(iteration) * 0x9e3779b97f4a7c15ULL +
+                 static_cast<uint64_t>(worker)));
+  return jitter * (static_cast<double>(h >> 11) * 0x1.0p-53);
 }
 
 }  // namespace colsgd

@@ -1,6 +1,7 @@
 #include "engine/ps.h"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_set>
 
 #include "common/check.h"
@@ -30,6 +31,16 @@ Status PsEngine::Setup(const Dataset& dataset) {
     return Status::InvalidArgument(
         model_->name() + " is only implemented for the column framework; "
         "use the columnsgd engine");
+  }
+  if (config_.ssp.enabled) {
+    if (ElasticRequested()) {
+      return Status::InvalidArgument(
+          "SSP is not supported with elastic membership on the PS engine: "
+          "shard versions are pinned to the fixed server set");
+    }
+    if (config_.ssp.slack < 0) {
+      return Status::InvalidArgument("ssp.slack must be >= 0");
+    }
   }
   num_features_ = dataset.num_features;
   const int wpf = model_->weights_per_feature();
@@ -82,6 +93,17 @@ Status PsEngine::Setup(const Dataset& dataset) {
   optimizer_ = MakeOptimizer(config_.optimizer, config_.learning_rate);
   opt_state_.assign(slots * optimizer_->state_per_slot(), 0.0);
   grad_ = std::make_unique<GradAccumulator>(slots);
+
+  if (config_.ssp.enabled) {
+    const size_t ring = static_cast<size_t>(config_.ssp.slack) + 2;
+    ssp_snapshots_.assign(ring, {});
+    ssp_snapshot_version_.assign(ring, std::numeric_limits<int64_t>::min());
+    ssp_applied_time_.assign(K, {});
+    ssp_clocks_.Reset(K);
+    ssp_.sent.assign(K, {});
+    ssp_.applied.assign(K, {});
+    SspStoreSnapshot(-1);  // the initial model is "version -1"
+  }
 
   elastic_ = ElasticRequested();
   if (elastic_) {
@@ -653,6 +675,7 @@ Status PsEngine::DoRunIterationElastic(int64_t iteration) {
 }
 
 Status PsEngine::DoRunIteration(int64_t iteration) {
+  if (config_.ssp.enabled) return DoRunIterationSsp(iteration);
   if (elastic_) return DoRunIterationElastic(iteration);
   const int K = runtime_->num_workers();
   const int wpf = model_->weights_per_feature();
@@ -801,6 +824,246 @@ Status PsEngine::DoRunIteration(int64_t iteration) {
   TracePhase(Phase::kBarrier);
   runtime_->Barrier();  // BSP synchronization barrier
   return Status::OK();
+}
+
+const std::vector<double>& PsEngine::SspSnapshotOf(int64_t version) const {
+  const size_t ring = ssp_snapshots_.size();
+  const size_t slot =
+      static_cast<size_t>(((version % static_cast<int64_t>(ring)) +
+                           static_cast<int64_t>(ring)) %
+                          static_cast<int64_t>(ring));
+  COLSGD_CHECK_EQ(ssp_snapshot_version_[slot], version)
+      << "SSP snapshot ring no longer holds version " << version;
+  return ssp_snapshots_[slot];
+}
+
+void PsEngine::SspStoreSnapshot(int64_t version) {
+  const size_t ring = ssp_snapshots_.size();
+  const size_t slot =
+      static_cast<size_t>(((version % static_cast<int64_t>(ring)) +
+                           static_cast<int64_t>(ring)) %
+                          static_cast<int64_t>(ring));
+  ssp_snapshots_[slot] = weights_;
+  ssp_snapshot_version_[slot] = version;
+}
+
+Status PsEngine::DoRunIterationSsp(int64_t iteration) {
+  const int K = runtime_->num_workers();
+  const int wpf = model_->weights_per_feature();
+  const uint64_t model_bytes = weights_.size() * sizeof(double);
+  const int slack = config_.ssp.slack;
+  const int64_t gate_version = iteration - 1 - static_cast<int64_t>(slack);
+  const NodeId master = runtime_->master();
+
+  TracePhase(Phase::kSerialization);
+  runtime_->AdvanceClock(master, SchedOverhead(kDefaultSchedOverhead));
+  const SimTime dispatch_end = runtime_->clock(master);
+  TracePhase(Phase::kSspWait);  // master now tracks the slack-gated round
+
+  // Workers are self-clocked; servers serve pulls concurrently with later
+  // applies, so a reply's departure is computed from the request's arrival
+  // and the shard's per-version apply times — not the server's scalar clock,
+  // which under SSP is the shard's apply timeline.
+  SimTime last_compute_start = dispatch_end;
+  std::vector<std::vector<uint64_t>> keys_per_server(K);
+  std::vector<SimTime> push_arrival(K, 0.0);  // newest push seen per server
+  std::vector<uint64_t> push_keys(K, 0);      // lookup work queued per server
+  double loss_sum = 0.0;
+  size_t batch_total = 0;
+  for (int w = 0; w < K; ++w) {
+    const NodeId node = runtime_->worker_node(w);
+    COLSGD_CHECK(ssp_clocks_.MayStart(w, iteration, slack));
+
+    // Phase 0: the local batch slice (pure function of seed + iteration).
+    Rng rng = WorkerIterationRng(config_.seed, iteration, w);
+    const size_t local_batch = WorkerBatchSize(w);
+    std::vector<LocalRowSample> samples;
+    samples.reserve(local_batch);
+    keys_per_server[w].assign(K, 0);
+    FlopCounter flops;
+    std::unordered_set<uint32_t> batch_features;
+    for (size_t i = 0; i < local_batch; ++i) {
+      samples.push_back(DrawLocalRow(partitions_[w], partition_rows_[w], &rng));
+      flops.Add(kSampleFlops);
+      if (options_.sparse_pull) {
+        for (size_t j = 0; j < samples.back().row.nnz; ++j) {
+          batch_features.insert(samples.back().row.indices[j]);
+        }
+      }
+    }
+    if (options_.sparse_pull) {
+      for (uint32_t f : batch_features) {
+        keys_per_server[w][shard_map_->Owner(f)]++;
+      }
+    }
+
+    // Phases 1+2: pulls. The reply may not leave shard s before s has
+    // applied the gate version; it serves the newest version applied by its
+    // departure — the worker's effective model is the oldest version any
+    // contacted shard served.
+    SimTime worker_ready = runtime_->clock(node);
+    int64_t version = iteration - 1;
+    for (int s = 0; s < K; ++s) {
+      if (options_.sparse_pull && keys_per_server[w][s] == 0) continue;
+      uint64_t request_bytes = kRequestHeaderBytes;
+      uint64_t reply_bytes;
+      uint64_t server_keys;
+      if (options_.sparse_pull) {
+        request_bytes += keys_per_server[w][s] * sizeof(uint32_t);
+        reply_bytes = kRequestHeaderBytes +
+                      keys_per_server[w][s] * sizeof(double) * wpf;
+        server_keys = keys_per_server[w][s];
+      } else {
+        reply_bytes = kRequestHeaderBytes +
+                      shard_map_->LocalDim(s) * wpf * sizeof(double);
+        server_keys = shard_map_->LocalDim(s);
+      }
+      const NodeId server_node = runtime_->extra_node(s);
+      SimTime request_arrival;
+      if (s == w) {
+        request_arrival = runtime_->clock(node);  // loopback
+      } else {
+        request_arrival =
+            GatedSendWithFaults(node, server_node, request_bytes, iteration);
+      }
+      const SimTime gate_time =
+          gate_version < 0
+              ? 0.0
+              : ssp_applied_time_[s][static_cast<size_t>(gate_version)];
+      const double lookup_seconds = cluster_spec_.compute.SecondsFor(
+          server_keys * options_.flops_per_key);
+      const SimTime reply_send =
+          std::max(request_arrival, gate_time) + lookup_seconds;
+      if (tracer_ != nullptr) {
+        tracer_->RecordCompute(server_node, reply_send - lookup_seconds,
+                               lookup_seconds,
+                               server_keys * options_.flops_per_key);
+      }
+      // Fresher-when-available: the newest version applied by reply_send.
+      int64_t served = std::max<int64_t>(gate_version, -1);
+      for (int64_t v = iteration - 1; v > served; --v) {
+        if (ssp_applied_time_[s][static_cast<size_t>(v)] <= reply_send) {
+          served = v;
+          break;
+        }
+      }
+      version = std::min(version, served);
+      const SimTime reply_arrival =
+          s == w ? reply_send
+                 : runtime_->net().Send(server_node, node, reply_bytes,
+                                        reply_send);
+      worker_ready = std::max(worker_ready, reply_arrival);
+    }
+    runtime_->set_clock(node, worker_ready);
+
+    const int64_t staleness = (iteration - 1) - version;
+    COLSGD_CHECK_LE(staleness, static_cast<int64_t>(slack))
+        << "SSP staleness bound violated for worker " << w << " at iteration "
+        << iteration;
+    ssp_.max_staleness_observed =
+        std::max(ssp_.max_staleness_observed, staleness);
+    if (staleness > 0) ++ssp_.stale_reads;
+
+    // Phase 3: gradients against the served snapshot, accumulated in worker
+    // order into the shared accumulator (the fixed float-sum order that
+    // makes slack = 0 bitwise BSP).
+    const std::vector<double>& snapshot =
+        version == iteration - 1 && version >= 0 ? weights_
+                                                 : SspSnapshotOf(version);
+    last_compute_start = std::max(last_compute_start, runtime_->clock(node));
+    for (const LocalRowSample& sample : samples) {
+      loss_sum += model_->RowLoss(sample.row, sample.label, snapshot, &flops);
+      model_->AccumulateRowGradient(sample.row, sample.label, snapshot,
+                                    grad_.get(), &flops);
+    }
+    batch_total += samples.size();
+    runtime_->ChargeCompute(node, flops.flops());
+    runtime_->ChargeMemTouch(node, 2 * model_bytes);
+    const double level =
+        StragglerLevelFor(iteration, w) + SspJitterLevel(iteration, w);
+    if (level > 0.0) {
+      runtime_->AdvanceClock(
+          node, level * cluster_spec_.compute.SecondsFor(flops.flops()));
+    }
+
+    // Phase 4: pushes (mailbox delivery; shard apply waits below).
+    for (int s = 0; s < K; ++s) {
+      uint64_t push_bytes;
+      uint64_t server_keys;
+      if (options_.sparse_pull) {
+        if (keys_per_server[w][s] == 0) continue;
+        push_bytes =
+            kRequestHeaderBytes +
+            keys_per_server[w][s] * (sizeof(uint32_t) + sizeof(double) * wpf);
+        server_keys = keys_per_server[w][s];
+      } else {
+        push_bytes = kRequestHeaderBytes +
+                     shard_map_->LocalDim(s) * wpf * sizeof(double);
+        server_keys = shard_map_->LocalDim(s);
+      }
+      const SimTime arrival =
+          s == w ? runtime_->clock(node)
+                 : GatedSendWithFaults(node, runtime_->extra_node(s),
+                                       push_bytes, iteration);
+      push_arrival[s] = std::max(push_arrival[s], arrival);
+      push_keys[s] += server_keys;
+    }
+    ssp_.sent[w].push_back(1);
+    ssp_.applied[w].push_back(0);
+    ++ssp_.updates_sent;
+    ssp_clocks_.SetClock(w, iteration + 1);
+  }
+  last_batch_loss_ = loss_sum / static_cast<double>(batch_total);
+
+  // Version `iteration` applies once every push is in: one combined update in
+  // the same order and float-sum sequence as BSP, charged on each shard.
+  FlopCounter update_flops;
+  ApplySparseUpdate(grad_.get(), batch_total, config_.reg, optimizer_.get(),
+                    &weights_, &opt_state_, &update_flops, grad_sq_accum());
+  SimTime applied_max = 0.0;
+  SimTime push_done = 0.0;
+  for (int s = 0; s < K; ++s) {
+    const NodeId server_node = runtime_->extra_node(s);
+    push_done = std::max(push_done, push_arrival[s]);
+    runtime_->set_clock(
+        server_node, std::max(runtime_->clock(server_node), push_arrival[s]));
+    runtime_->ChargeCompute(server_node,
+                            push_keys[s] * options_.flops_per_key +
+                                update_flops.flops() / K);
+    ssp_applied_time_[s].push_back(runtime_->clock(server_node));
+    applied_max = std::max(applied_max, runtime_->clock(server_node));
+  }
+  SspStoreSnapshot(iteration);
+  for (int w = 0; w < K; ++w) {
+    ssp_.applied[w][static_cast<size_t>(iteration)] += 1;
+    ++ssp_.updates_applied;
+  }
+
+  // The master's timeline: stalled behind the slack gate until the last
+  // worker started computing, then wire + the shard-side apply.
+  const SimTime final_clock = std::max(runtime_->clock(master), applied_max);
+  const SimTime wire_mark =
+      std::min(std::max(dispatch_end, last_compute_start), final_clock);
+  if (tracer_ != nullptr) {
+    tracer_->SetPhase(Phase::kWire, wire_mark);
+    tracer_->SetPhase(Phase::kCompute,
+                      std::min(std::max(wire_mark, push_done), final_clock));
+  }
+  runtime_->set_clock(master, final_clock);
+  return Status::OK();
+}
+
+Status PsEngine::DrainSsp(int64_t iteration) {
+  (void)iteration;
+  if (!config_.ssp.enabled) return Status::OK();
+  ++ssp_.drains;
+  runtime_->Barrier();
+  return Status::OK();
+}
+
+Status PsEngine::FinishTraining() {
+  if (!config_.ssp.enabled || weights_.empty()) return Status::OK();
+  return DrainSsp(-1);
 }
 
 }  // namespace colsgd

@@ -23,6 +23,7 @@
 
 #include "cluster/membership.h"
 #include "engine/api.h"
+#include "simnet/ssp_gate.h"
 #include "storage/block_store.h"
 #include "storage/partitioner.h"
 
@@ -53,8 +54,14 @@ class PsEngine : public Engine {
   const BlockStore& block_store() const { return block_store_; }
   BlockStore* mutable_block_store() { return &block_store_; }
 
+  /// \brief SSP fence: under bounded staleness `weights_` is always the
+  /// newest fully-applied version (updates for an iteration land within that
+  /// iteration), so the drain is a timing barrier only.
+  Status FinishTraining() override;
+
  protected:
   Status DoRunIteration(int64_t iteration) override;
+  Status DrainSsp(int64_t iteration) override;
   /// \brief Node death takes worker w AND its co-located server shard w:
   /// the worker re-reads its row partition; the shard restores from the last
   /// checkpoint (or re-initializes, losing its slice's updates). Elastic
@@ -95,6 +102,23 @@ class PsEngine : public Engine {
   Status ElasticShrink(int worker, int64_t iteration);
   Status ElasticGrow(int rank, int64_t iteration);
   Status DoRunIterationElastic(int64_t iteration);
+
+  // --- Bounded staleness (DESIGN.md §15) --------------------------------
+  // Shards keep a ring of full model snapshots, one per applied version
+  // (version v = weights after the combined update of iteration v; -1 is
+  // the initial model). A pull reply may not leave server s before s has
+  // applied version c - 1 - slack; it serves the newest version applied by
+  // its departure time, so workers read fresher-when-available but never
+  // more than `slack` versions behind.
+  Status DoRunIterationSsp(int64_t iteration);
+  /// \brief Snapshot of version v; CHECKs the ring still holds it.
+  const std::vector<double>& SspSnapshotOf(int64_t version) const;
+  void SspStoreSnapshot(int64_t version);
+
+  std::vector<std::vector<double>> ssp_snapshots_;  // ring of slack + 2
+  std::vector<int64_t> ssp_snapshot_version_;       // ring slot -> version
+  std::vector<std::vector<SimTime>> ssp_applied_time_;  // [server][version]
+  SspClockTable ssp_clocks_;  // per-worker logical clocks
 
   PsOptions options_;
   uint64_t num_features_ = 0;

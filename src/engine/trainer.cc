@@ -58,6 +58,12 @@ TrainResult RunTraining(Engine* engine, const Dataset& dataset,
     }
   }
 
+  // Under SSP this drains the in-flight update pipeline so the final model
+  // reflects every sent update; a no-op for BSP engines. Runs before the
+  // timing reads so train_time includes the drain.
+  result.status = engine->FinishTraining();
+  if (!result.status.ok()) return result;
+
   const TrafficStats after = runtime.net().TotalStats();
   result.train_time = runtime.clock(runtime.master()) - train_start;
   result.avg_iter_time =

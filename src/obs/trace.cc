@@ -7,7 +7,8 @@ namespace colsgd {
 namespace {
 // Static storage for phase-span event names (TraceEvent keeps the pointer).
 constexpr const char* kPhaseNames[static_cast<int>(Phase::kNumPhases)] = {
-    "serialization", "compute", "wire", "barrier", "recovery", "checkpoint",
+    "serialization", "compute",    "wire",     "barrier",
+    "recovery",      "checkpoint", "ssp.wait",
 };
 }  // namespace
 

@@ -39,6 +39,7 @@ enum class Phase : int {
   kBarrier,            // BSP barrier waits
   kRecovery,           // fault detection + engine repair
   kCheckpoint,         // checkpoint gather + stable-storage write
+  kSspWait,            // bounded-staleness stall: slack gate + drain waits
   kNumPhases,
 };
 

@@ -67,6 +67,72 @@ TEST(ChaosRunTest, SeedsPassInvariantsAndReplayBitIdentically) {
   }
 }
 
+TEST(SspChaosTest, GenerationIsDeterministicAndDiverse) {
+  SspChaosOptions options;
+  options.base = FastOptions();
+  std::set<std::string> shapes;
+  std::set<int> slacks;
+  bool saw_jitter = false, saw_stragglers = false, saw_crash = false;
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    const SspSchedule a = GenerateSspSchedule(seed, options);
+    const SspSchedule b = GenerateSspSchedule(seed, options);
+    EXPECT_EQ(DescribeSspSchedule(a), DescribeSspSchedule(b))
+        << "seed " << seed;
+    EXPECT_TRUE(FaultPlan::Validate(a.schedule.plan).ok())
+        << "seed " << seed << ": " << DescribeSspSchedule(a);
+    shapes.insert(DescribeSspSchedule(a));
+    slacks.insert(a.slack);
+    saw_jitter |= a.compute_jitter > 0.0;
+    saw_stragglers |= a.schedule.plan.stragglers.mode !=
+                      StragglerSpec::Mode::kNone;
+    saw_crash |= !a.schedule.plan.scripted.empty();
+  }
+  EXPECT_GT(shapes.size(), 24u);
+  EXPECT_EQ(slacks.size(), 4u);  // the full {0, 1, 2, 4} grid gets drawn
+  EXPECT_TRUE(saw_jitter);
+  EXPECT_TRUE(saw_stragglers);
+  EXPECT_TRUE(saw_crash);
+  // Pinning --slack overrides the draw without disturbing the rest.
+  options.slack = 3;
+  EXPECT_EQ(GenerateSspSchedule(5, options).slack, 3);
+}
+
+TEST(SspChaosTest, SeedsPassInvariantsAndReplayBitIdentically) {
+  for (const char* engine : {"columnsgd", "petuum"}) {
+    SspChaosOptions options;
+    options.base = FastOptions();
+    options.base.engine = engine;
+    const Dataset dataset = ChaosDataset(options.base);
+    const double clean_loss = RunCleanBaseline(options.base, dataset);
+    ASSERT_GT(clean_loss, 0.0);
+    for (uint64_t seed = 0; seed < 4; ++seed) {
+      const SspSchedule schedule = GenerateSspSchedule(seed, options);
+      const ChaosVerdict first =
+          RunSspSchedule(options, schedule, dataset, clean_loss, seed);
+      EXPECT_TRUE(first.ok())
+          << engine << " seed " << seed << " violations: "
+          << (first.violations.empty() ? "" : first.violations.front());
+      EXPECT_TRUE(first.completed);
+      const ChaosVerdict replay =
+          RunSspSchedule(options, schedule, dataset, clean_loss, seed);
+      EXPECT_EQ(first.fingerprint, replay.fingerprint)
+          << engine << " seed " << seed;
+    }
+  }
+}
+
+TEST(SspChaosTest, StalenessViolationWouldBeReported) {
+  // A schedule with an impossible epsilon shows the verdict carries SSP
+  // context (the repro command names the scenario and slack).
+  SspChaosOptions options;
+  options.base = FastOptions();
+  options.slack = 2;
+  const std::string repro = SspReproCommand(options, 7);
+  EXPECT_NE(repro.find("--scenario ssp"), std::string::npos);
+  EXPECT_NE(repro.find("--slack 2"), std::string::npos);
+  EXPECT_NE(repro.find("--seeds 7"), std::string::npos);
+}
+
 TEST(ChaosRunTest, CorruptionShowsUpInTheVerdictCounters) {
   const ChaosOptions options = FastOptions();
   const Dataset dataset = ChaosDataset(options);

@@ -170,6 +170,94 @@ TEST(RowEngineEquivalenceTest, MllibAndPsComputeTheSameModel) {
   EXPECT_DOUBLE_EQ(mllib.last_batch_loss(), petuum.last_batch_loss());
 }
 
+// --- Bounded staleness (DESIGN.md §15) ------------------------------------
+
+std::unique_ptr<Engine> MakeSspCapableEngine(const std::string& engine,
+                                             int workers,
+                                             const TrainConfig& config) {
+  if (engine == "columnsgd") {
+    return std::make_unique<ColumnSgdEngine>(Cluster(workers), config);
+  }
+  PsOptions options;
+  options.sparse_pull = engine == "mxnet";
+  return std::make_unique<PsEngine>(Cluster(workers), config, options);
+}
+
+class SspZeroSlackTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+TEST_P(SspZeroSlackTest, ZeroSlackIsBitwiseBsp) {
+  const auto& [engine_name, model_name] = GetParam();
+  Dataset d = TestData(model_name);
+  const int workers = 4;
+  const int iterations = 8;
+
+  // Heavy rotating stragglers shift every SSP timestamp relative to BSP but
+  // must not change a single trained bit at slack = 0.
+  FaultPlanConfig fault_config;
+  fault_config.seed = 7;
+  fault_config.stragglers.mode = StragglerSpec::Mode::kRotating;
+  fault_config.stragglers.level = 5.0;
+  FaultConfig faults;
+  faults.plan = FaultPlan(fault_config);
+
+  TrainConfig bsp_config = Config(model_name);
+  auto bsp = MakeSspCapableEngine(engine_name, workers, bsp_config);
+  ASSERT_TRUE(bsp->set_faults(faults).ok());
+  ASSERT_TRUE(bsp->Setup(d).ok());
+  for (int i = 0; i < iterations; ++i) {
+    ASSERT_TRUE(bsp->RunIteration(i).ok());
+  }
+  ASSERT_TRUE(bsp->FinishTraining().ok());
+
+  TrainConfig ssp_config = Config(model_name);
+  ssp_config.ssp.enabled = true;
+  ssp_config.ssp.slack = 0;
+  auto ssp = MakeSspCapableEngine(engine_name, workers, ssp_config);
+  ASSERT_TRUE(ssp->set_faults(faults).ok());
+  ASSERT_TRUE(ssp->Setup(d).ok());
+  for (int i = 0; i < iterations; ++i) {
+    ASSERT_TRUE(ssp->RunIteration(i).ok());
+  }
+  ASSERT_TRUE(ssp->FinishTraining().ok());
+
+  EXPECT_EQ(bsp->FullModel(), ssp->FullModel())
+      << engine_name << "/" << model_name;
+  EXPECT_DOUBLE_EQ(bsp->last_batch_loss(), ssp->last_batch_loss());
+  EXPECT_EQ(ssp->ssp_accounting().max_staleness_observed, 0);
+  EXPECT_EQ(ssp->ssp_accounting().stale_reads, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesAndModels, SspZeroSlackTest,
+    ::testing::Values(std::make_tuple("columnsgd", "lr"),
+                      std::make_tuple("columnsgd", "svm"),
+                      std::make_tuple("columnsgd", "mlr3"),
+                      std::make_tuple("columnsgd", "fm4"),
+                      std::make_tuple("columnsgd", "mlp8"),
+                      std::make_tuple("petuum", "lr"),
+                      std::make_tuple("petuum", "svm"),
+                      std::make_tuple("petuum", "mlr3"),
+                      std::make_tuple("petuum", "fm4"),
+                      std::make_tuple("mxnet", "lr"),
+                      std::make_tuple("mxnet", "svm"),
+                      std::make_tuple("mxnet", "mlr3"),
+                      std::make_tuple("mxnet", "fm4")),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+TEST(SspZeroSlackTest, SspRejectsBackupGroups) {
+  Dataset d = TestData();
+  TrainConfig config = Config("lr");
+  config.ssp.enabled = true;
+  ColumnSgdOptions options;
+  options.backup = 1;
+  ColumnSgdEngine engine(Cluster(4), config, options);
+  EXPECT_FALSE(engine.Setup(d).ok());
+}
+
 double SquaredNormOf(const std::vector<double>& v) {
   double s = 0;
   for (double x : v) s += x * x;

@@ -22,6 +22,13 @@
 // bit-identical final weights vs the fixed-membership run — checked per
 // seed (chaos/chaos.h).
 //
+// --scenario ssp targets the bounded-staleness execution mode: randomized
+// slack / straggler / jitter / crash schedules against the SSP-capable
+// engines, with the staleness invariants — must complete, exactly-once
+// update accounting per consumer per clock tick, staleness <= slack,
+// slack-0 bitwise-identical to BSP, convergence — checked per seed
+// (chaos/chaos.h).
+//
 // --scenario serving targets the serving plane: shard-server failures and
 // (possibly bit-rotted) hot-swap images under sustained load, with the
 // serving invariants — no wrong answers, conservation, bounded SLO
@@ -30,6 +37,7 @@
 //   colsgd_chaos --seeds 0..31 --engines all
 //   colsgd_chaos --seeds 17 --engines petuum --verbose true
 //   colsgd_chaos --scenario membership --seeds 0..15 --engines all
+//   colsgd_chaos --scenario ssp --seeds 0..15 --engines all
 //   colsgd_chaos --scenario serving --seeds 0..15 --models lr
 #include <cstdio>
 #include <cstdlib>
@@ -161,6 +169,82 @@ int RunMembershipSeeds(const chaos::MembershipChaosOptions& base,
   return failures == 0 ? 0 : 1;
 }
 
+/// \brief The --scenario ssp loop: randomized slack / straggler / crash
+/// schedules against the bounded-staleness engines (DESIGN.md §15). Same
+/// structure as the training loop — two runs per seed, fingerprint compare,
+/// repro artifact on the first failure — with the SSP invariants (must
+/// complete, exactly-once update accounting, staleness bound, slack-0
+/// bitwise-BSP, convergence) instead.
+int RunSspSeeds(const chaos::SspChaosOptions& base,
+                const std::vector<std::string>& engines,
+                const std::vector<std::string>& models,
+                const std::vector<uint64_t>& seeds,
+                const std::string& artifact, bool verbose) {
+  int64_t runs = 0;
+  int64_t failures = 0;
+  bool artifact_written = false;
+  const Dataset dataset = chaos::ChaosDataset(base.base);
+  for (const std::string& model : models) {
+    for (const std::string& engine : engines) {
+      chaos::SspChaosOptions options = base;
+      options.base.engine = engine;
+      options.base.model = model;
+      const double clean_loss =
+          chaos::RunCleanBaseline(options.base, dataset);
+      if (verbose) {
+        std::printf("[ssp %s x %s] fault-free loss %.6f\n", engine.c_str(),
+                    model.c_str(), clean_loss);
+      }
+      for (uint64_t seed : seeds) {
+        const chaos::SspSchedule schedule =
+            chaos::GenerateSspSchedule(seed, options);
+        chaos::ChaosVerdict verdict = chaos::RunSspSchedule(
+            options, schedule, dataset, clean_loss, seed);
+        const chaos::ChaosVerdict replay = chaos::RunSspSchedule(
+            options, schedule, dataset, clean_loss, seed);
+        ++runs;
+        if (replay.fingerprint != verdict.fingerprint) {
+          verdict.violations.push_back(
+              "nondeterministic: replay fingerprint " +
+              std::to_string(replay.fingerprint) + " != " +
+              std::to_string(verdict.fingerprint));
+        }
+        if (verbose) {
+          std::printf("[ssp %s x %s] seed %llu %s fp=%08x  %s\n",
+                      engine.c_str(), model.c_str(),
+                      static_cast<unsigned long long>(seed),
+                      verdict.ok() ? "ok  " : "FAIL", verdict.fingerprint,
+                      chaos::DescribeSspSchedule(schedule).c_str());
+        }
+        if (verdict.ok()) continue;
+        ++failures;
+        std::printf("[ssp %s x %s] seed %llu FAILED (%s):\n", engine.c_str(),
+                    model.c_str(), static_cast<unsigned long long>(seed),
+                    chaos::DescribeSspSchedule(schedule).c_str());
+        for (const std::string& v : verdict.violations) {
+          std::printf("  - %s\n", v.c_str());
+        }
+        std::printf("  repro: %s\n",
+                    chaos::SspReproCommand(options, seed).c_str());
+        if (!artifact.empty() && !artifact_written) {
+          const std::string json =
+              chaos::SspArtifactJson(options, seed, schedule, verdict);
+          std::FILE* f = std::fopen(artifact.c_str(), "w");
+          if (f != nullptr) {
+            std::fwrite(json.data(), 1, json.size(), f);
+            std::fclose(f);
+            std::printf("  artifact: %s\n", artifact.c_str());
+            artifact_written = true;
+          }
+        }
+      }
+    }
+  }
+  std::printf("chaos(ssp): %lld schedule(s), %lld failure(s)\n",
+              static_cast<long long>(runs), static_cast<long long>(failures));
+  return failures == 0 ? 0 : 1;
+}
+
 /// \brief The --scenario serving loop: same structure as the training one
 /// (two runs per seed, fingerprint compare, repro artifact on the first
 /// failure), with the serving invariants instead of the training ones.
@@ -249,12 +333,16 @@ int RunDriver(int argc, char** argv) {
   int64_t replication = membership.replication;
   int64_t spares = membership.spare_workers;
 
+  chaos::SspChaosOptions ssp;
+  int64_t slack = ssp.slack;
+
   FlagParser flags;
   flags.AddString("scenario", &scenario,
                   "'train' (fault schedules against the training engines), "
                   "'membership' (elastic grow/shrink/crash with block "
-                  "replication), or 'serving' (shard failures + hot swaps "
-                  "under load)");
+                  "replication), 'ssp' (bounded-staleness schedules with "
+                  "update accounting), or 'serving' (shard failures + hot "
+                  "swaps under load)");
   flags.AddString("seeds", &seeds_spec, "seed range 'a..b' or list 'a,b,c'");
   flags.AddString("engines", &engines,
                   "comma list of engines, or 'all' "
@@ -276,6 +364,8 @@ int RunDriver(int argc, char** argv) {
                  "membership: extra block copies r (-1 draws 1..3 per seed)");
   flags.AddInt64("spares", &spares,
                  "membership: spare ranks a grow can activate");
+  flags.AddInt64("slack", &slack,
+                 "ssp: staleness bound (-1 draws 0/1/2/4 per seed)");
   flags.AddInt64("shards", &shards, "serving: number of shard servers");
   flags.AddInt64("requests", &serving.num_requests,
                  "serving: requests per schedule");
@@ -298,6 +388,19 @@ int RunDriver(int argc, char** argv) {
     return RunMembershipSeeds(membership, SplitList(engines),
                               SplitList(models), ParseSeeds(seeds_spec),
                               artifact, verbose);
+  }
+  if (scenario == "ssp") {
+    ssp.base = base;
+    ssp.base.workers = static_cast<int>(workers);
+    ssp.base.batch_size = static_cast<size_t>(batch_size);
+    ssp.base.block_rows = static_cast<size_t>(block_rows);
+    ssp.base.data_rows = static_cast<uint64_t>(data_rows);
+    ssp.base.data_features = static_cast<uint64_t>(data_features);
+    ssp.slack = static_cast<int>(slack);
+    // Only the bounded-staleness-capable engines.
+    if (engines == "all") engines = "columnsgd,petuum,mxnet";
+    return RunSspSeeds(ssp, SplitList(engines), SplitList(models),
+                       ParseSeeds(seeds_spec), artifact, verbose);
   }
   if (scenario == "serving") {
     serving.num_shards = static_cast<int>(shards);

@@ -9,6 +9,7 @@
 //                --iterations 500 --batch_size 1000 --lr 1.0
 //   colsgd_train --synthetic avazu-sim --engine columnsgd --workers 16 \
 //                --optimizer adam --lr 0.01 --trace_csv trace.csv
+//   colsgd_train --synthetic tiny --engine columnsgd --staleness 2
 #include <cstdio>
 #include <cstdlib>
 
@@ -234,6 +235,15 @@ int Run(int argc, char** argv) {
   flags.AddString("membership_spec", &membership_spec,
                   "scripted grow/shrink events, "
                   "'grow@iter[:rank][,shrink@iter[:worker]...]'");
+  int64_t staleness = -1;
+  double ssp_jitter = 0.0;
+  flags.AddInt64("staleness", &staleness,
+                 "bounded-staleness slack s (DESIGN.md §15): workers may run "
+                 "up to s iterations ahead of the slowest; 0 is pipelined "
+                 "BSP (bitwise-identical weights), -1 disables SSP");
+  flags.AddDouble("ssp_jitter", &ssp_jitter,
+                  "SSP: deterministic per-(iteration, worker) compute-time "
+                  "jitter fraction in [0, x)");
   std::string save_model;
   flags.AddString("save_model", &save_model,
                   "write the trained model to this file (colsgd_predict "
@@ -276,6 +286,11 @@ int Run(int argc, char** argv) {
     if (replication >= 0) {
       config.elastic.replication = static_cast<int>(replication);
     }
+  }
+  if (staleness >= 0) {
+    config.ssp.enabled = true;
+    config.ssp.slack = static_cast<int>(staleness);
+    config.ssp.compute_jitter = ssp_jitter;
   }
 
   auto engine = MakeEngine(engine_name, cluster, config);
@@ -402,6 +417,19 @@ int Run(int argc, char** argv) {
           static_cast<long long>(recovery.checkpoint_restore_reads),
           static_cast<long long>(recovery.reseeds));
     }
+  }
+
+  if (config.ssp.enabled) {
+    const SspAccounting& ssp = engine->ssp_accounting();
+    std::printf(
+        "ssp: slack %lld, %lld updates sent / %lld applied, max staleness "
+        "%lld, %lld stale read(s), %lld pipeline drain(s)\n",
+        static_cast<long long>(config.ssp.slack),
+        static_cast<long long>(ssp.updates_sent),
+        static_cast<long long>(ssp.updates_applied),
+        static_cast<long long>(ssp.max_staleness_observed),
+        static_cast<long long>(ssp.stale_reads),
+        static_cast<long long>(ssp.drains));
   }
 
   if (!save_model.empty()) {
