@@ -55,6 +55,27 @@ if ! grep -q "phase breakdown" "$OUT_DIR/bench_table4_periter_lr.log"; then
   exit 1
 fi
 
+# Critical-path smoke (DESIGN.md §16): record a causal DAG on a pinned tiny
+# run, check the conservation invariant (path tiles the makespan, no gaps),
+# and emit the blame suite for the regression gate.
+TRAIN="$BUILD_DIR/tools/colsgd_train"
+CRITPATH="$BUILD_DIR/tools/colsgd_critpath"
+echo "--- colsgd_train --dag_out (critpath smoke)"
+"$TRAIN" --synthetic tiny --engine columnsgd --iterations 6 --staleness 1 \
+  --dag_out "$OUT_DIR/critpath_dag.json" \
+  > "$OUT_DIR/critpath_train.log" 2>&1 || {
+  echo "FAILED: colsgd_train --dag_out" >&2
+  tail -40 "$OUT_DIR/critpath_train.log" >&2
+  exit 1
+}
+echo "--- colsgd_critpath --check --bench_out"
+"$CRITPATH" --dag "$OUT_DIR/critpath_dag.json" --check \
+  --bench_out "$ROOT/BENCH_critpath.json" > "$OUT_DIR/critpath.log" 2>&1 || {
+  echo "FAILED: colsgd_critpath --check" >&2
+  tail -40 "$OUT_DIR/critpath.log" >&2
+  exit 1
+}
+
 # Every emitted BENCH_*.json must parse against the colsgd.bench/v1 schema,
 # and a suite compared against itself must pass the regression gate.
 REPORT="$BUILD_DIR/tools/colsgd_report"

@@ -87,6 +87,20 @@ class ClusterRuntime {
   }
   Tracer* tracer() const { return tracer_; }
 
+  /// \brief Attaches a (non-owning, nullable) causal critical-path recorder
+  /// to the runtime and its network (DESIGN.md §16). Like the tracer it is
+  /// passive: every hook only reads simulation state.
+  void set_critpath(CritPathRecorder* critpath) {
+    critpath_ = critpath;
+    net_.set_critpath(critpath);
+    if (critpath != nullptr) {
+      critpath->Attach(clocks_.data(), clocks_.size(), spec_.num_workers,
+                       spec_.net.latency, spec_.net.bandwidth,
+                       spec_.net.per_message_overhead, kControlMessageBytes);
+    }
+  }
+  CritPathRecorder* critpath() const { return critpath_; }
+
   NodeId master() const { return 0; }
   NodeId worker_node(int k) const {
     COLSGD_CHECK_GE(k, 0);
@@ -107,11 +121,20 @@ class ClusterRuntime {
   }
 
   SimTime clock(NodeId node) const { return clocks_[node]; }
-  void set_clock(NodeId node, SimTime t) { clocks_[node] = t; }
-  void AdvanceClock(NodeId node, double seconds) { clocks_[node] += seconds; }
+  void set_clock(NodeId node, SimTime t) {
+    if (critpath_ != nullptr) critpath_->OnSetClock(node, t);
+    clocks_[node] = t;
+  }
+  void AdvanceClock(NodeId node, double seconds) {
+    if (critpath_ != nullptr) {
+      critpath_->OnAdvance(node, seconds, CritOpKind::kLocal, 0);
+    }
+    clocks_[node] += seconds;
+  }
   /// \brief Moves a node's clock forward to `t` if it is behind (message
   /// arrival / barrier semantics).
   void SyncClockTo(NodeId node, SimTime t) {
+    if (critpath_ != nullptr) critpath_->OnSyncClock(node, t);
     clocks_[node] = std::max(clocks_[node], t);
   }
 
@@ -121,7 +144,10 @@ class ClusterRuntime {
     if (tracer_ != nullptr) {
       tracer_->RecordCompute(node, clocks_[node], seconds, flops);
     }
-    AdvanceClock(node, seconds);
+    if (critpath_ != nullptr) {
+      critpath_->OnAdvance(node, seconds, CritOpKind::kCompute, flops);
+    }
+    clocks_[node] += seconds;
   }
 
   /// \brief Charges an O(bytes) dense-memory sweep on a node's clock.
@@ -130,7 +156,10 @@ class ClusterRuntime {
     if (tracer_ != nullptr) {
       tracer_->RecordMemTouch(node, clocks_[node], seconds, bytes);
     }
-    AdvanceClock(node, seconds);
+    if (critpath_ != nullptr) {
+      critpath_->OnAdvance(node, seconds, CritOpKind::kMem, bytes);
+    }
+    clocks_[node] += seconds;
   }
 
   /// \brief Simulated time at which every node has finished.
@@ -142,6 +171,7 @@ class ClusterRuntime {
   void Barrier() {
     const SimTime t = MaxClock();
     if (tracer_ != nullptr) tracer_->RecordBarrier(t);
+    if (critpath_ != nullptr) critpath_->OnBarrier(t);
     for (auto& c : clocks_) c = t;
   }
 
@@ -176,7 +206,10 @@ class ClusterRuntime {
     }
   }
 
-  void ResetClocks() { std::fill(clocks_.begin(), clocks_.end(), 0.0); }
+  void ResetClocks() {
+    if (critpath_ != nullptr) critpath_->OnReset();
+    std::fill(clocks_.begin(), clocks_.end(), 0.0);
+  }
 
  private:
   ClusterSpec spec_;
@@ -184,6 +217,7 @@ class ClusterRuntime {
   SimNetwork net_;
   std::vector<SimTime> clocks_;
   Tracer* tracer_ = nullptr;
+  CritPathRecorder* critpath_ = nullptr;
 };
 
 }  // namespace colsgd

@@ -180,6 +180,16 @@ class Engine {
   }
   Tracer* tracer() const { return tracer_; }
 
+  /// \brief Attaches a (non-owning, nullable) causal critical-path recorder
+  /// to the engine and its cluster runtime (DESIGN.md §16). Same lifecycle
+  /// and passivity contract as set_tracer: attach before Setup, and the
+  /// recorder changes no simulated time and no trained bit.
+  void set_critpath(CritPathRecorder* critpath) {
+    critpath_ = critpath;
+    runtime_->set_critpath(critpath);
+  }
+  CritPathRecorder* critpath() const { return critpath_; }
+
   /// \brief Attaches a (non-owning, nullable) per-iteration telemetry
   /// recorder. RunIteration deposits one TimeSeriesSample per iteration;
   /// like the tracer, the recorder only reads simulation state, so attaching
@@ -400,6 +410,7 @@ class Engine {
   CheckpointStore checkpoints_;
   RecoveryMetrics recovery_;
   Tracer* tracer_ = nullptr;
+  CritPathRecorder* critpath_ = nullptr;
   TimeSeriesRecorder* recorder_ = nullptr;
   SspAccounting ssp_;
   double last_batch_loss_ = std::numeric_limits<double>::quiet_NaN();

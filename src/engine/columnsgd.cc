@@ -637,6 +637,17 @@ Status ColumnSgdEngine::DoRunIteration(int64_t iteration) {
     }
     group_winner[g] = winner;
     const NodeId node = runtime_->worker_node(winner);
+    if (critpath_ != nullptr) {
+      // Split the winner's jump into its compute and straggler parts, using
+      // the exact arithmetic of the `finish` expression above.
+      const double compute_seconds =
+          cluster_spec_.compute.SecondsFor(group_flops[g]);
+      const double task_seconds =
+          compute_seconds + SchedOverhead(kDefaultSchedOverhead);
+      critpath_->AnnotateAdvance(
+          node, compute_seconds, group_flops[g],
+          StragglerLevelFor(iteration, winner) * task_seconds);
+    }
     if (tracer_ != nullptr) {
       // The winner's computeStat block (charged below via set_clock, not
       // ChargeCompute, because backup replicas race on the same work).
@@ -784,6 +795,9 @@ Status ColumnSgdEngine::DoRunIterationSsp(int64_t iteration) {
     // The slack gate: iteration t may not start before broadcast
     // t - 1 - slack has arrived (which bounds the staleness checked below).
     const SimTime gate = ssp_arrivals_.ArrivalOf(g, iteration - 1 - slack);
+    if (critpath_ != nullptr) {
+      critpath_->AnnotateGate(node, g, iteration - 1 - slack, gate);
+    }
     runtime_->set_clock(node, std::max(runtime_->clock(node), gate));
     // Apply arrived broadcasts oldest-first; applying one advances the clock
     // and can make the next visible. Arrivals are monotone per consumer, so
@@ -826,6 +840,12 @@ Status ColumnSgdEngine::DoRunIterationSsp(int64_t iteration) {
     if (tracer_ != nullptr) {
       tracer_->RecordCompute(node, compute_start, finish - compute_start,
                              flops.flops());
+    }
+    if (critpath_ != nullptr) {
+      critpath_->AnnotateAdvance(
+          node, compute_seconds, flops.flops(),
+          (StragglerLevelFor(iteration, w) + SspJitterLevel(iteration, w)) *
+              task_seconds);
     }
     runtime_->set_clock(node, finish);
     SendWithFaults(node, master, stats_bytes, iteration);  // syncs the master
@@ -893,13 +913,19 @@ Status ColumnSgdEngine::DoRunIterationSsp(int64_t iteration) {
   // (no receiver clock sync). A group's visibility gate is the arrival at
   // its owner.
   std::vector<SimTime> worker_avail(runtime_->total_workers(), 0.0);
+  std::vector<int64_t> worker_msg(runtime_->total_workers(), -1);
   for (int w : active) {
     worker_avail[w] = GatedSendWithFaults(master, runtime_->worker_node(w),
                                           stats_bytes, iteration);
+    if (critpath_ != nullptr) worker_msg[w] = critpath_->last_msg();
   }
   for (int g = 0; g < num_groups_; ++g) {
     const int w = GroupComputeMembers(g).front();
     ssp_arrivals_.Record(g, iteration, worker_avail[w]);
+    if (critpath_ != nullptr) {
+      // Future slack gates on (g, iteration) resolve to this broadcast.
+      critpath_->KeyAvail(g, iteration, worker_msg[w]);
+    }
     ssp_.sent[g].push_back(1);
     ssp_.applied[g].push_back(0);
     ++ssp_.updates_sent;

@@ -379,6 +379,12 @@ SimTime Engine::GatedSendWithFaults(NodeId from, NodeId to, uint64_t bytes,
     }
     const SimTime bad_arrival =
         runtime_->net().Send(from, to, wire_bytes, runtime_->clock(from));
+    if (critpath_ != nullptr) {
+      // The NACK leaves when the receiver's CRC sweep over the corrupted
+      // copy finishes, not at any node's clock.
+      critpath_->AnnotateNextSend(
+          {critpath_->MsgTerm(critpath_->last_msg(), sweep_seconds)}, 0.0, -1);
+    }
     const SimTime nack_arrival =
         runtime_->net().Send(to, from, kNackBytes, bad_arrival + sweep_seconds);
     runtime_->SyncClockTo(from, nack_arrival);
@@ -388,6 +394,9 @@ SimTime Engine::GatedSendWithFaults(NodeId from, NodeId to, uint64_t bytes,
   }
   const SimTime arrival =
       runtime_->net().Send(from, to, wire_bytes, runtime_->clock(from));
+  if (critpath_ != nullptr) {
+    critpath_->SetLastMsgAvail(arrival + sweep_seconds);
+  }
   return arrival + sweep_seconds;
 }
 

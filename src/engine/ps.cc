@@ -99,6 +99,7 @@ Status PsEngine::Setup(const Dataset& dataset) {
     ssp_snapshots_.assign(ring, {});
     ssp_snapshot_version_.assign(ring, std::numeric_limits<int64_t>::min());
     ssp_applied_time_.assign(K, {});
+    ssp_stamp_ids_.assign(K, {});
     ssp_clocks_.Reset(K);
     ssp_.sent.assign(K, {});
     ssp_.applied.assign(K, {});
@@ -868,6 +869,7 @@ Status PsEngine::DoRunIterationSsp(int64_t iteration) {
   std::vector<std::vector<uint64_t>> keys_per_server(K);
   std::vector<SimTime> push_arrival(K, 0.0);  // newest push seen per server
   std::vector<uint64_t> push_keys(K, 0);      // lookup work queued per server
+  std::vector<std::vector<CritTerm>> server_push_terms(K);
   double loss_sum = 0.0;
   size_t batch_total = 0;
   for (int w = 0; w < K; ++w) {
@@ -902,6 +904,7 @@ Status PsEngine::DoRunIterationSsp(int64_t iteration) {
     // departure — the worker's effective model is the oldest version any
     // contacted shard served.
     SimTime worker_ready = runtime_->clock(node);
+    std::vector<CritTerm> ready_terms;
     int64_t version = iteration - 1;
     for (int s = 0; s < K; ++s) {
       if (options_.sparse_pull && keys_per_server[w][s] == 0) continue;
@@ -920,11 +923,13 @@ Status PsEngine::DoRunIterationSsp(int64_t iteration) {
       }
       const NodeId server_node = runtime_->extra_node(s);
       SimTime request_arrival;
+      int64_t request_msg = -1;
       if (s == w) {
         request_arrival = runtime_->clock(node);  // loopback
       } else {
         request_arrival =
             GatedSendWithFaults(node, server_node, request_bytes, iteration);
+        if (critpath_ != nullptr) request_msg = critpath_->last_msg();
       }
       const SimTime gate_time =
           gate_version < 0
@@ -948,11 +953,54 @@ Status PsEngine::DoRunIterationSsp(int64_t iteration) {
         }
       }
       version = std::min(version, served);
-      const SimTime reply_arrival =
-          s == w ? reply_send
-                 : runtime_->net().Send(server_node, node, reply_bytes,
-                                        reply_send);
+      // Causal terms behind reply_send: the request's delivery (or the
+      // worker's own clock on loopback) and the shard's gate-version apply,
+      // each followed by the lookup on the server.
+      std::vector<CritTerm> depart_terms;
+      if (critpath_ != nullptr) {
+        if (s == w) {
+          depart_terms.push_back(critpath_->ClockTerm(node));
+        } else {
+          depart_terms.push_back(critpath_->MsgTerm(request_msg));
+        }
+        if (gate_version >= 0) {
+          const int64_t stamp =
+              ssp_stamp_ids_[s][static_cast<size_t>(gate_version)];
+          CritTerm gate_term;
+          if (stamp >= 0) {
+            gate_term = critpath_->StampTerm(stamp);
+          } else {
+            gate_term.kind = CritCauseKind::kAbs;
+            gate_term.value = gate_time;
+          }
+          depart_terms.push_back(gate_term);
+        }
+      }
+      SimTime reply_arrival;
+      if (s == w) {
+        reply_arrival = reply_send;
+        if (critpath_ != nullptr) {
+          for (CritTerm term : depart_terms) {
+            term.add_seconds = lookup_seconds;
+            term.add_node = static_cast<int32_t>(server_node);
+            ready_terms.push_back(term);
+          }
+        }
+      } else {
+        if (critpath_ != nullptr) {
+          critpath_->AnnotateNextSend(depart_terms, lookup_seconds,
+                                      static_cast<int32_t>(server_node));
+        }
+        reply_arrival =
+            runtime_->net().Send(server_node, node, reply_bytes, reply_send);
+        if (critpath_ != nullptr) {
+          ready_terms.push_back(critpath_->MsgTerm(critpath_->last_msg()));
+        }
+      }
       worker_ready = std::max(worker_ready, reply_arrival);
+    }
+    if (critpath_ != nullptr && !ready_terms.empty()) {
+      critpath_->AnnotateSet(node, std::move(ready_terms));
     }
     runtime_->set_clock(node, worker_ready);
 
@@ -1005,6 +1053,11 @@ Status PsEngine::DoRunIterationSsp(int64_t iteration) {
           s == w ? runtime_->clock(node)
                  : GatedSendWithFaults(node, runtime_->extra_node(s),
                                        push_bytes, iteration);
+      if (critpath_ != nullptr) {
+        server_push_terms[s].push_back(
+            s == w ? critpath_->ClockTerm(node)
+                   : critpath_->MsgTerm(critpath_->last_msg()));
+      }
       push_arrival[s] = std::max(push_arrival[s], arrival);
       push_keys[s] += server_keys;
     }
@@ -1025,12 +1078,17 @@ Status PsEngine::DoRunIterationSsp(int64_t iteration) {
   for (int s = 0; s < K; ++s) {
     const NodeId server_node = runtime_->extra_node(s);
     push_done = std::max(push_done, push_arrival[s]);
+    if (critpath_ != nullptr && !server_push_terms[s].empty()) {
+      critpath_->AnnotateSet(server_node, std::move(server_push_terms[s]));
+    }
     runtime_->set_clock(
         server_node, std::max(runtime_->clock(server_node), push_arrival[s]));
     runtime_->ChargeCompute(server_node,
                             push_keys[s] * options_.flops_per_key +
                                 update_flops.flops() / K);
     ssp_applied_time_[s].push_back(runtime_->clock(server_node));
+    ssp_stamp_ids_[s].push_back(
+        critpath_ != nullptr ? critpath_->StampClock(server_node) : -1);
     applied_max = std::max(applied_max, runtime_->clock(server_node));
   }
   SspStoreSnapshot(iteration);

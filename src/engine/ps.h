@@ -118,6 +118,9 @@ class PsEngine : public Engine {
   std::vector<std::vector<double>> ssp_snapshots_;  // ring of slack + 2
   std::vector<int64_t> ssp_snapshot_version_;       // ring slot -> version
   std::vector<std::vector<SimTime>> ssp_applied_time_;  // [server][version]
+  // Critical-path stamp ids mirroring ssp_applied_time_ (-1 when no recorder
+  // was attached), so slack gates can cite the apply event causally.
+  std::vector<std::vector<int64_t>> ssp_stamp_ids_;  // [server][version]
   SspClockTable ssp_clocks_;  // per-worker logical clocks
 
   PsOptions options_;

@@ -1,0 +1,73 @@
+// Critical-path extraction over a recorded CritDag (DESIGN.md §16).
+//
+// The forward pass rebuilds each node's timeline as a contiguous tiling of
+// [0, final_clock]: advance ops become blamed segments, set ops that move a
+// clock forward become wait segments carrying their cause, barriers become
+// wait segments on every lagging node. The backward walk starts at the
+// makespan on the last-finishing node and follows causes: advances are
+// blamed in place, waits hop into the causing message chain (decomposed
+// into nic.out / link / nic.in / sweep segments, recursing through NIC
+// queue predecessors) or onto the causing node's timeline. Every step is
+// contiguous in time, so the returned path *tiles* [0, makespan] and its
+// length equals the makespan up to float summation error (<< 1e-9).
+#ifndef COLSGD_OBS_CRITPATH_ANALYSIS_H_
+#define COLSGD_OBS_CRITPATH_ANALYSIS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/critpath/critpath.h"
+
+namespace colsgd {
+
+/// \brief Resource classes a critical-path segment can be blamed on.
+enum class BlameKind : uint8_t {
+  kCompute = 0,
+  kStraggler = 1,
+  kMem = 2,
+  kLocal = 3,     // scheduling overhead, timeouts, disk
+  kNicOut = 4,    // sender NIC serialization (incl. per-message overhead)
+  kLink = 5,      // propagation latency
+  kNicIn = 6,     // receiver NIC drain
+  kSweep = 7,     // receiver-side deserialization of a mailbox delivery
+  kExternal = 8,  // exogenous anchor (serving arrivals) or idle
+};
+
+const char* BlameKindName(BlameKind kind);
+
+/// \brief One time slice of the critical path, blamed on (kind, node).
+/// Steps are produced walking backward, so t1 of step i equals t0 of step
+/// i-1 (modulo zero-length cause hops).
+struct PathStep {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  BlameKind kind = BlameKind::kExternal;
+  uint32_t node = 0;
+  int64_t op = -1;  // originating op index (msg for wire segments)
+  double length() const { return t1 - t0; }
+};
+
+struct CritPathResult {
+  double makespan = 0.0;
+  uint32_t makespan_node = 0;
+  std::vector<PathStep> steps;  // backward order: steps.front().t1 == makespan
+  /// (kind, node) -> blamed seconds; tiles the makespan.
+  std::map<std::pair<int, uint32_t>, double> blame;
+  /// Walk continuations that missed an exact timeline boundary (patched with
+  /// an external segment to preserve tiling). 0 for well-formed logs.
+  int64_t exact_misses = 0;
+
+  double PathLength() const;
+  double BlameSeconds(BlameKind kind) const;  // summed over nodes
+};
+
+/// \brief Extracts the exact critical path of a recorded run.
+Result<CritPathResult> ExtractCriticalPath(const CritDag& dag);
+
+}  // namespace colsgd
+
+#endif  // COLSGD_OBS_CRITPATH_ANALYSIS_H_

@@ -1,0 +1,37 @@
+// Versioned JSON serialization for the causal DAG ("colsgd.critdag/v1") and
+// the critical-path report ("colsgd.critpath/v1"), plus the CRC32C
+// fingerprint CI uses for double-run determinism. Serialization goes through
+// obs/bench/json.h, so identical DAGs produce byte-identical files.
+#ifndef COLSGD_OBS_CRITPATH_DAG_JSON_H_
+#define COLSGD_OBS_CRITPATH_DAG_JSON_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "obs/bench/json.h"
+#include "obs/critpath/analysis.h"
+#include "obs/critpath/critpath.h"
+
+namespace colsgd {
+
+inline constexpr const char* kCritDagSchema = "colsgd.critdag/v1";
+inline constexpr const char* kCritPathSchema = "colsgd.critpath/v1";
+
+JsonValue CritDagJson(const CritDag& dag);
+Result<CritDag> CritDagFromJson(const JsonValue& json);
+
+Status WriteCritDagFile(const CritDag& dag, const std::string& path);
+Result<CritDag> ReadCritDagFile(const std::string& path);
+
+/// \brief CRC32C of the canonical serialization — stable across runs of a
+/// deterministic schedule, shifts whenever any op or timestamp changes.
+uint32_t CritDagFingerprint(const CritDag& dag);
+
+/// \brief The critical-path report: makespan, fingerprint, per-(kind, node)
+/// blame rows with makespan shares, and the top-k longest path segments.
+JsonValue CritPathJson(const CritDag& dag, const CritPathResult& result,
+                       int topk);
+
+}  // namespace colsgd
+
+#endif  // COLSGD_OBS_CRITPATH_DAG_JSON_H_

@@ -1,0 +1,43 @@
+// What-if retimer (DESIGN.md §16): replays a recorded CritDag op log in
+// program order under hypothetical changes — per-node compute/straggler/
+// local scaling, NIC bandwidth / latency / overhead scaling, and an SSP
+// slack bump — and predicts the resulting makespan. Replay preserves the
+// recorded causal structure (which message a wait binds on is re-resolved
+// through max semantics, so a *different* reply becoming the bottleneck is
+// priced correctly); only decisions the engine would make differently under
+// the new timing (e.g. which SSP records drain together) are approximated.
+#ifndef COLSGD_OBS_CRITPATH_RETIME_H_
+#define COLSGD_OBS_CRITPATH_RETIME_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "obs/critpath/critpath.h"
+
+namespace colsgd {
+
+/// \brief A hypothetical change of the cluster. Empty scale vectors mean
+/// "1.0 for every node"; a shorter vector is padded with 1.0.
+struct WhatIf {
+  std::vector<double> compute_scale;    // per node (0 = free compute)
+  std::vector<double> straggler_scale;  // per node (0 = straggler removed)
+  std::vector<double> local_scale;      // per node (sched/timeout/disk)
+  double mem_scale = 1.0;
+  double bandwidth_scale = 1.0;  // 2.0 = NICs twice as fast
+  double latency_scale = 1.0;
+  double overhead_scale = 1.0;
+  int64_t slack_delta = 0;  // SSP slack bump (>= 0): gates read tick - delta
+};
+
+struct RetimeResult {
+  double makespan = 0.0;
+  std::vector<double> final_clocks;
+};
+
+/// \brief Replays `dag` under `what_if`. Errors on slack_delta < 0 (a
+/// tighter slack would need broadcasts that post-date the gate in the log).
+Result<RetimeResult> Retime(const CritDag& dag, const WhatIf& what_if);
+
+}  // namespace colsgd
+
+#endif  // COLSGD_OBS_CRITPATH_RETIME_H_

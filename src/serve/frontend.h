@@ -156,6 +156,9 @@ class ServeFrontend {
   ClusterRuntime& runtime() { return *runtime_; }
   const ModelSpec& spec() const { return *spec_; }
   void set_tracer(Tracer* tracer) { runtime_->set_tracer(tracer); }
+  void set_critpath(CritPathRecorder* critpath) {
+    runtime_->set_critpath(critpath);
+  }
 
  private:
   struct Pending {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/critpath/critpath.h"
 #include "obs/trace.h"
 
 namespace colsgd {
@@ -76,6 +77,11 @@ class SimNetwork {
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   Tracer* tracer() const { return tracer_; }
 
+  /// \brief Attaches a (non-owning, nullable) causal critical-path recorder
+  /// that observes every message. Passive, like the tracer.
+  void set_critpath(CritPathRecorder* critpath) { critpath_ = critpath; }
+  CritPathRecorder* critpath() const { return critpath_; }
+
   /// \brief Simulates sending `bytes` from `from` (whose local clock reads
   /// `sender_time`) to `to`. Returns the simulated time at which the message
   /// is fully available at the receiver.
@@ -106,6 +112,10 @@ class SimNetwork {
     if (tracer_ != nullptr) {
       tracer_->RecordNetSend(from, to, bytes, bytes <= kControlMessageBytes,
                              start, tx_done, rx_start, rx_done);
+    }
+    if (critpath_ != nullptr) {
+      critpath_->OnSend(from, to, bytes, bytes <= kControlMessageBytes,
+                        sender_time, start, tx_done, rx_start, rx_done);
     }
     return rx_done;
   }
@@ -140,6 +150,7 @@ class SimNetwork {
   std::vector<SimTime> in_nic_free_;
   std::vector<TrafficStats> stats_;
   Tracer* tracer_ = nullptr;
+  CritPathRecorder* critpath_ = nullptr;
 };
 
 }  // namespace colsgd

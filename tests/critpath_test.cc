@@ -1,0 +1,350 @@
+// Causal critical-path analysis (DESIGN.md §16):
+//  * Conservation: the extracted critical path tiles the makespan exactly —
+//    |path length - makespan| <= 1e-9 with zero unexplained gaps — for every
+//    engine x model pair under BSP, SSP, heavy stragglers, and crash/recovery.
+//  * Passivity: attaching the recorder changes no trained bit and no
+//    simulated clock.
+//  * Determinism: two identical runs produce fingerprint-identical DAGs, and
+//    the JSON round trip preserves the fingerprint.
+//  * What-if fidelity: retimed predictions match real re-runs of the changed
+//    cluster (straggler removal within 1%, NIC speedup, SSP slack bump).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/synthetic.h"
+#include "engine/trainer.h"
+#include "obs/critpath/analysis.h"
+#include "obs/critpath/critpath.h"
+#include "obs/critpath/dag_json.h"
+#include "obs/critpath/retime.h"
+
+namespace colsgd {
+namespace {
+
+Dataset TestData(const std::string& model_name = "lr") {
+  SyntheticSpec spec = TinySpec();
+  spec.num_rows = 2000;
+  spec.num_features = 403;
+  if (model_name.rfind("mlr", 0) == 0) {
+    spec.num_classes = std::stoi(model_name.substr(3));
+  }
+  return GenerateSynthetic(spec);
+}
+
+ClusterSpec Cluster(int workers) {
+  ClusterSpec spec = ClusterSpec::Cluster1();
+  spec.num_workers = workers;
+  return spec;
+}
+
+TrainConfig Config(const std::string& model) {
+  TrainConfig config;
+  config.model = model;
+  config.learning_rate = 0.3;
+  config.batch_size = 50;
+  config.block_rows = 128;
+  return config;
+}
+
+FaultConfig RotatingStragglers() {
+  FaultPlanConfig fc;
+  fc.seed = 7;
+  fc.stragglers.mode = StragglerSpec::Mode::kRotating;
+  fc.stragglers.level = 5.0;
+  FaultConfig faults;
+  faults.plan = FaultPlan(fc);
+  return faults;
+}
+
+FaultConfig PersistentStraggler(int worker) {
+  FaultPlanConfig fc;
+  fc.seed = 7;
+  fc.stragglers.mode = StragglerSpec::Mode::kPersistent;
+  fc.stragglers.workers = {worker};
+  fc.stragglers.level = 5.0;
+  FaultConfig faults;
+  faults.plan = FaultPlan(fc);
+  return faults;
+}
+
+struct RunOutcome {
+  CritDag dag;  // empty unless recorded
+  std::vector<double> model;
+  double makespan = 0.0;
+  std::vector<double> clocks;  // master + workers
+};
+
+RunOutcome RunEngine(const std::string& engine_name, const std::string& model_name,
+               int workers, int iterations, const TrainConfig& config,
+               const FaultConfig* faults, bool record,
+               const ClusterSpec* cluster = nullptr) {
+  Dataset d = TestData(model_name);
+  const ClusterSpec spec = cluster != nullptr ? *cluster : Cluster(workers);
+  std::unique_ptr<Engine> engine = MakeEngine(engine_name, spec, config);
+  CritPathRecorder recorder;
+  if (record) engine->set_critpath(&recorder);
+  if (faults != nullptr) {
+    EXPECT_TRUE(engine->set_faults(*faults).ok());
+  }
+  EXPECT_TRUE(engine->Setup(d).ok());
+  for (int i = 0; i < iterations; ++i) {
+    EXPECT_TRUE(engine->RunIteration(i).ok());
+  }
+  EXPECT_TRUE(engine->FinishTraining().ok());
+
+  RunOutcome out;
+  out.model = engine->FullModel();
+  out.makespan = engine->runtime().MaxClock();
+  for (int n = 0; n <= workers; ++n) {
+    out.clocks.push_back(engine->runtime().clock(static_cast<NodeId>(n)));
+  }
+  if (record) out.dag = recorder.Snapshot();
+  return out;
+}
+
+void ExpectConserved(const CritDag& dag, const std::string& label) {
+  Result<CritPathResult> path = ExtractCriticalPath(dag);
+  ASSERT_TRUE(path.ok()) << label << ": " << path.status().ToString();
+  EXPECT_EQ(path->exact_misses, 0) << label;
+  EXPECT_LE(std::fabs(path->PathLength() - dag.Makespan()), 1e-9)
+      << label << ": path " << path->PathLength() << " vs makespan "
+      << dag.Makespan();
+  EXPECT_FALSE(path->steps.empty()) << label;
+}
+
+// --- Conservation: path length tiles the makespan to 1e-9 -----------------
+
+class CritPathConservationTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+TEST_P(CritPathConservationTest, SspSlackZeroAndTwoUnderStragglers) {
+  const auto& [engine_name, model_name] = GetParam();
+  const FaultConfig faults = RotatingStragglers();
+  for (int slack : {0, 2}) {
+    TrainConfig config = Config(model_name);
+    config.ssp.enabled = true;
+    config.ssp.slack = slack;
+    RunOutcome run = RunEngine(engine_name, model_name, 4, 8, config, &faults,
+                         /*record=*/true);
+    ExpectConserved(run.dag, engine_name + "/" + model_name + " ssp slack " +
+                                 std::to_string(slack));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesAndModels, CritPathConservationTest,
+    ::testing::Values(std::make_tuple("columnsgd", "lr"),
+                      std::make_tuple("columnsgd", "svm"),
+                      std::make_tuple("columnsgd", "mlr3"),
+                      std::make_tuple("columnsgd", "fm4"),
+                      std::make_tuple("columnsgd", "mlp8"),
+                      std::make_tuple("petuum", "lr"),
+                      std::make_tuple("petuum", "svm"),
+                      std::make_tuple("petuum", "mlr3"),
+                      std::make_tuple("petuum", "fm4"),
+                      std::make_tuple("mxnet", "lr"),
+                      std::make_tuple("mxnet", "svm"),
+                      std::make_tuple("mxnet", "mlr3"),
+                      std::make_tuple("mxnet", "fm4")),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+TEST(CritPathConservationTest, BspAllEnginesCleanAndStraggled) {
+  const FaultConfig straggler = PersistentStraggler(0);
+  for (const char* engine :
+       {"columnsgd", "mllib", "mllib_star", "petuum", "mxnet"}) {
+    const TrainConfig config = Config("lr");
+    RunOutcome clean =
+        RunEngine(engine, "lr", 4, 8, config, nullptr, /*record=*/true);
+    ExpectConserved(clean.dag, std::string(engine) + " bsp clean");
+    RunOutcome straggled =
+        RunEngine(engine, "lr", 4, 8, config, &straggler, /*record=*/true);
+    ExpectConserved(straggled.dag, std::string(engine) + " bsp straggler");
+  }
+}
+
+TEST(CritPathConservationTest, CrashRecoveryWithCheckpoints) {
+  for (const char* engine : {"columnsgd", "mllib"}) {
+    FaultConfig faults;
+    faults.plan =
+        FaultPlan::Scripted({{10, 1, FaultKind::kWorkerFailure}});
+    faults.checkpoint.every = 5;
+    const TrainConfig config = Config("lr");
+    RunOutcome run = RunEngine(engine, "lr", 4, 20, config, &faults,
+                         /*record=*/true);
+    ExpectConserved(run.dag, std::string(engine) + " crash/recovery");
+    Result<CritPathResult> path = ExtractCriticalPath(run.dag);
+    ASSERT_TRUE(path.ok());
+    // A straggler-free crash run still spends time somewhere besides compute.
+    EXPECT_GT(path->makespan, 0.0);
+  }
+}
+
+// --- Passivity: attaching the recorder is invisible to the simulation -----
+
+TEST(CritPathPassivityTest, RecorderChangesNoBitNoClock) {
+  const FaultConfig faults = RotatingStragglers();
+  for (const char* engine : {"columnsgd", "petuum"}) {
+    TrainConfig config = Config("lr");
+    config.ssp.enabled = true;
+    config.ssp.slack = 1;
+    RunOutcome plain = RunEngine(engine, "lr", 4, 8, config, &faults,
+                           /*record=*/false);
+    RunOutcome recorded = RunEngine(engine, "lr", 4, 8, config, &faults,
+                              /*record=*/true);
+    EXPECT_EQ(plain.model, recorded.model) << engine;
+    ASSERT_EQ(plain.clocks.size(), recorded.clocks.size());
+    for (size_t n = 0; n < plain.clocks.size(); ++n) {
+      EXPECT_EQ(plain.clocks[n], recorded.clocks[n]) << engine << " node "
+                                                     << n;
+    }
+    EXPECT_EQ(plain.makespan, recorded.makespan) << engine;
+  }
+}
+
+// --- Determinism + serialization ------------------------------------------
+
+TEST(CritPathDagTest, FingerprintDeterministicAcrossRuns) {
+  const FaultConfig faults = RotatingStragglers();
+  TrainConfig config = Config("lr");
+  config.ssp.enabled = true;
+  config.ssp.slack = 2;
+  RunOutcome a = RunEngine("columnsgd", "lr", 4, 8, config, &faults, true);
+  RunOutcome b = RunEngine("columnsgd", "lr", 4, 8, config, &faults, true);
+  EXPECT_EQ(a.dag.ops.size(), b.dag.ops.size());
+  EXPECT_EQ(CritDagFingerprint(a.dag), CritDagFingerprint(b.dag));
+}
+
+TEST(CritPathDagTest, JsonRoundTripPreservesFingerprint) {
+  const TrainConfig config = Config("lr");
+  RunOutcome run = RunEngine("columnsgd", "lr", 4, 6, config, nullptr, true);
+  const std::string path = "critpath_test_roundtrip.json";
+  ASSERT_TRUE(WriteCritDagFile(run.dag, path).ok());
+  Result<CritDag> reread = ReadCritDagFile(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(reread.ok()) << reread.status().ToString();
+  EXPECT_EQ(reread->ops.size(), run.dag.ops.size());
+  EXPECT_EQ(CritDagFingerprint(*reread), CritDagFingerprint(run.dag));
+  ExpectConserved(*reread, "reread dag");
+}
+
+// --- What-if retiming fidelity --------------------------------------------
+
+TEST(CritPathWhatIfTest, IdentityReplayReproducesMakespan) {
+  const FaultConfig faults = RotatingStragglers();
+  for (const char* engine : {"columnsgd", "petuum"}) {
+    TrainConfig config = Config("lr");
+    config.ssp.enabled = true;
+    config.ssp.slack = 1;
+    RunOutcome run = RunEngine(engine, "lr", 4, 8, config, &faults, true);
+    Result<RetimeResult> replay = Retime(run.dag, WhatIf{});
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    EXPECT_DOUBLE_EQ(replay->makespan, run.dag.Makespan()) << engine;
+  }
+}
+
+TEST(CritPathWhatIfTest, StragglerRemovalPredictsCleanRunWithinOnePercent) {
+  const FaultConfig straggler = PersistentStraggler(0);
+  const TrainConfig config = Config("lr");
+  RunOutcome straggled =
+      RunEngine("columnsgd", "lr", 4, 8, config, &straggler, /*record=*/true);
+  RunOutcome clean =
+      RunEngine("columnsgd", "lr", 4, 8, config, nullptr, /*record=*/false);
+  ASSERT_GT(straggled.makespan, clean.makespan);
+
+  WhatIf what_if;
+  what_if.straggler_scale.assign(straggled.dag.num_nodes, 1.0);
+  what_if.straggler_scale[1] = 0.0;  // worker 0 = node 1
+  Result<RetimeResult> predicted = Retime(straggled.dag, what_if);
+  ASSERT_TRUE(predicted.ok()) << predicted.status().ToString();
+  EXPECT_LE(std::fabs(predicted->makespan - clean.makespan),
+            0.01 * clean.makespan)
+      << "predicted " << predicted->makespan << " actual " << clean.makespan;
+}
+
+TEST(CritPathWhatIfTest, BandwidthDoublingPredictsFasterNetRun) {
+  const TrainConfig config = Config("lr");
+  RunOutcome base = RunEngine("columnsgd", "lr", 4, 8, config, nullptr, true);
+
+  ClusterSpec fast = Cluster(4);
+  fast.net.bandwidth *= 2.0;
+  RunOutcome actual = RunEngine("columnsgd", "lr", 4, 8, config, nullptr,
+                          /*record=*/false, &fast);
+  ASSERT_LT(actual.makespan, base.makespan);
+
+  WhatIf what_if;
+  what_if.bandwidth_scale = 2.0;
+  Result<RetimeResult> predicted = Retime(base.dag, what_if);
+  ASSERT_TRUE(predicted.ok()) << predicted.status().ToString();
+  EXPECT_LE(std::fabs(predicted->makespan - actual.makespan),
+            0.01 * actual.makespan)
+      << "predicted " << predicted->makespan << " actual " << actual.makespan;
+}
+
+TEST(CritPathWhatIfTest, SlackBumpPredictsLooserSspRun) {
+  // Engine decisions (which records drain together) differ under a real
+  // slack change, so this is the documented approximation: 5% tolerance.
+  const FaultConfig faults = RotatingStragglers();
+  TrainConfig slack1 = Config("lr");
+  slack1.ssp.enabled = true;
+  slack1.ssp.slack = 1;
+  RunOutcome base = RunEngine("columnsgd", "lr", 4, 8, slack1, &faults, true);
+
+  TrainConfig slack2 = Config("lr");
+  slack2.ssp.enabled = true;
+  slack2.ssp.slack = 2;
+  RunOutcome actual =
+      RunEngine("columnsgd", "lr", 4, 8, slack2, &faults, /*record=*/false);
+
+  WhatIf what_if;
+  what_if.slack_delta = 1;
+  Result<RetimeResult> predicted = Retime(base.dag, what_if);
+  ASSERT_TRUE(predicted.ok()) << predicted.status().ToString();
+  EXPECT_LE(std::fabs(predicted->makespan - actual.makespan),
+            0.05 * actual.makespan)
+      << "predicted " << predicted->makespan << " actual " << actual.makespan;
+  // Looser slack never slows the run down.
+  EXPECT_LE(predicted->makespan, base.dag.Makespan() * (1.0 + 1e-12));
+}
+
+TEST(CritPathWhatIfTest, NegativeSlackDeltaRejected) {
+  const TrainConfig config = Config("lr");
+  RunOutcome run = RunEngine("columnsgd", "lr", 4, 4, config, nullptr, true);
+  WhatIf what_if;
+  what_if.slack_delta = -1;
+  EXPECT_FALSE(Retime(run.dag, what_if).ok());
+}
+
+// --- Blame sanity ----------------------------------------------------------
+
+TEST(CritPathBlameTest, PersistentStragglerDominatesBlame) {
+  const FaultConfig straggler = PersistentStraggler(0);
+  const TrainConfig config = Config("lr");
+  RunOutcome run = RunEngine("columnsgd", "lr", 4, 8, config, &straggler, true);
+  Result<CritPathResult> path = ExtractCriticalPath(run.dag);
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  const double straggler_blame = path->BlameSeconds(BlameKind::kStraggler);
+  // Level-5 straggling on the critical worker should own most of the path.
+  EXPECT_GT(straggler_blame, 0.5 * path->makespan);
+  // And the straggler seconds should be charged to worker 0 (node 1).
+  double node1 = 0.0, others = 0.0;
+  for (const auto& [key, seconds] : path->blame) {
+    if (key.first != static_cast<int>(BlameKind::kStraggler)) continue;
+    if (key.second == 1) {
+      node1 += seconds;
+    } else {
+      others += seconds;
+    }
+  }
+  EXPECT_GT(node1, others);
+}
+
+}  // namespace
+}  // namespace colsgd

@@ -32,6 +32,9 @@
 #include "datagen/synthetic.h"
 #include "engine/trainer.h"
 #include "model/factory.h"
+#include "obs/critpath/dag_json.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "serve/frontend.h"
 
 namespace colsgd {
@@ -192,6 +195,15 @@ int RunDriver(int argc, char** argv) {
   flags.AddInt64("batch_size", &batch_size, "training mini-batch size");
   flags.AddString("records_csv", &records_csv,
                   "dump per-request latency decompositions here");
+  std::string trace_out;
+  std::string phase_csv;
+  std::string dag_out;
+  flags.AddString("trace_out", &trace_out,
+                  "write a Chrome trace of the serving run here");
+  flags.AddString("phase_csv", &phase_csv,
+                  "write the per-iteration phase CSV here (needs tracing)");
+  flags.AddString("dag_out", &dag_out,
+                  "write the causal critical-path DAG here");
   COLSGD_CHECK_OK(flags.Parse(argc, argv));
   serve.num_shards = static_cast<int>(shards);
   workload.seed = static_cast<uint64_t>(workload_seed);
@@ -271,6 +283,10 @@ int RunDriver(int argc, char** argv) {
 
   const Dataset queries = GenerateSynthetic(query_spec);
   ServeFrontend frontend(ClusterSpec::Cluster1(), serve, &queries);
+  Tracer tracer;
+  if (!trace_out.empty() || !phase_csv.empty()) frontend.set_tracer(&tracer);
+  CritPathRecorder critpath;
+  if (!dag_out.empty()) frontend.set_critpath(&critpath);
   COLSGD_CHECK_OK(frontend.Install(stream[0].model, stream[0].iterations));
   for (size_t i = 1; i < stream.size(); ++i) {
     frontend.ScheduleSwap(stream[i].at, stream[i].model,
@@ -287,6 +303,21 @@ int RunDriver(int argc, char** argv) {
   std::printf("fingerprint %016llx\n",
               static_cast<unsigned long long>(frontend.Fingerprint()));
   if (!records_csv.empty()) DumpRecordsCsv(records_csv, frontend);
+  if (!trace_out.empty()) {
+    COLSGD_CHECK_OK(WriteChromeTrace(tracer, trace_out));
+    std::printf("trace: %s (%zu events)\n", trace_out.c_str(),
+                tracer.events().size());
+  }
+  if (!phase_csv.empty()) {
+    COLSGD_CHECK_OK(WritePhaseCsv(tracer, phase_csv));
+    std::printf("phase CSV: %s\n", phase_csv.c_str());
+  }
+  if (!dag_out.empty()) {
+    const CritDag dag = critpath.Snapshot();
+    COLSGD_CHECK_OK(WriteCritDagFile(dag, dag_out));
+    std::printf("causal DAG: %s (%zu ops, fingerprint %08x)\n",
+                dag_out.c_str(), dag.ops.size(), CritDagFingerprint(dag));
+  }
   return 0;
 }
 

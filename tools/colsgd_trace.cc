@@ -8,11 +8,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "common/csv.h"
 #include "common/flags.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "obs/trace_reader.h"
 
 namespace colsgd {
@@ -32,8 +35,11 @@ struct NodeUsage {
 int Run(int argc, char** argv) {
   FlagParser flags;
   std::string trace_path;
+  std::string phase_csv;
   int64_t topk = 5;
   flags.AddString("trace", &trace_path, "trace-event JSON file to summarize");
+  flags.AddString("phase_csv", &phase_csv,
+                  "write per-iteration phase breakdown CSV here");
   flags.AddInt64("topk", &topk, "phases to print, most expensive first");
   Status st = flags.Parse(argc, argv);
   if (st.ok() && trace_path.empty()) {
@@ -72,15 +78,44 @@ int Run(int argc, char** argv) {
   MetricsRegistry registry;
   int64_t iterations = 0;
   std::map<uint32_t, NodeUsage> usage;
+  // Named spans on the per-node event tracks (tid 0): serve.*, recovery.*,
+  // checkpoint — everything RecordSpan emits besides the bulk
+  // compute / mem.touch / net.send machinery.
+  struct SpanStats {
+    double seconds = 0.0;
+    int64_t count = 0;
+  };
+  std::map<std::string, SpanStats> spans;
+  // Per-iteration phase rows for --phase_csv, keyed by iteration number.
+  struct IterationRow {
+    double start_us = 0.0;
+    double end_us = 0.0;
+    std::map<std::string, double> phases;
+  };
+  std::map<int64_t, IterationRow> iteration_rows;
   for (const ParsedTraceEvent& event : trace.events) {
     if (event.tid == kPhasesTid && event.ph == 'X') {
+      const int64_t iteration =
+          static_cast<int64_t>(event.ArgUint("iteration"));
       if (event.name == "iteration") {
         ++iterations;
+        IterationRow& row = iteration_rows[iteration];
+        row.start_us = event.ts_us;
+        row.end_us = event.ts_us + event.dur_us;
       } else {
         phase_seconds[event.name] += event.dur_us * 1e-6;
         registry.GetHistogram(event.name)->Observe(event.dur_us * 1e-6);
+        iteration_rows[iteration].phases[event.name] += event.dur_us * 1e-6;
       }
       continue;
+    }
+    if (event.ph == 'X' && event.name != "net.send" &&
+        event.name != "compute" && event.name != "mem.touch") {
+      SpanStats& s = spans[event.name];
+      s.seconds += event.dur_us * 1e-6;
+      s.count++;
+      registry.GetHistogram("span." + event.name)
+          ->Observe(event.dur_us * 1e-6);
     }
     if (event.name == "net.send" && event.ph == 'X') {
       const uint64_t bytes = event.ArgUint("bytes");
@@ -115,12 +150,34 @@ int Run(int argc, char** argv) {
     const size_t n =
         std::min(phases.size(), static_cast<size_t>(std::max<int64_t>(
                                     topk, 0)));
-    for (size_t i = 0; i < n; ++i) {
+    // Always surface staleness waits and serving phases, even when they fall
+    // below the top-k cut — they are what the summary is usually asked for.
+    std::set<size_t> shown;
+    for (size_t i = 0; i < n; ++i) shown.insert(i);
+    for (size_t i = n; i < phases.size(); ++i) {
+      if (phases[i].first == "ssp.wait" ||
+          phases[i].first.rfind("serve.", 0) == 0) {
+        shown.insert(i);
+      }
+    }
+    for (size_t i : shown) {
       const Histogram* h = registry.GetHistogram(phases[i].first);
       std::printf("  %-14s %11.6fs %7.1f%% %11.6fs %11.6fs %11.6fs\n",
                   phases[i].first.c_str(), phases[i].second,
                   100.0 * phases[i].second / phase_total, h->p50(), h->p95(),
                   h->p99());
+    }
+  }
+
+  if (!spans.empty()) {
+    std::printf("\nnamed spans (serve / recovery / checkpoint):\n");
+    std::printf("  %-18s %8s %12s %12s %12s\n", "span", "count", "total",
+                "p50", "p95");
+    for (const auto& [name, s] : spans) {
+      const Histogram* h = registry.GetHistogram("span." + name);
+      std::printf("  %-18s %8lld %11.6fs %11.6fs %11.6fs\n", name.c_str(),
+                  static_cast<long long>(s.count), s.seconds, h->p50(),
+                  h->p95());
     }
   }
 
@@ -140,6 +197,37 @@ int Run(int argc, char** argv) {
                   static_cast<unsigned long long>(u.bytes_in),
                   static_cast<unsigned long long>(u.messages_out));
     }
+  }
+
+  if (!phase_csv.empty()) {
+    // Same shape as colsgd_train --phase_csv (obs/export.h), rebuilt from
+    // the trace so an archived trace file is enough to get the breakdown.
+    CsvWriter csv;
+    std::vector<std::string> header = {"iteration", "start", "end"};
+    for (int p = 0; p < static_cast<int>(Phase::kNumPhases); ++p) {
+      header.push_back(PhaseName(static_cast<Phase>(p)));
+    }
+    header.push_back("total");
+    Status csv_st = csv.Open(phase_csv, header);
+    if (!csv_st.ok()) {
+      std::fprintf(stderr, "%s\n", csv_st.ToString().c_str());
+      return 1;
+    }
+    for (const auto& [iteration, row] : iteration_rows) {
+      std::vector<double> cells = {static_cast<double>(iteration),
+                                   row.start_us * 1e-6, row.end_us * 1e-6};
+      double total = 0.0;
+      for (int p = 0; p < static_cast<int>(Phase::kNumPhases); ++p) {
+        const auto it = row.phases.find(PhaseName(static_cast<Phase>(p)));
+        const double seconds = it != row.phases.end() ? it->second : 0.0;
+        cells.push_back(seconds);
+        total += seconds;
+      }
+      cells.push_back(total);
+      csv.WriteNumericRow(cells);
+    }
+    std::printf("\nphase CSV written to %s (%zu iterations)\n",
+                phase_csv.c_str(), iteration_rows.size());
   }
   return 0;
 }

@@ -22,6 +22,7 @@
 #include "engine/model_io.h"
 #include "engine/trainer.h"
 #include "obs/bench/bench_result.h"
+#include "obs/critpath/dag_json.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "storage/libsvm.h"
@@ -191,6 +192,7 @@ int Run(int argc, char** argv) {
   std::string trace_out;
   std::string phase_csv;
   std::string metrics_out;
+  std::string dag_out;
   std::string fail_worker;
   double worker_mtbf_iters = 0.0;
   int64_t checkpoint_every = 0;
@@ -208,6 +210,9 @@ int Run(int argc, char** argv) {
                   "write the per-iteration phase breakdown to this CSV");
   flags.AddString("metrics_out", &metrics_out,
                   "dump the aggregated metrics registry as JSON to this file");
+  flags.AddString("dag_out", &dag_out,
+                  "record the causal critical-path DAG and write it as "
+                  "colsgd.critdag/v1 JSON (analyze with colsgd_critpath)");
   flags.AddString("fail_worker", &fail_worker,
                   "scripted worker failures, 'iter:worker[,iter:worker...]'");
   flags.AddDouble("worker_mtbf_iters", &worker_mtbf_iters,
@@ -351,6 +356,8 @@ int Run(int argc, char** argv) {
   const bool tracing =
       !trace_out.empty() || !phase_csv.empty() || !metrics_out.empty();
   if (tracing) engine->set_tracer(&tracer);
+  CritPathRecorder critpath;
+  if (!dag_out.empty()) engine->set_critpath(&critpath);
 
   RunOptions options;
   options.iterations = iterations;
@@ -490,6 +497,17 @@ int Run(int argc, char** argv) {
       }
       std::printf("metrics written to %s\n", metrics_out.c_str());
     }
+  }
+
+  if (!dag_out.empty()) {
+    const CritDag dag = critpath.Snapshot();
+    Status dag_st = WriteCritDagFile(dag, dag_out);
+    if (!dag_st.ok()) {
+      std::fprintf(stderr, "%s\n", dag_st.ToString().c_str());
+      return 1;
+    }
+    std::printf("causal DAG written to %s (%zu ops, fingerprint %08x)\n",
+                dag_out.c_str(), dag.ops.size(), CritDagFingerprint(dag));
   }
 
   if (!trace_csv.empty()) {
