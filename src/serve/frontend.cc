@@ -6,7 +6,6 @@
 #include <utility>
 
 #include "common/crc32c.h"
-#include "model/factory.h"
 #include "serve/wire.h"
 
 namespace colsgd {
@@ -21,15 +20,6 @@ double Percentile(const std::vector<double>& sorted, double q) {
   if (rank < 1) rank = 1;
   if (rank > n) rank = n;
   return sorted[rank - 1];
-}
-
-/// \brief Bit pattern of a double with every NaN collapsed to the quiet
-/// canonical one, so fingerprints are stable across NaN payloads.
-uint64_t CanonicalBits(double value) {
-  if (std::isnan(value)) return 0x7ff8000000000000ULL;
-  uint64_t bits = 0;
-  std::memcpy(&bits, &value, sizeof(bits));
-  return bits;
 }
 
 }  // namespace
@@ -64,83 +54,30 @@ ServeFrontend::ServeFrontend(const ClusterSpec& cluster_spec,
   COLSGD_CHECK(queries != nullptr);
   COLSGD_CHECK_GT(queries->num_rows(), 0u);
   // The serving cluster reuses the training plane's machine model: the
-  // frontend is the master node, shard server k is worker node k+1.
+  // frontend is the master node, shard server k is worker node k+1, and one
+  // extra endpoint is the client ingress (rejection replies land there).
   ClusterSpec spec = cluster_spec;
   spec.num_workers = config.num_shards;
-  runtime_ = std::make_unique<ClusterRuntime>(spec);
-  shard_alive_.assign(static_cast<size_t>(config.num_shards), true);
-  shard_failed_at_.assign(static_cast<size_t>(config.num_shards), 0.0);
-}
-
-double ServeFrontend::TransferImage(const ShardedModelImage& image) {
-  const NodeId master = runtime_->master();
-  const double start = runtime_->clock(master);
-  // Partitioning sweeps the full weight image once on the frontend.
-  runtime_->ChargeMemTouch(master, image.WeightBytes());
-  double done = runtime_->clock(master);
-  for (int k = 0; k < config_.num_shards; ++k) {
-    const NodeId node = runtime_->worker_node(k);
-    const uint64_t slots = image.partitions[k].size();
-    const uint64_t bytes = InstallMessageBytes(slots, image.shared.size());
-    runtime_->Send(master, node, bytes);
-    // The shard writes the partition into its serving copy.
-    runtime_->ChargeMemTouch(node, (slots + image.shared.size()) * kWeightBytes);
-    done = std::max(done, runtime_->clock(node));
+  runtime_ = std::make_unique<ClusterRuntime>(spec, /*extra_nodes=*/1);
+  ingress_ = runtime_->extra_node(0);
+  std::vector<NodeId> shards;
+  shards.reserve(static_cast<size_t>(config.num_shards));
+  for (int k = 0; k < config.num_shards; ++k) {
+    shards.push_back(runtime_->worker_node(k));
   }
-  if (runtime_->tracer() != nullptr) {
-    runtime_->tracer()->RecordSpan("serve.install", master, start,
-                                   done - start, image.WeightBytes());
-  }
-  return done;
+  group_ = std::make_unique<ShardGroup>(runtime_.get(), runtime_->master(),
+                                        std::move(shards), config, queries);
 }
 
 Status ServeFrontend::Install(const SavedModel& model,
                               int64_t trained_iterations) {
-  if (registry_.has_active()) {
-    return Status::FailedPrecondition(
-        "a model is already installed; use ScheduleSwap");
-  }
-  std::unique_ptr<ModelSpec> spec = MakeModel(model.model_name);
-  if (!spec->SupportsStatScore()) {
-    return Status::InvalidArgument(
-        model.model_name +
-        " cannot score from statistics alone; it is not servable");
-  }
-  const uint64_t expected =
-      model.num_features * static_cast<uint64_t>(spec->weights_per_feature());
-  if (model.weights.size() != expected) {
-    return Status::InvalidArgument("model weight count does not match " +
-                                   model.model_name);
-  }
-  if (queries_->num_features > model.num_features) {
-    return Status::InvalidArgument(
-        "query rows reference features beyond the model's dimension");
-  }
-  spec_ = std::move(spec);
-  model_name_ = model.model_name;
-  partitioner_ =
-      MakePartitioner(config_.partitioner, model.num_features,
-                      config_.num_shards);
-
-  GenerationInfo info;
-  info.trained_iterations = trained_iterations;
-  info.install_start = runtime_->clock(runtime_->master());
-  ShardedModelImage image = ShardSavedModel(model, *spec_, *partitioner_);
-  const double done = TransferImage(image);
-  info.install_done = done;
-  registry_.Install(std::move(image), info);
-  last_install_done_ = done;
-  return Status::OK();
+  return group_->Install(model, trained_iterations);
 }
 
 void ServeFrontend::ScheduleSwapImage(double time, std::vector<uint8_t> image,
                                       int64_t trained_iterations) {
   COLSGD_CHECK(!ran_) << "schedule swaps before Run";
-  ScheduledSwap swap;
-  swap.time = time;
-  swap.image = std::move(image);
-  swap.trained_iterations = trained_iterations;
-  swaps_.push_back(std::move(swap));
+  group_->ScheduleSwapImage(time, std::move(image), trained_iterations);
 }
 
 void ServeFrontend::ScheduleSwap(double time, const SavedModel& model,
@@ -150,229 +87,12 @@ void ServeFrontend::ScheduleSwap(double time, const SavedModel& model,
 
 void ServeFrontend::ScheduleShardFailure(double time, int shard) {
   COLSGD_CHECK(!ran_) << "schedule failures before Run";
-  COLSGD_CHECK_GE(shard, 0);
-  COLSGD_CHECK_LT(shard, config_.num_shards);
-  ScheduledFailure failure;
-  failure.time = time;
-  failure.shard = shard;
-  failures_.push_back(failure);
-}
-
-void ServeFrontend::ProcessSwap(ScheduledSwap* swap) {
-  const NodeId master = runtime_->master();
-  // Installs are serialized: a swap that fires while a previous install's
-  // transfers are still in flight starts when they land.
-  const double start = std::max(
-      {swap->time, runtime_->clock(master), last_install_done_});
-  runtime_->SyncClockTo(master, start);
-  registry_.ActiveAt(start);  // flip any install that completed by now
-
-  GenerationInfo info;
-  info.trained_iterations = swap->trained_iterations;
-  info.install_start = start;
-
-  // CRC validation scans the serialized image on the frontend.
-  runtime_->ChargeMemTouch(master, swap->image.size());
-  Result<SavedModel> parsed = ParseModel(swap->image);
-  const bool valid = parsed.ok() &&
-                     parsed.ValueOrDie().model_name == model_name_ &&
-                     parsed.ValueOrDie().num_features ==
-                         partitioner_->num_features();
-  if (!valid) {
-    // Damaged or mismatched image: the active generation keeps serving.
-    info.install_done = runtime_->clock(master);
-    registry_.RecordFailedInstall(info);
-    swap_stall_seconds_ += runtime_->clock(master) - start;
-    if (runtime_->tracer() != nullptr) {
-      runtime_->tracer()->RecordInstant("serve.swap_rejected", master,
-                                        runtime_->clock(master));
-    }
-    return;
-  }
-
-  ShardedModelImage image =
-      ShardSavedModel(parsed.ValueOrDie(), *spec_, *partitioner_);
-  const double done = TransferImage(image);
-  info.install_done = done;
-  registry_.Install(std::move(image), info);
-  last_install_done_ = done;
-  // Stall is the frontend-core time the install consumed (validation +
-  // partitioning sweeps); the shard transfers overlap with serving on the
-  // NIC and surface as scatter delay instead.
-  swap_stall_seconds_ += runtime_->clock(master) - start;
-  if (runtime_->tracer() != nullptr) {
-    runtime_->tracer()->RecordSpan("serve.swap", master, start, done - start,
-                                   swap->image.size());
-  }
-}
-
-void ServeFrontend::ProcessEventsUpTo(double t) {
-  // Chronological merge of due failures and swaps; ties kill before they
-  // heal (a failure at the same instant as a swap is processed first).
-  for (;;) {
-    ScheduledFailure* next_failure = nullptr;
-    for (auto& failure : failures_) {
-      if (!failure.done && failure.time <= t &&
-          (next_failure == nullptr || failure.time < next_failure->time)) {
-        next_failure = &failure;
-      }
-    }
-    ScheduledSwap* next_swap = nullptr;
-    for (auto& swap : swaps_) {
-      if (!swap.done && swap.time <= t &&
-          (next_swap == nullptr || swap.time < next_swap->time)) {
-        next_swap = &swap;
-      }
-    }
-    if (next_failure == nullptr && next_swap == nullptr) return;
-    if (next_failure != nullptr &&
-        (next_swap == nullptr || next_failure->time <= next_swap->time)) {
-      const int shard = next_failure->shard;
-      if (shard_alive_[shard]) {
-        shard_alive_[shard] = false;
-        shard_failed_at_[shard] = next_failure->time;
-        if (runtime_->tracer() != nullptr) {
-          runtime_->tracer()->RecordInstant(
-              "serve.shard_fail", runtime_->worker_node(shard),
-              next_failure->time);
-        }
-      }
-      next_failure->done = true;
-    } else {
-      ProcessSwap(next_swap);
-      next_swap->done = true;
-    }
-  }
-}
-
-void ServeFrontend::ServeBatch(const std::vector<Pending>& batch,
-                               double t_dispatch) {
-  const NodeId master = runtime_->master();
-  const size_t n = batch.size();
-  const int num_shards = config_.num_shards;
-  const int64_t generation = registry_.ActiveAt(t_dispatch);
-  const ShardedModelImage& image = registry_.image(generation);
-
-  // Admission + framing on the frontend core.
-  runtime_->ChargeCompute(
-      master, kDispatchFlopsPerBatch + n * kDispatchFlopsPerRequest);
-
-  std::vector<SparseVectorView> rows;
-  rows.reserve(n);
-  for (const Pending& p : batch) rows.push_back(queries_->rows.Row(p.row));
-  const std::vector<CsrBatch> slices = SplitBatchByShard(rows, *partitioner_);
-  const ShardScoreResult scored = ScoreShardedBatch(*spec_, image, slices);
-
-  // Scatter: the per-shard slices leave the frontend NIC back to back.
-  double scatter_end = runtime_->clock(master);
-  for (int k = 0; k < num_shards; ++k) {
-    const double arrival = runtime_->Send(
-        master, runtime_->worker_node(k),
-        ScatterMessageBytes(n, slices[k].nnz()));
-    scatter_end = std::max(scatter_end, arrival);
-  }
-
-  // Shard compute. Each shard starts at its slice's arrival (or later, when
-  // a model install left its clock ahead — swap pressure shows up here).
-  double compute_end = scatter_end;
-  for (int k = 0; k < num_shards; ++k) {
-    const NodeId node = runtime_->worker_node(k);
-    runtime_->ChargeCompute(node, scored.shard_flops[k]);
-    compute_end = std::max(compute_end, runtime_->clock(node));
-  }
-
-  // Gather: each shard replies as it finishes; the frontend reduces after
-  // the last partial lands.
-  for (int k = 0; k < num_shards; ++k) {
-    runtime_->Send(runtime_->worker_node(k), master,
-                   GatherMessageBytes(n, spec_->stats_per_point()));
-  }
-  runtime_->ChargeCompute(master, scored.reduce_flops);
-  const double completion = runtime_->clock(master);
-
-  if (runtime_->tracer() != nullptr) {
-    runtime_->tracer()->RecordSpan("serve.batch", master, t_dispatch,
-                                   completion - t_dispatch, 0, batches_);
-  }
-
-  for (size_t i = 0; i < n; ++i) {
-    RequestRecord& rec = records_[batch[i].index];
-    rec.status = RequestStatus::kCompleted;
-    rec.generation = generation;
-    rec.score = scored.scores[i];
-    rec.batch = batches_;
-    rec.dispatch = t_dispatch;
-    rec.completion = completion;
-    rec.queue_s = t_dispatch - rec.arrival;
-    rec.scatter_s = scatter_end - t_dispatch;
-    rec.compute_s = compute_end - scatter_end;
-    rec.gather_s = completion - compute_end;
-  }
-}
-
-void ServeFrontend::FailBatchAndRecover(const std::vector<Pending>& batch,
-                                        double t_dispatch,
-                                        const std::vector<int>& dead_shards) {
-  const NodeId master = runtime_->master();
-  const size_t n = batch.size();
-
-  // The frontend doesn't know yet: it frames and scatters normally. The
-  // slices to dead shards still cross the wire (and are lost).
-  runtime_->ChargeCompute(
-      master, kDispatchFlopsPerBatch + n * kDispatchFlopsPerRequest);
-  std::vector<SparseVectorView> rows;
-  rows.reserve(n);
-  for (const Pending& p : batch) rows.push_back(queries_->rows.Row(p.row));
-  const std::vector<CsrBatch> slices = SplitBatchByShard(rows, *partitioner_);
-  for (int k = 0; k < config_.num_shards; ++k) {
-    runtime_->Send(master, runtime_->worker_node(k),
-                   ScatterMessageBytes(n, slices[k].nnz()));
-  }
-
-  // No complete gather ever forms; the reply timeout declares the batch
-  // dead. Every affected request times out — never a wrong answer.
-  const double detected =
-      std::max(t_dispatch + config_.reply_timeout, runtime_->clock(master));
-  runtime_->SyncClockTo(master, detected);
-  for (const Pending& p : batch) {
-    RequestRecord& rec = records_[p.index];
-    rec.status = RequestStatus::kTimedOut;
-    rec.batch = batches_;
-    rec.dispatch = t_dispatch;
-    rec.completion = detected;
-    rec.queue_s = t_dispatch - rec.arrival;
-  }
-
-  // Failover: ship the active generation's partition to each replacement
-  // shard server, which takes over the dead one's node identity.
-  const int64_t generation = registry_.ActiveAt(t_dispatch);
-  const ShardedModelImage& image = registry_.image(generation);
-  for (int shard : dead_shards) {
-    const NodeId node = runtime_->worker_node(shard);
-    const uint64_t slots = image.partitions[shard].size();
-    const uint64_t bytes = InstallMessageBytes(slots, image.shared.size());
-    runtime_->Send(master, node, bytes);
-    runtime_->ChargeMemTouch(node, (slots + image.shared.size()) * kWeightBytes);
-
-    FailoverRecord fo;
-    fo.shard = shard;
-    fo.failed_at = shard_failed_at_[shard];
-    fo.detected_at = detected;
-    fo.recovered_at = runtime_->clock(node);
-    fo.reinstall_bytes = bytes;
-    fo.requests_timed_out = static_cast<int64_t>(n);
-    failovers_.push_back(fo);
-    shard_alive_[shard] = true;
-    if (runtime_->tracer() != nullptr) {
-      runtime_->tracer()->RecordSpan("serve.failover", node, detected,
-                                     fo.recovered_at - detected, bytes);
-    }
-  }
+  group_->ScheduleShardFailure(time, shard);
 }
 
 Status ServeFrontend::Run(const std::vector<ServeRequest>& arrivals) {
   if (ran_) return Status::FailedPrecondition("Run may be called once");
-  if (!registry_.has_active()) {
+  if (!group_->has_model()) {
     return Status::FailedPrecondition("no model installed");
   }
   for (size_t i = 0; i < arrivals.size(); ++i) {
@@ -402,7 +122,7 @@ Status ServeFrontend::Run(const std::vector<ServeRequest>& arrivals) {
     if (queue.empty()) {
       // Idle: jump to the next arrival (events due before it fire first).
       const ServeRequest& req = arrivals[next];
-      ProcessEventsUpTo(req.arrival);
+      group_->ProcessEventsUpTo(req.arrival);
       queue.push_back(Pending{next, req.id, req.row, req.arrival});
       ++next;
       continue;
@@ -425,14 +145,23 @@ Status ServeFrontend::Run(const std::vector<ServeRequest>& arrivals) {
       const ServeRequest& req = arrivals[next];
       if (static_cast<int64_t>(queue.size()) < config_.queue_capacity) {
         queue.push_back(Pending{next, req.id, req.row, req.arrival});
+      } else {
+        // Shedding is not free: the record keeps its default kRejected
+        // status AND the frontend answers the client with one control-sized
+        // rejection, charged on the wire exactly once. The reply cannot
+        // leave before the request arrived or while earlier traffic still
+        // occupies the NIC (SendUnqueued resolves the latter).
+        const double t_send = std::max(runtime_->clock(master), req.arrival);
+        runtime_->net().SendUnqueued(master, ingress_, kRejectMessageBytes,
+                                     t_send);
+        ++reject_messages_;
       }
-      // else: the record keeps its default kRejected status.
       ++next;
       continue;
     }
     // Dispatch. Due swaps/failures fire first; install work may push the
     // frontend past the trigger, which the queue segment absorbs.
-    ProcessEventsUpTo(t_dispatch);
+    group_->ProcessEventsUpTo(t_dispatch);
     const double t_batch = std::max(t_dispatch, runtime_->clock(master));
     runtime_->SyncClockTo(master, t_batch);
     const size_t take =
@@ -440,14 +169,40 @@ Status ServeFrontend::Run(const std::vector<ServeRequest>& arrivals) {
     std::vector<Pending> batch(queue.begin(),
                                queue.begin() + static_cast<long>(take));
     queue.erase(queue.begin(), queue.begin() + static_cast<long>(take));
-    std::vector<int> dead;
-    for (int k = 0; k < config_.num_shards; ++k) {
-      if (!shard_alive_[k]) dead.push_back(k);
-    }
-    if (dead.empty()) {
-      ServeBatch(batch, t_batch);
+    std::vector<uint32_t> rows;
+    rows.reserve(batch.size());
+    for (const Pending& p : batch) rows.push_back(p.row);
+    if (!group_->HasDeadShards()) {
+      const BatchOutcome out = group_->ServeBatch(rows, t_batch, batches_);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        RequestRecord& rec = records_[batch[i].index];
+        rec.status = RequestStatus::kCompleted;
+        rec.generation = out.generation;
+        rec.score = out.scores[i];
+        rec.batch = batches_;
+        rec.dispatch = out.dispatch;
+        rec.completion = out.completion;
+        rec.queue_s = out.dispatch - rec.arrival;
+        rec.scatter_s = out.scatter_end - out.dispatch;
+        rec.compute_s = out.compute_end - out.scatter_end;
+        rec.gather_s = out.completion - out.compute_end;
+      }
     } else {
-      FailBatchAndRecover(batch, t_batch, dead);
+      const BatchOutcome out = group_->FailBatch(rows, t_batch);
+      for (const Pending& p : batch) {
+        RequestRecord& rec = records_[p.index];
+        rec.status = RequestStatus::kTimedOut;
+        rec.batch = batches_;
+        rec.dispatch = out.dispatch;
+        rec.completion = out.completion;
+        rec.queue_s = out.dispatch - rec.arrival;
+      }
+      std::vector<FailoverRecord> recovered =
+          group_->ReinstallDeadShards(out.completion);
+      for (FailoverRecord& fo : recovered) {
+        fo.requests_timed_out = static_cast<int64_t>(batch.size());
+        failovers_.push_back(fo);
+      }
     }
     ++batches_;
   }
@@ -503,14 +258,14 @@ ServeSummary ServeFrontend::Summarize() const {
       s.completed > 0
           ? static_cast<double>(s.wire_bytes) / static_cast<double>(s.completed)
           : 0.0;
-  for (const GenerationInfo& info : registry_.history()) {
+  for (const GenerationInfo& info : group_->registry().history()) {
     if (!info.ok) {
       ++s.swaps_failed;
     } else if (info.generation > 0) {
       ++s.swaps_completed;  // generation 0 is bring-up, not a swap
     }
   }
-  s.swap_stall_seconds = swap_stall_seconds_;
+  s.swap_stall_seconds = group_->swap_stall_seconds();
   s.failovers = static_cast<int64_t>(failovers_.size());
   for (const FailoverRecord& fo : failovers_) {
     s.failover_seconds += fo.recovered_at - fo.failed_at;
@@ -529,12 +284,19 @@ uint64_t ServeFrontend::Fingerprint() const {
     const uint8_t status = static_cast<uint8_t>(rec.status);
     crc = ExtendCrc32c(crc, &status, sizeof(status));
     crc = ExtendCrc32c(crc, &rec.generation, sizeof(rec.generation));
-    const uint64_t score_bits = CanonicalBits(rec.score);
+    const uint64_t score_bits = CanonicalDoubleBits(rec.score);
     crc = ExtendCrc32c(crc, &score_bits, sizeof(score_bits));
-    const uint64_t completion_bits = CanonicalBits(rec.completion);
+    const uint64_t completion_bits = CanonicalDoubleBits(rec.completion);
     crc = ExtendCrc32c(crc, &completion_bits, sizeof(completion_bits));
   }
   return crc;
+}
+
+uint64_t CanonicalDoubleBits(double value) {
+  if (std::isnan(value)) return 0x7ff8000000000000ULL;
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
 }
 
 }  // namespace colsgd

@@ -2,16 +2,22 @@
 // model swap, and shard failover on the simulated cluster (DESIGN.md §13).
 //
 // Topology reuses the training plane's: the frontend runs on the master
-// (node 0) and shard server k is worker node k+1. The frontend serves one
-// batch at a time (the master is a single simulated core); requests that
-// arrive while it is busy wait in a bounded admission queue and their
-// queueing delay is visible in the latency decomposition.
+// (node 0), shard server k is worker node k+1, and one extra node stands in
+// for the client ingress (rejection replies are charged to it, so shedding
+// is visible on the wire). The frontend serves one batch at a time (the
+// master is a single simulated core); requests that arrive while it is busy
+// wait in a bounded admission queue and their queueing delay is visible in
+// the latency decomposition.
 //
 // A batch dispatches when it fills to max_batch requests or the oldest
 // admitted request has waited max_delay, whichever is earlier — but never
 // before the frontend is free. Per completed request the end-to-end latency
 // decomposes exactly into queue / scatter / compute / gather segments
 // (tests/serve_test.cc pins the tiling to 1e-9).
+//
+// Batch execution, swap, and failover mechanics live in serve/group.h: the
+// frontend is one ShardGroup driven by this admission loop, and the
+// replicated fleet (serve/fleet.h) is R ShardGroups behind a router.
 //
 // The run is bit-deterministic in (config, arrivals, scheduled events):
 // Fingerprint() hashes every response so two runs can be compared, and
@@ -21,89 +27,18 @@
 
 #include <cstdint>
 #include <deque>
-#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "serve/frontend_types.h"
+#include "serve/group.h"
 #include "serve/inference.h"
 #include "serve/registry.h"
 #include "serve/workload.h"
 
 namespace colsgd {
-
-struct ServeConfig {
-  int num_shards = 4;
-  std::string partitioner = "round_robin";
-  int64_t max_batch = 8;
-  double max_delay = 2e-3;       // seconds the oldest request may wait
-  int64_t queue_capacity = 64;   // admitted-but-unserved bound
-  double reply_timeout = 0.050;  // gather timeout when a shard is dead
-  double slo_latency = 0.010;    // per-request latency objective
-
-  static Status Validate(const ServeConfig& config);
-};
-
-enum class RequestStatus : uint8_t {
-  kCompleted = 0,
-  kRejected = 1,  // admission queue full at arrival
-  kTimedOut = 2,  // batch hit a dead shard; no reply within reply_timeout
-};
-
-/// \brief The full story of one request. For completed requests,
-/// queue_s + scatter_s + compute_s + gather_s == completion - arrival.
-struct RequestRecord {
-  uint64_t id = 0;
-  uint32_t row = 0;
-  double arrival = 0.0;
-  RequestStatus status = RequestStatus::kRejected;
-  int64_t generation = -1;  // model generation the response was scored with
-  double score = std::numeric_limits<double>::quiet_NaN();
-  int64_t batch = -1;
-  double dispatch = std::numeric_limits<double>::quiet_NaN();
-  double completion = std::numeric_limits<double>::quiet_NaN();
-  double queue_s = 0.0;    // arrival -> batch dispatch
-  double scatter_s = 0.0;  // dispatch compute + slices on the wire
-  double compute_s = 0.0;  // last shard finishes computeStat
-  double gather_s = 0.0;   // partials on the wire + frontend reduce
-};
-
-/// \brief One shard failure the frontend survived.
-struct FailoverRecord {
-  int shard = -1;
-  double failed_at = 0.0;    // scheduled failure time
-  double detected_at = 0.0;  // reply timeout expired
-  double recovered_at = 0.0; // replacement finished loading the partition
-  uint64_t reinstall_bytes = 0;
-  int64_t requests_timed_out = 0;
-};
-
-struct ServeSummary {
-  int64_t offered = 0;
-  int64_t completed = 0;
-  int64_t rejected = 0;
-  int64_t timed_out = 0;
-  int64_t batches = 0;
-  double makespan = 0.0;    // last completion (simulated seconds)
-  double throughput = 0.0;  // completed / makespan
-  double latency_mean = 0.0;
-  double latency_p50 = 0.0;
-  double latency_p95 = 0.0;
-  double latency_p99 = 0.0;
-  double latency_max = 0.0;
-  uint64_t wire_bytes = 0;
-  uint64_t wire_messages = 0;
-  double bytes_per_request = 0.0;  // wire bytes / completed
-  int64_t swaps_completed = 0;     // hot swaps (initial bring-up excluded)
-  int64_t swaps_failed = 0;        // images rejected by CRC validation
-  double swap_stall_seconds = 0.0;
-  int64_t failovers = 0;
-  double failover_seconds = 0.0;  // detection + re-install, summed
-  /// Fraction of offered requests that missed the SLO: completed above
-  /// slo_latency, timed out, or rejected.
-  double slo_violation_fraction = 0.0;
-};
 
 class ServeFrontend {
  public:
@@ -142,9 +77,9 @@ class ServeFrontend {
   const std::vector<RequestRecord>& records() const { return records_; }
   const std::vector<FailoverRecord>& failovers() const { return failovers_; }
   const std::vector<GenerationInfo>& generations() const {
-    return registry_.history();
+    return group_->registry().history();
   }
-  const GenerationRegistry& registry() const { return registry_; }
+  const GenerationRegistry& registry() const { return group_->registry(); }
 
   ServeSummary Summarize() const;
 
@@ -154,7 +89,9 @@ class ServeFrontend {
   uint64_t Fingerprint() const;
 
   ClusterRuntime& runtime() { return *runtime_; }
-  const ModelSpec& spec() const { return *spec_; }
+  const ModelSpec& spec() const { return group_->spec(); }
+  /// \brief The client-ingress endpoint rejection replies are charged to.
+  NodeId ingress() const { return ingress_; }
   void set_tracer(Tracer* tracer) { runtime_->set_tracer(tracer); }
   void set_critpath(CritPathRecorder* critpath) {
     runtime_->set_critpath(critpath);
@@ -167,55 +104,17 @@ class ServeFrontend {
     uint32_t row = 0;
     double arrival = 0.0;
   };
-  struct ScheduledSwap {
-    double time = 0.0;
-    std::vector<uint8_t> image;
-    int64_t trained_iterations = 0;
-    bool done = false;
-  };
-  struct ScheduledFailure {
-    double time = 0.0;
-    int shard = -1;
-    bool done = false;
-  };
-
-  /// \brief Ships `image` to the shard servers starting at the current
-  /// master clock; returns the time the last shard finished loading.
-  double TransferImage(const ShardedModelImage& image);
-
-  /// \brief Fires scheduled swaps/failures whose time has come (<= t).
-  void ProcessEventsUpTo(double t);
-
-  /// \brief Validates, shards, and ships one scheduled swap image.
-  void ProcessSwap(ScheduledSwap* swap);
-
-  /// \brief Serves one batch dispatched at `t_dispatch` (the master clock).
-  void ServeBatch(const std::vector<Pending>& batch, double t_dispatch);
-
-  /// \brief A batch that hit dead shards: everything times out, then the
-  /// dead shards are re-shipped the active generation.
-  void FailBatchAndRecover(const std::vector<Pending>& batch,
-                           double t_dispatch,
-                           const std::vector<int>& dead_shards);
 
   ServeConfig config_;
   std::unique_ptr<ClusterRuntime> runtime_;
-  std::unique_ptr<ModelSpec> spec_;
-  std::unique_ptr<ColumnPartitioner> partitioner_;
+  std::unique_ptr<ShardGroup> group_;
   const Dataset* queries_;
-  GenerationRegistry registry_;
-
-  std::vector<ScheduledSwap> swaps_;
-  std::vector<ScheduledFailure> failures_;
-  std::vector<bool> shard_alive_;
-  std::vector<double> shard_failed_at_;
+  NodeId ingress_ = 0;
 
   std::vector<RequestRecord> records_;
   std::vector<FailoverRecord> failovers_;
-  std::string model_name_;          // active model family; swaps must match
-  double last_install_done_ = 0.0;  // serializes installs
-  double swap_stall_seconds_ = 0.0;
   int64_t batches_ = 0;
+  int64_t reject_messages_ = 0;
   bool ran_ = false;
 };
 

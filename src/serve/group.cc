@@ -1,0 +1,367 @@
+#include "serve/group.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "model/factory.h"
+#include "serve/wire.h"
+
+namespace colsgd {
+
+ShardGroup::ShardGroup(ClusterRuntime* runtime, NodeId frontend,
+                       std::vector<NodeId> shards, const ServeConfig& config,
+                       const Dataset* queries)
+    : runtime_(runtime),
+      frontend_(frontend),
+      shards_(std::move(shards)),
+      config_(config),
+      queries_(queries) {
+  COLSGD_CHECK(runtime != nullptr);
+  COLSGD_CHECK(queries != nullptr);
+  COLSGD_CHECK_EQ(static_cast<int>(shards_.size()), config.num_shards);
+  shard_alive_.assign(shards_.size(), true);
+  shard_failed_at_.assign(shards_.size(), 0.0);
+}
+
+double ShardGroup::TransferImage(const ShardedModelImage& image) {
+  const double start = runtime_->clock(frontend_);
+  // Partitioning sweeps the full weight image once on the frontend.
+  runtime_->ChargeMemTouch(frontend_, image.WeightBytes());
+  double done = runtime_->clock(frontend_);
+  for (int k = 0; k < config_.num_shards; ++k) {
+    const NodeId node = shards_[static_cast<size_t>(k)];
+    const uint64_t slots = image.partitions[k].size();
+    const uint64_t bytes = InstallMessageBytes(slots, image.shared.size());
+    runtime_->Send(frontend_, node, bytes);
+    // The shard writes the partition into its serving copy.
+    runtime_->ChargeMemTouch(node, (slots + image.shared.size()) * kWeightBytes);
+    done = std::max(done, runtime_->clock(node));
+  }
+  if (runtime_->tracer() != nullptr) {
+    runtime_->tracer()->RecordSpan("serve.install", frontend_, start,
+                                   done - start, image.WeightBytes());
+  }
+  return done;
+}
+
+Status ShardGroup::Install(const SavedModel& model,
+                           int64_t trained_iterations) {
+  if (registry_.has_active()) {
+    return Status::FailedPrecondition(
+        "a model is already installed; use ScheduleSwap");
+  }
+  std::unique_ptr<ModelSpec> spec = MakeModel(model.model_name);
+  if (!spec->SupportsStatScore()) {
+    return Status::InvalidArgument(
+        model.model_name +
+        " cannot score from statistics alone; it is not servable");
+  }
+  const uint64_t expected =
+      model.num_features * static_cast<uint64_t>(spec->weights_per_feature());
+  if (model.weights.size() != expected) {
+    return Status::InvalidArgument("model weight count does not match " +
+                                   model.model_name);
+  }
+  if (queries_->num_features > model.num_features) {
+    return Status::InvalidArgument(
+        "query rows reference features beyond the model's dimension");
+  }
+  spec_ = std::move(spec);
+  model_name_ = model.model_name;
+  partitioner_ = MakePartitioner(config_.partitioner, model.num_features,
+                                 config_.num_shards);
+
+  GenerationInfo info;
+  info.trained_iterations = trained_iterations;
+  info.install_start = runtime_->clock(frontend_);
+  ShardedModelImage image = ShardSavedModel(model, *spec_, *partitioner_);
+  const double done = TransferImage(image);
+  info.install_done = done;
+  registry_.Install(std::move(image), info);
+  last_install_done_ = done;
+  return Status::OK();
+}
+
+void ShardGroup::ScheduleSwapImage(double time, std::vector<uint8_t> image,
+                                   int64_t trained_iterations) {
+  ScheduledSwap swap;
+  swap.time = time;
+  swap.image = std::move(image);
+  swap.trained_iterations = trained_iterations;
+  swaps_.push_back(std::move(swap));
+}
+
+double ShardGroup::ApplyValidatedSwap(double earliest_start,
+                                      const SavedModel& model,
+                                      int64_t trained_iterations) {
+  COLSGD_CHECK(registry_.has_active()) << "install a model first";
+  COLSGD_CHECK_EQ(model.model_name, model_name_);
+  COLSGD_CHECK_EQ(model.num_features, partitioner_->num_features());
+  // Installs are serialized within the group.
+  const double start = std::max(
+      {earliest_start, runtime_->clock(frontend_), last_install_done_});
+  runtime_->SyncClockTo(frontend_, start);
+  registry_.ActiveAt(start);  // flip any install that completed by now
+
+  GenerationInfo info;
+  info.trained_iterations = trained_iterations;
+  info.install_start = start;
+  ShardedModelImage image = ShardSavedModel(model, *spec_, *partitioner_);
+  const double done = TransferImage(image);
+  info.install_done = done;
+  registry_.Install(std::move(image), info);
+  last_install_done_ = done;
+  swap_stall_seconds_ += runtime_->clock(frontend_) - start;
+  return done;
+}
+
+void ShardGroup::ScheduleShardFailure(double time, int shard) {
+  COLSGD_CHECK_GE(shard, 0);
+  COLSGD_CHECK_LT(shard, config_.num_shards);
+  ScheduledFailure failure;
+  failure.time = time;
+  failure.shard = shard;
+  failures_.push_back(failure);
+}
+
+void ShardGroup::ProcessSwap(ScheduledSwap* swap) {
+  // Installs are serialized: a swap that fires while a previous install's
+  // transfers are still in flight starts when they land.
+  const double start = std::max(
+      {swap->time, runtime_->clock(frontend_), last_install_done_});
+  runtime_->SyncClockTo(frontend_, start);
+  registry_.ActiveAt(start);  // flip any install that completed by now
+
+  GenerationInfo info;
+  info.trained_iterations = swap->trained_iterations;
+  info.install_start = start;
+
+  // CRC validation scans the serialized image on the frontend.
+  runtime_->ChargeMemTouch(frontend_, swap->image.size());
+  Result<SavedModel> parsed = ParseModel(swap->image);
+  const bool valid = parsed.ok() &&
+                     parsed.ValueOrDie().model_name == model_name_ &&
+                     parsed.ValueOrDie().num_features ==
+                         partitioner_->num_features();
+  if (!valid) {
+    // Damaged or mismatched image: the active generation keeps serving.
+    info.install_done = runtime_->clock(frontend_);
+    registry_.RecordFailedInstall(info);
+    swap_stall_seconds_ += runtime_->clock(frontend_) - start;
+    if (runtime_->tracer() != nullptr) {
+      runtime_->tracer()->RecordInstant("serve.swap_rejected", frontend_,
+                                        runtime_->clock(frontend_));
+    }
+    return;
+  }
+
+  ShardedModelImage image =
+      ShardSavedModel(parsed.ValueOrDie(), *spec_, *partitioner_);
+  const double done = TransferImage(image);
+  info.install_done = done;
+  registry_.Install(std::move(image), info);
+  last_install_done_ = done;
+  // Stall is the frontend-core time the install consumed (validation +
+  // partitioning sweeps); the shard transfers overlap with serving on the
+  // NIC and surface as scatter delay instead.
+  swap_stall_seconds_ += runtime_->clock(frontend_) - start;
+  if (runtime_->tracer() != nullptr) {
+    runtime_->tracer()->RecordSpan("serve.swap", frontend_, start, done - start,
+                                   swap->image.size());
+  }
+}
+
+void ShardGroup::ProcessEventsUpTo(double t) {
+  // Chronological merge of due failures and swaps; ties kill before they
+  // heal (a failure at the same instant as a swap is processed first).
+  for (;;) {
+    ScheduledFailure* next_failure = nullptr;
+    for (auto& failure : failures_) {
+      if (!failure.done && failure.time <= t &&
+          (next_failure == nullptr || failure.time < next_failure->time)) {
+        next_failure = &failure;
+      }
+    }
+    ScheduledSwap* next_swap = nullptr;
+    for (auto& swap : swaps_) {
+      if (!swap.done && swap.time <= t &&
+          (next_swap == nullptr || swap.time < next_swap->time)) {
+        next_swap = &swap;
+      }
+    }
+    if (next_failure == nullptr && next_swap == nullptr) return;
+    if (next_failure != nullptr &&
+        (next_swap == nullptr || next_failure->time <= next_swap->time)) {
+      const int shard = next_failure->shard;
+      if (shard_alive_[shard]) {
+        shard_alive_[shard] = false;
+        shard_failed_at_[shard] = next_failure->time;
+        if (runtime_->tracer() != nullptr) {
+          runtime_->tracer()->RecordInstant("serve.shard_fail",
+                                            shards_[static_cast<size_t>(shard)],
+                                            next_failure->time);
+        }
+      }
+      next_failure->done = true;
+    } else {
+      ProcessSwap(next_swap);
+      next_swap->done = true;
+    }
+  }
+}
+
+std::vector<int> ShardGroup::DeadShards() const {
+  std::vector<int> dead;
+  for (int k = 0; k < config_.num_shards; ++k) {
+    if (!shard_alive_[k]) dead.push_back(k);
+  }
+  return dead;
+}
+
+BatchOutcome ShardGroup::ServeBatch(const std::vector<uint32_t>& rows,
+                                    double t_ready, int64_t batch_tag) {
+  runtime_->SyncClockTo(frontend_, t_ready);
+  const double t_dispatch = runtime_->clock(frontend_);
+  const size_t n = rows.size();
+  const int num_shards = config_.num_shards;
+  const int64_t generation = registry_.ActiveAt(t_dispatch);
+  const ShardedModelImage& image = registry_.image(generation);
+
+  BatchOutcome out;
+  out.served = true;
+  out.generation = generation;
+  out.dispatch = t_dispatch;
+
+  // Admission + framing on the frontend core.
+  runtime_->ChargeCompute(
+      frontend_, kDispatchFlopsPerBatch + n * kDispatchFlopsPerRequest);
+
+  std::vector<SparseVectorView> views;
+  views.reserve(n);
+  for (uint32_t row : rows) views.push_back(queries_->rows.Row(row));
+  const std::vector<CsrBatch> slices = SplitBatchByShard(views, *partitioner_);
+  const ShardScoreResult scored = ScoreShardedBatch(*spec_, image, slices);
+
+  // Scatter: the per-shard slices leave the frontend NIC back to back.
+  double scatter_end = runtime_->clock(frontend_);
+  for (int k = 0; k < num_shards; ++k) {
+    const uint64_t bytes = ScatterMessageBytes(n, slices[k].nnz());
+    const double arrival =
+        runtime_->Send(frontend_, shards_[static_cast<size_t>(k)], bytes);
+    out.wire_bytes += bytes;
+    scatter_end = std::max(scatter_end, arrival);
+  }
+
+  // Shard compute. Each shard starts at its slice's arrival (or later, when
+  // a model install left its clock ahead — swap pressure shows up here).
+  double compute_end = scatter_end;
+  for (int k = 0; k < num_shards; ++k) {
+    const NodeId node = shards_[static_cast<size_t>(k)];
+    runtime_->ChargeCompute(node, scored.shard_flops[k]);
+    compute_end = std::max(compute_end, runtime_->clock(node));
+  }
+
+  // Gather: each shard replies as it finishes; the frontend reduces after
+  // the last partial lands.
+  for (int k = 0; k < num_shards; ++k) {
+    const uint64_t bytes = GatherMessageBytes(n, spec_->stats_per_point());
+    runtime_->Send(shards_[static_cast<size_t>(k)], frontend_, bytes);
+    out.wire_bytes += bytes;
+  }
+  runtime_->ChargeCompute(frontend_, scored.reduce_flops);
+  double completion = runtime_->clock(frontend_);
+
+  if (straggle_level_ > 0.0) {
+    // Straggler semantics from cluster/fault/fault_plan.h: level L adds
+    // L x the task time. The whole node-set runs slow, so every phase
+    // boundary stretches by (1 + L) from dispatch; the frontend clock moves
+    // to the stretched completion, which is what makes later batches queue
+    // behind a straggled group.
+    const double stretch = 1.0 + straggle_level_;
+    scatter_end = t_dispatch + stretch * (scatter_end - t_dispatch);
+    compute_end = t_dispatch + stretch * (compute_end - t_dispatch);
+    completion = t_dispatch + stretch * (completion - t_dispatch);
+    runtime_->SyncClockTo(frontend_, completion);
+  }
+
+  if (runtime_->tracer() != nullptr) {
+    runtime_->tracer()->RecordSpan("serve.batch", frontend_, t_dispatch,
+                                   completion - t_dispatch, 0, batch_tag);
+  }
+
+  out.scores = scored.scores;
+  out.scatter_end = scatter_end;
+  out.compute_end = compute_end;
+  out.completion = completion;
+  return out;
+}
+
+BatchOutcome ShardGroup::FailBatch(const std::vector<uint32_t>& rows,
+                                   double t_ready) {
+  runtime_->SyncClockTo(frontend_, t_ready);
+  const double t_dispatch = runtime_->clock(frontend_);
+  const size_t n = rows.size();
+
+  BatchOutcome out;
+  out.served = false;
+  out.dispatch = t_dispatch;
+
+  // The frontend doesn't know yet: it frames and scatters normally. The
+  // slices to dead shards still cross the wire (and are lost).
+  runtime_->ChargeCompute(
+      frontend_, kDispatchFlopsPerBatch + n * kDispatchFlopsPerRequest);
+  std::vector<SparseVectorView> views;
+  views.reserve(n);
+  for (uint32_t row : rows) views.push_back(queries_->rows.Row(row));
+  const std::vector<CsrBatch> slices = SplitBatchByShard(views, *partitioner_);
+  for (int k = 0; k < config_.num_shards; ++k) {
+    const uint64_t bytes = ScatterMessageBytes(n, slices[k].nnz());
+    runtime_->Send(frontend_, shards_[static_cast<size_t>(k)], bytes);
+    out.wire_bytes += bytes;
+  }
+
+  // No complete gather ever forms; the reply timeout declares the batch
+  // dead. Every affected request times out — never a wrong answer.
+  const double detected = std::max(t_dispatch + config_.reply_timeout,
+                                   runtime_->clock(frontend_));
+  runtime_->SyncClockTo(frontend_, detected);
+  out.completion = detected;
+  return out;
+}
+
+std::vector<FailoverRecord> ShardGroup::ReinstallDeadShards(double detected) {
+  // Failover: ship the active generation's partition to each replacement
+  // shard server, which takes over the dead one's node identity.
+  std::vector<FailoverRecord> records;
+  const int64_t generation = registry_.ActiveAt(detected);
+  const ShardedModelImage& image = registry_.image(generation);
+  for (int shard : DeadShards()) {
+    const NodeId node = shards_[static_cast<size_t>(shard)];
+    const uint64_t slots = image.partitions[shard].size();
+    const uint64_t bytes = InstallMessageBytes(slots, image.shared.size());
+    runtime_->Send(frontend_, node, bytes);
+    runtime_->ChargeMemTouch(node, (slots + image.shared.size()) * kWeightBytes);
+
+    FailoverRecord fo;
+    fo.shard = shard;
+    fo.failed_at = shard_failed_at_[shard];
+    fo.detected_at = detected;
+    fo.recovered_at = runtime_->clock(node);
+    fo.reinstall_bytes = bytes;
+    records.push_back(fo);
+    shard_alive_[shard] = true;
+    if (runtime_->tracer() != nullptr) {
+      runtime_->tracer()->RecordSpan("serve.failover", node, detected,
+                                     fo.recovered_at - detected, bytes);
+      // Named split of the outage: time-to-detect vs time-to-reinstall,
+      // surfaced by colsgd_trace's span table.
+      runtime_->tracer()->RecordSpan("serve.failover.detect", node,
+                                     fo.failed_at, detected - fo.failed_at, 0);
+      runtime_->tracer()->RecordSpan("serve.failover.reinstall", node, detected,
+                                     fo.recovered_at - detected, bytes);
+    }
+  }
+  return records;
+}
+
+}  // namespace colsgd

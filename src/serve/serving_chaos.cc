@@ -362,5 +362,367 @@ std::string ServingArtifactJson(const ServingChaosOptions& options,
   return json;
 }
 
+// ---- Replicated-fleet scenario ------------------------------------------
+
+namespace {
+
+FleetConfig MakeFleetConfig(const FleetChaosOptions& options, int replicas,
+                            uint64_t seed) {
+  FleetConfig config;
+  config.replicas = replicas;
+  config.serve = MakeServeConfig(options.serving);
+  config.detector.heartbeat_interval = options.heartbeat_interval;
+  config.detector.heartbeat_timeout = options.heartbeat_timeout;
+  config.seed = seed;  // route / hedge tie-break stream
+  return config;
+}
+
+WorkloadConfig MakeFleetWorkload(const FleetChaosOptions& options,
+                                 bool flash) {
+  WorkloadConfig workload = MakeWorkload(options.serving);
+  if (flash) {
+    const double horizon = Horizon(options.serving);
+    workload.arrivals = "flash";
+    workload.flash_at = options.flash_start_frac * horizon;
+    workload.flash_duration = options.flash_duration_frac * horizon;
+    workload.flash_factor = options.flash_factor;
+  }
+  return workload;
+}
+
+}  // namespace
+
+FleetSchedule GenerateFleetSchedule(uint64_t seed,
+                                    const FleetChaosOptions& options) {
+  // A stream distinct from the single-group generator: the same seed draws
+  // an unrelated fleet schedule.
+  Rng rng = Rng(seed).Split(0xF1EE7C4A05ULL);
+  const double horizon = Horizon(options.serving);
+
+  FleetSchedule schedule;
+  schedule.replicas = 2 + static_cast<int>(rng.NextBounded(2));
+  schedule.flash = rng.NextDouble() < 0.5;
+
+  if (rng.NextDouble() < 0.5) {
+    FleetSchedule::GroupLoss loss;
+    // Early enough that detection (and the drained batches' completions)
+    // land inside the run even when a flash crowd compresses the arrivals.
+    loss.time = rng.NextUniform(0.15 * horizon, 0.60 * horizon);
+    loss.group = static_cast<int>(
+        rng.NextBounded(static_cast<uint64_t>(schedule.replicas)));
+    schedule.group_losses.push_back(loss);
+  }
+
+  const uint64_t num_failures = rng.NextBounded(3);  // 0..2
+  for (uint64_t i = 0; i < num_failures; ++i) {
+    FleetSchedule::GroupShardFailure failure;
+    failure.time = rng.NextUniform(0.15 * horizon, 0.85 * horizon);
+    failure.group = static_cast<int>(
+        rng.NextBounded(static_cast<uint64_t>(schedule.replicas)));
+    if (!schedule.group_losses.empty() &&
+        failure.group == schedule.group_losses[0].group) {
+      // The lost group dies whole; single-shard failures land on siblings.
+      failure.group = (failure.group + 1) % schedule.replicas;
+    }
+    failure.shard = static_cast<int>(rng.NextBounded(
+        static_cast<uint64_t>(options.serving.num_shards)));
+    schedule.shard_failures.push_back(failure);
+  }
+  std::sort(schedule.shard_failures.begin(), schedule.shard_failures.end(),
+            [](const FleetSchedule::GroupShardFailure& a,
+               const FleetSchedule::GroupShardFailure& b) {
+              return a.time < b.time;
+            });
+
+  const uint64_t num_swaps = rng.NextBounded(3);  // 0..2
+  for (uint64_t i = 0; i < num_swaps; ++i) {
+    ServingSchedule::Swap swap;
+    swap.time = rng.NextUniform(0.10 * horizon, 0.70 * horizon);
+    swap.model_seed = rng.NextU64();
+    swap.corrupt = rng.NextDouble() < 0.25;
+    schedule.swaps.push_back(swap);
+  }
+  std::sort(schedule.swaps.begin(), schedule.swaps.end(),
+            [](const ServingSchedule::Swap& a,
+               const ServingSchedule::Swap& b) { return a.time < b.time; });
+  return schedule;
+}
+
+FleetVerdict RunFleetSchedule(const FleetChaosOptions& options,
+                              const FleetSchedule& schedule,
+                              const Dataset& queries, uint64_t seed) {
+  FleetVerdict verdict;
+  verdict.seed = seed;
+
+  const FleetConfig config =
+      MakeFleetConfig(options, schedule.replicas, seed);
+  const std::vector<ServeRequest> arrivals = GenerateArrivals(
+      MakeFleetWorkload(options, schedule.flash), queries.num_rows());
+  const SavedModel initial =
+      PlantedServingModel(options.serving, options.serving.data_seed);
+
+  // Degradation yardstick: the identical fleet on the identical arrivals
+  // with no faults. Flash-crowd sheddings appear in both runs, so the
+  // comparison isolates what the faults cost.
+  double clean_fraction = 0.0;
+  {
+    ServeFleet clean(ClusterSpec::Cluster1(), config, &queries);
+    COLSGD_CHECK_OK(clean.Install(initial));
+    COLSGD_CHECK_OK(clean.Run(arrivals));
+    clean_fraction = clean.Summarize().slo_violation_fraction;
+  }
+
+  ServeFleet fleet(ClusterSpec::Cluster1(), config, &queries);
+  const Status install = fleet.Install(initial);
+  if (!install.ok()) {
+    verdict.diagnosis = install.ToString();
+    verdict.violations.push_back("initial install failed: " +
+                                 verdict.diagnosis);
+    return verdict;
+  }
+  for (const ServingSchedule::Swap& swap : schedule.swaps) {
+    const SavedModel model =
+        PlantedServingModel(options.serving, swap.model_seed);
+    std::vector<uint8_t> image = SerializeModel(model);
+    if (swap.corrupt) {
+      image[swap.model_seed % image.size()] ^= 0x40;
+    }
+    fleet.ScheduleSwapImage(swap.time, std::move(image),
+                            /*trained_iterations=*/0);
+  }
+  for (const FleetSchedule::GroupLoss& loss : schedule.group_losses) {
+    fleet.ScheduleGroupFailure(loss.time, loss.group);
+  }
+  for (const FleetSchedule::GroupShardFailure& failure :
+       schedule.shard_failures) {
+    fleet.ScheduleShardFailure(failure.time, failure.group, failure.shard);
+  }
+
+  const Status run = fleet.Run(arrivals);
+  verdict.completed = run.ok();
+  if (!run.ok()) {
+    verdict.diagnosis = run.ToString();
+    verdict.violations.push_back("run did not complete: " + verdict.diagnosis);
+    return verdict;
+  }
+  verdict.fingerprint = fleet.Fingerprint();
+  verdict.summary = fleet.Summarize();
+  const FleetSummary& summary = verdict.summary;
+
+  // Conservation: every offered request reached exactly one terminal state.
+  if (summary.offered != options.serving.num_requests) {
+    verdict.violations.push_back(
+        "offered " + std::to_string(summary.offered) + " != scheduled " +
+        std::to_string(options.serving.num_requests));
+  }
+  if (summary.completed + summary.rejected + summary.timed_out !=
+      summary.offered) {
+    verdict.violations.push_back(
+        "conservation: completed " + std::to_string(summary.completed) +
+        " + rejected " + std::to_string(summary.rejected) + " + timed_out " +
+        std::to_string(summary.timed_out) + " != offered " +
+        std::to_string(summary.offered));
+  }
+
+  // With R >= 2 there is always a survivor group: a failed or lost batch
+  // re-dispatches instead of timing out at the client.
+  if (summary.timed_out != 0) {
+    verdict.violations.push_back(
+        "timed_out " + std::to_string(summary.timed_out) +
+        " with a survivor group available");
+  }
+  if (summary.group_down_events !=
+      static_cast<int64_t>(schedule.group_losses.size())) {
+    verdict.violations.push_back(
+        "group_down_events " + std::to_string(summary.group_down_events) +
+        " != scheduled group losses " +
+        std::to_string(schedule.group_losses.size()));
+  }
+
+  // Swap accounting. Swaps fire in time order while the run is live; under
+  // a flash crowd the arrivals can compress, so a late swap may never fire.
+  // The fired prefix must decompose as: valid swaps -> one new generation
+  // on EVERY group, corrupt swaps -> rejected at the router, no group
+  // touched.
+  std::map<int64_t, uint64_t> generation_seed;
+  generation_seed[0] = options.serving.data_seed;
+  const std::vector<GenerationInfo>& history =
+      fleet.group(0).registry().history();
+  const size_t valid_fired = history.empty() ? 0 : history.size() - 1;
+  const size_t fired =
+      valid_fired + static_cast<size_t>(summary.swaps_failed);
+  if (fired > schedule.swaps.size()) {
+    verdict.violations.push_back(
+        "more swaps fired than scheduled: " + std::to_string(fired) + " > " +
+        std::to_string(schedule.swaps.size()));
+  } else {
+    size_t valid_seen = 0;
+    size_t corrupt_seen = 0;
+    int64_t generation = 1;
+    for (size_t i = 0; i < fired; ++i) {
+      if (schedule.swaps[i].corrupt) {
+        ++corrupt_seen;
+      } else {
+        generation_seed[generation++] = schedule.swaps[i].model_seed;
+        ++valid_seen;
+      }
+    }
+    if (valid_seen != valid_fired ||
+        corrupt_seen != static_cast<size_t>(summary.swaps_failed)) {
+      verdict.violations.push_back(
+          "fired-swap prefix mismatch: " + std::to_string(valid_seen) +
+          " valid / " + std::to_string(corrupt_seen) +
+          " corrupt in schedule vs " + std::to_string(valid_fired) +
+          " installed / " + std::to_string(summary.swaps_failed) +
+          " rejected");
+    }
+  }
+  for (int g = 0; g < schedule.replicas; ++g) {
+    const std::vector<GenerationInfo>& group_history =
+        fleet.group(g).registry().history();
+    if (group_history.size() != history.size()) {
+      verdict.violations.push_back(
+          "group " + std::to_string(g) + " installed " +
+          std::to_string(group_history.size()) +
+          " generation(s), group 0 installed " +
+          std::to_string(history.size()) +
+          " — a coordinated swap must touch all groups or none");
+    }
+    for (const GenerationInfo& info : group_history) {
+      if (!info.ok) {
+        verdict.violations.push_back(
+            "group " + std::to_string(g) +
+            " holds a failed install for generation " +
+            std::to_string(info.generation) +
+            " — corrupt images must be rejected at the router");
+      }
+    }
+  }
+
+  // Zero wrong answers, fleet-wide: every completed response is bitwise
+  // equal to the offline kernel under the one generation it reports —
+  // regardless of which group, hedge, or re-dispatch produced it.
+  std::map<int64_t, std::vector<double>> offline;
+  int64_t mismatches = 0;
+  for (const RequestRecord& rec : fleet.records()) {
+    if (rec.status != RequestStatus::kCompleted) continue;
+    auto seed_it = generation_seed.find(rec.generation);
+    if (seed_it == generation_seed.end()) {
+      verdict.violations.push_back(
+          "request " + std::to_string(rec.id) +
+          " completed against unknown generation " +
+          std::to_string(rec.generation));
+      continue;
+    }
+    auto offline_it = offline.find(rec.generation);
+    if (offline_it == offline.end()) {
+      Result<DatasetScores> scored = ScoreDatasetSharded(
+          PlantedServingModel(options.serving, seed_it->second),
+          options.serving.partitioner, options.serving.num_shards, queries,
+          queries.num_rows());
+      COLSGD_CHECK_OK(scored.status());
+      offline_it =
+          offline.emplace(rec.generation, scored.ValueOrDie().scores).first;
+    }
+    const double expected = offline_it->second[rec.row];
+    if (std::memcmp(&expected, &rec.score, sizeof(double)) != 0 &&
+        ++mismatches <= 3) {
+      verdict.violations.push_back(
+          "wrong answer: request " + std::to_string(rec.id) + " row " +
+          std::to_string(rec.row) + " generation " +
+          std::to_string(rec.generation) + " scored " +
+          FormatDouble(rec.score) + ", offline kernel says " +
+          FormatDouble(expected));
+    }
+  }
+  if (mismatches > 3) {
+    verdict.violations.push_back("... " + std::to_string(mismatches - 3) +
+                                 " more wrong answers");
+  }
+
+  // Bounded degradation vs the fault-free fleet on the same arrivals.
+  const size_t fault_events =
+      schedule.group_losses.size() + schedule.shard_failures.size();
+  const double allowed = clean_fraction +
+                         static_cast<double>(fault_events) *
+                             options.serving.degradation_budget +
+                         1e-12;
+  if (summary.slo_violation_fraction > allowed) {
+    verdict.violations.push_back(
+        "SLO violation fraction " +
+        FormatDouble(summary.slo_violation_fraction) + " exceeds clean " +
+        FormatDouble(clean_fraction) + " + budget (allowed " +
+        FormatDouble(allowed) + ")");
+  }
+  if (fault_events == 0 && summary.redispatches != 0) {
+    verdict.violations.push_back(
+        "re-dispatches with no fault scheduled");
+  }
+  return verdict;
+}
+
+std::string DescribeFleetSchedule(const FleetSchedule& schedule) {
+  std::string out = "R=" + std::to_string(schedule.replicas);
+  out += schedule.flash ? " flash" : " poisson";
+  out += " losses[";
+  for (size_t i = 0; i < schedule.group_losses.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "group " + std::to_string(schedule.group_losses[i].group) + " @" +
+           FormatDouble(schedule.group_losses[i].time) + "s";
+  }
+  out += "] failures[";
+  for (size_t i = 0; i < schedule.shard_failures.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "g" + std::to_string(schedule.shard_failures[i].group) + "/s" +
+           std::to_string(schedule.shard_failures[i].shard) + " @" +
+           FormatDouble(schedule.shard_failures[i].time) + "s";
+  }
+  out += "] swaps[";
+  for (size_t i = 0; i < schedule.swaps.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "@" + FormatDouble(schedule.swaps[i].time) + "s seed " +
+           std::to_string(schedule.swaps[i].model_seed);
+    if (schedule.swaps[i].corrupt) out += " (corrupt)";
+  }
+  out += "]";
+  return out;
+}
+
+std::string FleetReproCommand(const FleetChaosOptions& options,
+                              uint64_t seed) {
+  return "colsgd_chaos --scenario serving_fleet --seeds " +
+         std::to_string(seed) + " --models " + options.serving.model +
+         " --shards " + std::to_string(options.serving.num_shards) +
+         " --requests " + std::to_string(options.serving.num_requests) +
+         " --rate " + FormatDouble(options.serving.rate) + " --data_rows " +
+         std::to_string(options.serving.data_rows) + " --data_features " +
+         std::to_string(options.serving.data_features);
+}
+
+std::string FleetArtifactJson(const FleetChaosOptions& options, uint64_t seed,
+                              const FleetSchedule& schedule,
+                              const FleetVerdict& verdict) {
+  std::string json = "{\n";
+  json += "  \"scenario\": \"serving_fleet\",\n";
+  json += "  \"seed\": " + std::to_string(seed) + ",\n";
+  json += "  \"model\": \"" + options.serving.model + "\",\n";
+  json += "  \"replicas\": " + std::to_string(schedule.replicas) + ",\n";
+  json += "  \"num_shards\": " +
+          std::to_string(options.serving.num_shards) + ",\n";
+  json += "  \"schedule\": \"" + DescribeFleetSchedule(schedule) + "\",\n";
+  json += "  \"completed\": " +
+          std::string(verdict.completed ? "true" : "false") + ",\n";
+  json += "  \"fingerprint\": " + std::to_string(verdict.fingerprint) + ",\n";
+  json += "  \"violations\": [\n";
+  for (size_t i = 0; i < verdict.violations.size(); ++i) {
+    json += "    \"" + verdict.violations[i] + "\"";
+    json += i + 1 < verdict.violations.size() ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  json += "  \"repro\": \"" + FleetReproCommand(options, seed) + "\"\n";
+  json += "}\n";
+  return json;
+}
+
 }  // namespace chaos
 }  // namespace colsgd

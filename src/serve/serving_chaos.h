@@ -21,6 +21,17 @@
 //
 // The driver (tools/colsgd_chaos --scenario serving) runs every schedule
 // twice and compares response fingerprints, like the training scenario.
+//
+// --scenario serving_fleet targets the replicated fleet (DESIGN.md §17)
+// instead: R in {2, 3} shard groups behind the health-routed, hedging
+// router, under randomized whole-group losses, single-shard failures on
+// sibling groups, possibly-corrupt coordinated swaps, and (for about half
+// the seeds) a flash-crowd arrival process. The fleet invariants are
+// stricter than the single-group ones: with a survivor group there must be
+// ZERO client-visible timeouts, corrupt images are rejected at the router
+// before any group is touched, and every completed response is bitwise
+// correct under exactly one generation — fleet-wide, across drains, hedges,
+// and re-dispatches.
 #ifndef COLSGD_SERVE_SERVING_CHAOS_H_
 #define COLSGD_SERVE_SERVING_CHAOS_H_
 
@@ -28,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/fleet.h"
 #include "serve/frontend.h"
 
 namespace colsgd {
@@ -117,6 +129,78 @@ std::string ServingArtifactJson(const ServingChaosOptions& options,
                                 uint64_t seed,
                                 const ServingSchedule& schedule,
                                 const ServingVerdict& verdict);
+
+// ---- Replicated-fleet scenario (--scenario serving_fleet) ----------------
+
+/// \brief Fleet chaos configuration. The per-group shape and load ride on
+/// the serving options; the fleet knobs are the detection window and the
+/// flash-crowd shape.
+struct FleetChaosOptions {
+  ServingChaosOptions serving;
+  /// Heartbeat tuned so whole-group detection lands inside the (sub-second)
+  /// chaos run; the production default of 0.6 s would outlive the workload.
+  double heartbeat_interval = 0.005;
+  double heartbeat_timeout = 0.02;
+  /// Flash-crowd shape, as fractions of the arrival horizon.
+  double flash_start_frac = 0.35;
+  double flash_duration_frac = 0.20;
+  double flash_factor = 6.0;
+};
+
+/// \brief A generated fleet fault schedule.
+struct FleetSchedule {
+  int replicas = 2;     // 2 or 3, drawn per seed
+  bool flash = false;   // flash-crowd arrivals (~half the seeds)
+  struct GroupLoss {
+    double time = 0.0;
+    int group = -1;
+  };
+  struct GroupShardFailure {
+    double time = 0.0;
+    int group = -1;  // never the lost group — that one dies whole
+    int shard = -1;
+  };
+  std::vector<GroupLoss> group_losses;            // 0..1
+  std::vector<GroupShardFailure> shard_failures;  // 0..2
+  std::vector<ServingSchedule::Swap> swaps;       // 0..2, sorted by time
+};
+
+/// \brief Verdict of one fleet schedule run.
+struct FleetVerdict {
+  uint64_t seed = 0;
+  bool completed = false;
+  std::string diagnosis;
+  std::vector<std::string> violations;
+  /// ServeFleet::Fingerprint() — responses + route/hedge story hashed.
+  uint64_t fingerprint = 0;
+  FleetSummary summary;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// \brief Draws a randomized fleet schedule from `seed`. Deterministic.
+FleetSchedule GenerateFleetSchedule(uint64_t seed,
+                                    const FleetChaosOptions& options);
+
+/// \brief Serves the workload through a ServeFleet under `schedule` and
+/// checks the fleet invariants. The degradation yardstick (a fault-free
+/// fleet on the same arrivals and replica count) is computed internally —
+/// it depends on the schedule's replica and arrival draws.
+FleetVerdict RunFleetSchedule(const FleetChaosOptions& options,
+                              const FleetSchedule& schedule,
+                              const Dataset& queries, uint64_t seed);
+
+/// \brief Human-readable one-line fleet schedule summary.
+std::string DescribeFleetSchedule(const FleetSchedule& schedule);
+
+/// \brief The colsgd_chaos command line that replays `seed` exactly.
+std::string FleetReproCommand(const FleetChaosOptions& options,
+                              uint64_t seed);
+
+/// \brief JSON repro artifact for a failing seed (schedule + verdict).
+std::string FleetArtifactJson(const FleetChaosOptions& options, uint64_t seed,
+                              const FleetSchedule& schedule,
+                              const FleetVerdict& verdict);
 
 }  // namespace chaos
 }  // namespace colsgd

@@ -43,6 +43,37 @@ constexpr uint64_t kWeightBytes = 8;
 constexpr uint64_t kDispatchFlopsPerBatch = 2000;
 constexpr uint64_t kDispatchFlopsPerRequest = 500;
 
+// ---- Routing tier (replicated fleet, DESIGN.md §17) ------------------------
+// Route forward: router -> group frontend. Header: magic/version (8), batch
+// id (8), generation hint (8), row count (4), flags (4); per request one
+// query-row id (8). The frontends hold the query log, so forwards carry ids,
+// not feature payloads.
+constexpr uint64_t kRouteHeaderBytes = 32;
+constexpr uint64_t kRouteRowBytes = 8;
+// Completion note: group frontend -> router. Batch id (8), group (4),
+// status (4), generation (8), timing mirror (8). Control-sized by design.
+constexpr uint64_t kReplyNoteBytes = 32;
+// Client response: group frontend -> ingress. Header: magic/version (8),
+// batch id (8), generation (4), row count (4); per request one double score.
+constexpr uint64_t kResponseHeaderBytes = 24;
+constexpr uint64_t kScoreBytes = 8;
+// Explicit admission rejection: one control message back to the client so
+// load shedding is charged on the wire exactly once per rejected request.
+constexpr uint64_t kRejectMessageBytes = 64;
+// Router core work per forwarded batch / per processed completion note.
+constexpr uint64_t kRouteFlopsPerBatch = 600;
+constexpr uint64_t kRouteFlopsPerNote = 200;
+
+/// \brief Bytes of one route-forward message carrying `rows` request ids.
+inline uint64_t RouteMessageBytes(uint64_t rows) {
+  return kRouteHeaderBytes + rows * kRouteRowBytes;
+}
+
+/// \brief Bytes of one client-response message carrying `rows` scores.
+inline uint64_t ResponseMessageBytes(uint64_t rows) {
+  return kResponseHeaderBytes + rows * kScoreBytes;
+}
+
 /// \brief Bytes of one scatter message carrying `rows` feature slices with
 /// `slice_nnz` total non-zeros in this shard's local index space.
 inline uint64_t ScatterMessageBytes(uint64_t rows, uint64_t slice_nnz) {

@@ -8,7 +8,8 @@
 namespace colsgd {
 
 Status WorkloadConfig::Validate(const WorkloadConfig& config) {
-  if (config.arrivals != "poisson" && config.arrivals != "burst") {
+  if (config.arrivals != "poisson" && config.arrivals != "burst" &&
+      config.arrivals != "diurnal" && config.arrivals != "flash") {
     return Status::InvalidArgument("unknown arrival process: " +
                                    config.arrivals);
   }
@@ -28,20 +29,52 @@ Status WorkloadConfig::Validate(const WorkloadConfig& config) {
       return Status::InvalidArgument("burst_factor must be >= 1");
     }
   }
+  if (config.arrivals == "diurnal") {
+    if (!(config.diurnal_period > 0.0)) {
+      return Status::InvalidArgument("diurnal_period must be positive");
+    }
+    if (!(config.diurnal_amplitude >= 0.0) ||
+        !(config.diurnal_amplitude <= 1.0)) {
+      return Status::InvalidArgument("diurnal_amplitude must be in [0, 1]");
+    }
+    if (!(config.diurnal_phase >= 0.0) || !(config.diurnal_phase < 1.0)) {
+      return Status::InvalidArgument("diurnal_phase must be in [0, 1)");
+    }
+  }
+  if (config.arrivals == "flash") {
+    if (!(config.flash_at >= 0.0) || !(config.flash_duration > 0.0)) {
+      return Status::InvalidArgument(
+          "flash needs flash_at >= 0 and flash_duration > 0");
+    }
+    if (!(config.flash_factor >= 1.0)) {
+      return Status::InvalidArgument("flash_factor must be >= 1");
+    }
+  }
   return Status::OK();
 }
 
-namespace {
-
-/// \brief Instantaneous rate of the square-wave burst process at time t.
-double RateAt(const WorkloadConfig& config, double t) {
-  if (config.arrivals != "burst") return config.rate;
-  const double phase = std::fmod(t, config.burst_period);
-  return phase < config.burst_duration ? config.rate * config.burst_factor
-                                       : config.rate;
+double WorkloadRateAt(const WorkloadConfig& config, double t) {
+  if (config.arrivals == "burst") {
+    const double phase = std::fmod(t, config.burst_period);
+    return phase < config.burst_duration ? config.rate * config.burst_factor
+                                         : config.rate;
+  }
+  if (config.arrivals == "diurnal") {
+    constexpr double kTwoPi = 6.283185307179586;
+    const double swing = std::sin(
+        kTwoPi * (t / config.diurnal_period + config.diurnal_phase));
+    const double rate = config.rate * (1.0 + config.diurnal_amplitude * swing);
+    // The trough never goes fully dark: a deployed service keeps a floor of
+    // background traffic, and a zero rate would make the next gap infinite.
+    return std::max(rate, 0.05 * config.rate);
+  }
+  if (config.arrivals == "flash") {
+    const bool inside = t >= config.flash_at &&
+                        t < config.flash_at + config.flash_duration;
+    return inside ? config.rate * config.flash_factor : config.rate;
+  }
+  return config.rate;
 }
-
-}  // namespace
 
 std::vector<ServeRequest> GenerateArrivals(const WorkloadConfig& config,
                                            size_t num_query_rows) {
@@ -61,7 +94,7 @@ std::vector<ServeRequest> GenerateArrivals(const WorkloadConfig& config,
     // request and exactly reproducible.
     double u = gap_rng.NextDouble();
     if (u < 1e-300) u = 1e-300;
-    t += -std::log(u) / RateAt(config, t);
+    t += -std::log(u) / WorkloadRateAt(config, t);
     ServeRequest req;
     req.id = static_cast<uint64_t>(i);
     req.arrival = t;

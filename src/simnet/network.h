@@ -120,6 +120,37 @@ class SimNetwork {
     return rx_done;
   }
 
+  /// \brief Like Send, but the receiver-side bulk queue is skipped no matter
+  /// the size. For fan-out endpoints that stand in for many independent
+  /// clients (the serving ingress): modelling millions of user downlinks as
+  /// one shared NIC would serialize unrelated responses, so only sender
+  /// occupancy, propagation, and the byte counters are charged.
+  SimTime SendUnqueued(NodeId from, NodeId to, uint64_t bytes,
+                       SimTime sender_time) {
+    COLSGD_CHECK_LT(from, out_nic_free_.size());
+    COLSGD_CHECK_LT(to, in_nic_free_.size());
+    COLSGD_CHECK_NE(from, to);
+    const double wire_time = static_cast<double>(bytes) / config_.bandwidth;
+    SimTime start = std::max(out_nic_free_[from], sender_time);
+    SimTime tx_done = start + config_.per_message_overhead + wire_time;
+    out_nic_free_[from] = tx_done;
+    SimTime arrival = tx_done + config_.latency;
+
+    stats_[from].messages_sent++;
+    stats_[from].bytes_sent += bytes;
+    stats_[to].messages_received++;
+    stats_[to].bytes_received += bytes;
+    if (tracer_ != nullptr) {
+      tracer_->RecordNetSend(from, to, bytes, /*control=*/true, start, tx_done,
+                             arrival, arrival);
+    }
+    if (critpath_ != nullptr) {
+      critpath_->OnSend(from, to, bytes, /*control=*/true, sender_time, start,
+                        tx_done, arrival, arrival);
+    }
+    return arrival;
+  }
+
   /// \brief Local loopback: no network cost, no stats.
   SimTime LocalDeliver(SimTime sender_time) const { return sender_time; }
 

@@ -21,9 +21,11 @@
 #include "datagen/synthetic.h"
 #include "gtest/gtest.h"
 #include "model/factory.h"
+#include "obs/trace.h"
 #include "serve/frontend.h"
 #include "serve/registry.h"
 #include "serve/serving_chaos.h"
+#include "serve/wire.h"
 
 namespace colsgd {
 namespace {
@@ -445,6 +447,47 @@ TEST(ServeFrontendTest, BoundedQueueRejectsOverload) {
   EXPECT_GT(summary.rejected, 0);
   EXPECT_EQ(summary.completed + summary.rejected + summary.timed_out, 400);
   EXPECT_GT(summary.slo_violation_fraction, 0.0);
+}
+
+TEST(ServeFrontendTest, RejectPathChargesControlBytesExactlyOnce) {
+  // Byte conservation on the shed path: every traced network send is
+  // charged to TotalStats exactly once, and each rejected request costs
+  // exactly one control-sized message to the ingress — no double charge,
+  // no free rejection.
+  const Dataset queries = TestQueries();
+  ServeConfig config;
+  config.num_shards = 2;
+  config.max_batch = 4;
+  config.queue_capacity = 8;
+  Tracer tracer;
+  ServeFrontend frontend(ClusterSpec::Cluster1(), config, &queries);
+  frontend.set_tracer(&tracer);
+  ASSERT_TRUE(
+      frontend.Install(Planted("lr", queries.num_features, 5)).ok());
+  WorkloadConfig workload;
+  workload.rate = 50000.0;
+  workload.num_requests = 400;
+  workload.seed = 2;
+  ASSERT_TRUE(
+      frontend.Run(GenerateArrivals(workload, queries.num_rows())).ok());
+  const ServeSummary summary = frontend.Summarize();
+  ASSERT_GT(summary.rejected, 0);
+
+  uint64_t traced_bytes = 0;
+  int64_t ingress_sends = 0;
+  for (const TraceEvent& ev : tracer.events()) {
+    if (std::strcmp(ev.name, "net.send") != 0) continue;
+    traced_bytes += ev.bytes;
+    if (ev.peer == frontend.ingress()) {
+      EXPECT_EQ(ev.bytes, kRejectMessageBytes)
+          << "only control-sized rejections reach the ingress";
+      ++ingress_sends;
+    }
+  }
+  EXPECT_EQ(traced_bytes, frontend.runtime().net().TotalStats().bytes_sent)
+      << "trace and wire accounting must agree byte for byte";
+  EXPECT_EQ(ingress_sends, summary.rejected)
+      << "each rejection is charged exactly once";
 }
 
 TEST(ServeFrontendTest, InstallValidatesModels) {

@@ -34,11 +34,19 @@
 // serving invariants — no wrong answers, conservation, bounded SLO
 // degradation — checked per seed (serve/serving_chaos.h).
 //
+// --scenario serving_fleet targets the replicated fleet: whole-group
+// losses, sibling single-shard failures, coordinated (possibly corrupt)
+// swaps, and flash-crowd arrivals against the health-routed, hedging
+// router, with the stricter fleet invariants — zero timeouts with a
+// survivor, corrupt images rejected at the router, bitwise-correct scores
+// under exactly one generation fleet-wide — checked per seed.
+//
 //   colsgd_chaos --seeds 0..31 --engines all
 //   colsgd_chaos --seeds 17 --engines petuum --verbose true
 //   colsgd_chaos --scenario membership --seeds 0..15 --engines all
 //   colsgd_chaos --scenario ssp --seeds 0..15 --engines all
 //   colsgd_chaos --scenario serving --seeds 0..15 --models lr
+//   colsgd_chaos --scenario serving_fleet --seeds 0..15 --models lr
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -312,6 +320,71 @@ int RunServingSeeds(const chaos::ServingChaosOptions& base,
   return failures == 0 ? 0 : 1;
 }
 
+/// \brief The --scenario serving_fleet loop: randomized whole-group losses,
+/// sibling shard failures, coordinated swaps, and flash crowds against the
+/// replicated fleet. Same structure as the serving loop — two runs per
+/// seed, fingerprint compare, repro artifact on the first failure — with
+/// the stricter fleet invariants.
+int RunFleetSeeds(const chaos::FleetChaosOptions& base,
+                  const std::vector<std::string>& models,
+                  const std::vector<uint64_t>& seeds,
+                  const std::string& artifact, bool verbose) {
+  int64_t runs = 0;
+  int64_t failures = 0;
+  bool artifact_written = false;
+  for (const std::string& model : models) {
+    chaos::FleetChaosOptions options = base;
+    options.serving.model = model;
+    const Dataset queries = chaos::ServingQueryDataset(options.serving);
+    for (uint64_t seed : seeds) {
+      const chaos::FleetSchedule schedule =
+          chaos::GenerateFleetSchedule(seed, options);
+      chaos::FleetVerdict verdict =
+          chaos::RunFleetSchedule(options, schedule, queries, seed);
+      const chaos::FleetVerdict replay =
+          chaos::RunFleetSchedule(options, schedule, queries, seed);
+      ++runs;
+      if (replay.fingerprint != verdict.fingerprint) {
+        verdict.violations.push_back(
+            "nondeterministic: replay fingerprint " +
+            std::to_string(replay.fingerprint) + " != " +
+            std::to_string(verdict.fingerprint));
+      }
+      if (verbose) {
+        std::printf("[fleet x %s] seed %llu %s fp=%016llx  %s\n",
+                    model.c_str(), static_cast<unsigned long long>(seed),
+                    verdict.ok() ? "ok  " : "FAIL",
+                    static_cast<unsigned long long>(verdict.fingerprint),
+                    chaos::DescribeFleetSchedule(schedule).c_str());
+      }
+      if (verdict.ok()) continue;
+      ++failures;
+      std::printf("[fleet x %s] seed %llu FAILED (%s):\n", model.c_str(),
+                  static_cast<unsigned long long>(seed),
+                  chaos::DescribeFleetSchedule(schedule).c_str());
+      for (const std::string& v : verdict.violations) {
+        std::printf("  - %s\n", v.c_str());
+      }
+      std::printf("  repro: %s\n",
+                  chaos::FleetReproCommand(options, seed).c_str());
+      if (!artifact.empty() && !artifact_written) {
+        const std::string json =
+            chaos::FleetArtifactJson(options, seed, schedule, verdict);
+        std::FILE* f = std::fopen(artifact.c_str(), "w");
+        if (f != nullptr) {
+          std::fwrite(json.data(), 1, json.size(), f);
+          std::fclose(f);
+          std::printf("  artifact: %s\n", artifact.c_str());
+          artifact_written = true;
+        }
+      }
+    }
+  }
+  std::printf("chaos(serving_fleet): %lld schedule(s), %lld failure(s)\n",
+              static_cast<long long>(runs), static_cast<long long>(failures));
+  return failures == 0 ? 0 : 1;
+}
+
 int RunDriver(int argc, char** argv) {
   std::string scenario = "train";
   std::string seeds_spec = "0..31";
@@ -341,8 +414,9 @@ int RunDriver(int argc, char** argv) {
                   "'train' (fault schedules against the training engines), "
                   "'membership' (elastic grow/shrink/crash with block "
                   "replication), 'ssp' (bounded-staleness schedules with "
-                  "update accounting), or 'serving' (shard failures + hot "
-                  "swaps under load)");
+                  "update accounting), 'serving' (shard failures + hot "
+                  "swaps under load), or 'serving_fleet' (whole-group "
+                  "losses + flash crowds against the replicated fleet)");
   flags.AddString("seeds", &seeds_spec, "seed range 'a..b' or list 'a,b,c'");
   flags.AddString("engines", &engines,
                   "comma list of engines, or 'all' "
@@ -402,11 +476,17 @@ int RunDriver(int argc, char** argv) {
     return RunSspSeeds(ssp, SplitList(engines), SplitList(models),
                        ParseSeeds(seeds_spec), artifact, verbose);
   }
-  if (scenario == "serving") {
+  if (scenario == "serving" || scenario == "serving_fleet") {
     serving.num_shards = static_cast<int>(shards);
     serving.data_rows = static_cast<uint64_t>(data_rows);
     serving.data_features = static_cast<uint64_t>(data_features);
     serving.data_seed = base.data_seed;
+    if (scenario == "serving_fleet") {
+      chaos::FleetChaosOptions fleet;
+      fleet.serving = serving;
+      return RunFleetSeeds(fleet, SplitList(models), ParseSeeds(seeds_spec),
+                           artifact, verbose);
+    }
     return RunServingSeeds(serving, SplitList(models), ParseSeeds(seeds_spec),
                            artifact, verbose);
   }

@@ -1,15 +1,21 @@
-// Online-serving driver (DESIGN.md §13): load-tests the column-sharded
+// Online-serving driver (DESIGN.md §13, §17): load-tests the column-sharded
 // serving plane on the simulated cluster and prints the SLO accounting.
 //
 // Two modes:
 //
 //  * load test (default): installs a model — planted weights, or a v2
-//    CRC-sealed image from --model_file — and serves an open-loop Poisson
-//    or burst workload against a synthetic query log:
+//    CRC-sealed image from --model_file — and serves an open-loop Poisson,
+//    burst, diurnal, or flash-crowd workload against a synthetic query log.
+//    With --replicas > 1 the requests go through the replicated fleet
+//    (health-routed, hedging router over R shard groups) instead of a
+//    single frontend:
 //
 //      colsgd_serve --model lr --shards 4 --rate 4000 --requests 2000
 //      colsgd_serve --arrivals burst --burst_factor 8 --slo_latency 0.005
 //      colsgd_serve --fail_at 0.2 --fail_shard 1   # failover drill
+//      colsgd_serve --replicas 2 --straggle_group 1 --straggle_level 5
+//      colsgd_serve --replicas 3 --group_fail_at 0.2 --fail_group 0
+//      colsgd_serve --arrivals flash --flash_factor 6 --replicas 2
 //
 //  * train-and-serve (--train_iters > 0): trains an engine with periodic
 //    checkpointing, then replays the checkpoint stream into the serving
@@ -35,6 +41,7 @@
 #include "obs/critpath/dag_json.h"
 #include "obs/export.h"
 #include "obs/trace.h"
+#include "serve/fleet.h"
 #include "serve/frontend.h"
 
 namespace colsgd {
@@ -67,13 +74,14 @@ const char* StatusName(RequestStatus status) {
   return "?";
 }
 
-void DumpRecordsCsv(const std::string& path, const ServeFrontend& frontend) {
+void DumpRecordsCsv(const std::string& path,
+                    const std::vector<RequestRecord>& records) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   COLSGD_CHECK(f != nullptr) << "cannot open " << path;
   std::fprintf(f,
                "id,row,arrival,status,generation,batch,dispatch,completion,"
                "queue_s,scatter_s,compute_s,gather_s,score\n");
-  for (const RequestRecord& rec : frontend.records()) {
+  for (const RequestRecord& rec : records) {
     std::fprintf(f,
                  "%llu,%u,%.9f,%s,%lld,%lld,%.9f,%.9f,%.9f,%.9f,%.9f,%.9f,"
                  "%.17g\n",
@@ -88,8 +96,9 @@ void DumpRecordsCsv(const std::string& path, const ServeFrontend& frontend) {
   std::printf("records: %s\n", path.c_str());
 }
 
-void PrintSummary(const ServeFrontend& frontend) {
-  const ServeSummary s = frontend.Summarize();
+void PrintSummary(const ServeSummary& s,
+                  const std::vector<RequestRecord>& records,
+                  const std::vector<GenerationInfo>& generations) {
   std::printf("offered %lld  completed %lld  rejected %lld  timed_out %lld  "
               "batches %lld\n",
               static_cast<long long>(s.offered),
@@ -115,7 +124,7 @@ void PrintSummary(const ServeFrontend& frontend) {
               s.slo_violation_fraction);
 
   std::map<int64_t, int64_t> per_generation;
-  for (const RequestRecord& rec : frontend.records()) {
+  for (const RequestRecord& rec : records) {
     if (rec.status == RequestStatus::kCompleted) ++per_generation[rec.generation];
   }
   std::printf("generations served:");
@@ -124,13 +133,32 @@ void PrintSummary(const ServeFrontend& frontend) {
                 static_cast<long long>(count));
   }
   std::printf("\n");
-  for (const GenerationInfo& info : frontend.generations()) {
+  for (const GenerationInfo& info : generations) {
     std::printf("  install %s gen %lld (iter %lld) %.6f -> %.6f s\n",
                 info.ok ? "ok  " : "FAIL",
                 static_cast<long long>(info.generation),
                 static_cast<long long>(info.trained_iterations),
                 info.install_start, info.install_done);
   }
+}
+
+void PrintFleetExtras(const FleetSummary& s) {
+  std::printf("fleet: %d replica group(s)  per-group completed:", s.replicas);
+  for (size_t g = 0; g < s.group_completed.size(); ++g) {
+    std::printf("  g%zu: %lld", g,
+                static_cast<long long>(s.group_completed[g]));
+  }
+  std::printf("\n");
+  std::printf("hedges %lld fired, %lld won, %lld cancelled, %lld suppressed  "
+              "(%llu hedge bytes)\n",
+              static_cast<long long>(s.hedges_fired),
+              static_cast<long long>(s.hedge_wins),
+              static_cast<long long>(s.hedges_cancelled),
+              static_cast<long long>(s.hedges_suppressed),
+              static_cast<unsigned long long>(s.hedge_bytes));
+  std::printf("redispatches %lld  group_down_events %lld\n",
+              static_cast<long long>(s.redispatches),
+              static_cast<long long>(s.group_down_events));
 }
 
 int RunDriver(int argc, char** argv) {
@@ -147,6 +175,12 @@ int RunDriver(int argc, char** argv) {
   int64_t model_seed = 7;
   double fail_at = 0.0;
   int64_t fail_shard = 0;
+  // Fleet (--replicas > 1).
+  FleetConfig fleet_config;
+  int64_t replicas = 1;
+  int64_t straggle_group = fleet_config.straggle_group;
+  double group_fail_at = 0.0;
+  int64_t fail_group = 0;
   // Train-and-serve.
   std::string engine_name = "columnsgd";
   int64_t train_iters = 0;
@@ -170,13 +204,43 @@ int RunDriver(int argc, char** argv) {
                   "gather timeout when a shard is dead");
   flags.AddDouble("slo_latency", &serve.slo_latency,
                   "per-request latency objective, seconds");
-  flags.AddString("arrivals", &workload.arrivals, "poisson | burst");
+  flags.AddString("arrivals", &workload.arrivals,
+                  "poisson | burst | diurnal | flash");
   flags.AddDouble("rate", &workload.rate, "base arrival rate, req/s");
   flags.AddInt64("requests", &workload.num_requests, "number of requests");
   flags.AddInt64("workload_seed", &workload_seed, "arrival process seed");
   flags.AddDouble("burst_period", &workload.burst_period, "seconds");
   flags.AddDouble("burst_duration", &workload.burst_duration, "seconds");
   flags.AddDouble("burst_factor", &workload.burst_factor, "rate multiplier");
+  flags.AddDouble("diurnal_period", &workload.diurnal_period,
+                  "seconds per simulated day");
+  flags.AddDouble("diurnal_amplitude", &workload.diurnal_amplitude,
+                  "peak-to-base swing in [0, 1]");
+  flags.AddDouble("diurnal_phase", &workload.diurnal_phase,
+                  "fraction of a period in [0, 1)");
+  flags.AddDouble("flash_at", &workload.flash_at,
+                  "flash-crowd start, seconds");
+  flags.AddDouble("flash_duration", &workload.flash_duration, "seconds");
+  flags.AddDouble("flash_factor", &workload.flash_factor, "rate multiplier");
+  flags.AddInt64("replicas", &replicas,
+                 "shard-group replicas; > 1 serves through the fleet "
+                 "router (DESIGN.md §17)");
+  flags.AddBool("hedging", &fleet_config.hedging,
+                "fleet: duplicate slow batches to a second group");
+  flags.AddDouble("hedge_factor", &fleet_config.hedge_factor,
+                  "fleet: budget = factor x note round-trip quantile");
+  flags.AddDouble("hedge_quantile", &fleet_config.hedge_quantile,
+                  "fleet: round-trip quantile the hedge budget tracks");
+  flags.AddDouble("hedge_min_budget", &fleet_config.hedge_min_budget,
+                  "fleet: hedge budget floor, seconds");
+  flags.AddInt64("straggle_group", &straggle_group,
+                 "fleet: make this group a straggler (-1 disables)");
+  flags.AddDouble("straggle_level", &fleet_config.straggle_level,
+                  "fleet: straggler level L (extra time = L x task time)");
+  flags.AddDouble("group_fail_at", &group_fail_at,
+                  "fleet: lose a whole group at this time (0 disables)");
+  flags.AddInt64("fail_group", &fail_group,
+                 "fleet: which group --group_fail_at kills");
   flags.AddInt64("query_rows", &query_rows, "query log rows");
   flags.AddInt64("query_features", &query_features, "query log dimension");
   flags.AddInt64("query_seed", &query_seed, "query log seed");
@@ -282,10 +346,59 @@ int RunDriver(int argc, char** argv) {
   }
 
   const Dataset queries = GenerateSynthetic(query_spec);
-  ServeFrontend frontend(ClusterSpec::Cluster1(), serve, &queries);
+  const std::vector<ServeRequest> arrivals =
+      GenerateArrivals(workload, queries.num_rows());
   Tracer tracer;
-  if (!trace_out.empty() || !phase_csv.empty()) frontend.set_tracer(&tracer);
   CritPathRecorder critpath;
+
+  if (replicas > 1) {
+    // The causal DAG recorder covers the single-frontend pipeline only; the
+    // fleet's eager cross-group execution has no DAG story yet.
+    COLSGD_CHECK(dag_out.empty())
+        << "--dag_out requires --replicas 1 (single frontend)";
+    fleet_config.replicas = static_cast<int>(replicas);
+    fleet_config.serve = serve;
+    fleet_config.straggle_group = static_cast<int>(straggle_group);
+    if (group_fail_at > 0.0) {
+      // Tighten the heartbeat so detection lands inside a short load test.
+      fleet_config.detector.heartbeat_interval = 0.01;
+      fleet_config.detector.heartbeat_timeout = 0.04;
+    }
+    ServeFleet fleet(ClusterSpec::Cluster1(), fleet_config, &queries);
+    if (!trace_out.empty() || !phase_csv.empty()) fleet.set_tracer(&tracer);
+    COLSGD_CHECK_OK(fleet.Install(stream[0].model, stream[0].iterations));
+    for (size_t i = 1; i < stream.size(); ++i) {
+      fleet.ScheduleSwap(stream[i].at, stream[i].model, stream[i].iterations);
+    }
+    if (fail_at > 0.0) {
+      fleet.ScheduleShardFailure(fail_at, /*group=*/0,
+                                 static_cast<int>(fail_shard));
+    }
+    if (group_fail_at > 0.0) {
+      fleet.ScheduleGroupFailure(group_fail_at, static_cast<int>(fail_group));
+    }
+    COLSGD_CHECK_OK(fleet.Run(arrivals));
+    const FleetSummary summary = fleet.Summarize();
+    PrintSummary(summary, fleet.records(),
+                 fleet.group(0).registry().history());
+    PrintFleetExtras(summary);
+    std::printf("fingerprint %016llx\n",
+                static_cast<unsigned long long>(fleet.Fingerprint()));
+    if (!records_csv.empty()) DumpRecordsCsv(records_csv, fleet.records());
+    if (!trace_out.empty()) {
+      COLSGD_CHECK_OK(WriteChromeTrace(tracer, trace_out));
+      std::printf("trace: %s (%zu events)\n", trace_out.c_str(),
+                  tracer.events().size());
+    }
+    if (!phase_csv.empty()) {
+      COLSGD_CHECK_OK(WritePhaseCsv(tracer, phase_csv));
+      std::printf("phase CSV: %s\n", phase_csv.c_str());
+    }
+    return 0;
+  }
+
+  ServeFrontend frontend(ClusterSpec::Cluster1(), serve, &queries);
+  if (!trace_out.empty() || !phase_csv.empty()) frontend.set_tracer(&tracer);
   if (!dag_out.empty()) frontend.set_critpath(&critpath);
   COLSGD_CHECK_OK(frontend.Install(stream[0].model, stream[0].iterations));
   for (size_t i = 1; i < stream.size(); ++i) {
@@ -296,13 +409,12 @@ int RunDriver(int argc, char** argv) {
     frontend.ScheduleShardFailure(fail_at, static_cast<int>(fail_shard));
   }
 
-  const std::vector<ServeRequest> arrivals =
-      GenerateArrivals(workload, queries.num_rows());
   COLSGD_CHECK_OK(frontend.Run(arrivals));
-  PrintSummary(frontend);
+  PrintSummary(frontend.Summarize(), frontend.records(),
+               frontend.generations());
   std::printf("fingerprint %016llx\n",
               static_cast<unsigned long long>(frontend.Fingerprint()));
-  if (!records_csv.empty()) DumpRecordsCsv(records_csv, frontend);
+  if (!records_csv.empty()) DumpRecordsCsv(records_csv, frontend.records());
   if (!trace_out.empty()) {
     COLSGD_CHECK_OK(WriteChromeTrace(tracer, trace_out));
     std::printf("trace: %s (%zu events)\n", trace_out.c_str(),

@@ -171,13 +171,27 @@ int Run(int argc, char** argv) {
 
   if (!spans.empty()) {
     std::printf("\nnamed spans (serve / recovery / checkpoint):\n");
-    std::printf("  %-18s %8s %12s %12s %12s\n", "span", "count", "total",
-                "p50", "p95");
+    std::printf("  %-24s %8s %12s %12s %12s %12s\n", "span", "count", "total",
+                "p50", "p95", "p99");
     for (const auto& [name, s] : spans) {
       const Histogram* h = registry.GetHistogram("span." + name);
-      std::printf("  %-18s %8lld %11.6fs %11.6fs %11.6fs\n", name.c_str(),
-                  static_cast<long long>(s.count), s.seconds, h->p50(),
-                  h->p95());
+      std::printf("  %-24s %8lld %11.6fs %11.6fs %11.6fs %11.6fs\n",
+                  name.c_str(), static_cast<long long>(s.count), s.seconds,
+                  h->p50(), h->p95(), h->p99());
+    }
+    // The failover split: how much of each outage was the detection window
+    // (heartbeat / reply-timeout bound) vs the re-install shipment.
+    const auto detect = spans.find("serve.failover.detect");
+    const auto reinstall = spans.find("serve.failover.reinstall");
+    if (detect != spans.end() && reinstall != spans.end()) {
+      const double outage = detect->second.seconds + reinstall->second.seconds;
+      std::printf("  failover outage split: %.1f%% detection, %.1f%% "
+                  "re-install (%.6fs total)\n",
+                  outage > 0.0 ? 100.0 * detect->second.seconds / outage : 0.0,
+                  outage > 0.0
+                      ? 100.0 * reinstall->second.seconds / outage
+                      : 0.0,
+                  outage);
     }
   }
 
