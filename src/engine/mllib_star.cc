@@ -155,17 +155,20 @@ Status MllibStarEngine::DoRunIteration(int64_t iteration) {
     FlopCounter flops;
     const size_t local_batch = WorkerBatchSize(w);
     for (int step = 0; step < options_.local_steps; ++step) {
+      BatchView batch;
+      batch.rows.reserve(local_batch);
+      batch.labels.reserve(local_batch);
       for (size_t i = 0; i < local_batch; ++i) {
         const LocalRowSample sample =
             DrawLocalRow(partitions_[w], partition_rows_[w], &rng);
-        if (step == 0) {
-          loss_sum +=
-              model_->RowLoss(sample.row, sample.label, replicas_[w], &flops);
-          ++loss_count;
-        }
-        model_->AccumulateRowGradient(sample.row, sample.label, replicas_[w],
-                                      grad_.get(), &flops);
+        batch.rows.push_back(sample.row);
+        batch.labels.push_back(sample.label);
       }
+      // Fused forward + gradient (kernel layer); the loss pass runs only on
+      // the first local step, exactly as the unfused loop did.
+      model_->RowBatchForwardGrad(batch, replicas_[w], grad_.get(),
+                                  step == 0 ? &loss_sum : nullptr, &flops);
+      if (step == 0) loss_count += local_batch;
       // Aggregated over every worker's local steps — an engine-dependent
       // notion of "the iteration's gradient", noted in DESIGN.md §9.
       ApplySparseUpdate(grad_.get(), local_batch, config_.reg,

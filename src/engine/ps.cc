@@ -609,12 +609,16 @@ Status PsEngine::DoRunIterationElastic(int64_t iteration) {
   size_t batch_total = 0;
   std::vector<uint64_t> rank_flops(runtime_->total_workers(), 0);
   for (int p = 0; p < G; ++p) {
+    BatchView batch;
+    batch.rows.reserve(samples[p].size());
+    batch.labels.reserve(samples[p].size());
     for (const LocalRowSample& sample : samples[p]) {
-      loss_sum +=
-          model_->RowLoss(sample.row, sample.label, weights_, &part_flops[p]);
-      model_->AccumulateRowGradient(sample.row, sample.label, weights_,
-                                    grad_.get(), &part_flops[p]);
+      batch.rows.push_back(sample.row);
+      batch.labels.push_back(sample.label);
     }
+    // Fused forward + gradient (kernel layer), same per-row order.
+    model_->RowBatchForwardGrad(batch, weights_, grad_.get(), &loss_sum,
+                                &part_flops[p]);
     batch_total += samples[p].size();
     rank_flops[PartitionOwner(p)] += part_flops[p].flops();
   }
@@ -770,12 +774,16 @@ Status PsEngine::DoRunIteration(int64_t iteration) {
   size_t batch_total = 0;
   for (int w = 0; w < K; ++w) {
     const NodeId node = runtime_->worker_node(w);
+    BatchView batch;
+    batch.rows.reserve(samples[w].size());
+    batch.labels.reserve(samples[w].size());
     for (const LocalRowSample& sample : samples[w]) {
-      loss_sum +=
-          model_->RowLoss(sample.row, sample.label, weights_, &worker_flops[w]);
-      model_->AccumulateRowGradient(sample.row, sample.label, weights_,
-                                    grad_.get(), &worker_flops[w]);
+      batch.rows.push_back(sample.row);
+      batch.labels.push_back(sample.label);
     }
+    // Fused forward + gradient (kernel layer), same per-row order.
+    model_->RowBatchForwardGrad(batch, weights_, grad_.get(), &loss_sum,
+                                &worker_flops[w]);
     batch_total += samples[w].size();
     runtime_->ChargeCompute(node, worker_flops[w].flops());
     // Dense weight/gradient buffer sweeps on the worker (the kvstore
@@ -1019,11 +1027,16 @@ Status PsEngine::DoRunIterationSsp(int64_t iteration) {
         version == iteration - 1 && version >= 0 ? weights_
                                                  : SspSnapshotOf(version);
     last_compute_start = std::max(last_compute_start, runtime_->clock(node));
+    BatchView batch;
+    batch.rows.reserve(samples.size());
+    batch.labels.reserve(samples.size());
     for (const LocalRowSample& sample : samples) {
-      loss_sum += model_->RowLoss(sample.row, sample.label, snapshot, &flops);
-      model_->AccumulateRowGradient(sample.row, sample.label, snapshot,
-                                    grad_.get(), &flops);
+      batch.rows.push_back(sample.row);
+      batch.labels.push_back(sample.label);
     }
+    // Fused forward + gradient (kernel layer), same per-row order.
+    model_->RowBatchForwardGrad(batch, snapshot, grad_.get(), &loss_sum,
+                                &flops);
     batch_total += samples.size();
     runtime_->ChargeCompute(node, flops.flops());
     runtime_->ChargeMemTouch(node, 2 * model_bytes);

@@ -130,6 +130,9 @@ Status MllibEngine::DoRunIteration(int64_t iteration) {
     FlopCounter flops;
     std::unordered_set<uint32_t> batch_features;  // for the sparse-push size
     const size_t local_batch = WorkerBatchSize(w);
+    BatchView batch;
+    batch.rows.reserve(local_batch);
+    batch.labels.reserve(local_batch);
     for (size_t i = 0; i < local_batch; ++i) {
       // Locate a local row: global ordinal within this worker's blocks.
       uint64_t target = rng.NextBounded(partition_rows_[w]);
@@ -144,15 +147,18 @@ Status MllibEngine::DoRunIteration(int64_t iteration) {
       flops.Add(kSampleFlops);
       const SparseVectorView row =
           block->rows.Row(static_cast<size_t>(target));
-      const float label = block->labels[static_cast<size_t>(target)];
-      loss_sum += model_->RowLoss(row, label, weights_, &flops);
-      model_->AccumulateRowGradient(row, label, weights_, grad_.get(), &flops);
+      batch.rows.push_back(row);
+      batch.labels.push_back(block->labels[static_cast<size_t>(target)]);
       if (options_.sparse_gradient_push) {
         for (size_t j = 0; j < row.nnz; ++j) {
           batch_features.insert(row.indices[j]);
         }
       }
     }
+    // Fused forward + gradient over the sampled batch (kernel layer);
+    // losses and scatters land in the same per-row order as before.
+    model_->RowBatchForwardGrad(batch, weights_, grad_.get(), &loss_sum,
+                                &flops);
     batch_total += local_batch;
     // Dense gradient buffer sweep (zeroing + densification for the push).
     runtime_->ChargeCompute(node, flops.flops());

@@ -1,4 +1,7 @@
 // Small dense vector helpers used by model partitions and optimizers.
+// The element-wise ops route through the kernel layer so the execution mode
+// (scalar/simd/threaded) applies to statistics reduction and weight sweeps
+// too; all modes are bitwise-identical (DESIGN.md §18).
 #ifndef COLSGD_LINALG_DENSE_H_
 #define COLSGD_LINALG_DENSE_H_
 
@@ -7,6 +10,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "linalg/kernels/kernels.h"
 
 namespace colsgd {
 
@@ -14,13 +18,13 @@ namespace colsgd {
 inline void Axpy(double scale, const std::vector<double>& in,
                  std::vector<double>* out) {
   COLSGD_CHECK_EQ(in.size(), out->size());
-  for (size_t i = 0; i < in.size(); ++i) (*out)[i] += scale * in[i];
+  kernels::DenseAxpy(scale, in.data(), out->data(), in.size());
 }
 
 /// \brief Element-wise sum into `out` (used by statistics reduction).
 inline void AddInto(const std::vector<double>& in, std::vector<double>* out) {
   COLSGD_CHECK_EQ(in.size(), out->size());
-  for (size_t i = 0; i < in.size(); ++i) (*out)[i] += in[i];
+  kernels::DenseAdd(in.data(), out->data(), in.size());
 }
 
 inline void Scale(double s, std::vector<double>* v) {
@@ -29,9 +33,7 @@ inline void Scale(double s, std::vector<double>* v) {
 
 inline double Dot(const std::vector<double>& a, const std::vector<double>& b) {
   COLSGD_CHECK_EQ(a.size(), b.size());
-  double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return kernels::DenseDot(a.data(), b.data(), a.size());
 }
 
 inline double SquaredNorm(const std::vector<double>& v) {

@@ -1,0 +1,175 @@
+// Executed hot-path kernels (DESIGN.md §18).
+//
+// Every floating-point operation that can reach a trained bit runs through
+// this layer: CSR SpMV forward kernels (row-major over a batch of sparse
+// rows, multi-output variants for MLR/FM), the transpose scatter-add
+// (gradient) kernels, dense element-wise kernels, and the GLM link
+// functions. Three execution modes are selectable at runtime:
+//
+//   scalar   — the reference implementation: plain loops, bit-for-bit the
+//              semantics the models used before this layer existed.
+//   simd     — `#pragma omp simd` vectorization of order-insensitive work
+//              (per-element products, gathers, independent output chains).
+//   threaded — a thread pool parallelizes over independent per-row outputs.
+//
+// All three produce BITWISE-IDENTICAL results under the fixed-order
+// reduction contract: any reduction whose order affects the result (a dot
+// product's accumulation chain, a scatter-add into a shared accumulator)
+// executes in ascending (row, nnz-index) order in every mode. simd/threaded
+// only reschedule work whose result is order-independent — IEEE-exact
+// per-element products buffered then summed in order, disjoint per-row
+// outputs, independent per-class chains. Scatter-adds are serial in all
+// modes. The build pins `-ffp-contract=off` so a buffered product is never
+// fused into the accumulation chain.
+//
+// Wall-clock speed differs across modes; simulated time never does —
+// engines charge counted FLOPs regardless of mode (DESIGN.md §12 closes the
+// loop by calibrating the charged rate against these kernels' measured
+// speed).
+#ifndef COLSGD_LINALG_KERNELS_KERNELS_H_
+#define COLSGD_LINALG_KERNELS_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "linalg/sparse.h"
+
+namespace colsgd {
+namespace kernels {
+
+enum class KernelMode {
+  kScalar = 0,
+  kSimd = 1,
+  kThreaded = 2,
+};
+
+/// \brief The process-wide mode new kernel calls execute under (default
+/// scalar). Thread-safe reads/writes; switching mid-computation is the
+/// caller's bug.
+KernelMode CurrentMode();
+void SetMode(KernelMode mode);
+
+/// \brief "scalar" | "simd" | "threaded".
+const char* KernelModeName(KernelMode mode);
+
+/// \brief Parses a mode name; returns false (mode untouched) on anything
+/// else.
+bool ParseKernelMode(const std::string& name, KernelMode* mode);
+
+/// \brief RAII mode switch for tests.
+class ScopedKernelMode {
+ public:
+  explicit ScopedKernelMode(KernelMode mode) : saved_(CurrentMode()) {
+    SetMode(mode);
+  }
+  ~ScopedKernelMode() { SetMode(saved_); }
+  ScopedKernelMode(const ScopedKernelMode&) = delete;
+  ScopedKernelMode& operator=(const ScopedKernelMode&) = delete;
+
+ private:
+  KernelMode saved_;
+};
+
+// ---- Forward (SpMV) kernels ----------------------------------------------
+//
+// Row-major CSR SpMV over a batch of sparse row views (the column
+// partitioner's shard slices and the row engines' sampled batches both
+// arrive in this shape). Per-row outputs are disjoint, so simd vectorizes
+// the per-element products and threaded parallelizes over rows; the
+// accumulation chain of each output stays in ascending nnz order.
+
+/// \brief Ordered sparse·dense dot: sum_i dense[indices[i]] * values[i],
+/// accumulated in ascending i order (bitwise SparseVectorView::Dot).
+double SparseDot(const uint32_t* indices, const float* values, size_t nnz,
+                 const double* dense);
+
+/// \brief GLM forward: out[i] += dot(rows[i], model) for i in [0, n).
+void SpmvRows(const SparseVectorView* rows, size_t n, const double* model,
+              double* out);
+
+/// \brief Multi-class forward (MLR layout: feature f owns slots
+/// [f*C, (f+1)*C)): for each row i, nnz j in order, class c:
+/// out[i*C + c] += model[indices[j]*C + c] * values[j].
+void SpmvRowsMulti(const SparseVectorView* rows, size_t n, int C,
+                   const double* model, double* out);
+
+/// \brief Factorization-machine forward (wpf = 1 + F slots per feature):
+/// for each row i, nnz j in order:
+///   out[i*wpf]     += w[0]*x  then  -= 0.5*w[c]*w[c]*x^2 for c = 1..F
+///   out[i*wpf + c] += w[c]*x                            for c = 1..F
+/// The out[0] chain is a true ordered reduction and stays sequential in all
+/// modes; the out[c] chains are independent and vectorize.
+void FmForwardRows(const SparseVectorView* rows, size_t n, int num_factors,
+                   const double* model, double* out);
+
+// ---- Transpose (scatter-add / gradient) kernels --------------------------
+//
+// The column-major side of SpMV: grad += A^T * coeff. Scatter-adds target a
+// shared accumulator whose touch order is observable (GradAccumulator keeps
+// first-touch order), so these are SERIAL in every mode — the kernel layer
+// is their single source of truth, not a parallelization point.
+
+/// \brief acc->Add(indices[j], coeff * values[j]) in ascending j order.
+template <class Acc>
+inline void ScatterRow(const SparseVectorView& row, double coeff, Acc* acc) {
+  for (size_t j = 0; j < row.nnz; ++j) {
+    acc->Add(row.indices[j], coeff * static_cast<double>(row.values[j]));
+  }
+}
+
+/// \brief Multi-class scatter: acc->Add(indices[j]*C + c, coeffs[c] *
+/// values[j]) in ascending (j, c) order.
+template <class Acc>
+inline void ScatterRowMulti(const SparseVectorView& row, const double* coeffs,
+                            int C, Acc* acc) {
+  for (size_t j = 0; j < row.nnz; ++j) {
+    const double v = row.values[j];
+    const uint64_t base = static_cast<uint64_t>(row.indices[j]) * C;
+    for (int c = 0; c < C; ++c) acc->Add(base + c, coeffs[c] * v);
+  }
+}
+
+/// \brief dense[indices[j]] += scale * values[j] in ascending j order
+/// (bitwise SparseVectorView::AxpyInto). Serial in all modes.
+void SparseAxpy(const uint32_t* indices, const float* values, size_t nnz,
+                double scale, double* dense);
+
+// ---- Dense element-wise kernels ------------------------------------------
+//
+// Each output element depends on exactly one input element, so simd and
+// threaded schedules are trivially bitwise-equal to scalar.
+
+/// \brief out[i] += in[i] (reduceStat and the serving score reduce).
+void DenseAdd(const double* in, double* out, size_t n);
+
+/// \brief out[i] += scale * in[i].
+void DenseAxpy(double scale, const double* in, double* out, size_t n);
+
+/// \brief Ordered dense dot: sum_i a[i] * b[i] in ascending i order.
+double DenseDot(const double* a, const double* b, size_t n);
+
+// ---- GLM link functions --------------------------------------------------
+//
+// The margin-based losses and their derivatives, shared by the binary GLMs
+// and the factorization machine (which was duplicating the logistic
+// formulas). Kept with the kernels so the fused forward+gradient path and
+// the calibrator exercise the exact production link code.
+
+enum class GlmLink {
+  kLogistic,  // log(1 + exp(-y s)), stable for |y s| > 30
+  kHinge,     // max(0, 1 - y s), subgradient
+  kSquared,   // (s - y)^2 / 2 over real labels
+};
+
+/// \brief Loss of one point with label y and margin/score s.
+double LinkLoss(GlmLink link, double y, double s);
+
+/// \brief dLoss/ds — the coefficient multiplying the feature vector in the
+/// gradient.
+double LinkCoeff(GlmLink link, double y, double s);
+
+}  // namespace kernels
+}  // namespace colsgd
+
+#endif  // COLSGD_LINALG_KERNELS_KERNELS_H_

@@ -1,0 +1,75 @@
+// A small persistent thread pool for the threaded kernel mode.
+//
+// The pool exists for WALL-CLOCK execution only: simulated time is always
+// charged from counted work (simnet/compute_model.h), so the pool never
+// touches a simulated clock. Kernels use ParallelFor over disjoint index
+// ranges — each worker writes its own output slots, so the threaded mode is
+// race-free by construction and bitwise-identical to the scalar schedule
+// (DESIGN.md §18: reductions never cross a range boundary).
+#ifndef COLSGD_LINALG_KERNELS_THREAD_POOL_H_
+#define COLSGD_LINALG_KERNELS_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace colsgd {
+namespace kernels {
+
+/// \brief Fixed-size pool of worker threads executing half-open index ranges.
+class ThreadPool {
+ public:
+  /// \param num_threads worker threads to spawn (>= 1). The caller's thread
+  /// also executes work inside ParallelFor, so total concurrency is
+  /// num_threads + 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Runs `body(begin, end)` over [0, n) split into chunks of at most
+  /// `grain` indices, distributed across the pool plus the calling thread.
+  /// Blocks until every chunk has finished. `body` must only write state
+  /// owned by its own range. n == 0 is a no-op; grain < 1 is clamped to 1.
+  void ParallelFor(size_t n, size_t grain,
+                   const std::function<void(size_t, size_t)>& body);
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs chunks of the current job until none remain.
+  void RunChunks();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: a job is ready
+  std::condition_variable done_cv_;   // signals the caller: job finished
+  // Current job (guarded by mu_; chunk claim is via next_chunk_ under mu_).
+  const std::function<void(size_t, size_t)>* body_ = nullptr;
+  size_t job_n_ = 0;
+  size_t job_grain_ = 1;
+  size_t next_index_ = 0;    // first unclaimed index
+  size_t active_chunks_ = 0; // chunks currently executing
+  uint64_t job_id_ = 0;      // bumps per job so workers never re-run one
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// \brief The process-wide pool used by the threaded kernel mode, created on
+/// first use with the thread count from SetKernelThreads (default:
+/// hardware_concurrency - 1, at least 1).
+ThreadPool& SharedPool();
+
+/// \brief Overrides the shared pool's thread count. Must be called before
+/// the first threaded kernel executes; later calls are ignored (the pool is
+/// already running). Returns the count the pool will use.
+int SetKernelThreads(int num_threads);
+
+}  // namespace kernels
+}  // namespace colsgd
+
+#endif  // COLSGD_LINALG_KERNELS_THREAD_POOL_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "linalg/kernels/kernels.h"
 
 namespace colsgd {
 
@@ -20,22 +21,11 @@ void FactorizationMachine::ComputePartialStats(
   const int F = num_factors_;
   const int wpf = 1 + F;
   COLSGD_CHECK_EQ(stats->size(), batch.size() * static_cast<size_t>(wpf));
+  kernels::FmForwardRows(batch.rows.data(), batch.size(), F,
+                         local_model.data(), stats->data());
   uint64_t work = 0;
   for (size_t i = 0; i < batch.size(); ++i) {
-    const SparseVectorView& row = batch.rows[i];
-    double* out = stats->data() + i * wpf;
-    for (size_t j = 0; j < row.nnz; ++j) {
-      const double x = row.values[j];
-      const double* w = local_model.data() +
-                        static_cast<size_t>(row.indices[j]) * wpf;
-      out[0] += w[0] * x;
-      const double x2 = x * x;
-      for (int c = 1; c <= F; ++c) {
-        out[0] -= 0.5 * w[c] * w[c] * x2;
-        out[c] += w[c] * x;
-      }
-    }
-    work += row.nnz * (4 + 5 * static_cast<uint64_t>(F));
+    work += batch.rows[i].nnz * (4 + 5 * static_cast<uint64_t>(F));
   }
   if (flops != nullptr) flops->Add(work);
 }
@@ -49,16 +39,11 @@ double FactorizationMachine::ScoreFromStats(const double* stats) const {
 }
 
 double FactorizationMachine::PointLoss(double y, double score) {
-  const double z = y * score;
-  if (z > 30.0) return std::exp(-z);
-  if (z < -30.0) return -z;
-  return std::log1p(std::exp(-z));
+  return kernels::LinkLoss(kernels::GlmLink::kLogistic, y, score);
 }
 
 double FactorizationMachine::PointCoeff(double y, double score) {
-  const double z = y * score;
-  if (z > 30.0) return -y * std::exp(-z);
-  return -y / (1.0 + std::exp(z));
+  return kernels::LinkCoeff(kernels::GlmLink::kLogistic, y, score);
 }
 
 void FactorizationMachine::AccumulateGradFromStats(
@@ -142,6 +127,48 @@ double FactorizationMachine::RowLoss(const SparseVectorView& row, float label,
   batch.labels = {label};
   ComputePartialStats(batch, model, &stats, flops);
   return PointLoss(label, ScoreFromStats(stats.data()));
+}
+
+void FactorizationMachine::RowBatchForwardGrad(const BatchView& batch,
+                                               const std::vector<double>& model,
+                                               GradAccumulator* grad,
+                                               double* loss_sum,
+                                               FlopCounter* flops) const {
+  const int F = num_factors_;
+  const int wpf = 1 + F;
+  const size_t n = batch.size();
+  // One kernel forward for the whole batch. The seed path ran the forward
+  // once for the loss and again for the gradient, so the charge below keeps
+  // both passes; the statistics themselves are the same ordered chains.
+  std::vector<double> stats(n * static_cast<size_t>(wpf), 0.0);
+  kernels::FmForwardRows(batch.rows.data(), n, F, model.data(), stats.data());
+  const uint64_t fwd_flops_per_nnz = 4 + 5 * static_cast<uint64_t>(F);
+  const uint64_t grad_flops_per_nnz = 3 + 5 * static_cast<uint64_t>(F);
+  uint64_t work = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double* s = stats.data() + i * wpf;
+    const double score = ScoreFromStats(s);
+    const SparseVectorView& row = batch.rows[i];
+    if (loss_sum != nullptr) {
+      *loss_sum += PointLoss(batch.labels[i], score);
+      work += row.nnz * fwd_flops_per_nnz;  // the loss pass's forward
+    }
+    work += row.nnz * fwd_flops_per_nnz;  // the gradient pass's forward
+    const double coeff = PointCoeff(batch.labels[i], score);
+    if (coeff == 0.0) continue;
+    for (size_t j = 0; j < row.nnz; ++j) {
+      const double x = row.values[j];
+      const uint64_t base = static_cast<uint64_t>(row.indices[j]) * wpf;
+      const double* w = model.data() + base;
+      grad->Add(base, coeff * x);
+      const double x2 = x * x;
+      for (int c = 1; c <= F; ++c) {
+        grad->Add(base + c, coeff * (x * s[c] - w[c] * x2));
+      }
+    }
+    work += row.nnz * grad_flops_per_nnz;
+  }
+  if (flops != nullptr) flops->Add(work);
 }
 
 }  // namespace colsgd

@@ -62,6 +62,11 @@ class FactorizationMachine : public ModelSpec {
                  const std::vector<double>& model,
                  FlopCounter* flops) const override;
 
+  void RowBatchForwardGrad(const BatchView& batch,
+                           const std::vector<double>& model,
+                           GradAccumulator* grad, double* loss_sum,
+                           FlopCounter* flops) const override;
+
   /// \brief The FM output y(x) of Equation 9/10.
   double RowScore(const SparseVectorView& row,
                   const std::vector<double>& model) const override;

@@ -1,6 +1,6 @@
 #include "model/glm.h"
 
-#include <cmath>
+#include <vector>
 
 namespace colsgd {
 
@@ -9,11 +9,10 @@ void BinaryGlm::ComputePartialStats(const BatchView& batch,
                                     std::vector<double>* stats,
                                     FlopCounter* flops) const {
   COLSGD_CHECK_EQ(stats->size(), batch.size());
+  kernels::SpmvRows(batch.rows.data(), batch.size(), local_model.data(),
+                    stats->data());
   uint64_t work = 0;
-  for (size_t i = 0; i < batch.size(); ++i) {
-    (*stats)[i] += batch.rows[i].Dot(local_model);
-    work += 2 * batch.rows[i].nnz;
-  }
+  for (size_t i = 0; i < batch.size(); ++i) work += 2 * batch.rows[i].nnz;
   if (flops != nullptr) flops->Add(work);
 }
 
@@ -24,15 +23,13 @@ void BinaryGlm::AccumulateGradFromStats(const BatchView& batch,
                                         FlopCounter* flops) const {
   (void)local_model;
   COLSGD_CHECK_EQ(agg_stats.size(), batch.size());
+  const kernels::GlmLink lk = link();
   uint64_t work = 0;
   for (size_t i = 0; i < batch.size(); ++i) {
-    const double coeff = PointCoeff(batch.labels[i], agg_stats[i]);
+    const double coeff = kernels::LinkCoeff(lk, batch.labels[i], agg_stats[i]);
     if (coeff == 0.0) continue;  // e.g. hinge loss outside the margin
-    const SparseVectorView& row = batch.rows[i];
-    for (size_t j = 0; j < row.nnz; ++j) {
-      grad->Add(row.indices[j], coeff * static_cast<double>(row.values[j]));
-    }
-    work += 2 * row.nnz;
+    kernels::ScatterRow(batch.rows[i], coeff, grad);
+    work += 2 * batch.rows[i].nnz;
   }
   if (flops != nullptr) flops->Add(work);
 }
@@ -40,9 +37,10 @@ void BinaryGlm::AccumulateGradFromStats(const BatchView& batch,
 double BinaryGlm::BatchLossFromStats(const std::vector<double>& agg_stats,
                                      const std::vector<float>& labels) const {
   COLSGD_CHECK_EQ(agg_stats.size(), labels.size());
+  const kernels::GlmLink lk = link();
   double loss = 0.0;
   for (size_t i = 0; i < labels.size(); ++i) {
-    loss += PointLoss(labels[i], agg_stats[i]);
+    loss += kernels::LinkLoss(lk, labels[i], agg_stats[i]);
   }
   return loss;
 }
@@ -51,13 +49,10 @@ void BinaryGlm::AccumulateRowGradient(const SparseVectorView& row, float label,
                                       const std::vector<double>& model,
                                       GradAccumulator* grad,
                                       FlopCounter* flops) const {
-  const double s = row.Dot(model);
-  const double coeff = PointCoeff(label, s);
-  if (coeff != 0.0) {
-    for (size_t j = 0; j < row.nnz; ++j) {
-      grad->Add(row.indices[j], coeff * static_cast<double>(row.values[j]));
-    }
-  }
+  const double s =
+      kernels::SparseDot(row.indices, row.values, row.nnz, model.data());
+  const double coeff = kernels::LinkCoeff(link(), label, s);
+  if (coeff != 0.0) kernels::ScatterRow(row, coeff, grad);
   if (flops != nullptr) flops->Add(4 * row.nnz);
 }
 
@@ -65,38 +60,32 @@ double BinaryGlm::RowLoss(const SparseVectorView& row, float label,
                           const std::vector<double>& model,
                           FlopCounter* flops) const {
   if (flops != nullptr) flops->Add(2 * row.nnz);
-  return PointLoss(label, row.Dot(model));
+  return kernels::LinkLoss(
+      link(), label,
+      kernels::SparseDot(row.indices, row.values, row.nnz, model.data()));
 }
 
-double LogisticRegression::PointLoss(double y, double s) const {
-  // log(1 + exp(-ys)) computed stably for large |ys|.
-  const double z = y * s;
-  if (z > 30.0) return std::exp(-z);
-  if (z < -30.0) return -z;
-  return std::log1p(std::exp(-z));
+void BinaryGlm::RowBatchForwardGrad(const BatchView& batch,
+                                    const std::vector<double>& model,
+                                    GradAccumulator* grad, double* loss_sum,
+                                    FlopCounter* flops) const {
+  const size_t n = batch.size();
+  // Forward once per row (the seed path computed each dot twice); the score
+  // is the same ordered chain, so loss and coefficient are bit-identical.
+  std::vector<double> scores(n, 0.0);
+  kernels::SpmvRows(batch.rows.data(), n, model.data(), scores.data());
+  const kernels::GlmLink lk = link();
+  uint64_t work = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (loss_sum != nullptr) {
+      *loss_sum += kernels::LinkLoss(lk, batch.labels[i], scores[i]);
+      work += 2 * batch.rows[i].nnz;
+    }
+    const double coeff = kernels::LinkCoeff(lk, batch.labels[i], scores[i]);
+    if (coeff != 0.0) kernels::ScatterRow(batch.rows[i], coeff, grad);
+    work += 4 * batch.rows[i].nnz;
+  }
+  if (flops != nullptr) flops->Add(work);
 }
-
-double LogisticRegression::PointCoeff(double y, double s) const {
-  // -y / (1 + exp(ys)), Equation 6 of the paper.
-  const double z = y * s;
-  if (z > 30.0) return -y * std::exp(-z);
-  return -y / (1.0 + std::exp(z));
-}
-
-double LinearSvm::PointLoss(double y, double s) const {
-  const double margin = 1.0 - y * s;
-  return margin > 0.0 ? margin : 0.0;
-}
-
-double LinearSvm::PointCoeff(double y, double s) const {
-  // Subgradient of the hinge loss, Equation 4 of the paper.
-  return (1.0 - y * s > 0.0) ? -y : 0.0;
-}
-
-double LeastSquares::PointLoss(double y, double s) const {
-  return 0.5 * (s - y) * (s - y);
-}
-
-double LeastSquares::PointCoeff(double y, double s) const { return s - y; }
 
 }  // namespace colsgd

@@ -7,12 +7,14 @@
 #ifndef COLSGD_MODEL_GLM_H_
 #define COLSGD_MODEL_GLM_H_
 
+#include "linalg/kernels/kernels.h"
 #include "model/model_spec.h"
 
 namespace colsgd {
 
 /// \brief Base for binary margin-based GLMs (labels +-1, one weight per
-/// feature, statistics = dot products).
+/// feature, statistics = dot products). All math executes through the
+/// kernel layer (linalg/kernels); the loss family is named by link().
 class BinaryGlm : public ModelSpec {
  public:
   int weights_per_feature() const override { return 1; }
@@ -41,10 +43,15 @@ class BinaryGlm : public ModelSpec {
                  const std::vector<double>& model,
                  FlopCounter* flops) const override;
 
+  void RowBatchForwardGrad(const BatchView& batch,
+                           const std::vector<double>& model,
+                           GradAccumulator* grad, double* loss_sum,
+                           FlopCounter* flops) const override;
+
   /// \brief The margin <w, x>.
   double RowScore(const SparseVectorView& row,
                   const std::vector<double>& model) const override {
-    return row.Dot(model);
+    return kernels::SparseDot(row.indices, row.values, row.nnz, model.data());
   }
 
   /// \brief The margin is exactly the (single) aggregated statistic.
@@ -52,28 +59,34 @@ class BinaryGlm : public ModelSpec {
     return stats[0];
   }
 
- protected:
+  /// \brief The margin-based loss family (kernel-layer link functions).
+  virtual kernels::GlmLink link() const = 0;
+
   /// \brief Loss of one point given label y in {-1,+1} and margin score s.
-  virtual double PointLoss(double y, double s) const = 0;
+  double PointLoss(double y, double s) const {
+    return kernels::LinkLoss(link(), y, s);
+  }
   /// \brief dLoss/ds — the per-point coefficient multiplying the feature
   /// vector in the gradient.
-  virtual double PointCoeff(double y, double s) const = 0;
+  double PointCoeff(double y, double s) const {
+    return kernels::LinkCoeff(link(), y, s);
+  }
 };
 
 /// \brief Logistic regression: loss log(1 + exp(-y s)).
 class LogisticRegression : public BinaryGlm {
  public:
   std::string name() const override { return "lr"; }
-  double PointLoss(double y, double s) const override;
-  double PointCoeff(double y, double s) const override;
+  kernels::GlmLink link() const override {
+    return kernels::GlmLink::kLogistic;
+  }
 };
 
 /// \brief Linear SVM with hinge loss max(0, 1 - y s) (subgradient SGD).
 class LinearSvm : public BinaryGlm {
  public:
   std::string name() const override { return "svm"; }
-  double PointLoss(double y, double s) const override;
-  double PointCoeff(double y, double s) const override;
+  kernels::GlmLink link() const override { return kernels::GlmLink::kHinge; }
 };
 
 /// \brief Least-squares regression: loss (s - y)^2 / 2 over real labels
@@ -81,8 +94,9 @@ class LinearSvm : public BinaryGlm {
 class LeastSquares : public BinaryGlm {
  public:
   std::string name() const override { return "lsq"; }
-  double PointLoss(double y, double s) const override;
-  double PointCoeff(double y, double s) const override;
+  kernels::GlmLink link() const override {
+    return kernels::GlmLink::kSquared;
+  }
 };
 
 }  // namespace colsgd

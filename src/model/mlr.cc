@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/kernels/kernels.h"
+
 namespace colsgd {
 
 void MultinomialLogisticRegression::Softmax(const double* scores,
@@ -25,18 +27,10 @@ void MultinomialLogisticRegression::ComputePartialStats(
     std::vector<double>* stats, FlopCounter* flops) const {
   const int C = num_classes_;
   COLSGD_CHECK_EQ(stats->size(), batch.size() * static_cast<size_t>(C));
+  kernels::SpmvRowsMulti(batch.rows.data(), batch.size(), C,
+                         local_model.data(), stats->data());
   uint64_t work = 0;
-  for (size_t i = 0; i < batch.size(); ++i) {
-    const SparseVectorView& row = batch.rows[i];
-    double* out = stats->data() + i * C;
-    for (size_t j = 0; j < row.nnz; ++j) {
-      const double v = row.values[j];
-      const double* w = local_model.data() +
-                        static_cast<size_t>(row.indices[j]) * C;
-      for (int c = 0; c < C; ++c) out[c] += w[c] * v;
-    }
-    work += 2 * row.nnz * C;
-  }
+  for (size_t i = 0; i < batch.size(); ++i) work += 2 * batch.rows[i].nnz * C;
   if (flops != nullptr) flops->Add(work);
 }
 
@@ -56,15 +50,8 @@ void MultinomialLogisticRegression::AccumulateGradFromStats(
     COLSGD_CHECK_LT(target, C);
     // Equation 8: grad_{w_c} = (softmax_c - t_c) * x.
     probs[target] -= 1.0;
-    const SparseVectorView& row = batch.rows[i];
-    for (size_t j = 0; j < row.nnz; ++j) {
-      const double v = row.values[j];
-      const uint64_t base = static_cast<uint64_t>(row.indices[j]) * C;
-      for (int c = 0; c < C; ++c) {
-        grad->Add(base + c, probs[c] * v);
-      }
-    }
-    work += (2 * row.nnz + 3) * C;
+    kernels::ScatterRowMulti(batch.rows[i], probs.data(), C, grad);
+    work += (2 * batch.rows[i].nnz + 3) * C;
   }
   if (flops != nullptr) flops->Add(work);
 }
@@ -89,20 +76,12 @@ void MultinomialLogisticRegression::AccumulateRowGradient(
     GradAccumulator* grad, FlopCounter* flops) const {
   const int C = num_classes_;
   std::vector<double> scores(C, 0.0);
-  for (size_t j = 0; j < row.nnz; ++j) {
-    const double v = row.values[j];
-    const double* w = model.data() + static_cast<size_t>(row.indices[j]) * C;
-    for (int c = 0; c < C; ++c) scores[c] += w[c] * v;
-  }
+  kernels::SpmvRowsMulti(&row, 1, C, model.data(), scores.data());
   std::vector<double> probs;
   Softmax(scores.data(), &probs);
   const int target = static_cast<int>(label);
   probs[target] -= 1.0;
-  for (size_t j = 0; j < row.nnz; ++j) {
-    const double v = row.values[j];
-    const uint64_t base = static_cast<uint64_t>(row.indices[j]) * C;
-    for (int c = 0; c < C; ++c) grad->Add(base + c, probs[c] * v);
-  }
+  kernels::ScatterRowMulti(row, probs.data(), C, grad);
   if (flops != nullptr) flops->Add(4 * row.nnz * C);
 }
 
@@ -112,15 +91,36 @@ double MultinomialLogisticRegression::RowLoss(const SparseVectorView& row,
                                               FlopCounter* flops) const {
   const int C = num_classes_;
   std::vector<double> scores(C, 0.0);
-  for (size_t j = 0; j < row.nnz; ++j) {
-    const double v = row.values[j];
-    const double* w = model.data() + static_cast<size_t>(row.indices[j]) * C;
-    for (int c = 0; c < C; ++c) scores[c] += w[c] * v;
-  }
+  kernels::SpmvRowsMulti(&row, 1, C, model.data(), scores.data());
   std::vector<double> probs;
   Softmax(scores.data(), &probs);
   if (flops != nullptr) flops->Add(2 * row.nnz * C);
   return -std::log(std::max(probs[static_cast<int>(label)], 1e-300));
+}
+
+void MultinomialLogisticRegression::RowBatchForwardGrad(
+    const BatchView& batch, const std::vector<double>& model,
+    GradAccumulator* grad, double* loss_sum, FlopCounter* flops) const {
+  const int C = num_classes_;
+  const size_t n = batch.size();
+  // Forward once per row (the seed path ran the class dots twice); softmax
+  // and scatter stay serial in batch order.
+  std::vector<double> scores(n * static_cast<size_t>(C), 0.0);
+  kernels::SpmvRowsMulti(batch.rows.data(), n, C, model.data(), scores.data());
+  std::vector<double> probs;
+  uint64_t work = 0;
+  for (size_t i = 0; i < n; ++i) {
+    Softmax(scores.data() + i * C, &probs);
+    const int target = static_cast<int>(batch.labels[i]);
+    if (loss_sum != nullptr) {
+      *loss_sum += -std::log(std::max(probs[target], 1e-300));
+      work += 2 * batch.rows[i].nnz * C;
+    }
+    probs[target] -= 1.0;
+    kernels::ScatterRowMulti(batch.rows[i], probs.data(), C, grad);
+    work += 4 * batch.rows[i].nnz * C;
+  }
+  if (flops != nullptr) flops->Add(work);
 }
 
 }  // namespace colsgd

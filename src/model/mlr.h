@@ -47,6 +47,11 @@ class MultinomialLogisticRegression : public ModelSpec {
                  const std::vector<double>& model,
                  FlopCounter* flops) const override;
 
+  void RowBatchForwardGrad(const BatchView& batch,
+                           const std::vector<double>& model,
+                           GradAccumulator* grad, double* loss_sum,
+                           FlopCounter* flops) const override;
+
   /// \brief The predicted class: argmax over the C aggregated dot products
   /// (the softmax is monotone, so no exponentials are needed). Ties break
   /// toward the smaller class id.

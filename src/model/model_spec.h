@@ -200,6 +200,31 @@ class ModelSpec {
                          const std::vector<double>& model,
                          FlopCounter* flops) const = 0;
 
+  /// \brief Fused forward + gradient over a sampled row batch — the hot
+  /// loop of every RowSGD baseline engine. Semantically identical to, and
+  /// charged exactly like, the per-row sequence
+  ///
+  ///   if (loss_sum) *loss_sum += RowLoss(row, label, model, flops);
+  ///   AccumulateRowGradient(row, label, model, grad, flops);
+  ///
+  /// in batch order (`loss_sum == nullptr` skips the loss pass and its flop
+  /// charge — MLlib*'s extra local steps). Models override this to run the
+  /// kernel layer's forward once per row (mode-dispatched, DESIGN.md §18)
+  /// and reuse the scores for both loss and gradient; the scatter stays in
+  /// batch order, so every kernel mode produces the seed's exact bits.
+  virtual void RowBatchForwardGrad(const BatchView& batch,
+                                   const std::vector<double>& model,
+                                   GradAccumulator* grad, double* loss_sum,
+                                   FlopCounter* flops) const {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (loss_sum != nullptr) {
+        *loss_sum += RowLoss(batch.rows[i], batch.labels[i], model, flops);
+      }
+      AccumulateRowGradient(batch.rows[i], batch.labels[i], model, grad,
+                            flops);
+    }
+  }
+
   /// \brief Decision score of one row against a full (global-layout) model:
   /// the margin for binary models, y(x) for FMs. Used by evaluation metrics
   /// (accuracy / AUC). Models without a scalar score (MLR) die.

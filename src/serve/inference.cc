@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "linalg/kernels/kernels.h"
 #include "model/factory.h"
 
 namespace colsgd {
@@ -92,9 +93,7 @@ ShardScoreResult ScoreShardedBatch(const ModelSpec& spec,
     FlopCounter flops;
     spec.ComputePartialStats(view, image.partitions[k], &partial, &flops);
     result.shard_flops[k] = flops.flops();
-    for (size_t s = 0; s < partial.size(); ++s) {
-      result.agg_stats[s] += partial[s];
-    }
+    kernels::DenseAdd(partial.data(), result.agg_stats.data(), partial.size());
   }
 
   result.scores.resize(rows);

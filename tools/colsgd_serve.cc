@@ -37,6 +37,8 @@
 #include "common/rng.h"
 #include "datagen/synthetic.h"
 #include "engine/trainer.h"
+#include "linalg/kernels/calibrate.h"
+#include "linalg/kernels/kernels.h"
 #include "model/factory.h"
 #include "obs/critpath/dag_json.h"
 #include "obs/export.h"
@@ -259,6 +261,14 @@ int RunDriver(int argc, char** argv) {
   flags.AddInt64("batch_size", &batch_size, "training mini-batch size");
   flags.AddString("records_csv", &records_csv,
                   "dump per-request latency decompositions here");
+  std::string kernel_mode = "scalar";
+  std::string calibration_path;
+  flags.AddString("kernel", &kernel_mode,
+                  "executed kernel mode (DESIGN.md §18): scalar | simd | "
+                  "threaded; scores are bitwise-identical across modes");
+  flags.AddString("calibration", &calibration_path,
+                  "price simulated compute at the measured kernel rates "
+                  "from this colsgd_calibrate profile");
   std::string trace_out;
   std::string phase_csv;
   std::string dag_out;
@@ -271,6 +281,34 @@ int RunDriver(int argc, char** argv) {
   COLSGD_CHECK_OK(flags.Parse(argc, argv));
   serve.num_shards = static_cast<int>(shards);
   workload.seed = static_cast<uint64_t>(workload_seed);
+
+  kernels::KernelMode kmode;
+  if (!kernels::ParseKernelMode(kernel_mode, &kmode)) {
+    std::fprintf(stderr, "--kernel must be scalar|simd|threaded, got '%s'\n",
+                 kernel_mode.c_str());
+    return 2;
+  }
+  kernels::SetMode(kmode);
+
+  ClusterSpec base_cluster = ClusterSpec::Cluster1();
+  if (!calibration_path.empty()) {
+    Result<kernels::CalibrationProfile> loaded =
+        kernels::LoadCalibrationProfile(calibration_path);
+    COLSGD_CHECK_OK(loaded.status());
+    base_cluster.compute = kernels::ComputeModelFromCalibration(*loaded);
+    base_cluster.mem_bandwidth = loaded->mem_bandwidth_bytes_per_s;
+    std::printf("kernel: mode=%s, compute priced by %s (calibrated on %s "
+                "kernels: %.2f GFLOP/s, %.2f GB/s)\n",
+                kernels::KernelModeName(kmode), calibration_path.c_str(),
+                loaded->kernel_mode.c_str(),
+                loaded->flops_per_second / 1e9,
+                loaded->mem_bandwidth_bytes_per_s / 1e9);
+  } else {
+    std::printf("kernel: mode=%s, compute priced at the Cluster1 preset "
+                "(%.2f GFLOP/s)\n",
+                kernels::KernelModeName(kmode),
+                base_cluster.compute.flops_per_second / 1e9);
+  }
 
   // The query log the requests reference.
   SyntheticSpec query_spec;
@@ -295,7 +333,7 @@ int RunDriver(int argc, char** argv) {
     train_spec.seed = static_cast<uint64_t>(query_seed) + 1;
     const Dataset train_data = GenerateSynthetic(train_spec);
 
-    ClusterSpec cluster = ClusterSpec::Cluster1();
+    ClusterSpec cluster = base_cluster;
     cluster.num_workers = serve.num_shards;
     TrainConfig config;
     config.model = model;
@@ -364,7 +402,7 @@ int RunDriver(int argc, char** argv) {
       fleet_config.detector.heartbeat_interval = 0.01;
       fleet_config.detector.heartbeat_timeout = 0.04;
     }
-    ServeFleet fleet(ClusterSpec::Cluster1(), fleet_config, &queries);
+    ServeFleet fleet(base_cluster, fleet_config, &queries);
     if (!trace_out.empty() || !phase_csv.empty()) fleet.set_tracer(&tracer);
     COLSGD_CHECK_OK(fleet.Install(stream[0].model, stream[0].iterations));
     for (size_t i = 1; i < stream.size(); ++i) {
@@ -397,7 +435,7 @@ int RunDriver(int argc, char** argv) {
     return 0;
   }
 
-  ServeFrontend frontend(ClusterSpec::Cluster1(), serve, &queries);
+  ServeFrontend frontend(base_cluster, serve, &queries);
   if (!trace_out.empty() || !phase_csv.empty()) frontend.set_tracer(&tracer);
   if (!dag_out.empty()) frontend.set_critpath(&critpath);
   COLSGD_CHECK_OK(frontend.Install(stream[0].model, stream[0].iterations));

@@ -21,6 +21,8 @@
 #include "engine/columnsgd.h"
 #include "engine/model_io.h"
 #include "engine/trainer.h"
+#include "linalg/kernels/calibrate.h"
+#include "linalg/kernels/kernels.h"
 #include "obs/bench/bench_result.h"
 #include "obs/critpath/dag_json.h"
 #include "obs/export.h"
@@ -249,6 +251,16 @@ int Run(int argc, char** argv) {
   flags.AddDouble("ssp_jitter", &ssp_jitter,
                   "SSP: deterministic per-(iteration, worker) compute-time "
                   "jitter fraction in [0, x)");
+  std::string kernel_mode = "scalar";
+  std::string calibration_path;
+  flags.AddString("kernel", &kernel_mode,
+                  "executed kernel mode (DESIGN.md §18): scalar | simd | "
+                  "threaded; trained weights are bitwise-identical across "
+                  "modes");
+  flags.AddString("calibration", &calibration_path,
+                  "price simulated compute at the measured kernel rates "
+                  "from this colsgd_calibrate profile instead of the "
+                  "cluster preset");
   std::string save_model;
   flags.AddString("save_model", &save_model,
                   "write the trained model to this file (colsgd_predict "
@@ -271,11 +283,33 @@ int Run(int argc, char** argv) {
               static_cast<unsigned long long>(dataset.num_features),
               dataset.AvgNnzPerRow(), dataset.Sparsity());
 
+  kernels::KernelMode kmode;
+  if (!kernels::ParseKernelMode(kernel_mode, &kmode)) {
+    std::fprintf(stderr, "--kernel must be scalar|simd|threaded, got '%s'\n",
+                 kernel_mode.c_str());
+    return 2;
+  }
+  kernels::SetMode(kmode);
+
   ClusterSpec cluster = cluster2
                             ? ClusterSpec::Cluster2(static_cast<int>(workers))
                             : ClusterSpec::Cluster1();
   cluster.num_workers = static_cast<int>(workers);
   if (max_workers > 0) cluster.max_workers = static_cast<int>(max_workers);
+
+  kernels::CalibrationProfile calibration;
+  if (!calibration_path.empty()) {
+    Result<kernels::CalibrationProfile> loaded =
+        kernels::LoadCalibrationProfile(calibration_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 2;
+    }
+    calibration = *loaded;
+    // Price counted FLOPs (and framed memory moves) at the measured rates.
+    cluster.compute = kernels::ComputeModelFromCalibration(calibration);
+    cluster.mem_bandwidth = calibration.mem_bandwidth_bytes_per_s;
+  }
 
   TrainConfig config;
   config.model = model;
@@ -387,6 +421,19 @@ int Run(int argc, char** argv) {
       result.train_time, 1e3 * result.avg_iter_time,
       static_cast<double>(result.bytes_on_wire) / 1e6,
       static_cast<unsigned long long>(result.messages));
+  if (calibration_path.empty()) {
+    std::printf("kernel: mode=%s, compute priced at the %s preset "
+                "(%.2f GFLOP/s)\n",
+                kernels::KernelModeName(kmode), cluster2 ? "Cluster2" : "Cluster1",
+                cluster.compute.flops_per_second / 1e9);
+  } else {
+    std::printf("kernel: mode=%s, compute priced by %s "
+                "(calibrated on %s kernels: %.2f GFLOP/s, %.2f GB/s)\n",
+                kernels::KernelModeName(kmode), calibration_path.c_str(),
+                calibration.kernel_mode.c_str(),
+                calibration.flops_per_second / 1e9,
+                calibration.mem_bandwidth_bytes_per_s / 1e9);
+  }
 
   if (faults_requested) {
     const RecoveryMetrics& recovery = engine->recovery_metrics();
